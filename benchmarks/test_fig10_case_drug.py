@@ -1,0 +1,28 @@
+"""Figure 10: case study on GNN-based drug design (MUT).
+
+For one mutagen molecule, compare the explanation subgraph each explainer
+produces and check whether it contains the planted nitro-group toxicophore —
+the paper's qualitative finding is that GVEX recovers the real toxicophore
+with a small explanation while several competitors need larger subgraphs or
+miss it.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import run_drug_case_study
+
+
+def test_fig10_drug_design_case_study(benchmark, mut_context):
+    rows = run_once(benchmark, run_drug_case_study, mut_context, max_nodes=8)
+    show(rows, "Figure 10 — explanations of one mutagen per explainer")
+    by_method = {row.explainer: row for row in rows}
+
+    # GVEX identifies the real toxicophore (NO2) and is counterfactual.
+    assert by_method["ApproxGVEX"].contains_nitro_group
+    assert by_method["ApproxGVEX"].counterfactual
+
+    # All explanations respect the shared size budget.
+    for row in rows:
+        assert row.num_nodes <= 8
+
+    # GVEX's explanation is no larger than the mask-learning baseline's.
+    assert by_method["ApproxGVEX"].num_nodes <= by_method["GNNExplainer"].num_nodes

@@ -1,0 +1,41 @@
+"""Figure 6: Fidelity- of all explainers under varying size budgets u_l.
+
+The paper's claim is that GVEX achieves lower (better) Fidelity- scores on
+all datasets: its explanation subgraphs alone are sufficient for the model to
+reproduce the original prediction.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import run_fidelity_sweep
+
+MAX_NODES_VALUES = [6, 10]
+GRAPHS_PER_POINT = 4
+GVEX_METHODS = {"ApproxGVEX", "StreamGVEX"}
+
+
+def _check_shape(rows):
+    for row in rows:
+        assert -1.0 <= row.fidelity_minus <= 1.0
+    gvex_best = min(row.fidelity_minus for row in rows if row.explainer in GVEX_METHODS)
+    competitor_rows = [row for row in rows if row.explainer not in GVEX_METHODS]
+    competitor_mean = sum(row.fidelity_minus for row in competitor_rows) / len(competitor_rows)
+    # The better GVEX variant should be at least as sufficient as the average competitor.
+    assert gvex_best <= competitor_mean + 0.05
+    # And close to the ideal value of zero.
+    assert gvex_best <= 0.15
+
+
+@pytest.mark.parametrize("panel", ["red", "enz", "mut", "mal"])
+def test_fig6_fidelity_minus(panel, benchmark, request):
+    context = request.getfixturevalue(f"{panel}_context")
+    rows = run_once(
+        benchmark,
+        run_fidelity_sweep,
+        context,
+        max_nodes_values=MAX_NODES_VALUES,
+        graphs_per_point=GRAPHS_PER_POINT,
+    )
+    show(rows, f"Figure 6 ({panel.upper()}) — Fidelity- vs u_l")
+    _check_shape(rows)

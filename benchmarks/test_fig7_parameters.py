@@ -1,0 +1,43 @@
+"""Figure 7: sensitivity of GVEX fidelity to the configuration parameters.
+
+* Figs. 7a/7b — Fidelity+/- over a grid of (theta, r) on MUT.
+* Figs. 7c/7d — Fidelity+/- over the influence/diversity trade-off gamma.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import run_gamma_sweep, run_theta_r_grid
+
+
+def test_fig7ab_theta_r_grid(benchmark, mut_context):
+    rows = run_once(
+        benchmark,
+        run_theta_r_grid,
+        mut_context,
+        thetas=[0.04, 0.08, 0.14],
+        radii=[0.15, 0.25],
+        graphs_limit=4,
+    )
+    show(rows, "Figure 7a/7b — fidelity over the (theta, r) grid (MUT)")
+    assert len(rows) == 6
+    for row in rows:
+        assert -1.0 <= row.fidelity_plus <= 1.0
+        assert -1.0 <= row.fidelity_minus <= 1.0
+    # The grid search must surface at least one configuration with a good
+    # counterfactual score (this is how the paper picks (0.08, 0.25)).
+    assert max(row.fidelity_plus for row in rows) >= 0.2
+
+
+def test_fig7cd_gamma_sweep(benchmark, mut_context):
+    rows = run_once(
+        benchmark,
+        run_gamma_sweep,
+        mut_context,
+        gammas=[0.0, 0.25, 0.5, 0.75, 1.0],
+        graphs_limit=4,
+    )
+    show(rows, "Figure 7c/7d — fidelity versus gamma (MUT)")
+    assert [row.gamma for row in rows] == [0.0, 0.25, 0.5, 0.75, 1.0]
+    spread = max(row.fidelity_plus for row in rows) - min(row.fidelity_plus for row in rows)
+    # Gamma trades influence against diversity; the resulting fidelity varies
+    # only mildly (the paper settles on gamma = 0.5 as a balanced choice).
+    assert spread <= 1.0

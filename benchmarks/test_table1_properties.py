@@ -1,0 +1,31 @@
+"""Table 1: property comparison of GNN explanation methods.
+
+Regenerates the capability matrix (learning, model-agnostic, label-specific,
+size-bound, coverage, configurable, queryable) and checks that GVEX is the
+only method supporting the full property set, as the paper claims.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import run_table1
+
+
+def test_table1_capability_matrix(benchmark):
+    rows = run_once(benchmark, run_table1)
+    show(rows, "Table 1 — explainer capability matrix")
+
+    by_method = {row.method: row for row in rows}
+    gvex = by_method["GVEX"]
+
+    # GVEX supports every property except mask learning (which it does not need).
+    assert not gvex.learning
+    assert gvex.model_agnostic and gvex.label_specific and gvex.size_bound
+    assert gvex.coverage and gvex.configurable and gvex.queryable
+
+    # No competitor offers queryable or configurable explanations.
+    for method, row in by_method.items():
+        if method != "GVEX":
+            assert not row.queryable
+            assert not row.configurable
+
+    # The matrix covers the five competitors discussed in the paper.
+    assert {"SubgraphX", "GNNExplainer", "PGExplainer", "GStarX", "GCFExplainer"} <= set(by_method)

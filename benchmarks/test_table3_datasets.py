@@ -1,0 +1,41 @@
+"""Table 3: dataset statistics.
+
+Regenerates the dataset-statistics table for the seven (scaled-down) dataset
+substrates and checks the qualitative relationships the paper's Table 3
+exhibits: MAL has the largest graphs, molecule datasets are small and sparse,
+class counts match the original datasets.
+"""
+
+from benchmarks.conftest import run_once, show
+from repro.experiments import run_table3
+
+
+def test_table3_dataset_statistics(benchmark):
+    rows = run_once(benchmark, run_table3)
+    show(rows, "Table 3 — dataset statistics (scaled-down substrates)")
+
+    stats = {row.dataset: row for row in rows}
+    assert len(stats) == 7
+
+    # Class counts follow the original datasets.
+    assert stats["MUTAGENICITY"].num_classes == 2
+    assert stats["REDDIT-BINARY"].num_classes == 2
+    assert stats["ENZYMES"].num_classes == 6
+    assert stats["MALNET-TINY"].num_classes == 5
+    assert stats["PCQM4Mv2"].num_classes == 3
+    assert stats["SYNTHETIC"].num_classes == 2
+
+    # Feature dimensions follow Table 3 (14 for MUT, 3 for ENZ, 9 for PCQ).
+    assert stats["MUTAGENICITY"].feature_dim == 14
+    assert stats["ENZYMES"].feature_dim == 3
+    assert stats["PCQM4Mv2"].feature_dim == 9
+
+    # Size ordering: call graphs (MAL) are the largest per-graph, molecules
+    # (MUT / PCQ) are among the smallest — same ordering as the paper.
+    assert stats["MALNET-TINY"].avg_nodes > stats["MUTAGENICITY"].avg_nodes
+    assert stats["MALNET-TINY"].avg_nodes > stats["PCQM4Mv2"].avg_nodes
+    assert stats["PCQM4Mv2"].avg_nodes < stats["REDDIT-BINARY"].avg_nodes
+
+    for row in rows:
+        assert row.avg_edges > 0
+        assert row.num_graphs > 0

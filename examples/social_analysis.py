@@ -1,0 +1,60 @@
+"""Social-analysis case study on REDDIT-BINARY-like threads (paper Figure 11).
+
+Discussion threads on a social platform come in two flavours: question-answer
+threads (a few experts answering many users — biclique-like interaction) and
+online discussions (many users replying to one popular post — star-like
+interaction).  An analyst wants to understand which interaction structures
+the GNN classifier relies on, under three different configuration scenarios:
+explain only one class, the other, or both.
+
+Run with:  python examples/social_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import ApproxGVEX, Configuration, GNNClassifier, Trainer, load_dataset
+from repro.experiments.case_studies import biclique_pattern, star_pattern
+from repro.matching import has_matching
+from repro.metrics import conciseness_report
+
+
+LABEL_NAMES = {0: "question-answer", 1: "online-discussion"}
+
+
+def explain_scenario(model, database, labels, config) -> None:
+    """Generate and describe explanation views for a set of labels of interest."""
+    explainer = ApproxGVEX(model, config)
+    star = star_pattern(3)
+    biclique = biclique_pattern(2, 2)
+    for label in labels:
+        graphs = [graph for graph in database.graphs if model.predict(graph) == label]
+        view = explainer.explain_label(graphs, label)
+        star_found = any(has_matching(star, sub.subgraph()) for sub in view.subgraphs)
+        biclique_found = any(has_matching(biclique, sub.subgraph()) for sub in view.subgraphs)
+        print(f"  label '{LABEL_NAMES[label]}':")
+        print(f"    subgraphs={len(view.subgraphs)}  patterns={len(view.patterns)}")
+        print(f"    star-like structure found     : {star_found}")
+        print(f"    biclique-like structure found : {biclique_found}")
+        print(f"    conciseness                   : {conciseness_report(view)}")
+
+
+def main() -> None:
+    database = load_dataset("RED", num_graphs=30, seed=3)
+    model = GNNClassifier(feature_dim=4, num_classes=2, hidden_dim=16, num_layers=3, seed=3)
+    result = Trainer(model, learning_rate=0.01, epochs=40, seed=3).fit(database)
+    print(f"thread classifier trained (train acc {result.train_accuracy:.2f})")
+
+    config = Configuration(theta=0.08, radius=0.25, gamma=0.5).with_default_bound(0, 8)
+
+    scenarios = {
+        "scenario 1 — analyst interested only in question-answer threads": [0],
+        "scenario 2 — analyst interested only in online discussions": [1],
+        "scenario 3 — analyst compares both classes": [0, 1],
+    }
+    for title, labels in scenarios.items():
+        print(f"\n{title}")
+        explain_scenario(model, database, labels, config)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Anytime explanation maintenance with StreamGVEX (paper section 5, Fig. 9f).
+
+Large graphs make the offline explain-and-summarize algorithm expensive.
+StreamGVEX instead consumes each graph's nodes as a batched stream and
+maintains the explanation view incrementally, so it can be interrupted at any
+time with a quality guarantee relative to the processed fraction.
+
+The script processes one PCQ-like molecule database, prints the anytime
+quality curve per batch, compares the final streaming view against the
+offline ApproxGVEX view, and shows that the result is robust to the node
+arrival order.
+
+Run with:  python examples/streaming_anytime.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import ApproxGVEX, Configuration, GNNClassifier, StreamGVEX, Trainer, load_dataset
+
+
+def main() -> None:
+    database = load_dataset("PCQ", num_graphs=45, seed=2)
+    model = GNNClassifier(feature_dim=9, num_classes=3, hidden_dim=16, num_layers=3, seed=2)
+    result = Trainer(model, learning_rate=0.01, epochs=40, seed=2).fit(database)
+    print(f"PCQ classifier trained (train acc {result.train_accuracy:.2f})")
+
+    config = Configuration(theta=0.08).with_default_bound(0, 8)
+    label = 1
+    graphs = [graph for graph in database.graphs if model.predict(graph) == label][:6]
+    print(f"explaining {len(graphs)} graphs of label {label}\n")
+
+    # Anytime curve for one graph ------------------------------------------
+    stream = StreamGVEX(model, config, batch_size=4, seed=0)
+    graph = graphs[0]
+    subgraph, patterns, history = stream.explain_graph(graph, label, record_history=True)
+    print("anytime quality while streaming the first graph:")
+    for entry in history:
+        print(f"  seen {entry['seen_fraction']:>5.0%}  selected={entry['selected_nodes']:<3}"
+              f" patterns={entry['num_patterns']:<3} explainability={entry['explainability']:.3f}")
+    print(f"final explanation: {len(subgraph.nodes)} nodes, {len(patterns)} patterns\n")
+
+    # Streaming versus offline ----------------------------------------------
+    offline_view = ApproxGVEX(model, config).explain_label(graphs, label)
+    stream_view = StreamGVEX(model, config, batch_size=4).explain_label(graphs, label)
+    ratio = (
+        stream_view.explainability / offline_view.explainability
+        if offline_view.explainability
+        else 1.0
+    )
+    print("streaming vs offline on the full label group:")
+    print(f"  ApproxGVEX explainability : {offline_view.explainability:.3f} "
+          f"({len(offline_view.patterns)} patterns)")
+    print(f"  StreamGVEX explainability : {stream_view.explainability:.3f} "
+          f"({len(stream_view.patterns)} patterns)")
+    print(f"  anytime ratio             : {ratio:.2f} (guarantee: >= 0.25)\n")
+
+    # Node-order robustness ---------------------------------------------------
+    print("node-order robustness (same graph, three shuffled streams):")
+    rng = random.Random(0)
+    for index in range(3):
+        order = list(graph.nodes)
+        rng.shuffle(order)
+        ordered_subgraph, ordered_patterns, _ = stream.explain_graph(graph, label, node_order=order)
+        quality = ordered_subgraph.explainability if ordered_subgraph else 0.0
+        print(f"  order {index}: explainability={quality:.3f} patterns={len(ordered_patterns)}")
+
+
+if __name__ == "__main__":
+    main()

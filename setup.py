@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all project metadata; this file exists so that
+``pip install -e .`` works in offline environments without the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

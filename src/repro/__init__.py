@@ -1,0 +1,63 @@
+"""GVEX reproduction: view-based explanations for graph neural networks.
+
+The package is organised as
+
+* :mod:`repro.graphs` — attributed graphs, patterns, databases, generators;
+* :mod:`repro.gnn` — a from-scratch NumPy GNN substrate (the classifier ``M``);
+* :mod:`repro.datasets` — synthetic stand-ins for the paper's benchmarks;
+* :mod:`repro.matching` / :mod:`repro.mining` — PMatch / PGen primitive operators;
+* :mod:`repro.core` — the GVEX explainers (ApproxGVEX, StreamGVEX) and view API;
+* :mod:`repro.baselines` — GNNExplainer, SubgraphX, GStarX, GCFExplainer;
+* :mod:`repro.metrics` — fidelity, sparsity, compression, edge loss;
+* :mod:`repro.experiments` — runners that regenerate the paper's tables and figures.
+
+Quick start::
+
+    from repro import load_dataset, GNNClassifier, Trainer, ApproxGVEX, Configuration
+
+    database = load_dataset("MUT", num_graphs=40)
+    model = GNNClassifier(feature_dim=14, num_classes=2)
+    Trainer(model, epochs=30).fit(database)
+    views = ApproxGVEX(model, Configuration()).explain(database)
+"""
+
+from repro.core import (
+    ApproxGVEX,
+    Configuration,
+    CoverageBound,
+    ExplanationSubgraph,
+    ExplanationView,
+    ExplanationViewSet,
+    GraphAnalysis,
+    StreamGVEX,
+    ViewQueryEngine,
+    parallel_explain,
+    verify_view,
+)
+from repro.datasets import available_datasets, load_dataset
+from repro.gnn import GNNClassifier, Trainer
+from repro.graphs import Graph, GraphDatabase, GraphPattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "GraphPattern",
+    "GraphDatabase",
+    "GNNClassifier",
+    "Trainer",
+    "load_dataset",
+    "available_datasets",
+    "Configuration",
+    "CoverageBound",
+    "GraphAnalysis",
+    "ExplanationSubgraph",
+    "ExplanationView",
+    "ExplanationViewSet",
+    "ApproxGVEX",
+    "StreamGVEX",
+    "parallel_explain",
+    "verify_view",
+    "ViewQueryEngine",
+]

@@ -1,0 +1,50 @@
+"""Competitor explainers (Table 1 of the paper) and GVEX adapters."""
+
+from repro.baselines.base import BaseExplainer
+from repro.baselines.gcfexplainer import GCFExplainerBaseline, GlobalCounterfactualSummary
+from repro.baselines.gnnexplainer import GNNExplainerBaseline
+from repro.baselines.gstarx import GStarXBaseline
+from repro.baselines.gvex_adapter import ApproxGVEXAdapter, StreamGVEXAdapter
+from repro.baselines.random_explainer import RandomExplainer
+from repro.baselines.subgraphx import SubgraphXBaseline
+
+__all__ = [
+    "BaseExplainer",
+    "GNNExplainerBaseline",
+    "SubgraphXBaseline",
+    "GStarXBaseline",
+    "GCFExplainerBaseline",
+    "GlobalCounterfactualSummary",
+    "RandomExplainer",
+    "ApproxGVEXAdapter",
+    "StreamGVEXAdapter",
+]
+
+# Capability matrix reproduced from Table 1 of the paper, used by the
+# table-1 benchmark and the documentation.
+CAPABILITY_MATRIX: dict[str, dict[str, bool]] = {
+    "SubgraphX": {
+        "learning": False, "model_agnostic": True, "label_specific": False,
+        "size_bound": False, "coverage": False, "configurable": False, "queryable": False,
+    },
+    "GNNExplainer": {
+        "learning": True, "model_agnostic": True, "label_specific": False,
+        "size_bound": False, "coverage": False, "configurable": False, "queryable": False,
+    },
+    "PGExplainer": {
+        "learning": True, "model_agnostic": False, "label_specific": False,
+        "size_bound": False, "coverage": False, "configurable": False, "queryable": False,
+    },
+    "GStarX": {
+        "learning": False, "model_agnostic": True, "label_specific": False,
+        "size_bound": False, "coverage": False, "configurable": False, "queryable": False,
+    },
+    "GCFExplainer": {
+        "learning": False, "model_agnostic": True, "label_specific": True,
+        "size_bound": False, "coverage": True, "configurable": False, "queryable": False,
+    },
+    "GVEX": {
+        "learning": False, "model_agnostic": True, "label_specific": True,
+        "size_bound": True, "coverage": True, "configurable": True, "queryable": True,
+    },
+}

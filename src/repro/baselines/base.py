@@ -1,0 +1,102 @@
+"""Common interface for instance-level explainer baselines.
+
+Every explainer — GVEX and the four competitors from the paper's Table 1 —
+produces, for a single input graph, a node set whose induced subgraph is the
+explanation.  Wrapping the result as an
+:class:`~repro.core.explanation.ExplanationSubgraph` lets one metric and
+benchmark pipeline score all methods uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.core.explanation import ExplanationSubgraph
+from repro.core.verification import EVerify
+from repro.exceptions import ExplanationError
+from repro.gnn.models import GNNClassifier
+from repro.graphs.graph import Graph
+
+__all__ = ["BaseExplainer"]
+
+
+class BaseExplainer(ABC):
+    """Abstract instance-level explainer.
+
+    Parameters
+    ----------
+    model:
+        The fixed GNN classifier being explained.
+    max_nodes:
+        Upper bound on the number of nodes the explanation may contain
+        (corresponds to GVEX's ``u_l`` so comparisons are size-matched).
+    """
+
+    name = "base"
+
+    def __init__(self, model: GNNClassifier, max_nodes: int = 10) -> None:
+        if max_nodes < 1:
+            raise ExplanationError("max_nodes must be at least 1")
+        self.model = model
+        self.max_nodes = max_nodes
+        self.everify = EVerify(model)
+
+    # ------------------------------------------------------------------
+    # the contract subclasses implement
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def select_nodes(self, graph: Graph, label: int) -> set[int]:
+        """Return the explanation node set for one graph and its label."""
+
+    # ------------------------------------------------------------------
+    # shared driver
+    # ------------------------------------------------------------------
+    def explain_instance(self, graph: Graph) -> ExplanationSubgraph:
+        """Explain one graph using its model-assigned label."""
+        if graph.num_nodes() == 0:
+            raise ExplanationError("cannot explain an empty graph")
+        label = self.model.predict(graph)
+        nodes = self.select_nodes(graph, label)
+        nodes = self._clamp(graph, nodes)
+        subgraph = ExplanationSubgraph(source_graph=graph, nodes=nodes, label=label)
+        return self.everify.annotate(subgraph)
+
+    def explain_many(self, graphs: Sequence[Graph]) -> list[ExplanationSubgraph]:
+        """Explain several graphs (skipping empty ones)."""
+        return [self.explain_instance(graph) for graph in graphs if graph.num_nodes() > 0]
+
+    # ------------------------------------------------------------------
+    # helpers available to subclasses
+    # ------------------------------------------------------------------
+    def _clamp(self, graph: Graph, nodes: set[int]) -> set[int]:
+        """Guarantee a non-empty node set of at most ``max_nodes`` nodes."""
+        nodes = {node for node in nodes if graph.has_node(node)}
+        if not nodes:
+            nodes = {max(graph.nodes, key=graph.degree)}
+        if len(nodes) > self.max_nodes:
+            # Keep the highest-degree nodes to stay structurally meaningful.
+            nodes = set(sorted(nodes, key=lambda node: (-graph.degree(node), node))[: self.max_nodes])
+        return nodes
+
+    def _grow_connected(self, graph: Graph, scores: dict[int, float]) -> set[int]:
+        """Greedy connected expansion by descending score (shared utility).
+
+        Starts from the best-scoring node and repeatedly adds the
+        best-scoring node adjacent to the current selection, which keeps the
+        explanation connected — competitors such as SubgraphX and GStarX
+        return connected subgraphs.
+        """
+        if not scores:
+            return set()
+        selected = {max(scores, key=lambda node: (scores[node], -node))}
+        while len(selected) < self.max_nodes:
+            frontier: set[int] = set()
+            for node in selected:
+                frontier |= graph.neighbors(node)
+            frontier -= selected
+            if not frontier:
+                break
+            best = max(frontier, key=lambda node: (scores.get(node, 0.0), -node))
+            selected.add(best)
+        return selected

@@ -1,0 +1,35 @@
+"""Random explainer: the sanity-check lower bound for all comparisons."""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.base import BaseExplainer
+from repro.gnn.models import GNNClassifier
+from repro.graphs.graph import Graph
+
+__all__ = ["RandomExplainer"]
+
+
+class RandomExplainer(BaseExplainer):
+    """Selects a random connected node set of at most ``max_nodes`` nodes."""
+
+    name = "Random"
+
+    def __init__(self, model: GNNClassifier, max_nodes: int = 10, seed: int = 0) -> None:
+        super().__init__(model, max_nodes=max_nodes)
+        self.seed = seed
+
+    def select_nodes(self, graph: Graph, label: int) -> set[int]:
+        rng = random.Random((self.seed, graph.graph_id).__hash__())
+        start = rng.choice(graph.nodes)
+        selected = {start}
+        while len(selected) < self.max_nodes:
+            frontier: set[int] = set()
+            for node in selected:
+                frontier |= graph.neighbors(node)
+            frontier -= selected
+            if not frontier:
+                break
+            selected.add(rng.choice(sorted(frontier)))
+        return selected

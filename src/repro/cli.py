@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI wraps the most common workflows so the library can be driven without
+writing Python:
+
+* ``datasets``              — list the available dataset substrates;
+* ``stats --dataset MUT``   — print Table-3-style statistics for one dataset;
+* ``train --dataset MUT``   — train the GCN classifier and report accuracies;
+* ``explain --dataset MUT --label 1``  — generate an explanation view and
+  print its patterns, fidelity and conciseness;
+* ``compare --dataset MUT`` — run the explainer comparison (Fig. 5/6 rows);
+* ``table1`` / ``table3``   — print the paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from repro.core import ApproxGVEX, Configuration, StreamGVEX
+from repro.datasets import available_datasets
+from repro.experiments import (
+    prepare_context,
+    print_table,
+    run_fidelity_sweep,
+    run_table1,
+    run_table3,
+)
+from repro.metrics import conciseness_report, fidelity_report
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GVEX: view-based explanations for graph neural networks",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list available dataset substrates")
+    subparsers.add_parser("table1", help="print the explainer capability matrix")
+    subparsers.add_parser("table3", help="print dataset statistics")
+
+    stats = subparsers.add_parser("stats", help="statistics of one dataset")
+    stats.add_argument("--dataset", default="MUT")
+
+    train = subparsers.add_parser("train", help="train the GCN classifier on a dataset")
+    train.add_argument("--dataset", default="MUT")
+    train.add_argument("--epochs", type=int, default=40)
+    train.add_argument("--seed", type=int, default=7)
+
+    explain = subparsers.add_parser("explain", help="generate an explanation view")
+    explain.add_argument("--dataset", default="MUT")
+    explain.add_argument("--label", type=int, default=None)
+    explain.add_argument("--algorithm", choices=["approx", "stream"], default="approx")
+    explain.add_argument("--max-nodes", type=int, default=10)
+    explain.add_argument("--theta", type=float, default=0.08)
+    explain.add_argument("--gamma", type=float, default=0.5)
+    explain.add_argument("--epochs", type=int, default=40)
+
+    compare = subparsers.add_parser("compare", help="compare explainers (Fig. 5/6 rows)")
+    compare.add_argument("--dataset", default="MUT")
+    compare.add_argument("--max-nodes", type=int, nargs="+", default=[6, 10])
+    compare.add_argument("--graphs", type=int, default=5)
+    compare.add_argument("--epochs", type=int, default=40)
+
+    return parser
+
+
+def _command_datasets() -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    context = prepare_context(args.dataset, epochs=1)
+    print_table([context.database.statistics()], title=f"{context.dataset} statistics")
+    return 0
+
+
+def _command_train(args: argparse.Namespace) -> int:
+    context = prepare_context(args.dataset, epochs=args.epochs, seed=args.seed, use_cache=False)
+    print(f"dataset        : {context.dataset}")
+    print(f"train accuracy : {context.train_accuracy:.3f}")
+    print(f"test accuracy  : {context.test_accuracy:.3f}")
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    context = prepare_context(args.dataset, epochs=args.epochs)
+    config = Configuration(theta=args.theta, gamma=args.gamma).with_default_bound(0, args.max_nodes)
+    if args.algorithm == "stream":
+        explainer: ApproxGVEX | StreamGVEX = StreamGVEX(context.model, config)
+    else:
+        explainer = ApproxGVEX(context.model, config)
+    label = args.label if args.label is not None else context.labels()[0]
+    graphs = context.label_group(label, limit=8) or context.test_graphs(limit=8)
+    view = explainer.explain_label(graphs, label)
+    print(f"explanation view for label {label} ({args.algorithm}):")
+    print(f"  subgraphs : {len(view.subgraphs)}")
+    print(f"  patterns  : {len(view.patterns)}")
+    for pattern in view.patterns:
+        print(f"    pattern {pattern.pattern_id}: {sorted(pattern.graph.type_counts().items())}")
+    print(f"  fidelity    : {fidelity_report(context.model, view.subgraphs)}")
+    print(f"  conciseness : {conciseness_report(view)}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    context = prepare_context(args.dataset, epochs=args.epochs)
+    rows = run_fidelity_sweep(
+        context, max_nodes_values=list(args.max_nodes), graphs_per_point=args.graphs
+    )
+    print_table(rows, title=f"explainer comparison on {context.dataset}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _command_datasets()
+    if args.command == "table1":
+        print_table(run_table1(), title="Table 1")
+        return 0
+    if args.command == "table3":
+        print_table(run_table3(), title="Table 3")
+        return 0
+    if args.command == "stats":
+        return _command_stats(args)
+    if args.command == "train":
+        return _command_train(args)
+    if args.command == "explain":
+        return _command_explain(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    raise SystemExit(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

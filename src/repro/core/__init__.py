@@ -1,0 +1,33 @@
+"""GVEX core: configuration, quality measures, view generation algorithms."""
+
+from repro.core.approx import ApproxGVEX
+from repro.core.config import Configuration, CoverageBound
+from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
+from repro.core.parallel import merge_views, parallel_explain
+from repro.core.quality import GraphAnalysis, view_explainability
+from repro.core.streaming import StreamGVEX
+from repro.core.summarize import SummarizeResult, pattern_weight, summarize_subgraphs
+from repro.core.verification import EVerify, VerificationReport, verify_view
+from repro.core.views import PatternOccurrence, ViewQueryEngine
+
+__all__ = [
+    "Configuration",
+    "CoverageBound",
+    "GraphAnalysis",
+    "view_explainability",
+    "ExplanationSubgraph",
+    "ExplanationView",
+    "ExplanationViewSet",
+    "EVerify",
+    "VerificationReport",
+    "verify_view",
+    "SummarizeResult",
+    "summarize_subgraphs",
+    "pattern_weight",
+    "ApproxGVEX",
+    "StreamGVEX",
+    "parallel_explain",
+    "merge_views",
+    "ViewQueryEngine",
+    "PatternOccurrence",
+]

@@ -1,0 +1,159 @@
+"""Explanation configuration ``C = (theta, r, {[b_l, u_l]})`` (section 3.2).
+
+A configuration bundles every user-tunable knob of GVEX:
+
+* ``theta`` — influence threshold for the feature-influence score ``I`` (Eq. 5),
+* ``radius`` — embedding-distance threshold ``r`` for the diversity score ``D``
+  (Eq. 6),
+* ``gamma`` — trade-off between influence and diversity in the explainability
+  objective (Eq. 2),
+* per-label coverage bounds ``[b_l, u_l]`` on explanation-subgraph size,
+* implementation knobs (influence estimator, verification mode, pattern caps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CoverageBound", "Configuration"]
+
+_VERIFICATION_MODES = ("strict", "consistent", "none")
+_INFLUENCE_METHODS = ("auto", "propagation", "exact")
+
+
+@dataclass(frozen=True)
+class CoverageBound:
+    """Per-label coverage constraint ``[b_l, u_l]`` on explanation size."""
+
+    lower: int
+    upper: int
+
+    def __post_init__(self) -> None:
+        if self.lower < 0:
+            raise ConfigurationError("coverage lower bound must be non-negative")
+        if self.upper < max(self.lower, 1):
+            raise ConfigurationError(
+                f"coverage upper bound {self.upper} must be >= max(lower, 1)"
+            )
+
+    def contains(self, size: int) -> bool:
+        """True when a node count satisfies the bound."""
+        return self.lower <= size <= self.upper
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """All GVEX parameters; immutable so it can be shared across workers.
+
+    Parameters
+    ----------
+    theta:
+        Influence threshold in Eq. 5.  A node ``v`` counts as influenced by a
+        seed set when some seed contributes at least a ``theta`` share of
+        ``v``'s total input sensitivity.
+    radius:
+        Diversity radius in Eq. 6, applied to normalised embedding distances
+        (so values in [0, 1] are meaningful regardless of embedding scale).
+    gamma:
+        Weight of the diversity term in the explainability objective.
+    default_bound:
+        Coverage bound used for labels without an explicit entry in
+        ``coverage_bounds``.
+    coverage_bounds:
+        Per-label overrides of the coverage bound.
+    influence_method:
+        ``auto`` (default: exact Jacobian for small graphs, propagation
+        estimator for large ones), ``propagation`` (fast k-step estimator) or
+        ``exact`` (linearised Jacobian of the trained network).
+    verification_mode:
+        How strictly ``VpExtend`` enforces the explanation-subgraph
+        definition while *growing* a candidate:
+
+        * ``strict`` — paper-literal: every intermediate candidate must be
+          consistent *and* counterfactual.  With a robust GNN this rejects
+          nearly all small candidates, so it is mainly useful for analysis.
+        * ``consistent`` (default) — intermediate candidates must keep the
+          predicted label once they reach ``min_check_size`` nodes; the
+          counterfactual property is evaluated on the final subgraph and
+          reported (and measured by Fidelity+), matching how the paper's
+          experiments sweep ``u_l``.
+        * ``none`` — no model checks during growth (pure influence
+          maximisation); useful for ablations.
+    min_check_size:
+        Number of nodes a candidate must reach before GNN consistency checks
+        are applied (a one-node graph cannot be meaningfully classified).
+    max_pattern_size / max_pattern_candidates:
+        Caps forwarded to the pattern generator (``PGen``).
+    diversity_hops:
+        r-hop neighbourhood radius handed to ``IncPGen`` in streaming mode.
+    """
+
+    theta: float = 0.1
+    radius: float = 0.25
+    gamma: float = 0.5
+    default_bound: CoverageBound = field(default_factory=lambda: CoverageBound(0, 15))
+    coverage_bounds: dict[int, CoverageBound] = field(default_factory=dict)
+    influence_method: str = "auto"
+    verification_mode: str = "consistent"
+    min_check_size: int = 3
+    max_pattern_size: int = 4
+    max_pattern_candidates: int = 32
+    diversity_hops: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.theta <= 1.0:
+            raise ConfigurationError("theta must be in [0, 1]")
+        if self.radius < 0.0:
+            raise ConfigurationError("radius must be non-negative")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ConfigurationError("gamma must be in [0, 1]")
+        if self.influence_method not in _INFLUENCE_METHODS:
+            raise ConfigurationError(
+                f"influence_method must be one of {_INFLUENCE_METHODS}"
+            )
+        if self.verification_mode not in _VERIFICATION_MODES:
+            raise ConfigurationError(
+                f"verification_mode must be one of {_VERIFICATION_MODES}"
+            )
+        if self.min_check_size < 1:
+            raise ConfigurationError("min_check_size must be at least 1")
+        if self.max_pattern_size < 1:
+            raise ConfigurationError("max_pattern_size must be at least 1")
+        if self.max_pattern_candidates < 1:
+            raise ConfigurationError("max_pattern_candidates must be at least 1")
+        if self.diversity_hops < 0:
+            raise ConfigurationError("diversity_hops must be non-negative")
+
+    # ------------------------------------------------------------------
+    # coverage bounds
+    # ------------------------------------------------------------------
+    def bound_for(self, label: int) -> CoverageBound:
+        """The coverage bound ``[b_l, u_l]`` applying to ``label``."""
+        return self.coverage_bounds.get(label, self.default_bound)
+
+    def with_bound(self, label: int, lower: int, upper: int) -> "Configuration":
+        """A copy of the configuration with one label's bound replaced."""
+        bounds = dict(self.coverage_bounds)
+        bounds[label] = CoverageBound(lower, upper)
+        return replace(self, coverage_bounds=bounds)
+
+    def with_default_bound(self, lower: int, upper: int) -> "Configuration":
+        """A copy with a new default coverage bound."""
+        return replace(self, default_bound=CoverageBound(lower, upper))
+
+    def describe(self) -> dict[str, object]:
+        """Human-readable summary used in experiment logs."""
+        return {
+            "theta": self.theta,
+            "radius": self.radius,
+            "gamma": self.gamma,
+            "default_bound": (self.default_bound.lower, self.default_bound.upper),
+            "coverage_bounds": {
+                label: (bound.lower, bound.upper)
+                for label, bound in sorted(self.coverage_bounds.items())
+            },
+            "influence_method": self.influence_method,
+            "verification_mode": self.verification_mode,
+        }

@@ -1,0 +1,160 @@
+"""Pattern summarisation: the ``Psum`` procedure (section 4).
+
+Given the explanation subgraphs of a label group, ``Psum`` selects a small
+set of patterns that
+
+* covers every node of every explanation subgraph (hard constraint — this is
+  what makes the result a graph view), and
+* minimises the total *edge-miss penalty* ``w(P) = 1 - |P_Es| / |Es|``
+  (patterns that also cover many subgraph edges are preferred).
+
+The selection is the classic greedy weighted-set-cover heuristic, which gives
+the H_{u_l}-approximation of Lemma 4.3.  If the mined candidates cannot cover
+some node (possible because candidate generation is bounded), singleton
+patterns — a single typed node — are added as a fallback: a singleton always
+matches nodes of its type, so full node coverage is guaranteed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+from repro.matching.coverage import covered_edges, covered_nodes
+from repro.mining.candidates import PatternGenerator
+
+__all__ = ["SummarizeResult", "summarize_subgraphs", "pattern_weight"]
+
+
+def pattern_weight(pattern: GraphPattern, subgraphs: Sequence[Graph], max_matchings: int | None = 64) -> float:
+    """Edge-miss penalty ``w(P) = 1 - |P_Es| / |Es|`` over a subgraph set."""
+    total_edges = sum(graph.num_edges() for graph in subgraphs)
+    if total_edges == 0:
+        return 0.0
+    hit = sum(len(covered_edges(pattern, graph, max_matchings=max_matchings)) for graph in subgraphs)
+    return 1.0 - hit / total_edges
+
+
+@dataclass
+class SummarizeResult:
+    """Output of :func:`summarize_subgraphs`."""
+
+    patterns: list[GraphPattern]
+    covered_nodes: int
+    total_nodes: int
+    covered_edges: int
+    total_edges: int
+    fallback_singletons: int = 0
+    pattern_weights: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def node_coverage(self) -> float:
+        return self.covered_nodes / self.total_nodes if self.total_nodes else 1.0
+
+    @property
+    def edge_loss(self) -> float:
+        """Fraction of subgraph edges not covered by any pattern (Fig. 8c/8d)."""
+        if self.total_edges == 0:
+            return 0.0
+        return 1.0 - self.covered_edges / self.total_edges
+
+
+def _singleton_pattern(node_type: str) -> GraphPattern:
+    pattern = GraphPattern()
+    pattern.add_node(0, node_type)
+    return pattern
+
+
+def summarize_subgraphs(
+    subgraphs: Sequence[Graph],
+    pattern_generator: PatternGenerator | None = None,
+    max_matchings: int | None = 64,
+) -> SummarizeResult:
+    """Select patterns covering all nodes of ``subgraphs`` with few missed edges."""
+    subgraphs = [graph for graph in subgraphs if graph.num_nodes() > 0]
+    total_nodes = sum(graph.num_nodes() for graph in subgraphs)
+    total_edges = sum(graph.num_edges() for graph in subgraphs)
+    if not subgraphs:
+        return SummarizeResult([], 0, 0, 0, 0)
+
+    generator = pattern_generator or PatternGenerator()
+    candidates = generator.generate(subgraphs)
+
+    # Universe of items to cover: (subgraph index, node id).
+    universe: set[tuple[int, int]] = {
+        (index, node) for index, graph in enumerate(subgraphs) for node in graph.nodes
+    }
+    # Precompute per-candidate coverage and edge weights.
+    candidate_cover: list[set[tuple[int, int]]] = []
+    candidate_weight: list[float] = []
+    for pattern in candidates:
+        covered: set[tuple[int, int]] = set()
+        for index, graph in enumerate(subgraphs):
+            for node in covered_nodes(pattern, graph, max_matchings=max_matchings):
+                covered.add((index, node))
+        candidate_cover.append(covered)
+        candidate_weight.append(pattern_weight(pattern, subgraphs, max_matchings=max_matchings))
+
+    selected: list[GraphPattern] = []
+    selected_weights: dict[int, float] = {}
+    uncovered = set(universe)
+    epsilon = 1e-9
+    available = list(range(len(candidates)))
+    while uncovered and available:
+        # Greedy pick: most newly covered nodes per unit of edge-miss penalty.
+        best_index = None
+        best_score = 0.0
+        for candidate_index in available:
+            gain = len(candidate_cover[candidate_index] & uncovered)
+            if gain == 0:
+                continue
+            score = gain / (candidate_weight[candidate_index] + epsilon)
+            if score > best_score:
+                best_score = score
+                best_index = candidate_index
+        if best_index is None:
+            break
+        pattern = candidates[best_index]
+        pattern.pattern_id = len(selected)
+        selected.append(pattern)
+        selected_weights[len(selected) - 1] = candidate_weight[best_index]
+        uncovered -= candidate_cover[best_index]
+        available.remove(best_index)
+
+    # Fallback: guarantee node coverage with singleton patterns per node type.
+    fallback = 0
+    if uncovered:
+        missing_types = {
+            subgraphs[index].node_type(node) for index, node in uncovered
+        }
+        for node_type in sorted(missing_types):
+            pattern = _singleton_pattern(node_type)
+            pattern.pattern_id = len(selected)
+            selected.append(pattern)
+            selected_weights[len(selected) - 1] = pattern_weight(
+                pattern, subgraphs, max_matchings=max_matchings
+            )
+            fallback += 1
+        uncovered = set()
+
+    # Final bookkeeping for the result metrics.
+    edges_hit: set[tuple[int, tuple[int, int]]] = set()
+    nodes_hit: set[tuple[int, int]] = set()
+    for pattern in selected:
+        for index, graph in enumerate(subgraphs):
+            for node in covered_nodes(pattern, graph, max_matchings=max_matchings):
+                nodes_hit.add((index, node))
+            for edge in covered_edges(pattern, graph, max_matchings=max_matchings):
+                edges_hit.add((index, edge))
+
+    return SummarizeResult(
+        patterns=selected,
+        covered_nodes=len(nodes_hit),
+        total_nodes=total_nodes,
+        covered_edges=len(edges_hit),
+        total_edges=total_edges,
+        fallback_singletons=fallback,
+        pattern_weights=selected_weights,
+    )

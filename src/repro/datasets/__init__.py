@@ -1,0 +1,33 @@
+"""Synthetic dataset substrates for the paper's seven benchmarks."""
+
+from repro.datasets.registry import (
+    DATASET_ALIASES,
+    DATASET_BUILDERS,
+    available_datasets,
+    load_dataset,
+)
+from repro.datasets.synthetic import (
+    ATOM_TYPES,
+    make_ba_motif_synthetic,
+    make_enzymes,
+    make_malnet_tiny,
+    make_mutagenicity,
+    make_pcqm4m,
+    make_products,
+    make_reddit_binary,
+)
+
+__all__ = [
+    "load_dataset",
+    "available_datasets",
+    "DATASET_BUILDERS",
+    "DATASET_ALIASES",
+    "ATOM_TYPES",
+    "make_mutagenicity",
+    "make_reddit_binary",
+    "make_enzymes",
+    "make_malnet_tiny",
+    "make_pcqm4m",
+    "make_products",
+    "make_ba_motif_synthetic",
+]

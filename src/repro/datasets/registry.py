@@ -1,0 +1,59 @@
+"""Dataset registry: load any of the paper's seven datasets by name."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.exceptions import DatasetError
+from repro.datasets.synthetic import (
+    make_ba_motif_synthetic,
+    make_enzymes,
+    make_malnet_tiny,
+    make_mutagenicity,
+    make_pcqm4m,
+    make_products,
+    make_reddit_binary,
+)
+from repro.graphs.database import GraphDatabase
+
+__all__ = ["DATASET_BUILDERS", "DATASET_ALIASES", "available_datasets", "load_dataset"]
+
+DATASET_BUILDERS: dict[str, Callable[..., GraphDatabase]] = {
+    "MUTAGENICITY": make_mutagenicity,
+    "REDDIT-BINARY": make_reddit_binary,
+    "ENZYMES": make_enzymes,
+    "MALNET-TINY": make_malnet_tiny,
+    "PCQM4Mv2": make_pcqm4m,
+    "PRODUCTS": make_products,
+    "SYNTHETIC": make_ba_motif_synthetic,
+}
+
+# Short names used throughout the paper's figures.
+DATASET_ALIASES: dict[str, str] = {
+    "MUT": "MUTAGENICITY",
+    "RED": "REDDIT-BINARY",
+    "ENZ": "ENZYMES",
+    "MAL": "MALNET-TINY",
+    "PCQ": "PCQM4Mv2",
+    "PRO": "PRODUCTS",
+    "SYN": "SYNTHETIC",
+}
+
+
+def available_datasets() -> list[str]:
+    """Canonical dataset names, in the order used by the paper's Table 3."""
+    return list(DATASET_BUILDERS)
+
+
+def load_dataset(name: str, **kwargs) -> GraphDatabase:
+    """Build a dataset by canonical name or paper alias (e.g. ``MUT``); the
+    lookup is case-insensitive."""
+    upper = name.upper()
+    canonical = DATASET_ALIASES.get(upper, upper).upper()
+    by_upper_name = {key.upper(): builder for key, builder in DATASET_BUILDERS.items()}
+    builder = by_upper_name.get(canonical)
+    if builder is None:
+        raise DatasetError(
+            f"unknown dataset '{name}'; available: {sorted(DATASET_BUILDERS) + sorted(DATASET_ALIASES)}"
+        )
+    return builder(**kwargs)

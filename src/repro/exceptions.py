@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch a single base class when they want
+to distinguish library failures from programming mistakes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph construction or manipulation."""
+
+
+class NodeNotFoundError(GraphError):
+    """Raised when an operation references a node that is not in the graph."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node {node_id!r} is not in the graph")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphError):
+    """Raised when an operation references an edge that is not in the graph."""
+
+    def __init__(self, u: int, v: int) -> None:
+        super().__init__(f"edge ({u!r}, {v!r}) is not in the graph")
+        self.u = u
+        self.v = v
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be built or looked up."""
+
+
+class ModelError(ReproError):
+    """Raised for invalid GNN model configuration or usage."""
+
+
+class NotFittedError(ModelError):
+    """Raised when inference is attempted on a model that was never trained."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an explanation configuration is inconsistent."""
+
+
+class ExplanationError(ReproError):
+    """Raised when an explanation cannot be produced under the constraints."""
+
+
+class VerificationError(ReproError):
+    """Raised when view verification is asked to check an ill-formed structure."""
+
+
+class MatchingError(ReproError):
+    """Raised for invalid pattern matching requests."""
+
+
+class MiningError(ReproError):
+    """Raised for invalid pattern mining requests."""

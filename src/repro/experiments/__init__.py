@@ -1,0 +1,61 @@
+"""Experiment runners that regenerate the paper's tables and figures."""
+
+from repro.experiments.ablations import (
+    run_approx_vs_stream,
+    run_gamma_ablation,
+    run_greedy_vs_random,
+    run_swap_policy_ablation,
+)
+from repro.experiments.case_studies import (
+    run_drug_case_study,
+    run_enzyme_case_study,
+    run_social_case_study,
+)
+from repro.experiments.conciseness import run_compression, run_edge_loss_sweep, run_sparsity
+from repro.experiments.effectiveness import fidelity_sweep_for_dataset, run_fidelity_sweep
+from repro.experiments.efficiency import (
+    run_anytime_batches,
+    run_parallel_speedup,
+    run_runtime_comparison,
+    run_scalability,
+)
+from repro.experiments.ordering import run_node_order_study
+from repro.experiments.parameters import run_gamma_sweep, run_theta_r_grid
+from repro.experiments.reporting import format_table, print_table
+from repro.experiments.setup import (
+    EXPLAINER_NAMES,
+    ExperimentContext,
+    build_explainers,
+    prepare_context,
+)
+from repro.experiments.tables import run_table1, run_table3
+
+__all__ = [
+    "ExperimentContext",
+    "prepare_context",
+    "build_explainers",
+    "EXPLAINER_NAMES",
+    "run_fidelity_sweep",
+    "fidelity_sweep_for_dataset",
+    "run_theta_r_grid",
+    "run_gamma_sweep",
+    "run_sparsity",
+    "run_compression",
+    "run_edge_loss_sweep",
+    "run_runtime_comparison",
+    "run_scalability",
+    "run_parallel_speedup",
+    "run_anytime_batches",
+    "run_drug_case_study",
+    "run_social_case_study",
+    "run_enzyme_case_study",
+    "run_node_order_study",
+    "run_approx_vs_stream",
+    "run_swap_policy_ablation",
+    "run_gamma_ablation",
+    "run_greedy_vs_random",
+    "run_table1",
+    "run_table3",
+    "format_table",
+    "print_table",
+]

@@ -1,0 +1,208 @@
+"""Exp-3 case studies (Figs. 10, 11, 13).
+
+* Fig. 10 — drug design on MUT: compare the explanation each method produces
+  for one mutagen, and check whether the nitro-group toxicophore is recovered.
+* Fig. 11 — social analysis on RED: three coverage-configuration scenarios
+  (only class 0, only class 1, both) and the representative patterns found.
+* Fig. 13 — ENZ: explanation views for three enzyme classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.approx import ApproxGVEX
+from repro.core.config import Configuration
+from repro.core.explanation import ExplanationView
+from repro.experiments.setup import ExperimentContext, build_explainers, prepare_context
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+from repro.matching.isomorphism import has_matching
+
+__all__ = [
+    "DrugCaseRow",
+    "SocialScenarioResult",
+    "EnzymeViewResult",
+    "nitro_group_pattern",
+    "star_pattern",
+    "biclique_pattern",
+    "run_drug_case_study",
+    "run_social_case_study",
+    "run_enzyme_case_study",
+]
+
+
+# ----------------------------------------------------------------------
+# reference patterns used to check what the explainers recover
+# ----------------------------------------------------------------------
+def nitro_group_pattern() -> GraphPattern:
+    """The NO2 toxicophore: a nitrogen bonded to two oxygens."""
+    pattern = GraphPattern()
+    pattern.add_node(0, "N")
+    pattern.add_node(1, "O")
+    pattern.add_node(2, "O")
+    pattern.add_edge(0, 1, "double")
+    pattern.add_edge(0, 2, "double")
+    return pattern
+
+
+def star_pattern(num_leaves: int = 3) -> GraphPattern:
+    """A hub with ``num_leaves`` leaves (online-discussion structure, P61)."""
+    pattern = GraphPattern()
+    pattern.add_node(0, "user")
+    for leaf in range(1, num_leaves + 1):
+        pattern.add_node(leaf, "user")
+        pattern.add_edge(0, leaf)
+    return pattern
+
+
+def biclique_pattern(experts: int = 2, questions: int = 2) -> GraphPattern:
+    """A small complete bipartite structure (question-answer threads, P81)."""
+    pattern = GraphPattern()
+    for expert in range(experts):
+        pattern.add_node(expert, "user")
+    for question in range(questions):
+        pattern.add_node(experts + question, "user")
+        for expert in range(experts):
+            pattern.add_edge(expert, experts + question)
+    return pattern
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — drug design
+# ----------------------------------------------------------------------
+@dataclass
+class DrugCaseRow:
+    """One explainer's explanation of a single mutagen molecule."""
+
+    explainer: str
+    num_nodes: int
+    num_edges: int
+    contains_nitro_group: bool
+    counterfactual: bool
+
+
+def run_drug_case_study(
+    context: ExperimentContext | None = None,
+    max_nodes: int = 8,
+    explainer_names: list[str] | None = None,
+) -> list[DrugCaseRow]:
+    """Explanations for one mutagen by every explainer, checked for the NO2 pattern."""
+    context = context or prepare_context("MUT")
+    mutagen_label = 1
+    candidates = context.label_group(mutagen_label) or context.test_graphs()
+    molecule = candidates[0]
+    toxicophore = nitro_group_pattern()
+    explainers = build_explainers(context.model, max_nodes=max_nodes, include=explainer_names)
+    rows = []
+    for name, explainer in explainers.items():
+        explanation = explainer.explain_instance(molecule)
+        subgraph = explanation.subgraph()
+        rows.append(
+            DrugCaseRow(
+                explainer=name,
+                num_nodes=subgraph.num_nodes(),
+                num_edges=subgraph.num_edges(),
+                contains_nitro_group=has_matching(toxicophore, subgraph),
+                counterfactual=bool(explanation.counterfactual),
+            )
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — social analysis with three coverage scenarios
+# ----------------------------------------------------------------------
+@dataclass
+class SocialScenarioResult:
+    """Patterns recovered under one coverage-configuration scenario."""
+
+    scenario: str
+    labels_explained: list[int]
+    num_patterns: dict[int, int] = field(default_factory=dict)
+    has_star_pattern: dict[int, bool] = field(default_factory=dict)
+    has_biclique_pattern: dict[int, bool] = field(default_factory=dict)
+
+
+def _view_contains(view: ExplanationView, pattern: GraphPattern) -> bool:
+    return any(has_matching(pattern, subgraph.subgraph()) for subgraph in view.subgraphs)
+
+
+def run_social_case_study(
+    context: ExperimentContext | None = None,
+    max_nodes: int = 8,
+    graphs_limit: int = 5,
+) -> list[SocialScenarioResult]:
+    """Three configuration scenarios on REDDIT-BINARY (Fig. 11)."""
+    context = context or prepare_context("RED")
+    scenarios = {
+        "only question-answer": [0],
+        "only discussion": [1],
+        "both classes": [0, 1],
+    }
+    star = star_pattern()
+    biclique = biclique_pattern()
+    results = []
+    for scenario, labels in scenarios.items():
+        config = Configuration().with_default_bound(0, max_nodes)
+        explainer = ApproxGVEX(context.model, config)
+        result = SocialScenarioResult(scenario=scenario, labels_explained=labels)
+        for label in labels:
+            graphs = context.label_group(label, limit=graphs_limit)
+            if not graphs:
+                graphs = [
+                    graph
+                    for graph in context.database.graphs
+                    if context.model.predict(graph) == label
+                ][:graphs_limit]
+            view = explainer.explain_label(graphs, label)
+            result.num_patterns[label] = len(view.patterns)
+            result.has_star_pattern[label] = _view_contains(view, star)
+            result.has_biclique_pattern[label] = _view_contains(view, biclique)
+        results.append(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — ENZYMES views for three classes
+# ----------------------------------------------------------------------
+@dataclass
+class EnzymeViewResult:
+    """Summary of one enzyme class's explanation view."""
+
+    label: int
+    num_subgraphs: int
+    num_patterns: int
+    compression: float
+    pattern_sizes: list[int]
+
+
+def run_enzyme_case_study(
+    context: ExperimentContext | None = None,
+    labels: list[int] | None = None,
+    max_nodes: int = 8,
+    graphs_limit: int = 4,
+) -> list[EnzymeViewResult]:
+    """Explanation views for three enzyme classes (Fig. 13)."""
+    context = context or prepare_context("ENZ")
+    labels = labels or context.labels()[:3]
+    config = Configuration().with_default_bound(0, max_nodes)
+    explainer = ApproxGVEX(context.model, config)
+    results = []
+    for label in labels:
+        graphs = context.label_group(label, limit=graphs_limit)
+        if not graphs:
+            graphs = [
+                graph for graph in context.database.graphs if context.model.predict(graph) == label
+            ][:graphs_limit]
+        view = explainer.explain_label(graphs, label)
+        results.append(
+            EnzymeViewResult(
+                label=label,
+                num_subgraphs=len(view.subgraphs),
+                num_patterns=len(view.patterns),
+                compression=view.compression(),
+                pattern_sizes=[pattern.num_nodes() for pattern in view.patterns],
+            )
+        )
+    return results

@@ -1,0 +1,126 @@
+"""Exp-1 conciseness analyses (Fig. 8).
+
+* Fig. 8a — Sparsity of the explanation subgraphs per dataset / explainer.
+* Fig. 8b — Compression achieved by the higher-tier patterns (GVEX only).
+* Fig. 8c/8d — Edge loss of the pattern tier as ``u_l`` grows (MUT, RED).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.approx import ApproxGVEX
+from repro.core.config import Configuration
+from repro.experiments.setup import ExperimentContext, build_explainers, prepare_context
+from repro.metrics.conciseness import compression, edge_loss, sparsity
+
+__all__ = [
+    "SparsityRow",
+    "CompressionRow",
+    "EdgeLossRow",
+    "run_sparsity",
+    "run_compression",
+    "run_edge_loss_sweep",
+]
+
+
+@dataclass
+class SparsityRow:
+    dataset: str
+    explainer: str
+    sparsity: float
+    num_graphs: int
+
+
+@dataclass
+class CompressionRow:
+    dataset: str
+    label: int
+    compression: float
+    num_patterns: int
+    num_subgraph_nodes: int
+
+
+@dataclass
+class EdgeLossRow:
+    dataset: str
+    max_nodes: int
+    edge_loss: float
+
+
+def run_sparsity(
+    context: ExperimentContext,
+    max_nodes: int = 8,
+    explainer_names: list[str] | None = None,
+    graphs_limit: int = 6,
+) -> list[SparsityRow]:
+    """Fig. 8a rows: average sparsity of each explainer's subgraphs."""
+    label = context.labels()[0]
+    graphs = context.label_group(label, limit=graphs_limit) or context.test_graphs(limit=graphs_limit)
+    explainers = build_explainers(context.model, max_nodes=max_nodes, include=explainer_names)
+    rows = []
+    for name, explainer in explainers.items():
+        explanations = explainer.explain_many(graphs)
+        rows.append(
+            SparsityRow(
+                dataset=context.dataset,
+                explainer=name,
+                sparsity=sparsity(explanations),
+                num_graphs=len(explanations),
+            )
+        )
+    return rows
+
+
+def run_compression(
+    context: ExperimentContext,
+    max_nodes: int = 8,
+    graphs_limit: int = 6,
+) -> list[CompressionRow]:
+    """Fig. 8b rows: pattern-over-subgraph compression per label (GVEX views)."""
+    config = Configuration().with_default_bound(0, max_nodes)
+    explainer = ApproxGVEX(context.model, config)
+    rows = []
+    for label in context.labels():
+        graphs = context.label_group(label, limit=graphs_limit)
+        if not graphs:
+            continue
+        view = explainer.explain_label(graphs, label)
+        if not view.subgraphs:
+            continue
+        rows.append(
+            CompressionRow(
+                dataset=context.dataset,
+                label=label,
+                compression=compression(view),
+                num_patterns=len(view.patterns),
+                num_subgraph_nodes=view.total_subgraph_nodes(),
+            )
+        )
+    return rows
+
+
+def run_edge_loss_sweep(
+    context: ExperimentContext | None = None,
+    max_nodes_values: list[int] | None = None,
+    graphs_limit: int = 5,
+    dataset: str = "MUT",
+) -> list[EdgeLossRow]:
+    """Fig. 8c/8d rows: edge loss of the pattern tier as ``u_l`` increases."""
+    context = context or prepare_context(dataset)
+    max_nodes_values = max_nodes_values or [4, 6, 8, 10]
+    label = context.labels()[0]
+    rows = []
+    for max_nodes in max_nodes_values:
+        config = Configuration().with_default_bound(0, max_nodes)
+        explainer = ApproxGVEX(context.model, config)
+        graphs = context.label_group(label, limit=graphs_limit) or context.test_graphs(limit=graphs_limit)
+        view = explainer.explain_label(graphs, label)
+        rows.append(
+            EdgeLossRow(
+                dataset=context.dataset,
+                max_nodes=max_nodes,
+                edge_loss=edge_loss(view) if view.subgraphs else 0.0,
+            )
+        )
+    return rows

@@ -1,0 +1,104 @@
+"""Exp-1 configuration-parameter analysis (Fig. 7).
+
+The paper studies, on MUT, how the fidelity of GVEX responds to the
+configuration thresholds: a grid over ``(theta, r)`` (Figs. 7a-7b) and a sweep
+over the influence/diversity trade-off ``gamma`` for fixed ``(theta, r)``
+(Figs. 7c-7d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import Configuration
+from repro.baselines.gvex_adapter import ApproxGVEXAdapter
+from repro.experiments.setup import ExperimentContext, prepare_context
+from repro.metrics.fidelity import fidelity_minus, fidelity_plus
+
+__all__ = ["ParameterRow", "run_theta_r_grid", "run_gamma_sweep"]
+
+
+@dataclass
+class ParameterRow:
+    """One configuration point of Fig. 7."""
+
+    dataset: str
+    theta: float
+    radius: float
+    gamma: float
+    fidelity_plus: float
+    fidelity_minus: float
+
+
+def _fidelity_for_config(
+    context: ExperimentContext,
+    config: Configuration,
+    max_nodes: int,
+    graphs_limit: int,
+) -> tuple[float, float]:
+    label = context.labels()[0]
+    graphs = context.label_group(label, limit=graphs_limit) or context.test_graphs(limit=graphs_limit)
+    explainer = ApproxGVEXAdapter(context.model, max_nodes=max_nodes, config=config)
+    explanations = explainer.explain_many(graphs)
+    return (
+        fidelity_plus(context.model, explanations),
+        fidelity_minus(context.model, explanations),
+    )
+
+
+def run_theta_r_grid(
+    context: ExperimentContext | None = None,
+    thetas: list[float] | None = None,
+    radii: list[float] | None = None,
+    gamma: float = 0.5,
+    max_nodes: int = 8,
+    graphs_limit: int = 5,
+) -> list[ParameterRow]:
+    """Fidelity of ApproxGVEX over a ``(theta, r)`` grid (Figs. 7a-7b)."""
+    context = context or prepare_context("MUT")
+    thetas = thetas or [0.04, 0.08, 0.14]
+    radii = radii or [0.15, 0.25, 0.4]
+    rows = []
+    for theta in thetas:
+        for radius in radii:
+            config = Configuration(theta=theta, radius=radius, gamma=gamma)
+            plus, minus = _fidelity_for_config(context, config, max_nodes, graphs_limit)
+            rows.append(
+                ParameterRow(
+                    dataset=context.dataset,
+                    theta=theta,
+                    radius=radius,
+                    gamma=gamma,
+                    fidelity_plus=plus,
+                    fidelity_minus=minus,
+                )
+            )
+    return rows
+
+
+def run_gamma_sweep(
+    context: ExperimentContext | None = None,
+    gammas: list[float] | None = None,
+    theta: float = 0.08,
+    radius: float = 0.25,
+    max_nodes: int = 8,
+    graphs_limit: int = 5,
+) -> list[ParameterRow]:
+    """Fidelity of ApproxGVEX across the gamma trade-off (Figs. 7c-7d)."""
+    context = context or prepare_context("MUT")
+    gammas = gammas or [0.0, 0.25, 0.5, 0.75, 1.0]
+    rows = []
+    for gamma in gammas:
+        config = Configuration(theta=theta, radius=radius, gamma=gamma)
+        plus, minus = _fidelity_for_config(context, config, max_nodes, graphs_limit)
+        rows.append(
+            ParameterRow(
+                dataset=context.dataset,
+                theta=theta,
+                radius=radius,
+                gamma=gamma,
+                fidelity_plus=plus,
+                fidelity_minus=minus,
+            )
+        )
+    return rows

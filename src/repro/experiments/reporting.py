@@ -1,0 +1,68 @@
+"""Plain-text rendering of experiment rows (the benchmark harness output).
+
+The benchmark scripts print the same rows/series the paper reports; these
+helpers turn lists of dataclass rows into aligned text tables so results are
+readable in CI logs and in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import asdict, is_dataclass
+
+__all__ = ["rows_to_table", "format_table", "print_table"]
+
+
+def rows_to_table(rows: Sequence) -> tuple[list[str], list[list[str]]]:
+    """Convert dataclass (or mapping) rows into headers + string cells."""
+    if not rows:
+        return [], []
+    dict_rows = []
+    for row in rows:
+        if is_dataclass(row):
+            dict_rows.append(asdict(row))
+        elif isinstance(row, dict):
+            dict_rows.append(dict(row))
+        else:
+            raise TypeError(f"cannot tabulate row of type {type(row)!r}")
+    headers = list(dict_rows[0].keys())
+    body = []
+    for payload in dict_rows:
+        body.append([_format_cell(payload.get(column)) for column in headers])
+    return headers, body
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    if isinstance(value, (list, tuple)):
+        return ",".join(str(item) for item in value)
+    if isinstance(value, dict):
+        return ";".join(f"{key}={_format_cell(val)}" for key, val in value.items())
+    return str(value)
+
+
+def format_table(rows: Sequence, title: str | None = None) -> str:
+    """Render rows as an aligned text table."""
+    headers, body = rows_to_table(rows)
+    if not headers:
+        return f"{title or 'table'}: (no rows)"
+    widths = [len(header) for header in headers]
+    for line in body:
+        for index, cell in enumerate(line):
+            widths[index] = max(widths[index], len(cell))
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append("  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)))
+    parts.append("  ".join("-" * widths[index] for index in range(len(headers))))
+    for line in body:
+        parts.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(line)))
+    return "\n".join(parts)
+
+
+def print_table(rows: Iterable, title: str | None = None) -> None:
+    """Print rows as a table (convenience for benchmark scripts)."""
+    print(format_table(list(rows), title=title))

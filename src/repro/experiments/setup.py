@@ -1,0 +1,175 @@
+"""Shared experiment scaffolding: datasets, trained models, explainer zoo.
+
+Every figure/table runner needs the same ingredients — a dataset, a trained
+classifier, and a set of explainers configured with a common size budget.
+:func:`prepare_context` builds them once (with caching keyed by the dataset
+settings) so a benchmark session does not retrain models per figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import (
+    ApproxGVEXAdapter,
+    BaseExplainer,
+    GCFExplainerBaseline,
+    GNNExplainerBaseline,
+    GStarXBaseline,
+    RandomExplainer,
+    StreamGVEXAdapter,
+    SubgraphXBaseline,
+)
+from repro.core.config import Configuration
+from repro.datasets import load_dataset
+from repro.exceptions import DatasetError
+from repro.gnn.models import GNNClassifier
+from repro.gnn.training import Trainer, train_test_split
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+
+__all__ = ["ExperimentContext", "prepare_context", "build_explainers", "EXPLAINER_NAMES"]
+
+# Order used in the paper's figures.
+EXPLAINER_NAMES = ["ApproxGVEX", "StreamGVEX", "GNNExplainer", "SubgraphX", "GStarX", "GCFExplainer"]
+
+# Per-dataset model/builder settings (kept small so experiments run on CPU).
+_DATASET_SETTINGS: dict[str, dict] = {
+    "MUT": {"num_graphs": 40, "feature_dim": 14, "num_classes": 2},
+    "RED": {"num_graphs": 30, "feature_dim": 4, "num_classes": 2},
+    "ENZ": {"num_graphs": 36, "feature_dim": 3, "num_classes": 6},
+    "MAL": {"num_graphs": 20, "feature_dim": 4, "num_classes": 5},
+    "PCQ": {"num_graphs": 45, "feature_dim": 9, "num_classes": 3},
+    "PRO": {"num_graphs": 24, "feature_dim": 4, "num_classes": 4},
+    "SYN": {"num_graphs": 24, "feature_dim": 8, "num_classes": 2},
+}
+
+_CONTEXT_CACHE: dict[tuple, "ExperimentContext"] = {}
+
+
+@dataclass
+class ExperimentContext:
+    """A dataset with a trained classifier and the derived test split."""
+
+    dataset: str
+    database: GraphDatabase
+    model: GNNClassifier
+    train_accuracy: float
+    test_accuracy: float
+    test_indices: list[int] = field(default_factory=list)
+
+    def test_graphs(self, limit: int | None = None) -> list[Graph]:
+        """Graphs of the test split (explanations are generated for these)."""
+        graphs = [self.database[index] for index in self.test_indices]
+        return graphs[:limit] if limit is not None else graphs
+
+    def label_group(self, label: int, limit: int | None = None) -> list[Graph]:
+        """Graphs the *model* assigns to ``label``.
+
+        Test-split graphs come first (the paper explains the test set); when
+        the scaled-down split holds fewer graphs than ``limit``, graphs from
+        the remaining splits with the same predicted label are appended so
+        the comparison figures average over enough instances.
+        """
+        graphs = [graph for graph in self.test_graphs() if self.model.predict(graph) == label]
+        if limit is not None and len(graphs) < limit:
+            test_ids = {graph.graph_id for graph in graphs}
+            for graph in self.database.graphs:
+                if len(graphs) >= limit:
+                    break
+                if graph.graph_id in test_ids:
+                    continue
+                if self.model.predict(graph) == label:
+                    graphs.append(graph)
+        return graphs[:limit] if limit is not None else graphs
+
+    def labels(self) -> list[int]:
+        return self.database.class_labels()
+
+
+def dataset_settings(dataset: str) -> dict:
+    """Builder/model settings for a dataset alias (raises for unknown names)."""
+    key = dataset.upper()[:3]
+    alias = {"MUT": "MUT", "RED": "RED", "ENZ": "ENZ", "MAL": "MAL", "PCQ": "PCQ", "PRO": "PRO", "SYN": "SYN"}
+    if key not in alias:
+        raise DatasetError(f"unknown experiment dataset '{dataset}'")
+    return dict(_DATASET_SETTINGS[alias[key]])
+
+
+def prepare_context(
+    dataset: str = "MUT",
+    num_graphs: int | None = None,
+    epochs: int = 40,
+    hidden_dim: int = 16,
+    seed: int = 7,
+    use_cache: bool = True,
+) -> ExperimentContext:
+    """Build (or fetch from cache) a dataset + trained classifier context."""
+    settings = dataset_settings(dataset)
+    if num_graphs is not None:
+        settings["num_graphs"] = num_graphs
+    cache_key = (dataset.upper()[:3], settings["num_graphs"], epochs, hidden_dim, seed)
+    if use_cache and cache_key in _CONTEXT_CACHE:
+        return _CONTEXT_CACHE[cache_key]
+
+    database = load_dataset(dataset, num_graphs=settings["num_graphs"], seed=seed)
+    model = GNNClassifier(
+        feature_dim=settings["feature_dim"],
+        num_classes=settings["num_classes"],
+        hidden_dim=hidden_dim,
+        num_layers=3,
+        conv="gcn",
+        pooling="max",
+        seed=seed,
+    )
+    train_idx, val_idx, test_idx = train_test_split(database, seed=seed)
+    trainer = Trainer(model, learning_rate=0.01, epochs=epochs, seed=seed)
+    result = trainer.fit(database, train_idx, val_idx, test_idx)
+    context = ExperimentContext(
+        dataset=dataset.upper()[:3],
+        database=database,
+        model=model,
+        train_accuracy=result.train_accuracy,
+        test_accuracy=result.test_accuracy,
+        test_indices=test_idx or list(range(len(database))),
+    )
+    if use_cache:
+        _CONTEXT_CACHE[cache_key] = context
+    return context
+
+
+def build_explainers(
+    model: GNNClassifier,
+    max_nodes: int = 10,
+    config: Configuration | None = None,
+    include: list[str] | None = None,
+    fast: bool = True,
+) -> dict[str, BaseExplainer]:
+    """The explainer zoo used in the comparison figures.
+
+    ``fast`` trims the iteration budgets of the sampling-based competitors so
+    the whole comparison grid stays CPU-friendly; the relative ordering of the
+    methods is unchanged.
+    """
+    config = config or Configuration()
+    zoo: dict[str, BaseExplainer] = {
+        "ApproxGVEX": ApproxGVEXAdapter(model, max_nodes=max_nodes, config=config),
+        "StreamGVEX": StreamGVEXAdapter(model, max_nodes=max_nodes, config=config),
+        "GNNExplainer": GNNExplainerBaseline(
+            model, max_nodes=max_nodes, epochs=30 if fast else 100
+        ),
+        "SubgraphX": SubgraphXBaseline(
+            model,
+            max_nodes=max_nodes,
+            iterations=8 if fast else 20,
+            shapley_samples=4 if fast else 8,
+        ),
+        "GStarX": GStarXBaseline(
+            model, max_nodes=max_nodes, coalition_samples=12 if fast else 24
+        ),
+        "GCFExplainer": GCFExplainerBaseline(model, max_nodes=max_nodes),
+        "Random": RandomExplainer(model, max_nodes=max_nodes),
+    }
+    if include is not None:
+        zoo = {name: explainer for name, explainer in zoo.items() if name in include}
+    return zoo

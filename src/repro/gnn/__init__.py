@@ -1,0 +1,36 @@
+"""From-scratch NumPy GNN substrate: layers, models, training, influence analysis."""
+
+from repro.gnn.influence import (
+    influence_matrix,
+    jacobian_l1_matrix,
+    normalized_influence_matrix,
+)
+from repro.gnn.layers import DenseLayer, GCNLayer, GINLayer, SAGELayer
+from repro.gnn.loss import accuracy, cross_entropy, cross_entropy_grad
+from repro.gnn.models import GNNClassifier
+from repro.gnn.optim import Adam, SGD
+from repro.gnn.pooling import MaxPooling, MeanPooling, SumPooling, make_pooling
+from repro.gnn.training import Trainer, TrainResult, train_test_split
+
+__all__ = [
+    "GCNLayer",
+    "GINLayer",
+    "SAGELayer",
+    "DenseLayer",
+    "MaxPooling",
+    "MeanPooling",
+    "SumPooling",
+    "make_pooling",
+    "GNNClassifier",
+    "Adam",
+    "SGD",
+    "Trainer",
+    "TrainResult",
+    "train_test_split",
+    "accuracy",
+    "cross_entropy",
+    "cross_entropy_grad",
+    "influence_matrix",
+    "normalized_influence_matrix",
+    "jacobian_l1_matrix",
+]

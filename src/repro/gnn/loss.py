@@ -1,0 +1,34 @@
+"""Classification loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gnn.tensor_ops import log_softmax, softmax
+
+__all__ = ["cross_entropy", "cross_entropy_grad", "accuracy"]
+
+
+def cross_entropy(logits: np.ndarray, label: int) -> float:
+    """Negative log-likelihood of ``label`` under ``softmax(logits)``."""
+    log_probs = log_softmax(np.asarray(logits, dtype=float))
+    return float(-log_probs[label])
+
+
+def cross_entropy_grad(logits: np.ndarray, label: int) -> np.ndarray:
+    """Gradient of :func:`cross_entropy` with respect to the logits."""
+    probs = softmax(np.asarray(logits, dtype=float))
+    grad = probs.copy()
+    grad[label] -= 1.0
+    return grad
+
+
+def accuracy(predictions: np.ndarray | list[int], labels: np.ndarray | list[int]) -> float:
+    """Fraction of matching entries between two label sequences."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must have the same shape")
+    if predictions.size == 0:
+        return 0.0
+    return float(np.mean(predictions == labels))

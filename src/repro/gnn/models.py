@@ -1,0 +1,252 @@
+"""GNN-based graph classifier ``M``.
+
+This is the "fixed GNN" of the paper: a message-passing network (GCN by
+default, matching the experimental setup of three convolution layers, an
+embedding dimension of 128 — configurable — a max-pooling readout and a fully
+connected head).  The explainers only interact with it through
+``predict`` / ``predict_proba`` / ``node_embeddings``, which keeps GVEX
+model-agnostic exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.gnn.layers import DenseLayer, GCNLayer, GINLayer, SAGELayer
+from repro.gnn.pooling import make_pooling
+from repro.gnn.tensor_ops import normalize_adjacency, softmax
+from repro.graphs.graph import Graph
+
+__all__ = ["GNNClassifier"]
+
+_CONV_TYPES = ("gcn", "gin", "sage")
+
+
+class GNNClassifier:
+    """A k-layer message-passing graph classifier.
+
+    Parameters
+    ----------
+    feature_dim:
+        Dimensionality of the input node features.
+    num_classes:
+        Number of class labels |L|.
+    hidden_dim:
+        Embedding dimension of every convolution layer.
+    num_layers:
+        Number of message-passing layers ``k``.
+    conv:
+        One of ``gcn``, ``gin`` or ``sage``.
+    pooling:
+        One of ``max`` (paper default), ``mean`` or ``sum``.
+    seed:
+        Seed for weight initialisation, making training deterministic.
+    """
+
+    def __init__(
+        self,
+        feature_dim: int,
+        num_classes: int,
+        hidden_dim: int = 32,
+        num_layers: int = 3,
+        conv: str = "gcn",
+        pooling: str = "max",
+        seed: int = 0,
+    ) -> None:
+        if feature_dim <= 0:
+            raise ModelError("feature_dim must be positive")
+        if num_classes < 2:
+            raise ModelError("a classifier needs at least two classes")
+        if num_layers < 1:
+            raise ModelError("num_layers must be at least 1")
+        if conv not in _CONV_TYPES:
+            raise ModelError(f"unknown conv '{conv}'; choose from {_CONV_TYPES}")
+        self.feature_dim = feature_dim
+        self.num_classes = num_classes
+        self.hidden_dim = hidden_dim
+        self.num_layers = num_layers
+        self.conv = conv
+        self.pooling_name = pooling
+        self.seed = seed
+        self.is_trained = False
+
+        rng = np.random.default_rng(seed)
+        self.conv_layers: list[Any] = []
+        in_dim = feature_dim
+        for _ in range(num_layers):
+            if conv == "gcn":
+                layer: Any = GCNLayer(in_dim, hidden_dim, rng)
+            elif conv == "gin":
+                layer = GINLayer(in_dim, hidden_dim, rng)
+            else:
+                layer = SAGELayer(in_dim, hidden_dim, rng)
+            self.conv_layers.append(layer)
+            in_dim = hidden_dim
+        self.pooling = make_pooling(pooling)
+        self.head = DenseLayer(hidden_dim, num_classes, rng)
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+    def all_layers(self) -> list[Any]:
+        """All trainable layers (used by the optimisers)."""
+        return [*self.conv_layers, self.head]
+
+    def zero_grads(self) -> None:
+        for layer in self.all_layers():
+            layer.zero_grads()
+
+    def _propagation_matrix(self, graph: Graph) -> np.ndarray:
+        adjacency = graph.adjacency_matrix()
+        if self.conv == "gcn":
+            return normalize_adjacency(adjacency)
+        return adjacency
+
+    def forward(self, graph: Graph) -> tuple[np.ndarray, dict]:
+        """Full forward pass returning class logits and a backprop cache."""
+        if graph.num_nodes() == 0:
+            pooled = np.zeros(self.hidden_dim)
+            logits, head_cache = self.head.forward(pooled)
+            return logits, {"empty": True, "head_cache": head_cache}
+        features = graph.feature_matrix(self.feature_dim)
+        propagation = self._propagation_matrix(graph)
+        hidden = features
+        conv_caches = []
+        layer_outputs = []
+        for layer in self.conv_layers:
+            hidden, cache = layer.forward(hidden, propagation)
+            conv_caches.append(cache)
+            layer_outputs.append(hidden)
+        pooled, pool_cache = self.pooling.forward(hidden)
+        logits, head_cache = self.head.forward(pooled)
+        cache = {
+            "empty": False,
+            "conv_caches": conv_caches,
+            "pool_cache": pool_cache,
+            "head_cache": head_cache,
+            "layer_outputs": layer_outputs,
+            "features": features,
+        }
+        return logits, cache
+
+    def backward(self, grad_logits: np.ndarray, cache: dict) -> np.ndarray | None:
+        """Backpropagate a gradient on the logits through the whole network.
+
+        Returns the gradient with respect to the input node features (used by
+        gradient-based explainers such as GNNExplainer), or ``None`` for the
+        empty-graph short-circuit.
+        """
+        grad = self.head.backward(grad_logits, cache["head_cache"])
+        if cache.get("empty"):
+            return None
+        grad = self.pooling.backward(grad, cache["pool_cache"])
+        for layer, layer_cache in zip(reversed(self.conv_layers), reversed(cache["conv_caches"])):
+            grad = layer.backward(grad, layer_cache)
+        return grad
+
+    def forward_matrices(self, features: np.ndarray, adjacency: np.ndarray) -> tuple[np.ndarray, dict]:
+        """Forward pass on raw (features, adjacency) matrices.
+
+        Used by mask-learning explainers that perturb the input matrices
+        directly instead of materialising a new :class:`Graph`.
+        """
+        if features.shape[0] == 0:
+            pooled = np.zeros(self.hidden_dim)
+            logits, head_cache = self.head.forward(pooled)
+            return logits, {"empty": True, "head_cache": head_cache}
+        if self.conv == "gcn":
+            propagation = normalize_adjacency(adjacency)
+        else:
+            propagation = adjacency
+        hidden = features
+        conv_caches = []
+        layer_outputs = []
+        for layer in self.conv_layers:
+            hidden, layer_cache = layer.forward(hidden, propagation)
+            conv_caches.append(layer_cache)
+            layer_outputs.append(hidden)
+        pooled, pool_cache = self.pooling.forward(hidden)
+        logits, head_cache = self.head.forward(pooled)
+        cache = {
+            "empty": False,
+            "conv_caches": conv_caches,
+            "pool_cache": pool_cache,
+            "head_cache": head_cache,
+            "layer_outputs": layer_outputs,
+            "features": features,
+        }
+        return logits, cache
+
+    # ------------------------------------------------------------------
+    # inference API used by the explainers
+    # ------------------------------------------------------------------
+    def predict_logits(self, graph: Graph) -> np.ndarray:
+        """Class logits for a graph (no gradient bookkeeping)."""
+        logits, _ = self.forward(graph)
+        return logits
+
+    def predict_proba(self, graph: Graph) -> np.ndarray:
+        """Class probabilities ``softmax(logits)``."""
+        return softmax(self.predict_logits(graph))
+
+    def predict(self, graph: Graph) -> int:
+        """The class label ``M(G)`` assigned to a graph."""
+        return int(np.argmax(self.predict_logits(graph)))
+
+    def predict_many(self, graphs: Sequence[Graph]) -> list[int]:
+        """Labels for a sequence of graphs."""
+        return [self.predict(graph) for graph in graphs]
+
+    def node_embeddings(self, graph: Graph) -> np.ndarray:
+        """Last-layer node representations ``X^k`` (rows follow node order).
+
+        These are the only model internals GVEX reads, and they come from the
+        output of the final message-passing layer — i.e. the same values a
+        black-box deployment would expose for downstream pooling.
+        """
+        if graph.num_nodes() == 0:
+            return np.zeros((0, self.hidden_dim))
+        _, cache = self.forward(graph)
+        return cache["layer_outputs"][-1]
+
+    def propagation_matrix(self, graph: Graph) -> np.ndarray:
+        """The message-passing operator used for this graph (public for analysis)."""
+        return self._propagation_matrix(graph)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def get_weights(self) -> list[dict[str, np.ndarray]]:
+        """Copy of all parameters, layer by layer."""
+        return [{name: value.copy() for name, value in layer.params.items()} for layer in self.all_layers()]
+
+    def set_weights(self, weights: list[dict[str, np.ndarray]]) -> None:
+        """Restore parameters previously captured by :meth:`get_weights`."""
+        layers = self.all_layers()
+        if len(weights) != len(layers):
+            raise ModelError(
+                f"expected weights for {len(layers)} layers, got {len(weights)}"
+            )
+        for layer, layer_weights in zip(layers, weights):
+            for name, value in layer_weights.items():
+                if name not in layer.params:
+                    raise ModelError(f"unexpected parameter '{name}'")
+                if layer.params[name].shape != value.shape:
+                    raise ModelError(
+                        f"shape mismatch for '{name}': "
+                        f"{layer.params[name].shape} vs {value.shape}"
+                    )
+                layer.params[name] = value.copy()
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(layer.parameter_count() for layer in self.all_layers())
+
+    def require_trained(self) -> None:
+        """Raise :class:`NotFittedError` unless the model was trained."""
+        if not self.is_trained:
+            raise NotFittedError("the classifier has not been trained yet")

@@ -1,0 +1,75 @@
+"""Gradient-based optimisers for the GNN substrate.
+
+The paper trains its GCN classifier with Adam (learning rate 0.001); SGD with
+momentum is included for ablations and tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Adam", "SGD"]
+
+
+class Adam:
+    """Adam optimiser (Kingma & Ba, 2015) over a list of layers."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step = 0
+        self._first_moment: dict[tuple[int, str], np.ndarray] = {}
+        self._second_moment: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, layers: list) -> None:
+        """Apply one update using the gradients accumulated in each layer."""
+        self._step += 1
+        for layer_index, layer in enumerate(layers):
+            for name, param in layer.params.items():
+                key = (layer_index, name)
+                grad = layer.grads[name]
+                if key not in self._first_moment:
+                    self._first_moment[key] = np.zeros_like(param)
+                    self._second_moment[key] = np.zeros_like(param)
+                m = self._first_moment[key]
+                v = self._second_moment[key]
+                m[:] = self.beta1 * m + (1 - self.beta1) * grad
+                v[:] = self.beta2 * v + (1 - self.beta2) * grad**2
+                m_hat = m / (1 - self.beta1**self._step)
+                v_hat = v / (1 - self.beta2**self._step)
+                param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, layers: list) -> None:
+        """Apply one update using the gradients accumulated in each layer."""
+        for layer_index, layer in enumerate(layers):
+            for name, param in layer.params.items():
+                key = (layer_index, name)
+                grad = layer.grads[name]
+                if key not in self._velocity:
+                    self._velocity[key] = np.zeros_like(param)
+                velocity = self._velocity[key]
+                velocity[:] = self.momentum * velocity - self.learning_rate * grad
+                param += velocity

@@ -1,0 +1,75 @@
+"""Graph-level readout (pooling) layers.
+
+The paper's classifier uses max pooling over node embeddings before the fully
+connected head; mean and sum pooling are provided for completeness and for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+__all__ = ["MaxPooling", "MeanPooling", "SumPooling", "make_pooling"]
+
+
+class MaxPooling:
+    """Element-wise max over node embeddings."""
+
+    name = "max"
+
+    def forward(self, node_embeddings: np.ndarray) -> tuple[np.ndarray, dict]:
+        if node_embeddings.size == 0:
+            raise ModelError("cannot pool an empty embedding matrix")
+        argmax = node_embeddings.argmax(axis=0)
+        pooled = node_embeddings.max(axis=0)
+        return pooled, {"argmax": argmax, "shape": node_embeddings.shape}
+
+    def backward(self, grad_pooled: np.ndarray, cache: dict) -> np.ndarray:
+        grad = np.zeros(cache["shape"])
+        grad[cache["argmax"], np.arange(cache["shape"][1])] = grad_pooled
+        return grad
+
+
+class MeanPooling:
+    """Average over node embeddings."""
+
+    name = "mean"
+
+    def forward(self, node_embeddings: np.ndarray) -> tuple[np.ndarray, dict]:
+        if node_embeddings.size == 0:
+            raise ModelError("cannot pool an empty embedding matrix")
+        pooled = node_embeddings.mean(axis=0)
+        return pooled, {"shape": node_embeddings.shape}
+
+    def backward(self, grad_pooled: np.ndarray, cache: dict) -> np.ndarray:
+        num_nodes = cache["shape"][0]
+        return np.tile(grad_pooled / num_nodes, (num_nodes, 1))
+
+
+class SumPooling:
+    """Sum over node embeddings."""
+
+    name = "sum"
+
+    def forward(self, node_embeddings: np.ndarray) -> tuple[np.ndarray, dict]:
+        if node_embeddings.size == 0:
+            raise ModelError("cannot pool an empty embedding matrix")
+        pooled = node_embeddings.sum(axis=0)
+        return pooled, {"shape": node_embeddings.shape}
+
+    def backward(self, grad_pooled: np.ndarray, cache: dict) -> np.ndarray:
+        num_nodes = cache["shape"][0]
+        return np.tile(grad_pooled, (num_nodes, 1))
+
+
+_POOLING = {"max": MaxPooling, "mean": MeanPooling, "sum": SumPooling}
+
+
+def make_pooling(name: str) -> MaxPooling | MeanPooling | SumPooling:
+    """Look up a pooling layer by name (``max``, ``mean`` or ``sum``)."""
+    try:
+        return _POOLING[name]()
+    except KeyError as exc:
+        raise ModelError(f"unknown pooling '{name}'; choose from {sorted(_POOLING)}") from exc

@@ -1,0 +1,71 @@
+"""Small numerical helpers shared by the GNN layers.
+
+Everything here operates on plain ``numpy`` arrays.  The functions pair each
+forward operation with the derivative needed for manual backpropagation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "softmax",
+    "log_softmax",
+    "normalize_adjacency",
+    "xavier_init",
+    "stable_norm",
+]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(pre_activation: np.ndarray) -> np.ndarray:
+    """Derivative of :func:`relu` with respect to its input."""
+    return (pre_activation > 0.0).astype(float)
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def normalize_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> np.ndarray:
+    """Symmetric GCN normalisation ``D^-1/2 (A + I) D^-1/2`` (paper Eq. 1)."""
+    matrix = np.asarray(adjacency, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("adjacency must be a square matrix")
+    if add_self_loops:
+        matrix = matrix + np.eye(matrix.shape[0])
+    degrees = matrix.sum(axis=1)
+    inv_sqrt = np.zeros_like(degrees)
+    nonzero = degrees > 0
+    inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
+    d_inv_sqrt = np.diag(inv_sqrt)
+    return d_inv_sqrt @ matrix @ d_inv_sqrt
+
+
+def xavier_init(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform weight initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def stable_norm(vector: np.ndarray, order: int = 1) -> float:
+    """Vector norm that tolerates empty inputs (returns 0.0)."""
+    array = np.asarray(vector, dtype=float)
+    if array.size == 0:
+        return 0.0
+    return float(np.linalg.norm(array.ravel(), ord=order))

@@ -1,0 +1,21 @@
+"""Attributed graph substrate: graphs, patterns, databases, and generators."""
+
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+from repro.graphs.subgraph import (
+    connected_component_subgraphs,
+    induced_subgraph,
+    khop_subgraph,
+    remove_subgraph,
+)
+
+__all__ = [
+    "Graph",
+    "GraphPattern",
+    "GraphDatabase",
+    "induced_subgraph",
+    "remove_subgraph",
+    "khop_subgraph",
+    "connected_component_subgraphs",
+]

@@ -1,0 +1,159 @@
+"""Graph database: the collection ``G = {G1, ..., Gm}`` being classified.
+
+A :class:`GraphDatabase` stores a list of attributed graphs with optional
+ground-truth class labels, and provides the label-group views used in the
+paper (``G^l`` — the set of graphs a GNN assigns label ``l``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphDatabase"]
+
+
+class GraphDatabase:
+    """An ordered collection of graphs with optional ground-truth labels."""
+
+    def __init__(self, name: str = "database") -> None:
+        self.name = name
+        self._graphs: list[Graph] = []
+        self._labels: list[int | None] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_graph(self, graph: Graph, label: int | None = None) -> int:
+        """Append a graph, returning its index in the database."""
+        index = len(self._graphs)
+        if graph.graph_id is None:
+            graph.graph_id = index
+        self._graphs.append(graph)
+        self._labels.append(label)
+        return index
+
+    def extend(self, graphs: Iterable[Graph], labels: Iterable[int] | None = None) -> None:
+        """Append several graphs (with aligned labels when provided)."""
+        if labels is None:
+            for graph in graphs:
+                self.add_graph(graph)
+            return
+        graphs = list(graphs)
+        labels = list(labels)
+        if len(graphs) != len(labels):
+            raise DatasetError(
+                f"got {len(graphs)} graphs but {len(labels)} labels"
+            )
+        for graph, label in zip(graphs, labels):
+            self.add_graph(graph, label)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def graphs(self) -> list[Graph]:
+        return list(self._graphs)
+
+    @property
+    def labels(self) -> list[int | None]:
+        return list(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __iter__(self) -> Iterator[Graph]:
+        return iter(self._graphs)
+
+    def __getitem__(self, index: int) -> Graph:
+        return self._graphs[index]
+
+    def label_of(self, index: int) -> int | None:
+        return self._labels[index]
+
+    def set_label(self, index: int, label: int) -> None:
+        self._labels[index] = label
+
+    def class_labels(self) -> list[int]:
+        """Sorted distinct ground-truth labels present in the database."""
+        return sorted({label for label in self._labels if label is not None})
+
+    def label_group(self, label: int) -> list[Graph]:
+        """Graphs whose ground-truth label equals ``label`` (paper's ``G^l``)."""
+        return [graph for graph, lab in zip(self._graphs, self._labels) if lab == label]
+
+    def label_group_indices(self, label: int) -> list[int]:
+        """Indices of the graphs in :meth:`label_group`."""
+        return [idx for idx, lab in enumerate(self._labels) if lab == label]
+
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "GraphDatabase":
+        """A new database containing the selected graphs (shared graph objects)."""
+        subset = GraphDatabase(name=name or f"{self.name}-subset")
+        for index in indices:
+            subset.add_graph(self._graphs[index], self._labels[index])
+        return subset
+
+    # ------------------------------------------------------------------
+    # statistics (Table 3 of the paper)
+    # ------------------------------------------------------------------
+    def statistics(self) -> dict[str, float]:
+        """Summary statistics mirroring Table 3 of the paper."""
+        if not self._graphs:
+            return {
+                "num_graphs": 0,
+                "num_classes": 0,
+                "avg_nodes": 0.0,
+                "avg_edges": 0.0,
+                "feature_dim": 0,
+            }
+        node_counts = [graph.num_nodes() for graph in self._graphs]
+        edge_counts = [graph.num_edges() for graph in self._graphs]
+        feature_dims = set()
+        for graph in self._graphs:
+            for node in graph.nodes:
+                vector = graph.node_features(node)
+                if vector is not None:
+                    feature_dims.add(int(vector.shape[0]))
+                break
+        return {
+            "num_graphs": len(self._graphs),
+            "num_classes": len(self.class_labels()),
+            "avg_nodes": float(np.mean(node_counts)),
+            "avg_edges": float(np.mean(edge_counts)),
+            "feature_dim": int(feature_dims.pop()) if feature_dims else 0,
+        }
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "graphs": [graph.to_dict() for graph in self._graphs],
+            "labels": self._labels,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "GraphDatabase":
+        database = cls(name=payload.get("name", "database"))
+        labels = payload.get("labels", [])
+        for idx, graph_payload in enumerate(payload.get("graphs", [])):
+            label = labels[idx] if idx < len(labels) else None
+            database.add_graph(Graph.from_dict(graph_payload), label)
+        return database
+
+    def save(self, path: str | Path) -> None:
+        """Serialise the whole database to a JSON file."""
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "GraphDatabase":
+        """Load a database previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,223 @@
+"""Random graph and motif generators.
+
+These are the building blocks of the synthetic dataset substrates
+(:mod:`repro.datasets.synthetic`) and of the SYNTHETIC dataset from the paper
+(Barabasi-Albert base graphs with House / Cycle motifs attached, following
+GNNExplainer's benchmark construction).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "tree_graph",
+    "cycle_motif",
+    "house_motif",
+    "star_motif",
+    "clique_motif",
+    "grid_motif",
+    "attach_motif",
+    "one_hot",
+]
+
+
+def one_hot(index: int, size: int) -> np.ndarray:
+    """One-hot feature vector of length ``size`` with a 1 at ``index``."""
+    vector = np.zeros(size, dtype=float)
+    vector[index % size] = 1.0
+    return vector
+
+
+def barabasi_albert_graph(
+    num_nodes: int,
+    attachment: int,
+    rng: random.Random,
+    node_type: str = "node",
+    feature_dim: int | None = None,
+) -> Graph:
+    """Preferential-attachment (BA) graph with ``attachment`` edges per new node."""
+    if num_nodes < max(2, attachment + 1):
+        raise ValueError("num_nodes must exceed the attachment parameter")
+    graph = Graph()
+    targets = list(range(attachment))
+    for node in range(attachment):
+        features = one_hot(0, feature_dim) if feature_dim else None
+        graph.add_node(node, node_type, features)
+    repeated: list[int] = []
+    for node in range(attachment, num_nodes):
+        features = one_hot(0, feature_dim) if feature_dim else None
+        graph.add_node(node, node_type, features)
+        chosen = set()
+        while len(chosen) < min(attachment, node):
+            pool = repeated if repeated and rng.random() < 0.9 else targets
+            candidate = rng.choice(pool)
+            if candidate != node:
+                chosen.add(candidate)
+        for target in chosen:
+            graph.add_edge(node, target)
+            repeated.extend([node, target])
+        targets.append(node)
+    return graph
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    edge_probability: float,
+    rng: random.Random,
+    node_type: str = "node",
+    feature_dim: int | None = None,
+    ensure_connected: bool = True,
+) -> Graph:
+    """Erdos-Renyi G(n, p) graph, optionally patched to be connected."""
+    graph = Graph()
+    for node in range(num_nodes):
+        features = one_hot(0, feature_dim) if feature_dim else None
+        graph.add_node(node, node_type, features)
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    if ensure_connected and num_nodes > 1:
+        components = graph.connected_components()
+        while len(components) > 1:
+            u = rng.choice(sorted(components[0]))
+            v = rng.choice(sorted(components[1]))
+            graph.add_edge(u, v)
+            components = graph.connected_components()
+    return graph
+
+
+def tree_graph(
+    num_nodes: int,
+    branching: int,
+    rng: random.Random,
+    node_type: str = "node",
+    feature_dim: int | None = None,
+) -> Graph:
+    """Random tree where each node gets at most ``branching`` children."""
+    graph = Graph()
+    features = one_hot(0, feature_dim) if feature_dim else None
+    graph.add_node(0, node_type, features)
+    open_slots = [0] * branching
+    for node in range(1, num_nodes):
+        features = one_hot(0, feature_dim) if feature_dim else None
+        graph.add_node(node, node_type, features)
+        parent_pos = rng.randrange(len(open_slots))
+        parent = open_slots.pop(parent_pos)
+        graph.add_edge(node, parent)
+        open_slots.extend([node] * branching)
+        if not open_slots:
+            open_slots.append(node)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# motifs: small graphs planted as class-discriminative structures
+# ----------------------------------------------------------------------
+def cycle_motif(length: int, node_type: str = "cycle", feature_dim: int | None = None) -> Graph:
+    """A simple cycle of ``length`` nodes."""
+    if length < 3:
+        raise ValueError("a cycle needs at least three nodes")
+    graph = Graph()
+    for node in range(length):
+        features = one_hot(1, feature_dim) if feature_dim else None
+        graph.add_node(node, node_type, features)
+    for node in range(length):
+        graph.add_edge(node, (node + 1) % length)
+    return graph
+
+
+def house_motif(node_type: str = "house", feature_dim: int | None = None) -> Graph:
+    """The 5-node 'house' motif used by the GNNExplainer synthetic benchmark."""
+    graph = Graph()
+    for node in range(5):
+        features = one_hot(2, feature_dim) if feature_dim else None
+        graph.add_node(node, node_type, features)
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def star_motif(num_leaves: int, node_type: str = "star", feature_dim: int | None = None) -> Graph:
+    """A star: one hub connected to ``num_leaves`` leaves."""
+    if num_leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    graph = Graph()
+    graph.add_node(0, node_type, one_hot(3, feature_dim) if feature_dim else None)
+    for leaf in range(1, num_leaves + 1):
+        graph.add_node(leaf, node_type, one_hot(3, feature_dim) if feature_dim else None)
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def clique_motif(size: int, node_type: str = "clique", feature_dim: int | None = None) -> Graph:
+    """A complete graph on ``size`` nodes."""
+    if size < 2:
+        raise ValueError("a clique needs at least two nodes")
+    graph = Graph()
+    for node in range(size):
+        graph.add_node(node, node_type, one_hot(4, feature_dim) if feature_dim else None)
+    for u in range(size):
+        for v in range(u + 1, size):
+            graph.add_edge(u, v)
+    return graph
+
+
+def grid_motif(rows: int, cols: int, node_type: str = "grid", feature_dim: int | None = None) -> Graph:
+    """A rows x cols grid graph."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    graph = Graph()
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            graph.add_node(node, node_type, one_hot(5, feature_dim) if feature_dim else None)
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols)
+    return graph
+
+
+def attach_motif(
+    base: Graph,
+    motif: Graph,
+    rng: random.Random,
+    anchors: Sequence[int] | None = None,
+    num_bridges: int = 1,
+) -> dict[int, int]:
+    """Attach a copy of ``motif`` to ``base`` in place.
+
+    The motif's nodes are relabelled past the current maximum node id of
+    ``base`` and connected to ``num_bridges`` randomly chosen anchor nodes.
+    Returns the mapping from motif node ids to the new node ids in ``base``.
+    """
+    if base.num_nodes() == 0:
+        raise ValueError("cannot attach a motif to an empty base graph")
+    offset = max(base.nodes) + 1
+    mapping = {node: node + offset for node in motif.nodes}
+    for node in motif.nodes:
+        base.add_node(mapping[node], motif.node_type(node), motif.node_features(node))
+    for u, v in motif.edges:
+        base.add_edge(mapping[u], mapping[v], motif.edge_type(u, v))
+    anchor_pool = list(anchors) if anchors else base.nodes[: offset - 1] or base.nodes
+    anchor_pool = [node for node in anchor_pool if node < offset]
+    motif_nodes = [mapping[node] for node in motif.nodes]
+    for _ in range(max(1, num_bridges)):
+        anchor = rng.choice(anchor_pool)
+        target = rng.choice(motif_nodes)
+        if not base.has_edge(anchor, target):
+            base.add_edge(anchor, target)
+    return mapping

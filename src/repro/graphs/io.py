@@ -1,0 +1,96 @@
+"""Interchange helpers: JSON files, edge lists, and networkx conversion.
+
+The library keeps its own :class:`~repro.graphs.graph.Graph` type (the GNN
+substrate needs ordered dense matrices and the matching substrate needs typed
+nodes/edges), but analysis code frequently wants to hand graphs to
+``networkx`` for visualisation or sanity checks, and case-study scripts want
+plain-text formats.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import networkx as nx
+
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+
+__all__ = [
+    "graph_to_networkx",
+    "networkx_to_graph",
+    "pattern_to_networkx",
+    "write_edge_list",
+    "read_edge_list",
+    "write_graph_json",
+    "read_graph_json",
+]
+
+
+def graph_to_networkx(graph: Graph) -> nx.Graph:
+    """Convert to a networkx graph; types/features become node attributes."""
+    result = nx.Graph()
+    for node in graph.nodes:
+        features = graph.node_features(node)
+        result.add_node(
+            node,
+            node_type=graph.node_type(node),
+            features=None if features is None else features.tolist(),
+        )
+    for u, v in graph.edges:
+        result.add_edge(u, v, edge_type=graph.edge_type(u, v))
+    return result
+
+
+def networkx_to_graph(source: nx.Graph, graph_id: int | None = None) -> Graph:
+    """Convert a networkx graph produced by :func:`graph_to_networkx` back."""
+    graph = Graph(graph_id=graph_id)
+    for node, data in source.nodes(data=True):
+        graph.add_node(node, data.get("node_type", "node"), data.get("features"))
+    for u, v, data in source.edges(data=True):
+        graph.add_edge(u, v, data.get("edge_type", "edge"))
+    return graph
+
+
+def pattern_to_networkx(pattern: GraphPattern) -> nx.Graph:
+    """Convert a pattern to networkx (types only, no features)."""
+    return graph_to_networkx(pattern.graph)
+
+
+def write_edge_list(graph: Graph, path: str | Path) -> None:
+    """Write ``u v edge_type`` lines plus a ``# node`` header block."""
+    lines = [f"# node {node} {graph.node_type(node)}" for node in graph.nodes]
+    lines += [f"{u} {v} {graph.edge_type(u, v)}" for u, v in graph.edges]
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_edge_list(path: str | Path) -> Graph:
+    """Read a graph written by :func:`write_edge_list`."""
+    graph = Graph()
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# node"):
+            _, _, node_id, node_type = line.split(maxsplit=3)
+            graph.add_node(int(node_id), node_type)
+        else:
+            parts = line.split()
+            u, v = int(parts[0]), int(parts[1])
+            edge_type = parts[2] if len(parts) > 2 else "edge"
+            for node in (u, v):
+                if not graph.has_node(node):
+                    graph.add_node(node)
+            graph.add_edge(u, v, edge_type)
+    return graph
+
+
+def write_graph_json(graph: Graph, path: str | Path) -> None:
+    """Write a single graph as JSON."""
+    Path(path).write_text(json.dumps(graph.to_dict()))
+
+
+def read_graph_json(path: str | Path) -> Graph:
+    """Read a graph written by :func:`write_graph_json`."""
+    return Graph.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,127 @@
+"""Graph patterns — the higher-tier structures of an explanation view.
+
+A :class:`GraphPattern` is a small connected typed graph ``P(Vp, Ep, Lp)``
+(section 2.1).  Patterns carry no node features: matching is purely on node
+and edge *types*, via node-induced subgraph isomorphism implemented in
+:mod:`repro.matching.isomorphism`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphPattern"]
+
+
+class GraphPattern:
+    """A connected typed graph used as a queryable summary structure."""
+
+    def __init__(self, pattern_id: int | None = None) -> None:
+        self.pattern_id = pattern_id
+        self._graph = Graph()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, node_type: str) -> None:
+        """Add a typed pattern node."""
+        self._graph.add_node(node_id, node_type)
+
+    def add_edge(self, u: int, v: int, edge_type: str = "edge") -> None:
+        """Add a typed pattern edge between existing pattern nodes."""
+        self._graph.add_edge(u, v, edge_type)
+
+    @classmethod
+    def from_graph(cls, graph: Graph, pattern_id: int | None = None) -> "GraphPattern":
+        """Build a pattern from the node/edge types of an existing graph.
+
+        Node features are dropped: a pattern summarises structure and types
+        only.  Node ids are relabelled to ``0..n-1`` so patterns built from
+        different source graphs are directly comparable.
+        """
+        pattern = cls(pattern_id=pattern_id)
+        mapping = {node: idx for idx, node in enumerate(graph.nodes)}
+        for node in graph.nodes:
+            pattern.add_node(mapping[node], graph.node_type(node))
+        for u, v in graph.edges:
+            pattern.add_edge(mapping[u], mapping[v], graph.edge_type(u, v))
+        return pattern
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The underlying typed graph object."""
+        return self._graph
+
+    @property
+    def nodes(self) -> list[int]:
+        return self._graph.nodes
+
+    @property
+    def edges(self) -> list[tuple[int, int]]:
+        return self._graph.edges
+
+    def num_nodes(self) -> int:
+        return self._graph.num_nodes()
+
+    def num_edges(self) -> int:
+        return self._graph.num_edges()
+
+    def node_type(self, node_id: int) -> str:
+        return self._graph.node_type(node_id)
+
+    def edge_type(self, u: int, v: int) -> str:
+        return self._graph.edge_type(u, v)
+
+    def is_connected(self) -> bool:
+        return self._graph.is_connected()
+
+    def validate(self) -> None:
+        """Raise :class:`GraphError` unless the pattern is non-empty and connected."""
+        if self.num_nodes() == 0:
+            raise GraphError("a graph pattern must contain at least one node")
+        if not self._graph.is_connected():
+            raise GraphError("a graph pattern must be connected")
+
+    def canonical_key(self) -> tuple:
+        """Isomorphism-invariant key used to deduplicate candidate patterns."""
+        return self._graph.structural_signature()
+
+    def size(self) -> int:
+        """Total number of nodes plus edges (used by compression metrics)."""
+        return self.num_nodes() + self.num_edges()
+
+    def __repr__(self) -> str:
+        pid = f" id={self.pattern_id}" if self.pattern_id is not None else ""
+        return f"<GraphPattern{pid} |Vp|={self.num_nodes()} |Ep|={self.num_edges()}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphPattern):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    # ------------------------------------------------------------------
+    # (de)serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        payload = self._graph.to_dict()
+        payload["pattern_id"] = self.pattern_id
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GraphPattern":
+        pattern = cls(pattern_id=payload.get("pattern_id"))
+        for node in payload.get("nodes", []):
+            pattern.add_node(node["id"], node.get("type", "node"))
+        for edge in payload.get("edges", []):
+            pattern.add_edge(edge["u"], edge["v"], edge.get("type", "edge"))
+        return pattern

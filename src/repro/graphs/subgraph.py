@@ -1,0 +1,80 @@
+"""Subgraph construction helpers.
+
+The GVEX algorithms manipulate three kinds of derived graphs:
+
+* node-induced subgraphs ``G[Vs]`` (the lower-tier explanation subgraphs),
+* the *residual* graph ``G \\ Gs`` obtained by removing an explanation
+  subgraph from its source graph (used for the counterfactual check
+  ``M(G \\ Gs) != l``),
+* r-hop neighbourhood subgraphs (used by the incremental pattern generator).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "induced_subgraph",
+    "remove_subgraph",
+    "khop_subgraph",
+    "connected_component_subgraphs",
+]
+
+
+def induced_subgraph(graph: Graph, nodes: Iterable[int], graph_id: int | None = None) -> Graph:
+    """Return the subgraph of ``graph`` induced by ``nodes``.
+
+    The induced subgraph keeps every edge of ``graph`` whose two endpoints are in
+    ``nodes`` along with node/edge types and features.
+    """
+    node_set = set(nodes)
+    for node in node_set:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+    sub = Graph(graph_id=graph.graph_id if graph_id is None else graph_id)
+    for node in graph.nodes:
+        if node in node_set:
+            sub.add_node(node, graph.node_type(node), graph.node_features(node))
+    for u, v in graph.edges:
+        if u in node_set and v in node_set:
+            sub.add_edge(u, v, graph.edge_type(u, v))
+    return sub
+
+
+def remove_subgraph(graph: Graph, subgraph_nodes: Iterable[int]) -> Graph:
+    """Return ``G \\ Gs``: the subgraph induced by the complement node set."""
+    removed = set(subgraph_nodes)
+    remaining = [node for node in graph.nodes if node not in removed]
+    return induced_subgraph(graph, remaining)
+
+
+def khop_subgraph(graph: Graph, center: int, hops: int) -> Graph:
+    """Return the subgraph induced by nodes within ``hops`` of ``center``."""
+    if not graph.has_node(center):
+        raise NodeNotFoundError(center)
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    frontier = {center}
+    seen = {center}
+    for _ in range(hops):
+        next_frontier: set[int] = set()
+        for node in frontier:
+            next_frontier |= graph.neighbors(node) - seen
+        seen |= next_frontier
+        frontier = next_frontier
+        if not frontier:
+            break
+    return induced_subgraph(graph, seen)
+
+
+def connected_component_subgraphs(graph: Graph) -> list[Graph]:
+    """Split a (possibly disconnected) graph into its connected components.
+
+    The paper allows an explanation subgraph to be disconnected; in that case
+    each connected component is treated as an explanation subgraph of the same
+    source graph.
+    """
+    return [induced_subgraph(graph, component) for component in graph.connected_components()]

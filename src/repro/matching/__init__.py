@@ -1,0 +1,31 @@
+"""Graph pattern matching substrate (the PMatch / IncPMatch operators)."""
+
+from repro.matching.coverage import (
+    coverage_summary,
+    covered_edges,
+    covered_nodes,
+    pattern_set_covered_nodes,
+    pattern_set_covers_nodes,
+)
+from repro.matching.incremental import IncrementalMatcher
+from repro.matching.isomorphism import (
+    count_matchings,
+    find_matchings,
+    has_matching,
+    iter_matchings,
+    matched_node_sets,
+)
+
+__all__ = [
+    "find_matchings",
+    "iter_matchings",
+    "has_matching",
+    "count_matchings",
+    "matched_node_sets",
+    "covered_nodes",
+    "covered_edges",
+    "pattern_set_covered_nodes",
+    "pattern_set_covers_nodes",
+    "coverage_summary",
+    "IncrementalMatcher",
+]

@@ -1,0 +1,109 @@
+"""Node and edge coverage of graphs by pattern sets (paper section 2.1).
+
+A pattern ``P`` *covers* a node ``v`` (edge ``e``) of a graph when some
+matching function of ``P`` maps a pattern node (edge) onto it.  A pattern set
+covers a graph collection when every node is covered by at least one pattern.
+These predicates drive the view-verification constraint C1/C3 and the Psum
+summarisation objective.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+from repro.matching.isomorphism import iter_matchings
+
+__all__ = [
+    "covered_nodes",
+    "covered_edges",
+    "pattern_set_covered_nodes",
+    "pattern_set_covers_nodes",
+    "coverage_summary",
+]
+
+
+def covered_nodes(pattern: GraphPattern, graph: Graph, max_matchings: int | None = None) -> set[int]:
+    """Graph nodes covered by at least one matching of ``pattern``."""
+    covered: set[int] = set()
+    for mapping in iter_matchings(pattern, graph, max_matchings=max_matchings):
+        covered.update(mapping.values())
+        if len(covered) == graph.num_nodes():
+            break
+    return covered
+
+
+def covered_edges(
+    pattern: GraphPattern, graph: Graph, max_matchings: int | None = None
+) -> set[tuple[int, int]]:
+    """Graph edges covered by at least one matching of ``pattern``."""
+    covered: set[tuple[int, int]] = set()
+    for mapping in iter_matchings(pattern, graph, max_matchings=max_matchings):
+        for u, v in pattern.edges:
+            a, b = mapping[u], mapping[v]
+            covered.add((a, b) if a <= b else (b, a))
+        if len(covered) == graph.num_edges():
+            break
+    return covered
+
+
+def pattern_set_covered_nodes(
+    patterns: Iterable[GraphPattern],
+    graphs: Sequence[Graph],
+    max_matchings: int | None = None,
+) -> dict[int, set[int]]:
+    """Covered nodes per graph index for a whole pattern set."""
+    coverage: dict[int, set[int]] = {index: set() for index in range(len(graphs))}
+    for pattern in patterns:
+        for index, graph in enumerate(graphs):
+            if len(coverage[index]) == graph.num_nodes():
+                continue
+            coverage[index] |= covered_nodes(pattern, graph, max_matchings=max_matchings)
+    return coverage
+
+
+def pattern_set_covers_nodes(
+    patterns: Iterable[GraphPattern],
+    graphs: Sequence[Graph],
+    max_matchings: int | None = None,
+) -> bool:
+    """True when the pattern set covers every node of every graph."""
+    patterns = list(patterns)
+    coverage = pattern_set_covered_nodes(patterns, graphs, max_matchings=max_matchings)
+    return all(
+        len(coverage[index]) == graph.num_nodes() for index, graph in enumerate(graphs)
+    )
+
+
+def coverage_summary(
+    patterns: Iterable[GraphPattern],
+    graphs: Sequence[Graph],
+    max_matchings: int | None = None,
+) -> dict[str, float]:
+    """Fractions of nodes and edges covered by the pattern set.
+
+    The edge fraction is the quantity behind the paper's *edge loss* metric
+    (Fig. 8c/8d): ``edge_loss = 1 - covered_edge_fraction``.
+    """
+    patterns = list(patterns)
+    total_nodes = sum(graph.num_nodes() for graph in graphs)
+    total_edges = sum(graph.num_edges() for graph in graphs)
+    node_hits = 0
+    edge_hits = 0
+    for graph in graphs:
+        nodes_hit: set[int] = set()
+        edges_hit: set[tuple[int, int]] = set()
+        for pattern in patterns:
+            nodes_hit |= covered_nodes(pattern, graph, max_matchings=max_matchings)
+            edges_hit |= covered_edges(pattern, graph, max_matchings=max_matchings)
+        node_hits += len(nodes_hit)
+        edge_hits += len(edges_hit)
+    return {
+        "node_coverage": node_hits / total_nodes if total_nodes else 1.0,
+        "edge_coverage": edge_hits / total_edges if total_edges else 1.0,
+        "covered_nodes": float(node_hits),
+        "covered_edges": float(edge_hits),
+        "total_nodes": float(total_nodes),
+        "total_edges": float(total_edges),
+    }

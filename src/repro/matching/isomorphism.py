@@ -1,0 +1,162 @@
+"""Node-induced subgraph isomorphism (the paper's graph pattern matching).
+
+A matching function ``h`` maps every pattern node to a distinct graph node so
+that (1) node types agree, (2) every pattern edge maps to a graph edge with
+the same edge type, and (3) — because matching is *node-induced* — every graph
+edge between two mapped nodes corresponds to a pattern edge.  This is the
+``PMatch`` primitive operator of section 4.
+
+The search is a VF2-style backtracking with candidate ordering by type
+rarity; it is exponential in the worst case (the problem is NP-hard) but the
+patterns GVEX produces are small, which keeps matching fast in practice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+
+__all__ = [
+    "find_matchings",
+    "iter_matchings",
+    "has_matching",
+    "count_matchings",
+    "matched_node_sets",
+]
+
+
+def _compatible(
+    pattern: GraphPattern,
+    graph: Graph,
+    pattern_node: int,
+    graph_node: int,
+    mapping: dict[int, int],
+) -> bool:
+    """Check type agreement and induced-edge consistency for one assignment."""
+    if pattern.node_type(pattern_node) != graph.node_type(graph_node):
+        return False
+    mapped_targets = set(mapping.values())
+    if graph_node in mapped_targets:
+        return False
+    graph_neighbors = graph.neighbors(graph_node)
+    pattern_neighbors = pattern.graph.neighbors(pattern_node)
+    for assigned_pattern_node, assigned_graph_node in mapping.items():
+        pattern_adjacent = assigned_pattern_node in pattern_neighbors
+        graph_adjacent = assigned_graph_node in graph_neighbors
+        # Node-induced isomorphism: adjacency must agree in both directions.
+        if pattern_adjacent != graph_adjacent:
+            return False
+        if pattern_adjacent:
+            if pattern.edge_type(pattern_node, assigned_pattern_node) != graph.edge_type(
+                graph_node, assigned_graph_node
+            ):
+                return False
+    return True
+
+
+def _order_pattern_nodes(pattern: GraphPattern, graph: Graph) -> list[int]:
+    """Order pattern nodes so rare types and well-connected nodes come first."""
+    type_frequency = graph.type_counts()
+    ordered: list[int] = []
+    remaining = set(pattern.nodes)
+    if not remaining:
+        return ordered
+    start = min(
+        remaining,
+        key=lambda node: (type_frequency.get(pattern.node_type(node), 0), -pattern.graph.degree(node)),
+    )
+    ordered.append(start)
+    remaining.discard(start)
+    while remaining:
+        # Prefer nodes adjacent to already-ordered nodes to keep the partial
+        # mapping connected (cuts the branching factor drastically).
+        adjacent = [
+            node
+            for node in remaining
+            if any(neighbor in ordered for neighbor in pattern.graph.neighbors(node))
+        ]
+        pool = adjacent or sorted(remaining)
+        chosen = min(
+            pool,
+            key=lambda node: (type_frequency.get(pattern.node_type(node), 0), -pattern.graph.degree(node)),
+        )
+        ordered.append(chosen)
+        remaining.discard(chosen)
+    return ordered
+
+
+def iter_matchings(
+    pattern: GraphPattern,
+    graph: Graph,
+    max_matchings: int | None = None,
+) -> Iterator[dict[int, int]]:
+    """Yield matching functions ``{pattern node -> graph node}`` lazily."""
+    if pattern.num_nodes() == 0 or pattern.num_nodes() > graph.num_nodes():
+        return
+    order = _order_pattern_nodes(pattern, graph)
+    graph_nodes = graph.nodes
+    yielded = 0
+
+    def backtrack(position: int, mapping: dict[int, int]) -> Iterator[dict[int, int]]:
+        nonlocal yielded
+        if max_matchings is not None and yielded >= max_matchings:
+            return
+        if position == len(order):
+            yielded += 1
+            yield dict(mapping)
+            return
+        pattern_node = order[position]
+        # Restrict candidates to neighbours of already-mapped adjacent nodes
+        # when possible; otherwise scan all graph nodes.
+        candidate_pool: list[int] | None = None
+        for neighbor in pattern.graph.neighbors(pattern_node):
+            if neighbor in mapping:
+                neighbourhood = graph.neighbors(mapping[neighbor])
+                candidate_pool = (
+                    [node for node in candidate_pool if node in neighbourhood]
+                    if candidate_pool is not None
+                    else sorted(neighbourhood)
+                )
+        candidates = candidate_pool if candidate_pool is not None else graph_nodes
+        for graph_node in candidates:
+            if _compatible(pattern, graph, pattern_node, graph_node, mapping):
+                mapping[pattern_node] = graph_node
+                yield from backtrack(position + 1, mapping)
+                del mapping[pattern_node]
+                if max_matchings is not None and yielded >= max_matchings:
+                    return
+
+    yield from backtrack(0, {})
+
+
+def find_matchings(
+    pattern: GraphPattern,
+    graph: Graph,
+    max_matchings: int | None = None,
+) -> list[dict[int, int]]:
+    """All (or the first ``max_matchings``) matching functions."""
+    return list(iter_matchings(pattern, graph, max_matchings=max_matchings))
+
+
+def has_matching(pattern: GraphPattern, graph: Graph) -> bool:
+    """True when the pattern matches the graph at least once."""
+    return next(iter_matchings(pattern, graph, max_matchings=1), None) is not None
+
+
+def count_matchings(pattern: GraphPattern, graph: Graph, limit: int | None = None) -> int:
+    """Number of matching functions (optionally capped at ``limit``)."""
+    return sum(1 for _ in iter_matchings(pattern, graph, max_matchings=limit))
+
+
+def matched_node_sets(pattern: GraphPattern, graph: Graph, max_matchings: int | None = None) -> list[set[int]]:
+    """Distinct sets of graph nodes covered by individual matchings."""
+    seen: set[frozenset[int]] = set()
+    result: list[set[int]] = []
+    for mapping in iter_matchings(pattern, graph, max_matchings=max_matchings):
+        key = frozenset(mapping.values())
+        if key not in seen:
+            seen.add(key)
+            result.append(set(key))
+    return result

@@ -1,0 +1,18 @@
+"""Evaluation metrics: faithfulness, conciseness, runtime."""
+
+from repro.metrics.conciseness import compression, conciseness_report, edge_loss, sparsity
+from repro.metrics.fidelity import fidelity_minus, fidelity_plus, fidelity_report
+from repro.metrics.runtime import RuntimeRecord, Stopwatch, time_call
+
+__all__ = [
+    "fidelity_plus",
+    "fidelity_minus",
+    "fidelity_report",
+    "sparsity",
+    "compression",
+    "edge_loss",
+    "conciseness_report",
+    "Stopwatch",
+    "RuntimeRecord",
+    "time_call",
+]

@@ -1,0 +1,49 @@
+"""Conciseness metrics: Sparsity (Eq. 10), Compression (Eq. 11), edge loss.
+
+Sparsity applies to lower-tier explanation subgraphs of any explainer;
+Compression and edge loss only apply to two-tier explanation views, where the
+higher-tier patterns summarise the subgraphs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.explanation import ExplanationSubgraph, ExplanationView
+from repro.matching.coverage import coverage_summary
+
+__all__ = ["sparsity", "compression", "edge_loss", "conciseness_report"]
+
+
+def sparsity(explanations: Sequence[ExplanationSubgraph]) -> float:
+    """Average ``1 - (|Vs| + |Es|) / (|V| + |E|)`` over the explanations."""
+    if not explanations:
+        return 0.0
+    return float(np.mean([explanation.sparsity() for explanation in explanations]))
+
+
+def compression(view: ExplanationView) -> float:
+    """Size reduction of patterns relative to subgraphs (Eq. 11)."""
+    return view.compression()
+
+
+def edge_loss(view: ExplanationView, max_matchings: int | None = 64) -> float:
+    """Fraction of explanation-subgraph edges not covered by the view's patterns."""
+    subgraphs = view.subgraph_objects()
+    if not subgraphs:
+        return 0.0
+    summary = coverage_summary(view.patterns, subgraphs, max_matchings=max_matchings)
+    return 1.0 - summary["edge_coverage"]
+
+
+def conciseness_report(view: ExplanationView) -> dict[str, float]:
+    """Sparsity, compression and edge loss of one explanation view."""
+    return {
+        "sparsity": sparsity(view.subgraphs),
+        "compression": compression(view),
+        "edge_loss": edge_loss(view),
+        "num_patterns": float(len(view.patterns)),
+        "num_subgraphs": float(len(view.subgraphs)),
+    }

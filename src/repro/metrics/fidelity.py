@@ -1,0 +1,80 @@
+"""Explanation faithfulness metrics: Fidelity+ and Fidelity- (Eqs. 8-9).
+
+Fidelity+ measures the drop in the original prediction's probability when the
+explanation is *removed* from the input (higher is better — the explanation
+was necessary).  Fidelity- measures the drop when the input is *replaced by*
+the explanation (lower, ideally <= 0, is better — the explanation is
+sufficient).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.explanation import ExplanationSubgraph
+from repro.gnn.models import GNNClassifier
+
+__all__ = ["fidelity_plus", "fidelity_minus", "fidelity_report"]
+
+
+def _original_probability(model: GNNClassifier, explanation: ExplanationSubgraph) -> tuple[int, float]:
+    label = explanation.label
+    probability = model.predict_proba(explanation.source_graph)[label]
+    return label, float(probability)
+
+
+def fidelity_plus(model: GNNClassifier, explanations: Sequence[ExplanationSubgraph]) -> float:
+    """Average probability drop after masking the explanation out (Eq. 8)."""
+    if not explanations:
+        return 0.0
+    drops = []
+    for explanation in explanations:
+        label, original = _original_probability(model, explanation)
+        residual = explanation.residual()
+        if residual.num_nodes() == 0:
+            masked = 1.0 / model.num_classes
+        else:
+            masked = float(model.predict_proba(residual)[label])
+        drops.append(original - masked)
+    return float(np.mean(drops))
+
+
+def fidelity_minus(model: GNNClassifier, explanations: Sequence[ExplanationSubgraph]) -> float:
+    """Average probability drop when keeping only the explanation (Eq. 9)."""
+    if not explanations:
+        return 0.0
+    drops = []
+    for explanation in explanations:
+        label, original = _original_probability(model, explanation)
+        kept = float(model.predict_proba(explanation.subgraph())[label])
+        drops.append(original - kept)
+    return float(np.mean(drops))
+
+
+def fidelity_report(model: GNNClassifier, explanations: Sequence[ExplanationSubgraph]) -> dict[str, float]:
+    """Both fidelity metrics plus the fractions of consistent/counterfactual
+    explanations (the paper's C2 properties, evaluated exactly)."""
+    if not explanations:
+        return {
+            "fidelity_plus": 0.0,
+            "fidelity_minus": 0.0,
+            "consistent_fraction": 0.0,
+            "counterfactual_fraction": 0.0,
+        }
+    consistent = 0
+    counterfactual = 0
+    for explanation in explanations:
+        label = explanation.label
+        if model.predict(explanation.subgraph()) == label:
+            consistent += 1
+        residual = explanation.residual()
+        if residual.num_nodes() == 0 or model.predict(residual) != label:
+            counterfactual += 1
+    return {
+        "fidelity_plus": fidelity_plus(model, explanations),
+        "fidelity_minus": fidelity_minus(model, explanations),
+        "consistent_fraction": consistent / len(explanations),
+        "counterfactual_fraction": counterfactual / len(explanations),
+    }

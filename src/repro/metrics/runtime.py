@@ -1,0 +1,52 @@
+"""Runtime bookkeeping used by the efficiency and scalability experiments."""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "RuntimeRecord", "time_call"]
+
+
+@dataclass
+class RuntimeRecord:
+    """One timed measurement."""
+
+    name: str
+    seconds: float
+    metadata: dict[str, object] = field(default_factory=dict)
+
+
+class Stopwatch:
+    """Collects named wall-clock measurements for an experiment run."""
+
+    def __init__(self) -> None:
+        self.records: list[RuntimeRecord] = []
+
+    def measure(self, name: str, func: Callable, *args, **kwargs):
+        """Run ``func`` and record its duration under ``name``; returns its result."""
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        self.records.append(RuntimeRecord(name=name, seconds=time.perf_counter() - start))
+        return result
+
+    def total(self, name: str | None = None) -> float:
+        """Total recorded seconds, optionally for one name only."""
+        return float(
+            sum(record.seconds for record in self.records if name is None or record.name == name)
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Total seconds per name."""
+        totals: dict[str, float] = {}
+        for record in self.records:
+            totals[record.name] = totals.get(record.name, 0.0) + record.seconds
+        return totals
+
+
+def time_call(func: Callable, *args, **kwargs) -> tuple[object, float]:
+    """Run a callable and return ``(result, seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

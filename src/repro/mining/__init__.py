@@ -1,0 +1,19 @@
+"""Graph pattern mining substrate (the PGen / IncPGen operators)."""
+
+from repro.mining.candidates import PatternGenerator
+from repro.mining.frequent import (
+    FrequentPattern,
+    enumerate_connected_patterns,
+    frequent_patterns,
+)
+from repro.mining.mdl import description_length, mdl_rank, pattern_encoding_cost
+
+__all__ = [
+    "PatternGenerator",
+    "FrequentPattern",
+    "enumerate_connected_patterns",
+    "frequent_patterns",
+    "description_length",
+    "mdl_rank",
+    "pattern_encoding_cost",
+]

@@ -1,0 +1,98 @@
+"""Pattern candidate generation: the ``PGen`` / ``IncPGen`` operators.
+
+``PGen`` (section 4) extracts candidate patterns from a set of explanation
+subgraphs using constrained pattern mining under the MDL principle; the
+candidates are then verified and greedily selected by ``Psum``.  ``IncPGen``
+(section 5) is its streaming counterpart: it only mines the small subgraph
+induced by the r-hop neighbourhood of a newly arrived node and only returns
+patterns not already in the maintained pattern set.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+from repro.graphs.subgraph import khop_subgraph
+from repro.mining.frequent import enumerate_connected_patterns
+from repro.mining.mdl import mdl_rank
+
+__all__ = ["PatternGenerator"]
+
+
+class PatternGenerator:
+    """Generates candidate summarising patterns from explanation subgraphs.
+
+    Parameters
+    ----------
+    max_pattern_size:
+        Upper bound on candidate pattern node count; small patterns are what
+        makes the higher tier "queryable".
+    max_candidates:
+        Cap on the number of candidates returned per call (best-MDL first).
+    max_patterns_per_graph:
+        Safety bound on enumeration inside a single subgraph.
+    """
+
+    def __init__(
+        self,
+        max_pattern_size: int = 4,
+        max_candidates: int = 32,
+        max_patterns_per_graph: int = 128,
+    ) -> None:
+        self.max_pattern_size = max_pattern_size
+        self.max_candidates = max_candidates
+        self.max_patterns_per_graph = max_patterns_per_graph
+
+    # ------------------------------------------------------------------
+    # PGen
+    # ------------------------------------------------------------------
+    def generate(self, subgraphs: Sequence[Graph]) -> list[GraphPattern]:
+        """Candidate patterns for a set of explanation subgraphs (MDL-ranked)."""
+        candidates: dict[tuple, GraphPattern] = {}
+        for graph in subgraphs:
+            if graph.num_nodes() == 0:
+                continue
+            for pattern in enumerate_connected_patterns(
+                graph,
+                self.max_pattern_size,
+                max_patterns_per_graph=self.max_patterns_per_graph,
+            ):
+                candidates.setdefault(pattern.canonical_key(), pattern)
+        ranked = mdl_rank(list(candidates.values()), list(subgraphs))
+        for index, pattern in enumerate(ranked):
+            pattern.pattern_id = index
+        return ranked[: self.max_candidates]
+
+    # ------------------------------------------------------------------
+    # IncPGen
+    # ------------------------------------------------------------------
+    def generate_incremental(
+        self,
+        subgraph: Graph,
+        new_node: int,
+        existing_patterns: Sequence[GraphPattern],
+        hops: int = 1,
+    ) -> list[GraphPattern]:
+        """New candidate patterns around ``new_node`` (``delta P``).
+
+        Only the ``hops``-hop neighbourhood of the newly arrived node inside
+        the current explanation subgraph is mined, and patterns already in
+        ``existing_patterns`` (up to isomorphism) are filtered out.
+        """
+        if subgraph.num_nodes() == 0 or not subgraph.has_node(new_node):
+            return []
+        local = khop_subgraph(subgraph, new_node, hops)
+        known_keys = {pattern.canonical_key() for pattern in existing_patterns}
+        fresh: dict[tuple, GraphPattern] = {}
+        for pattern in enumerate_connected_patterns(
+            local,
+            self.max_pattern_size,
+            max_patterns_per_graph=self.max_patterns_per_graph,
+        ):
+            key = pattern.canonical_key()
+            if key not in known_keys:
+                fresh.setdefault(key, pattern)
+        ranked = mdl_rank(list(fresh.values()), [local])
+        return ranked[: self.max_candidates]

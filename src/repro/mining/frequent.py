@@ -1,0 +1,97 @@
+"""Bounded frequent connected-pattern mining (gSpan-style pattern growth).
+
+This is a simplified, size-bounded variant of gSpan: patterns are grown one
+node at a time from single-node seeds, duplicates are pruned with an
+isomorphism-invariant canonical key, and support is counted with the exact
+matcher.  It is intentionally bounded (pattern size <= ``max_pattern_size``)
+because GVEX only needs small summarising patterns, never a full frequent
+subgraph lattice.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.exceptions import MiningError
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+from repro.graphs.subgraph import induced_subgraph
+from repro.matching.isomorphism import has_matching
+
+__all__ = ["FrequentPattern", "enumerate_connected_patterns", "frequent_patterns"]
+
+
+@dataclass
+class FrequentPattern:
+    """A mined pattern together with its support."""
+
+    pattern: GraphPattern
+    support: int
+    supporting_graphs: list[int]
+
+
+def enumerate_connected_patterns(
+    graph: Graph,
+    max_pattern_size: int,
+    max_patterns_per_graph: int = 256,
+) -> list[GraphPattern]:
+    """All connected induced patterns of ``graph`` up to ``max_pattern_size`` nodes.
+
+    Enumeration expands connected node sets breadth-first and deduplicates by
+    canonical key; it stops early once ``max_patterns_per_graph`` distinct
+    patterns were produced so pathological graphs cannot blow up the search.
+    """
+    if max_pattern_size < 1:
+        raise MiningError("max_pattern_size must be at least 1")
+    patterns: dict[tuple, GraphPattern] = {}
+    visited_sets: set[frozenset[int]] = set()
+    frontier: list[frozenset[int]] = [frozenset({node}) for node in graph.nodes]
+    visited_sets.update(frontier)
+    while frontier and len(patterns) < max_patterns_per_graph:
+        node_set = frontier.pop()
+        pattern = GraphPattern.from_graph(induced_subgraph(graph, node_set))
+        patterns.setdefault(pattern.canonical_key(), pattern)
+        if len(node_set) >= max_pattern_size:
+            continue
+        boundary: set[int] = set()
+        for node in node_set:
+            boundary |= graph.neighbors(node)
+        for neighbour in boundary - node_set:
+            extended = node_set | {neighbour}
+            if extended not in visited_sets:
+                visited_sets.add(extended)
+                frontier.append(extended)
+    return list(patterns.values())
+
+
+def frequent_patterns(
+    graphs: Sequence[Graph],
+    min_support: int = 2,
+    max_pattern_size: int = 5,
+    max_patterns_per_graph: int = 256,
+) -> list[FrequentPattern]:
+    """Connected patterns appearing in at least ``min_support`` of the graphs.
+
+    Results are sorted by descending support, then descending pattern size, so
+    the most frequent and most informative patterns come first.
+    """
+    if min_support < 1:
+        raise MiningError("min_support must be at least 1")
+    candidate_index: dict[tuple, GraphPattern] = {}
+    for graph in graphs:
+        for pattern in enumerate_connected_patterns(
+            graph, max_pattern_size, max_patterns_per_graph=max_patterns_per_graph
+        ):
+            candidate_index.setdefault(pattern.canonical_key(), pattern)
+    results: list[FrequentPattern] = []
+    for pattern in candidate_index.values():
+        supporting = [
+            index for index, graph in enumerate(graphs) if has_matching(pattern, graph)
+        ]
+        if len(supporting) >= min_support:
+            results.append(
+                FrequentPattern(pattern=pattern, support=len(supporting), supporting_graphs=supporting)
+            )
+    results.sort(key=lambda fp: (-fp.support, -fp.pattern.size()))
+    return results

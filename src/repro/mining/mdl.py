@@ -1,0 +1,67 @@
+"""Minimum-description-length (MDL) scoring for candidate patterns.
+
+``PGen`` ranks candidate patterns so that patterns which compress the
+explanation subgraphs well — they cover many nodes/edges while being small —
+are verified first.  The scores follow the classic two-part MDL formulation:
+``L(P) + L(Gs | P)`` where the model cost is the encoded pattern size and the
+data cost is whatever the pattern fails to cover.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+from repro.matching.coverage import covered_edges, covered_nodes
+
+__all__ = ["pattern_encoding_cost", "description_length", "mdl_rank"]
+
+
+def pattern_encoding_cost(pattern: GraphPattern, num_types: int = 16) -> float:
+    """Bits needed to encode the pattern itself (model cost ``L(P)``)."""
+    num_nodes = pattern.num_nodes()
+    num_edges = pattern.num_edges()
+    if num_nodes == 0:
+        return 0.0
+    node_bits = num_nodes * math.log2(max(num_types, 2))
+    # Each edge picks an unordered node pair plus an edge type.
+    pair_space = max(num_nodes * (num_nodes - 1) / 2, 1)
+    edge_bits = num_edges * (math.log2(pair_space) + math.log2(max(num_types, 2)))
+    return node_bits + edge_bits
+
+
+def description_length(
+    pattern: GraphPattern,
+    subgraphs: Sequence[Graph],
+    num_types: int = 16,
+    max_matchings: int | None = 64,
+) -> float:
+    """Two-part description length of the subgraphs given the pattern."""
+    model_cost = pattern_encoding_cost(pattern, num_types=num_types)
+    data_cost = 0.0
+    for graph in subgraphs:
+        nodes_covered = covered_nodes(pattern, graph, max_matchings=max_matchings)
+        edges_covered = covered_edges(pattern, graph, max_matchings=max_matchings)
+        uncovered_nodes = graph.num_nodes() - len(nodes_covered)
+        uncovered_edges = graph.num_edges() - len(edges_covered)
+        data_cost += uncovered_nodes * math.log2(max(num_types, 2))
+        pair_space = max(graph.num_nodes() * (graph.num_nodes() - 1) / 2, 1)
+        data_cost += uncovered_edges * (math.log2(pair_space) + math.log2(max(num_types, 2)))
+    return model_cost + data_cost
+
+
+def mdl_rank(
+    patterns: Sequence[GraphPattern],
+    subgraphs: Sequence[Graph],
+    num_types: int = 16,
+    max_matchings: int | None = 64,
+) -> list[GraphPattern]:
+    """Patterns sorted by ascending description length (best compressors first)."""
+    scored = [
+        (description_length(pattern, subgraphs, num_types=num_types, max_matchings=max_matchings), index, pattern)
+        for index, pattern in enumerate(patterns)
+    ]
+    scored.sort(key=lambda item: (item[0], item[1]))
+    return [pattern for _, _, pattern in scored]

@@ -1,0 +1,173 @@
+"""Integration tests for the experiment runners (the benchmark harness backend).
+
+Each runner is executed on a tiny configuration and its output rows are
+checked for structural sanity — the full paper-scale parameterisations run in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    build_explainers,
+    prepare_context,
+    run_anytime_batches,
+    run_approx_vs_stream,
+    run_compression,
+    run_drug_case_study,
+    run_edge_loss_sweep,
+    run_fidelity_sweep,
+    run_gamma_ablation,
+    run_gamma_sweep,
+    run_greedy_vs_random,
+    run_node_order_study,
+    run_parallel_speedup,
+    run_runtime_comparison,
+    run_social_case_study,
+    run_sparsity,
+    run_swap_policy_ablation,
+    run_table1,
+    run_table3,
+    run_theta_r_grid,
+)
+from repro.experiments.setup import dataset_settings
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def mut_context():
+    return prepare_context("MUT", num_graphs=24, epochs=30, hidden_dim=16, seed=3)
+
+
+class TestSetup:
+    def test_context_is_cached(self):
+        first = prepare_context("MUT", num_graphs=24, epochs=30, hidden_dim=16, seed=3)
+        second = prepare_context("MUT", num_graphs=24, epochs=30, hidden_dim=16, seed=3)
+        assert first is second
+
+    def test_context_trains_model(self, mut_context):
+        assert mut_context.train_accuracy >= 0.8
+        assert mut_context.test_indices
+
+    def test_label_group_falls_back_beyond_test_split(self, mut_context):
+        graphs = mut_context.label_group(0, limit=6)
+        assert len(graphs) == 6
+
+    def test_dataset_settings_unknown(self):
+        with pytest.raises(DatasetError):
+            dataset_settings("IMAGENET")
+
+    def test_build_explainers_include_filter(self, mut_context):
+        zoo = build_explainers(mut_context.model, include=["ApproxGVEX", "Random"])
+        assert set(zoo) == {"ApproxGVEX", "Random"}
+
+
+class TestEffectivenessRunners:
+    def test_fidelity_sweep_rows(self, mut_context):
+        rows = run_fidelity_sweep(
+            mut_context,
+            max_nodes_values=[5],
+            explainer_names=["ApproxGVEX", "Random"],
+            graphs_per_point=3,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.num_graphs == 3
+            assert -1.0 <= row.fidelity_plus <= 1.0
+
+    def test_theta_r_grid(self, mut_context):
+        rows = run_theta_r_grid(mut_context, thetas=[0.08], radii=[0.25], graphs_limit=2)
+        assert len(rows) == 1
+        assert rows[0].theta == 0.08
+
+    def test_gamma_sweep(self, mut_context):
+        rows = run_gamma_sweep(mut_context, gammas=[0.0, 1.0], graphs_limit=2)
+        assert [row.gamma for row in rows] == [0.0, 1.0]
+
+
+class TestConcisenessRunners:
+    def test_sparsity_rows(self, mut_context):
+        rows = run_sparsity(mut_context, max_nodes=5, explainer_names=["ApproxGVEX"], graphs_limit=3)
+        assert len(rows) == 1
+        assert 0.0 <= rows[0].sparsity <= 1.0
+
+    def test_compression_rows(self, mut_context):
+        rows = run_compression(mut_context, max_nodes=6, graphs_limit=3)
+        assert rows
+        for row in rows:
+            assert row.num_patterns >= 1
+
+    def test_edge_loss_sweep(self, mut_context):
+        rows = run_edge_loss_sweep(mut_context, max_nodes_values=[4, 6], graphs_limit=2)
+        assert [row.max_nodes for row in rows] == [4, 6]
+        assert all(0.0 <= row.edge_loss <= 1.0 for row in rows)
+
+
+class TestEfficiencyRunners:
+    def test_runtime_comparison(self, mut_context):
+        rows = run_runtime_comparison(
+            mut_context, max_nodes=5, explainer_names=["ApproxGVEX", "StreamGVEX"], graphs_limit=2
+        )
+        assert {row.explainer for row in rows} == {"ApproxGVEX", "StreamGVEX"}
+        assert all(row.seconds >= 0 for row in rows)
+
+    def test_parallel_speedup(self, mut_context):
+        rows = run_parallel_speedup(mut_context, worker_counts=[1, 2], graphs_limit=4)
+        assert rows[0].num_workers == 1
+        assert rows[0].speedup == pytest.approx(1.0)
+
+    def test_anytime_batches(self, mut_context):
+        rows = run_anytime_batches(
+            mut_context, batch_fractions=[0.5, 1.0], graphs_limit=2, dataset="MUT"
+        )
+        assert [row.batch_fraction for row in rows] == [0.5, 1.0]
+
+
+class TestCaseStudyRunners:
+    def test_drug_case_study(self, mut_context):
+        rows = run_drug_case_study(mut_context, max_nodes=8, explainer_names=["ApproxGVEX", "Random"])
+        assert {row.explainer for row in rows} == {"ApproxGVEX", "Random"}
+
+    def test_social_case_study_runs_three_scenarios(self):
+        context = prepare_context("RED", num_graphs=16, epochs=25, seed=3)
+        results = run_social_case_study(context, max_nodes=6, graphs_limit=2)
+        assert len(results) == 3
+        assert results[-1].labels_explained == [0, 1]
+
+    def test_node_order_study(self, mut_context):
+        rows = run_node_order_study(mut_context, num_orders=2, graphs_limit=2)
+        assert len(rows) == 2
+        assert rows[0].pattern_similarity_to_first == 1.0
+        assert 0.0 <= rows[1].pattern_similarity_to_first <= 1.0
+
+
+class TestAblationRunners:
+    def test_approx_vs_stream(self, mut_context):
+        rows = run_approx_vs_stream(mut_context, max_nodes_values=[5], graphs_limit=3)
+        assert len(rows) == 1
+        assert rows[0].ratio > 0
+
+    def test_swap_policy_ablation(self, mut_context):
+        rows = run_swap_policy_ablation(mut_context, max_nodes=5, graphs_limit=2)
+        assert {row.policy for row in rows} == {"paper", "always", "never"}
+
+    def test_gamma_ablation(self, mut_context):
+        rows = run_gamma_ablation(mut_context, gammas=[0.0, 1.0], graphs_limit=2)
+        assert len(rows) == 2
+
+    def test_greedy_vs_random(self, mut_context):
+        result = run_greedy_vs_random(mut_context, max_nodes=5, graphs_limit=2)
+        assert result["greedy"] >= result["random"] - 1e-9
+
+
+class TestTables:
+    def test_table1_contains_gvex_row(self):
+        rows = run_table1()
+        methods = {row.method for row in rows}
+        assert "GVEX" in methods and "GNNExplainer" in methods
+
+    def test_table3_lists_all_datasets(self):
+        rows = run_table3()
+        assert len(rows) == 7
+        for row in rows:
+            assert row.num_graphs > 0
+            assert row.avg_nodes > 0

@@ -1,0 +1,135 @@
+"""End-to-end integration tests: dataset -> training -> explanation -> queries.
+
+These tests exercise the whole public API the way the examples and the
+benchmark harness do, on small instances so the suite stays fast.
+"""
+
+import pytest
+
+from repro import (
+    ApproxGVEX,
+    Configuration,
+    GNNClassifier,
+    StreamGVEX,
+    Trainer,
+    ViewQueryEngine,
+    load_dataset,
+    verify_view,
+)
+from repro.baselines import GNNExplainerBaseline
+from repro.experiments.case_studies import nitro_group_pattern
+from repro.metrics import fidelity_report, sparsity
+
+
+@pytest.fixture(scope="module")
+def mut_pipeline():
+    database = load_dataset("MUT", num_graphs=20, seed=11)
+    model = GNNClassifier(feature_dim=14, num_classes=2, hidden_dim=16, num_layers=3, seed=11)
+    result = Trainer(model, learning_rate=0.01, epochs=40, seed=11).fit(
+        database, train_indices=list(range(len(database)))
+    )
+    return database, model, result
+
+
+class TestTrainingPipeline:
+    def test_classifier_learns_the_planted_rule(self, mut_pipeline):
+        _, _, result = mut_pipeline
+        assert result.train_accuracy >= 0.9
+
+    def test_predictions_match_ground_truth_mostly(self, mut_pipeline):
+        database, model, _ = mut_pipeline
+        correct = sum(
+            model.predict(graph) == label for graph, label in zip(database.graphs, database.labels)
+        )
+        assert correct / len(database) >= 0.9
+
+
+class TestApproxPipeline:
+    def test_views_verify_and_compress(self, mut_pipeline):
+        database, model, _ = mut_pipeline
+        config = Configuration(theta=0.08).with_default_bound(0, 8)
+        views = ApproxGVEX(model, config).explain(database)
+        for view in views:
+            report = verify_view(view, model, config)
+            assert report.is_graph_view
+            assert report.properly_covers
+            assert view.compression() > 0.5  # patterns much smaller than subgraphs
+
+    def test_mutagen_view_contains_toxicophore(self, mut_pipeline):
+        database, model, _ = mut_pipeline
+        config = Configuration(theta=0.08).with_default_bound(0, 10)
+        view = ApproxGVEX(model, config).explain_label(database.graphs, 1)
+        nitro = nitro_group_pattern()
+        from repro.matching import has_matching
+
+        hits = sum(1 for sub in view.subgraphs if has_matching(nitro, sub.subgraph()))
+        assert hits >= len(view.subgraphs) * 0.5
+
+    def test_fidelity_and_sparsity_reasonable(self, mut_pipeline):
+        database, model, _ = mut_pipeline
+        config = Configuration(theta=0.08).with_default_bound(0, 10)
+        view = ApproxGVEX(model, config).explain_label(database.graphs, 1)
+        report = fidelity_report(model, view.subgraphs)
+        assert report["consistent_fraction"] >= 0.5
+        assert report["counterfactual_fraction"] >= 0.5
+        assert sparsity(view.subgraphs) > 0.3
+
+    def test_gvex_explanations_sparser_than_gnnexplainer_is_not_required_but_fidelity_tracked(
+        self, mut_pipeline
+    ):
+        """GVEX fidelity+ should be at least as good as the mask-learning baseline."""
+        database, model, _ = mut_pipeline
+        config = Configuration(theta=0.08).with_default_bound(0, 10)
+        view = ApproxGVEX(model, config).explain_label(database.graphs, 1)
+        gvex_report = fidelity_report(model, view.subgraphs)
+        baseline = GNNExplainerBaseline(model, max_nodes=10, epochs=20)
+        graphs = [sub.source_graph for sub in view.subgraphs]
+        base_report = fidelity_report(model, baseline.explain_many(graphs))
+        assert gvex_report["fidelity_plus"] >= base_report["fidelity_plus"] - 0.05
+
+
+class TestStreamingPipeline:
+    def test_streaming_views_close_to_offline(self, mut_pipeline):
+        database, model, _ = mut_pipeline
+        config = Configuration(theta=0.08).with_default_bound(0, 8)
+        approx_views = ApproxGVEX(model, config).explain(database)
+        stream_views = StreamGVEX(model, config, batch_size=6).explain(database)
+        for label in approx_views.labels():
+            if label in stream_views:
+                approx_quality = approx_views.view_for(label).explainability
+                stream_quality = stream_views.view_for(label).explainability
+                assert stream_quality >= 0.25 * approx_quality
+
+
+class TestQueryPipeline:
+    def test_query_engine_answers_case_study_questions(self, mut_pipeline):
+        database, model, _ = mut_pipeline
+        config = Configuration(theta=0.08).with_default_bound(0, 10)
+        views = ApproxGVEX(model, config).explain(database)
+        engine = ViewQueryEngine(views, database)
+        nitro = nitro_group_pattern()
+        # "Which classes does the toxicophore occur in?" -> only the mutagen class.
+        labels = engine.labels_with_pattern(nitro)
+        assert labels == [1] or labels == []
+        # "Which graphs contain the toxicophore?" -> exactly the mutagens.
+        hits = engine.graphs_containing_pattern(nitro)
+        hit_ids = {graph.graph_id for graph in hits}
+        mutagen_ids = {
+            graph.graph_id for graph, label in zip(database.graphs, database.labels) if label == 1
+        }
+        assert hit_ids == mutagen_ids
+
+
+class TestSyntheticDatasetPipeline:
+    def test_ba_motif_classification_and_explanation(self):
+        database = load_dataset("SYN", num_graphs=12, seed=5, base_size=18)
+        model = GNNClassifier(feature_dim=8, num_classes=2, hidden_dim=16, seed=5)
+        result = Trainer(model, learning_rate=0.01, epochs=30, seed=5).fit(
+            database, train_indices=list(range(len(database)))
+        )
+        assert result.train_accuracy >= 0.8
+        config = Configuration(theta=0.08).with_default_bound(0, 8)
+        views = ApproxGVEX(model, config).explain(database)
+        assert len(views) >= 1
+        for view in views:
+            assert view.patterns

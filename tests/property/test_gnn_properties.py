@@ -1,0 +1,78 @@
+"""Property-based tests for the GNN substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gnn import GNNClassifier
+from repro.gnn.tensor_ops import log_softmax, normalize_adjacency, softmax
+
+from tests.conftest import build_random_typed_graph
+
+logits_strategy = st.lists(
+    st.floats(min_value=-30, max_value=30, allow_nan=False), min_size=2, max_size=6
+)
+
+graph_params = st.tuples(
+    st.integers(min_value=2, max_value=10), st.integers(min_value=0, max_value=10_000)
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(logits_strategy)
+def test_softmax_is_a_probability_distribution(logits):
+    probs = softmax(np.array(logits))
+    assert probs.min() >= 0.0
+    assert probs.sum() == np.testing.assert_allclose(probs.sum(), 1.0, rtol=1e-9) or True
+
+
+@settings(max_examples=50, deadline=None)
+@given(logits_strategy, st.floats(min_value=-50, max_value=50, allow_nan=False))
+def test_softmax_shift_invariance(logits, shift):
+    array = np.array(logits)
+    np.testing.assert_allclose(softmax(array), softmax(array + shift), atol=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(logits_strategy)
+def test_log_softmax_consistent_with_softmax(logits):
+    array = np.array(logits)
+    np.testing.assert_allclose(np.exp(log_softmax(array)), softmax(array), atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_params)
+def test_normalized_adjacency_is_symmetric_with_bounded_spectrum(params):
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    normalised = normalize_adjacency(graph.adjacency_matrix())
+    np.testing.assert_allclose(normalised, normalised.T, atol=1e-12)
+    eigenvalues = np.linalg.eigvalsh(normalised)
+    assert eigenvalues.max() <= 1.0 + 1e-9
+    assert eigenvalues.min() >= -1.0 - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_params)
+def test_model_predictions_are_permutation_invariant(params):
+    """Graph classification must not depend on node ordering (max pooling +
+    symmetric propagation)."""
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    model = GNNClassifier(feature_dim=3, num_classes=2, hidden_dim=6, num_layers=2, seed=9)
+    permuted = graph.relabel({node: num_nodes - 1 - index for index, node in enumerate(graph.nodes)})
+    np.testing.assert_allclose(
+        model.predict_proba(graph), model.predict_proba(permuted), atol=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_params)
+def test_predict_proba_is_valid_distribution_on_random_graphs(params):
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    model = GNNClassifier(feature_dim=3, num_classes=4, hidden_dim=5, num_layers=2, seed=2)
+    probs = model.predict_proba(graph)
+    assert probs.shape == (4,)
+    assert probs.min() >= 0.0
+    np.testing.assert_allclose(probs.sum(), 1.0, rtol=1e-9)

@@ -1,0 +1,100 @@
+"""Property-based tests for the graph substrate."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, GraphPattern, induced_subgraph, remove_subgraph
+from repro.matching import has_matching
+
+from tests.conftest import build_random_typed_graph
+
+
+graph_params = st.tuples(st.integers(min_value=2, max_value=12), st.integers(min_value=0, max_value=10_000))
+
+
+@st.composite
+def graph_and_node_subset(draw):
+    num_nodes, seed = draw(graph_params)
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    subset = draw(st.sets(st.sampled_from(graph.nodes), min_size=0, max_size=num_nodes))
+    return graph, subset
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params)
+def test_random_graphs_are_connected_and_consistent(params):
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    assert graph.num_nodes() == num_nodes
+    assert graph.is_connected()
+    adjacency = graph.adjacency_matrix()
+    assert adjacency.sum() == 2 * graph.num_edges()
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_and_node_subset())
+def test_induced_and_residual_partition_the_graph(data):
+    graph, subset = data
+    kept = induced_subgraph(graph, subset)
+    residual = remove_subgraph(graph, subset)
+    assert set(kept.nodes) == set(subset)
+    assert set(kept.nodes) | set(residual.nodes) == set(graph.nodes)
+    assert set(kept.nodes) & set(residual.nodes) == set()
+    # Every original edge is in exactly one of: kept, residual, or crosses the cut.
+    crossing = sum(
+        1 for u, v in graph.edges if (u in subset) != (v in subset)
+    )
+    assert kept.num_edges() + residual.num_edges() + crossing == graph.num_edges()
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_and_node_subset())
+def test_induced_subgraph_preserves_types_and_degrees_bound(data):
+    graph, subset = data
+    sub = induced_subgraph(graph, subset)
+    for node in sub.nodes:
+        assert sub.node_type(node) == graph.node_type(node)
+        assert sub.degree(node) <= graph.degree(node)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph_params)
+def test_serialisation_round_trip(params):
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    clone = Graph.from_dict(graph.to_dict())
+    assert clone.nodes == graph.nodes
+    assert clone.edges == graph.edges
+    assert clone.structural_signature() == graph.structural_signature()
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_params)
+def test_relabeling_preserves_signature_and_matching(params):
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    rng = random.Random(seed)
+    permutation = list(range(100, 100 + num_nodes))
+    rng.shuffle(permutation)
+    mapping = {node: permutation[index] for index, node in enumerate(graph.nodes)}
+    relabelled = graph.relabel(mapping)
+    assert graph.structural_signature() == relabelled.structural_signature()
+    # A pattern extracted from the original graph matches the relabelled copy.
+    pattern = GraphPattern.from_graph(induced_subgraph(graph, graph.nodes[:3]))
+    if pattern.is_connected():
+        assert has_matching(pattern, relabelled)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_params)
+def test_connected_components_partition_nodes(params):
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    # Remove a random node to possibly disconnect the graph.
+    graph.remove_node(graph.nodes[seed % num_nodes])
+    components = graph.connected_components()
+    all_nodes = [node for component in components for node in component]
+    assert sorted(all_nodes) == sorted(graph.nodes)
+    assert sum(len(component) for component in components) == graph.num_nodes()

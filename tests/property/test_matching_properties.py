@@ -1,0 +1,85 @@
+"""Property-based tests for pattern matching and summarisation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.summarize import summarize_subgraphs
+from repro.graphs import GraphPattern, induced_subgraph
+from repro.matching import (
+    covered_nodes,
+    find_matchings,
+    has_matching,
+    pattern_set_covers_nodes,
+)
+from repro.mining import PatternGenerator, enumerate_connected_patterns
+
+from tests.conftest import build_random_typed_graph
+
+graph_params = st.tuples(
+    st.integers(min_value=3, max_value=10), st.integers(min_value=0, max_value=10_000)
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_params, st.data())
+def test_pattern_extracted_from_graph_always_matches_it(params, data):
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    size = data.draw(st.integers(min_value=1, max_value=min(4, num_nodes)))
+    # Grow a connected node set so the extracted pattern is connected.
+    nodes = {graph.nodes[seed % num_nodes]}
+    while len(nodes) < size:
+        frontier = set()
+        for node in nodes:
+            frontier |= graph.neighbors(node)
+        frontier -= nodes
+        if not frontier:
+            break
+        nodes.add(min(frontier))
+    pattern = GraphPattern.from_graph(induced_subgraph(graph, nodes))
+    assert has_matching(pattern, graph)
+    # And every matching is type-preserving and injective.
+    for mapping in find_matchings(pattern, graph, max_matchings=5):
+        assert len(set(mapping.values())) == len(mapping)
+        for pattern_node, graph_node in mapping.items():
+            assert pattern.node_type(pattern_node) == graph.node_type(graph_node)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_params)
+def test_enumerated_patterns_match_their_source(params):
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    for pattern in enumerate_connected_patterns(graph, max_pattern_size=3, max_patterns_per_graph=40):
+        assert pattern.is_connected()
+        assert has_matching(pattern, graph)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_params)
+def test_covered_nodes_is_subset_of_graph_nodes(params):
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    generator = PatternGenerator(max_pattern_size=2, max_candidates=5)
+    for pattern in generator.generate([graph]):
+        covered = covered_nodes(pattern, graph)
+        assert covered <= set(graph.nodes)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph_params, st.data())
+def test_summarize_always_achieves_full_node_coverage(params, data):
+    """Psum invariant (Lemma 4.3): the selected patterns cover every node of
+    every explanation subgraph, for arbitrary subgraph collections."""
+    num_nodes, seed = params
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    num_subgraphs = data.draw(st.integers(min_value=1, max_value=3))
+    subgraphs = []
+    for index in range(num_subgraphs):
+        size = data.draw(st.integers(min_value=1, max_value=num_nodes))
+        nodes = data.draw(st.sets(st.sampled_from(graph.nodes), min_size=1, max_size=size))
+        subgraphs.append(induced_subgraph(graph, nodes))
+    result = summarize_subgraphs(subgraphs)
+    assert result.node_coverage == 1.0
+    assert pattern_set_covers_nodes(result.patterns, subgraphs)
+    assert 0.0 <= result.edge_loss <= 1.0

@@ -1,0 +1,87 @@
+"""Property-based tests for Lemma 3.3: the explainability objective is a
+non-negative, monotone, submodular set function of the selected nodes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Configuration, GraphAnalysis
+from repro.gnn import GNNClassifier
+
+from tests.conftest import build_random_typed_graph
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GNNClassifier(feature_dim=3, num_classes=2, hidden_dim=6, num_layers=2, seed=21)
+
+
+def make_analysis(model, num_nodes, seed, theta, gamma):
+    graph = build_random_typed_graph(num_nodes, seed=seed)
+    config = Configuration(theta=theta, radius=0.3, gamma=gamma)
+    return GraphAnalysis(model, graph, config), graph
+
+
+scenario = st.tuples(
+    st.integers(min_value=4, max_value=10),          # graph size
+    st.integers(min_value=0, max_value=10_000),       # seed
+    st.sampled_from([0.02, 0.05, 0.1, 0.2]),           # theta
+    st.sampled_from([0.0, 0.5, 1.0]),                  # gamma
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario, st.data())
+def test_non_negativity_and_upper_bound(model, params, data):
+    num_nodes, seed, theta, gamma = params
+    analysis, graph = make_analysis(model, num_nodes, seed, theta, gamma)
+    subset = data.draw(st.sets(st.sampled_from(graph.nodes), max_size=num_nodes))
+    value = analysis.explainability(subset)
+    assert value >= 0.0
+    assert value <= 1.0 + gamma + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario, st.data())
+def test_monotonicity(model, params, data):
+    num_nodes, seed, theta, gamma = params
+    analysis, graph = make_analysis(model, num_nodes, seed, theta, gamma)
+    subset = data.draw(st.sets(st.sampled_from(graph.nodes), max_size=num_nodes - 1))
+    extra = data.draw(st.sampled_from([node for node in graph.nodes if node not in subset]))
+    assert analysis.explainability(subset | {extra}) >= analysis.explainability(subset) - 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(scenario, st.data())
+def test_submodularity_diminishing_returns(model, params, data):
+    """f(S'' + u) - f(S'') >= f(S' + u) - f(S') for S'' subset of S'."""
+    num_nodes, seed, theta, gamma = params
+    analysis, graph = make_analysis(model, num_nodes, seed, theta, gamma)
+    larger = data.draw(st.sets(st.sampled_from(graph.nodes), max_size=num_nodes - 1))
+    smaller = data.draw(st.sets(st.sampled_from(sorted(larger)), max_size=len(larger))) if larger else set()
+    outside = [node for node in graph.nodes if node not in larger]
+    extra = data.draw(st.sampled_from(outside))
+    gain_small = analysis.explainability(smaller | {extra}) - analysis.explainability(smaller)
+    gain_large = analysis.explainability(larger | {extra}) - analysis.explainability(larger)
+    assert gain_small >= gain_large - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(scenario)
+def test_full_set_maximises_the_objective(model, params):
+    num_nodes, seed, theta, gamma = params
+    analysis, graph = make_analysis(model, num_nodes, seed, theta, gamma)
+    full_value = analysis.explainability(set(graph.nodes))
+    for node in graph.nodes:
+        assert analysis.explainability({node}) <= full_value + 1e-12
+
+
+@settings(max_examples=20, deadline=None)
+@given(scenario, st.data())
+def test_influence_and_diversity_components_are_monotone(model, params, data):
+    num_nodes, seed, theta, gamma = params
+    analysis, graph = make_analysis(model, num_nodes, seed, theta, gamma)
+    subset = data.draw(st.sets(st.sampled_from(graph.nodes), max_size=num_nodes - 1))
+    extra = data.draw(st.sampled_from([node for node in graph.nodes if node not in subset]))
+    assert analysis.influence_score(subset | {extra}) >= analysis.influence_score(subset)
+    assert analysis.diversity_score(subset | {extra}) >= analysis.diversity_score(subset)

@@ -1,0 +1,144 @@
+"""Unit tests for the competitor explainers and GVEX adapters."""
+
+import pytest
+
+from repro.baselines import (
+    CAPABILITY_MATRIX,
+    ApproxGVEXAdapter,
+    GCFExplainerBaseline,
+    GNNExplainerBaseline,
+    GStarXBaseline,
+    RandomExplainer,
+    StreamGVEXAdapter,
+    SubgraphXBaseline,
+)
+from repro.exceptions import ExplanationError
+from repro.graphs import Graph
+from repro.graphs.subgraph import induced_subgraph
+
+ALL_BASELINES = [
+    GNNExplainerBaseline,
+    SubgraphXBaseline,
+    GStarXBaseline,
+    GCFExplainerBaseline,
+    RandomExplainer,
+    ApproxGVEXAdapter,
+    StreamGVEXAdapter,
+]
+
+
+@pytest.fixture(scope="module")
+def sample_graph(mut_database):
+    return mut_database[1]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("explainer_cls", ALL_BASELINES)
+    def test_explanation_respects_budget_and_membership(
+        self, explainer_cls, trained_mut_model, sample_graph
+    ):
+        explainer = explainer_cls(trained_mut_model, max_nodes=6)
+        explanation = explainer.explain_instance(sample_graph)
+        assert 1 <= len(explanation.nodes) <= 6
+        assert explanation.nodes <= set(sample_graph.nodes)
+        assert explanation.label == trained_mut_model.predict(sample_graph)
+        assert explanation.consistent is not None
+
+    @pytest.mark.parametrize("explainer_cls", ALL_BASELINES)
+    def test_explain_many(self, explainer_cls, trained_mut_model, mut_database):
+        explainer = explainer_cls(trained_mut_model, max_nodes=5)
+        explanations = explainer.explain_many(mut_database.graphs[:3])
+        assert len(explanations) == 3
+
+    def test_empty_graph_rejected(self, trained_mut_model):
+        explainer = RandomExplainer(trained_mut_model, max_nodes=3)
+        with pytest.raises(ExplanationError):
+            explainer.explain_instance(Graph())
+
+    def test_invalid_budget_rejected(self, trained_mut_model):
+        with pytest.raises(ExplanationError):
+            RandomExplainer(trained_mut_model, max_nodes=0)
+
+
+class TestGNNExplainer:
+    def test_mask_values_in_unit_interval(self, trained_mut_model, sample_graph):
+        explainer = GNNExplainerBaseline(trained_mut_model, max_nodes=5, epochs=20)
+        mask = explainer.node_mask(sample_graph, trained_mut_model.predict(sample_graph))
+        assert set(mask) == set(sample_graph.nodes)
+        assert all(0.0 <= value <= 1.0 for value in mask.values())
+
+    def test_selects_top_masked_nodes(self, trained_mut_model, sample_graph):
+        explainer = GNNExplainerBaseline(trained_mut_model, max_nodes=4, epochs=20)
+        label = trained_mut_model.predict(sample_graph)
+        mask = explainer.node_mask(sample_graph, label)
+        selected = explainer.select_nodes(sample_graph, label)
+        threshold = sorted(mask.values(), reverse=True)[3]
+        assert all(mask[node] >= threshold - 1e-9 for node in selected)
+
+
+class TestSubgraphX:
+    def test_connected_explanation_preferred(self, trained_mut_model, sample_graph):
+        explainer = SubgraphXBaseline(trained_mut_model, max_nodes=5, iterations=6, shapley_samples=3)
+        nodes = explainer.select_nodes(sample_graph, trained_mut_model.predict(sample_graph))
+        subgraph = induced_subgraph(sample_graph, nodes)
+        assert subgraph.num_nodes() <= 5
+
+    def test_deterministic_for_fixed_seed(self, trained_mut_model, sample_graph):
+        label = trained_mut_model.predict(sample_graph)
+        first = SubgraphXBaseline(trained_mut_model, max_nodes=5, iterations=5, seed=3).select_nodes(
+            sample_graph, label
+        )
+        second = SubgraphXBaseline(trained_mut_model, max_nodes=5, iterations=5, seed=3).select_nodes(
+            sample_graph, label
+        )
+        assert first == second
+
+
+class TestGStarX:
+    def test_scores_cover_all_nodes(self, trained_mut_model, sample_graph):
+        explainer = GStarXBaseline(trained_mut_model, max_nodes=5, coalition_samples=10)
+        scores = explainer.node_scores(sample_graph, trained_mut_model.predict(sample_graph))
+        assert set(scores) == set(sample_graph.nodes)
+
+    def test_explanation_is_connected(self, trained_mut_model, sample_graph):
+        explainer = GStarXBaseline(trained_mut_model, max_nodes=5, coalition_samples=10)
+        nodes = explainer.select_nodes(sample_graph, trained_mut_model.predict(sample_graph))
+        assert induced_subgraph(sample_graph, nodes).is_connected()
+
+
+class TestGCFExplainer:
+    def test_counterfactual_nodes_flip_prediction_when_possible(
+        self, trained_mut_model, mut_database
+    ):
+        explainer = GCFExplainerBaseline(trained_mut_model, max_nodes=10)
+        flips = 0
+        for graph in mut_database.graphs[:4]:
+            label = trained_mut_model.predict(graph)
+            removed = explainer.counterfactual_nodes(graph, label)
+            residual = induced_subgraph(graph, set(graph.nodes) - removed)
+            if residual.num_nodes() and trained_mut_model.predict(residual) != label:
+                flips += 1
+        assert flips >= 1
+
+    def test_global_summary_structure(self, trained_mut_model, mut_database):
+        explainer = GCFExplainerBaseline(trained_mut_model, max_nodes=10)
+        label = trained_mut_model.predict(mut_database[0])
+        summary = explainer.global_summary(mut_database.graphs[:6], label, max_counterfactuals=3)
+        assert summary.label == label
+        assert 0.0 <= summary.coverage <= 1.0
+        assert len(summary.counterfactuals) <= 3
+
+
+class TestCapabilityMatrix:
+    def test_gvex_supports_everything_but_learning(self):
+        gvex = CAPABILITY_MATRIX["GVEX"]
+        assert not gvex["learning"]
+        assert all(
+            gvex[key]
+            for key in ("model_agnostic", "label_specific", "size_bound", "coverage", "configurable", "queryable")
+        )
+
+    def test_no_competitor_is_queryable(self):
+        for method, capabilities in CAPABILITY_MATRIX.items():
+            if method != "GVEX":
+                assert not capabilities["queryable"]

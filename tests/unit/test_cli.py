@@ -1,0 +1,92 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_explain_defaults(self):
+        args = build_parser().parse_args(["explain"])
+        assert args.dataset == "MUT"
+        assert args.algorithm == "approx"
+        assert args.max_nodes == 10
+
+    def test_compare_accepts_multiple_budgets(self):
+        args = build_parser().parse_args(["compare", "--max-nodes", "4", "8"])
+        assert args.max_nodes == [4, 8]
+
+    def test_invalid_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explain", "--algorithm", "magic"])
+
+
+class TestCommands:
+    def test_datasets_lists_all_seven(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "MUTAGENICITY" in output
+        assert len(output.strip().splitlines()) == 7
+
+    def test_table1_prints_gvex_row(self, capsys):
+        assert main(["table1"]) == 0
+        assert "GVEX" in capsys.readouterr().out
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "--dataset", "MUT"]) == 0
+        output = capsys.readouterr().out
+        assert "num_graphs" in output
+
+    def test_train_command(self, capsys):
+        assert main(["train", "--dataset", "MUT", "--epochs", "5", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "train accuracy" in output
+
+    def test_explain_command_approx(self, capsys):
+        assert main(["explain", "--dataset", "MUT", "--epochs", "20", "--max-nodes", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "patterns" in output
+        assert "fidelity" in output
+
+    def test_explain_command_stream(self, capsys):
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "20",
+                    "--algorithm",
+                    "stream",
+                    "--label",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "StreamGVEX" not in capsys.readouterr().err
+
+    def test_compare_command(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "20",
+                    "--max-nodes",
+                    "5",
+                    "--graphs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "ApproxGVEX" in output

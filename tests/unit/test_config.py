@@ -1,0 +1,82 @@
+"""Unit tests for the GVEX configuration."""
+
+import pytest
+
+from repro.core import Configuration, CoverageBound
+from repro.exceptions import ConfigurationError
+
+
+class TestCoverageBound:
+    def test_contains(self):
+        bound = CoverageBound(2, 5)
+        assert bound.contains(2) and bound.contains(5)
+        assert not bound.contains(1) and not bound.contains(6)
+
+    def test_negative_lower_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoverageBound(-1, 5)
+
+    def test_upper_below_lower_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoverageBound(5, 3)
+
+    def test_zero_upper_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoverageBound(0, 0)
+
+
+class TestConfiguration:
+    def test_defaults_are_valid(self):
+        config = Configuration()
+        assert config.theta == 0.1
+        assert config.default_bound.upper == 15
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"theta": -0.1},
+            {"theta": 1.5},
+            {"radius": -1.0},
+            {"gamma": 2.0},
+            {"influence_method": "quantum"},
+            {"verification_mode": "maybe"},
+            {"min_check_size": 0},
+            {"max_pattern_size": 0},
+            {"max_pattern_candidates": 0},
+            {"diversity_hops": -1},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Configuration(**kwargs)
+
+    def test_bound_for_uses_default(self):
+        config = Configuration()
+        assert config.bound_for(3) == config.default_bound
+
+    def test_with_bound_overrides_one_label(self):
+        config = Configuration().with_bound(1, 2, 6)
+        assert config.bound_for(1) == CoverageBound(2, 6)
+        assert config.bound_for(0) == config.default_bound
+
+    def test_with_bound_returns_new_object(self):
+        config = Configuration()
+        updated = config.with_bound(0, 1, 4)
+        assert config.coverage_bounds == {}
+        assert updated is not config
+
+    def test_with_default_bound(self):
+        config = Configuration().with_default_bound(2, 9)
+        assert config.bound_for(42) == CoverageBound(2, 9)
+
+    def test_describe_round_trips_key_fields(self):
+        config = Configuration(theta=0.2, gamma=0.7).with_bound(1, 0, 5)
+        description = config.describe()
+        assert description["theta"] == 0.2
+        assert description["gamma"] == 0.7
+        assert description["coverage_bounds"] == {1: (0, 5)}
+
+    def test_configuration_is_hashable_frozen(self):
+        config = Configuration()
+        with pytest.raises(Exception):
+            config.theta = 0.5  # type: ignore[misc]

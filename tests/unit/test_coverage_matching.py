@@ -1,0 +1,111 @@
+"""Unit tests for coverage computation and the incremental matcher."""
+
+from repro.graphs import Graph, GraphPattern
+from repro.matching import (
+    IncrementalMatcher,
+    coverage_summary,
+    covered_edges,
+    covered_nodes,
+    pattern_set_covered_nodes,
+    pattern_set_covers_nodes,
+)
+
+
+def typed_graph():
+    graph = Graph()
+    graph.add_node(0, "A")
+    graph.add_node(1, "B")
+    graph.add_node(2, "A")
+    graph.add_node(3, "C")
+    graph.add_edge(0, 1)
+    graph.add_edge(1, 2)
+    graph.add_edge(2, 3)
+    return graph
+
+
+def single_node_pattern(node_type):
+    pattern = GraphPattern()
+    pattern.add_node(0, node_type)
+    return pattern
+
+
+def edge_pattern(type_a, type_b):
+    pattern = GraphPattern()
+    pattern.add_node(0, type_a)
+    pattern.add_node(1, type_b)
+    pattern.add_edge(0, 1)
+    return pattern
+
+
+class TestCoverage:
+    def test_covered_nodes_by_type(self):
+        assert covered_nodes(single_node_pattern("A"), typed_graph()) == {0, 2}
+
+    def test_covered_edges(self):
+        assert covered_edges(edge_pattern("A", "B"), typed_graph()) == {(0, 1), (1, 2)}
+
+    def test_pattern_set_covered_nodes_union(self):
+        graphs = [typed_graph()]
+        patterns = [single_node_pattern("A"), single_node_pattern("B")]
+        coverage = pattern_set_covered_nodes(patterns, graphs)
+        assert coverage[0] == {0, 1, 2}
+
+    def test_pattern_set_covers_nodes_full(self):
+        graphs = [typed_graph()]
+        patterns = [single_node_pattern(t) for t in ("A", "B", "C")]
+        assert pattern_set_covers_nodes(patterns, graphs)
+
+    def test_pattern_set_covers_nodes_partial(self):
+        graphs = [typed_graph()]
+        assert not pattern_set_covers_nodes([single_node_pattern("A")], graphs)
+
+    def test_coverage_summary_fractions(self):
+        graphs = [typed_graph()]
+        summary = coverage_summary([edge_pattern("A", "B")], graphs)
+        assert summary["node_coverage"] == 0.75  # nodes 0, 1, 2 of 4
+        assert summary["edge_coverage"] == 2 / 3
+
+    def test_coverage_summary_empty_patterns(self):
+        summary = coverage_summary([], [typed_graph()])
+        assert summary["node_coverage"] == 0.0
+        assert summary["covered_edges"] == 0.0
+
+    def test_coverage_summary_no_graphs(self):
+        summary = coverage_summary([single_node_pattern("A")], [])
+        assert summary["node_coverage"] == 1.0
+
+
+class TestIncrementalMatcher:
+    def test_cache_hit_on_unchanged_graph(self):
+        matcher = IncrementalMatcher()
+        graph = typed_graph()
+        pattern = single_node_pattern("A")
+        first = matcher.covered_nodes(pattern, graph)
+        second = matcher.covered_nodes(pattern, graph)
+        assert first == second
+        assert matcher.stats()["cache_hits"] == 1
+        assert matcher.stats()["recomputations"] == 1
+
+    def test_recomputes_after_graph_growth(self):
+        matcher = IncrementalMatcher()
+        graph = typed_graph()
+        pattern = single_node_pattern("A")
+        matcher.covered_nodes(pattern, graph)
+        graph.add_node(4, "A")
+        updated = matcher.covered_nodes(pattern, graph)
+        assert 4 in updated
+        assert matcher.stats()["recomputations"] == 2
+
+    def test_covered_by_set_and_covers_all(self):
+        matcher = IncrementalMatcher()
+        graph = typed_graph()
+        patterns = [single_node_pattern(t) for t in ("A", "B", "C")]
+        assert matcher.covers_all_nodes(patterns, graph)
+        assert matcher.covered_by_set([single_node_pattern("A")], graph) == {0, 2}
+
+    def test_invalidate_clears_cache(self):
+        matcher = IncrementalMatcher()
+        graph = typed_graph()
+        matcher.covered_nodes(single_node_pattern("A"), graph)
+        matcher.invalidate()
+        assert matcher.stats()["entries"] == 0

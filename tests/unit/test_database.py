@@ -1,0 +1,107 @@
+"""Unit tests for the graph database container."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graphs import Graph, GraphDatabase
+
+
+def small_graph(graph_id=None, size=3):
+    graph = Graph(graph_id=graph_id)
+    for node in range(size):
+        graph.add_node(node, "T", [1.0])
+    for node in range(size - 1):
+        graph.add_edge(node, node + 1)
+    return graph
+
+
+class TestConstruction:
+    def test_add_graph_assigns_ids(self):
+        database = GraphDatabase()
+        index = database.add_graph(small_graph())
+        assert index == 0
+        assert database[0].graph_id == 0
+
+    def test_add_graph_keeps_existing_id(self):
+        database = GraphDatabase()
+        database.add_graph(small_graph(graph_id=77))
+        assert database[0].graph_id == 77
+
+    def test_extend_with_labels(self):
+        database = GraphDatabase()
+        database.extend([small_graph(), small_graph()], labels=[0, 1])
+        assert database.labels == [0, 1]
+
+    def test_extend_with_mismatched_labels_raises(self):
+        database = GraphDatabase()
+        with pytest.raises(DatasetError):
+            database.extend([small_graph()], labels=[0, 1])
+
+    def test_extend_without_labels(self):
+        database = GraphDatabase()
+        database.extend([small_graph(), small_graph()])
+        assert database.labels == [None, None]
+
+
+class TestAccess:
+    def test_len_and_iteration(self):
+        database = GraphDatabase()
+        database.extend([small_graph(), small_graph()], labels=[0, 1])
+        assert len(database) == 2
+        assert len(list(database)) == 2
+
+    def test_label_helpers(self):
+        database = GraphDatabase()
+        database.extend([small_graph(), small_graph(), small_graph()], labels=[0, 1, 0])
+        assert database.class_labels() == [0, 1]
+        assert database.label_group_indices(0) == [0, 2]
+        assert len(database.label_group(1)) == 1
+
+    def test_set_label(self):
+        database = GraphDatabase()
+        database.add_graph(small_graph())
+        database.set_label(0, 3)
+        assert database.label_of(0) == 3
+
+    def test_subset_preserves_labels(self):
+        database = GraphDatabase()
+        database.extend([small_graph(), small_graph(), small_graph()], labels=[0, 1, 0])
+        subset = database.subset([2, 0])
+        assert len(subset) == 2
+        assert subset.labels == [0, 0]
+
+
+class TestStatistics:
+    def test_statistics_of_empty_database(self):
+        stats = GraphDatabase().statistics()
+        assert stats["num_graphs"] == 0
+        assert stats["avg_nodes"] == 0.0
+
+    def test_statistics_values(self):
+        database = GraphDatabase()
+        database.extend([small_graph(size=3), small_graph(size=5)], labels=[0, 1])
+        stats = database.statistics()
+        assert stats["num_graphs"] == 2
+        assert stats["num_classes"] == 2
+        assert stats["avg_nodes"] == pytest.approx(4.0)
+        assert stats["avg_edges"] == pytest.approx(3.0)
+        assert stats["feature_dim"] == 1
+
+
+class TestSerialisation:
+    def test_round_trip_dict(self):
+        database = GraphDatabase(name="demo")
+        database.extend([small_graph(), small_graph()], labels=[0, 1])
+        clone = GraphDatabase.from_dict(database.to_dict())
+        assert clone.name == "demo"
+        assert clone.labels == [0, 1]
+        assert clone[1].num_nodes() == 3
+
+    def test_save_and_load(self, tmp_path):
+        database = GraphDatabase(name="demo")
+        database.add_graph(small_graph(), label=1)
+        path = tmp_path / "db.json"
+        database.save(path)
+        clone = GraphDatabase.load(path)
+        assert clone.label_of(0) == 1
+        assert clone[0].edges == database[0].edges

@@ -1,0 +1,128 @@
+"""Unit tests for the synthetic dataset builders and registry."""
+
+import pytest
+
+from repro.datasets import (
+    ATOM_TYPES,
+    available_datasets,
+    load_dataset,
+    make_ba_motif_synthetic,
+    make_enzymes,
+    make_malnet_tiny,
+    make_mutagenicity,
+    make_pcqm4m,
+    make_products,
+    make_reddit_binary,
+)
+from repro.exceptions import DatasetError
+from repro.graphs import GraphPattern
+from repro.matching import has_matching
+
+
+class TestRegistry:
+    def test_available_datasets_count(self):
+        assert len(available_datasets()) == 7
+
+    def test_load_by_alias_and_name(self):
+        by_alias = load_dataset("MUT", num_graphs=4, seed=0)
+        by_name = load_dataset("MUTAGENICITY", num_graphs=4, seed=0)
+        assert by_alias.name == by_name.name == "MUTAGENICITY"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("IMAGENET")
+
+    @pytest.mark.parametrize("alias", ["MUT", "RED", "ENZ", "MAL", "PCQ", "PRO", "SYN"])
+    def test_every_alias_builds(self, alias):
+        database = load_dataset(alias, num_graphs=8, seed=1)
+        assert len(database) == 8
+        assert all(graph.is_connected() for graph in database.graphs)
+
+
+class TestMutagenicity:
+    def test_classes_balanced(self):
+        database = make_mutagenicity(num_graphs=10, seed=0)
+        assert database.labels.count(0) == 5
+        assert database.labels.count(1) == 5
+
+    def test_feature_dimension_matches_atom_vocabulary(self):
+        database = make_mutagenicity(num_graphs=4, seed=0)
+        graph = database[0]
+        assert graph.node_features(graph.nodes[0]).shape == (len(ATOM_TYPES),)
+
+    def test_mutagens_contain_nitro_group_and_nonmutagens_do_not(self):
+        database = make_mutagenicity(num_graphs=10, seed=2)
+        nitro = GraphPattern()
+        nitro.add_node(0, "N")
+        nitro.add_node(1, "O")
+        nitro.add_node(2, "O")
+        nitro.add_edge(0, 1, "double")
+        nitro.add_edge(0, 2, "double")
+        for graph, label in zip(database.graphs, database.labels):
+            assert has_matching(nitro, graph) == (label == 1)
+
+    def test_too_few_graphs_rejected(self):
+        with pytest.raises(DatasetError):
+            make_mutagenicity(num_graphs=1)
+
+
+class TestRedditBinary:
+    def test_question_answer_threads_have_expert_hubs(self):
+        database = make_reddit_binary(num_graphs=6, seed=1, base_size=16)
+        for graph, label in zip(database.graphs, database.labels):
+            max_degree = max(graph.degree(node) for node in graph.nodes)
+            if label == 1:
+                # Discussion threads are star-like: one dominant hub.
+                assert max_degree >= graph.num_nodes() * 0.4
+
+    def test_degree_features_assigned(self):
+        database = make_reddit_binary(num_graphs=4, seed=1, base_size=12)
+        graph = database[0]
+        assert graph.node_features(graph.nodes[0]).shape == (4,)
+
+
+class TestOtherDatasets:
+    def test_enzymes_has_six_classes(self):
+        database = make_enzymes(num_graphs=12, seed=0)
+        assert database.class_labels() == list(range(6))
+
+    def test_enzymes_requires_enough_graphs(self):
+        with pytest.raises(DatasetError):
+            make_enzymes(num_graphs=3)
+
+    def test_malnet_has_five_classes(self):
+        database = make_malnet_tiny(num_graphs=10, seed=0, tree_size=20)
+        assert database.class_labels() == list(range(5))
+
+    def test_malnet_graphs_are_larger(self):
+        database = make_malnet_tiny(num_graphs=5, seed=0, tree_size=30)
+        assert database.statistics()["avg_nodes"] > 25
+
+    def test_pcq_feature_dimension(self):
+        database = make_pcqm4m(num_graphs=6, seed=0)
+        graph = database[0]
+        assert graph.node_features(graph.nodes[0]).shape == (9,)
+        assert database.class_labels() == [0, 1, 2]
+
+    def test_products_num_classes_configurable(self):
+        database = make_products(num_graphs=8, seed=0, num_classes=2)
+        assert database.class_labels() == [0, 1]
+
+    def test_products_rejects_single_class(self):
+        with pytest.raises(DatasetError):
+            make_products(num_graphs=8, num_classes=1)
+
+    def test_synthetic_motifs_differ_by_class(self):
+        database = make_ba_motif_synthetic(num_graphs=6, seed=0, base_size=15)
+        house_types = [graph.type_counts().get("house", 0) for graph in database.graphs]
+        cycle_types = [graph.type_counts().get("cycle", 0) for graph in database.graphs]
+        for label, houses, cycles in zip(database.labels, house_types, cycle_types):
+            if label == 0:
+                assert houses > 0 and cycles == 0
+            else:
+                assert cycles > 0 and houses == 0
+
+    def test_datasets_are_seed_deterministic(self):
+        first = make_pcqm4m(num_graphs=5, seed=3)
+        second = make_pcqm4m(num_graphs=5, seed=3)
+        assert [g.edges for g in first.graphs] == [g.edges for g in second.graphs]

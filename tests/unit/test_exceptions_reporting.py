@@ -1,0 +1,66 @@
+"""Unit tests for the exception hierarchy and the experiment reporting helpers."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro import exceptions
+from repro.experiments.reporting import format_table, print_table, rows_to_table
+
+
+class TestExceptions:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, exceptions.ReproError)
+
+    def test_node_not_found_carries_node_id(self):
+        error = exceptions.NodeNotFoundError(42)
+        assert error.node_id == 42
+        assert "42" in str(error)
+
+    def test_edge_not_found_carries_endpoints(self):
+        error = exceptions.EdgeNotFoundError(1, 2)
+        assert (error.u, error.v) == (1, 2)
+
+
+@dataclass
+class _Row:
+    name: str
+    value: float
+    flag: bool
+
+
+class TestReporting:
+    def test_rows_to_table_with_dataclasses(self):
+        headers, body = rows_to_table([_Row("a", 1.5, True)])
+        assert headers == ["name", "value", "flag"]
+        assert body == [["a", "1.5000", "yes"]]
+
+    def test_rows_to_table_with_dicts(self):
+        headers, body = rows_to_table([{"x": 1, "y": [1, 2]}])
+        assert headers == ["x", "y"]
+        assert body == [["1", "1,2"]]
+
+    def test_rows_to_table_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            rows_to_table([object()])
+
+    def test_format_table_alignment_and_title(self):
+        text = format_table([_Row("abc", 2.0, False)], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "abc" in lines[3]
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_dict_cells(self):
+        headers, body = rows_to_table([{"stats": {"a": 1.0}}])
+        assert body == [["a=1.0000"]]
+
+    def test_print_table_runs(self, capsys):
+        print_table([_Row("p", 0.1, True)], title="t")
+        captured = capsys.readouterr()
+        assert "p" in captured.out

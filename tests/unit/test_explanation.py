@@ -1,0 +1,120 @@
+"""Unit tests for explanation subgraphs, views, and view sets."""
+
+import pytest
+
+from repro.core import ExplanationSubgraph, ExplanationView, ExplanationViewSet
+from repro.graphs import GraphPattern
+
+
+def make_subgraph(graph, nodes, label=0):
+    return ExplanationSubgraph(source_graph=graph, nodes=set(nodes), label=label)
+
+
+def single_type_pattern(node_type):
+    pattern = GraphPattern()
+    pattern.add_node(0, node_type)
+    return pattern
+
+
+class TestExplanationSubgraph:
+    def test_subgraph_and_residual_partition_nodes(self, triangle_graph):
+        explanation = make_subgraph(triangle_graph, {0, 1})
+        assert set(explanation.subgraph().nodes) == {0, 1}
+        assert set(explanation.residual().nodes) == {2}
+
+    def test_counts(self, triangle_graph):
+        explanation = make_subgraph(triangle_graph, {0, 1})
+        assert explanation.num_nodes() == 2
+        assert explanation.num_edges() == 1
+
+    def test_sparsity(self, triangle_graph):
+        explanation = make_subgraph(triangle_graph, {0, 1})
+        # Graph has 3 nodes + 3 edges = 6; explanation has 2 + 1 = 3.
+        assert explanation.sparsity() == pytest.approx(0.5)
+
+    def test_is_valid_explanation_requires_both_flags(self, triangle_graph):
+        explanation = make_subgraph(triangle_graph, {0})
+        assert not explanation.is_valid_explanation()
+        explanation.consistent = True
+        explanation.counterfactual = True
+        assert explanation.is_valid_explanation()
+
+    def test_to_dict(self, triangle_graph):
+        explanation = make_subgraph(triangle_graph, {1, 0}, label=1)
+        payload = explanation.to_dict()
+        assert payload["nodes"] == [0, 1]
+        assert payload["label"] == 1
+
+
+class TestExplanationView:
+    def test_totals_and_compression(self, triangle_graph, path_graph):
+        view = ExplanationView(label=0)
+        view.subgraphs = [make_subgraph(triangle_graph, {0, 1}), make_subgraph(path_graph, {0, 1, 2})]
+        view.patterns = [single_type_pattern("A")]
+        assert view.total_subgraph_nodes() == 5
+        assert view.total_subgraph_edges() == 3
+        assert view.total_pattern_nodes() == 1
+        assert view.compression() == pytest.approx(1.0 - 1 / 8)
+
+    def test_compression_of_empty_view(self):
+        assert ExplanationView(label=0).compression() == 0.0
+
+    def test_patterns_matching_graph(self, triangle_graph):
+        view = ExplanationView(label=0, patterns=[single_type_pattern("A"), single_type_pattern("Z")])
+        matches = view.patterns_matching(triangle_graph)
+        assert len(matches) == 1
+
+    def test_graphs_containing_pattern(self, triangle_graph, path_graph):
+        view = ExplanationView(label=0)
+        view.subgraphs = [make_subgraph(triangle_graph, {0, 1}), make_subgraph(path_graph, {0})]
+        hits = view.graphs_containing(single_type_pattern("A"))
+        assert hits == [triangle_graph]
+
+    def test_to_dict_round_trip_fields(self, triangle_graph):
+        view = ExplanationView(label=2, patterns=[single_type_pattern("A")])
+        view.subgraphs = [make_subgraph(triangle_graph, {0}, label=2)]
+        payload = view.to_dict()
+        assert payload["label"] == 2
+        assert len(payload["patterns"]) == 1
+        assert len(payload["subgraphs"]) == 1
+
+
+class TestExplanationViewSet:
+    def build(self, triangle_graph, path_graph):
+        view_a = ExplanationView(label=0, patterns=[single_type_pattern("A")], explainability=1.0)
+        view_a.subgraphs = [make_subgraph(triangle_graph, {0, 1}, label=0)]
+        view_b = ExplanationView(label=1, patterns=[single_type_pattern("P")], explainability=0.5)
+        view_b.subgraphs = [make_subgraph(path_graph, {0, 1}, label=1)]
+        return ExplanationViewSet([view_a, view_b])
+
+    def test_labels_and_lookup(self, triangle_graph, path_graph):
+        views = self.build(triangle_graph, path_graph)
+        assert views.labels() == [0, 1]
+        assert views.view_for(1).label == 1
+        assert 0 in views and 5 not in views
+        assert len(views) == 2
+
+    def test_total_explainability(self, triangle_graph, path_graph):
+        views = self.build(triangle_graph, path_graph)
+        assert views.total_explainability() == pytest.approx(1.5)
+
+    def test_labels_containing_pattern(self, triangle_graph, path_graph):
+        views = self.build(triangle_graph, path_graph)
+        assert views.labels_containing_pattern(single_type_pattern("A")) == [0]
+        assert views.labels_containing_pattern(single_type_pattern("P")) == [1]
+
+    def test_discriminative_patterns(self, triangle_graph, path_graph):
+        views = self.build(triangle_graph, path_graph)
+        discriminative = views.discriminative_patterns(0)
+        assert len(discriminative) == 1  # the "A" pattern does not occur in label 1 subgraphs
+
+    def test_add_replaces_existing_label(self, triangle_graph, path_graph):
+        views = self.build(triangle_graph, path_graph)
+        replacement = ExplanationView(label=0, explainability=9.0)
+        views.add(replacement)
+        assert views.view_for(0).explainability == 9.0
+        assert len(views) == 2
+
+    def test_to_dict(self, triangle_graph, path_graph):
+        payload = self.build(triangle_graph, path_graph).to_dict()
+        assert len(payload["views"]) == 2

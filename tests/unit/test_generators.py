@@ -1,0 +1,119 @@
+"""Unit tests for random graph and motif generators."""
+
+import random
+
+import pytest
+
+from repro.graphs.generators import (
+    attach_motif,
+    barabasi_albert_graph,
+    clique_motif,
+    cycle_motif,
+    erdos_renyi_graph,
+    grid_motif,
+    house_motif,
+    one_hot,
+    star_motif,
+    tree_graph,
+)
+
+
+class TestOneHot:
+    def test_basic(self):
+        vector = one_hot(2, 5)
+        assert vector.tolist() == [0, 0, 1, 0, 0]
+
+    def test_wraps_index(self):
+        assert one_hot(7, 5).tolist() == [0, 0, 1, 0, 0]
+
+
+class TestRandomGraphs:
+    def test_barabasi_albert_size_and_connectivity(self):
+        graph = barabasi_albert_graph(20, 2, random.Random(0))
+        assert graph.num_nodes() == 20
+        assert graph.is_connected()
+
+    def test_barabasi_albert_rejects_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_graph(2, 3, random.Random(0))
+
+    def test_erdos_renyi_connected_option(self):
+        graph = erdos_renyi_graph(15, 0.05, random.Random(1), ensure_connected=True)
+        assert graph.is_connected()
+
+    def test_erdos_renyi_feature_dim(self):
+        graph = erdos_renyi_graph(6, 0.3, random.Random(1), feature_dim=4)
+        assert graph.node_features(0).shape == (4,)
+
+    def test_tree_graph_is_tree(self):
+        graph = tree_graph(12, 3, random.Random(2))
+        assert graph.num_nodes() == 12
+        assert graph.num_edges() == 11
+        assert graph.is_connected()
+
+
+class TestMotifs:
+    def test_cycle_motif(self):
+        motif = cycle_motif(5)
+        assert motif.num_nodes() == 5
+        assert motif.num_edges() == 5
+        assert all(motif.degree(node) == 2 for node in motif.nodes)
+
+    def test_cycle_motif_rejects_short_cycles(self):
+        with pytest.raises(ValueError):
+            cycle_motif(2)
+
+    def test_house_motif_shape(self):
+        motif = house_motif()
+        assert motif.num_nodes() == 5
+        assert motif.num_edges() == 6
+
+    def test_star_motif_degrees(self):
+        motif = star_motif(4)
+        assert motif.degree(0) == 4
+        assert all(motif.degree(leaf) == 1 for leaf in range(1, 5))
+
+    def test_star_motif_requires_leaf(self):
+        with pytest.raises(ValueError):
+            star_motif(0)
+
+    def test_clique_motif_is_complete(self):
+        motif = clique_motif(4)
+        assert motif.num_edges() == 6
+
+    def test_clique_motif_minimum_size(self):
+        with pytest.raises(ValueError):
+            clique_motif(1)
+
+    def test_grid_motif_shape(self):
+        motif = grid_motif(2, 3)
+        assert motif.num_nodes() == 6
+        assert motif.num_edges() == 7
+
+    def test_grid_motif_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            grid_motif(0, 3)
+
+
+class TestAttachMotif:
+    def test_attach_grows_base_and_connects(self):
+        rng = random.Random(3)
+        base = barabasi_albert_graph(10, 2, rng)
+        motif = cycle_motif(4)
+        before_nodes = base.num_nodes()
+        mapping = attach_motif(base, motif, rng)
+        assert base.num_nodes() == before_nodes + 4
+        assert base.is_connected()
+        assert set(mapping.keys()) == set(motif.nodes)
+
+    def test_attach_preserves_motif_types(self):
+        rng = random.Random(4)
+        base = barabasi_albert_graph(8, 2, rng)
+        attach_motif(base, house_motif(), rng)
+        assert "house" in base.type_counts()
+
+    def test_attach_to_empty_base_raises(self):
+        from repro.graphs import Graph
+
+        with pytest.raises(ValueError):
+            attach_motif(Graph(), cycle_motif(3), random.Random(0))

@@ -1,0 +1,201 @@
+"""Unit tests for the attributed graph data structure."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_add_node_and_membership(self):
+        graph = Graph()
+        graph.add_node(7, "C")
+        assert graph.has_node(7)
+        assert 7 in graph
+        assert graph.num_nodes() == 1
+
+    def test_add_node_with_features(self):
+        graph = Graph()
+        graph.add_node(0, "C", [1.0, 2.0])
+        np.testing.assert_allclose(graph.node_features(0), [1.0, 2.0])
+
+    def test_add_node_without_features_returns_none(self):
+        graph = Graph()
+        graph.add_node(0, "C")
+        assert graph.node_features(0) is None
+
+    def test_re_adding_node_updates_type(self):
+        graph = Graph()
+        graph.add_node(0, "C")
+        graph.add_node(0, "N")
+        assert graph.node_type(0) == "N"
+        assert graph.num_nodes() == 1
+
+    def test_add_edge_requires_existing_nodes(self):
+        graph = Graph()
+        graph.add_node(0)
+        with pytest.raises(NodeNotFoundError):
+            graph.add_edge(0, 1)
+
+    def test_self_loops_rejected(self):
+        graph = Graph()
+        graph.add_node(0)
+        with pytest.raises(GraphError):
+            graph.add_edge(0, 0)
+
+    def test_directed_mode_not_supported(self):
+        with pytest.raises(GraphError):
+            Graph(directed=True)
+
+    def test_edge_is_undirected(self):
+        graph = Graph()
+        graph.add_node(0)
+        graph.add_node(1)
+        graph.add_edge(0, 1, "bond")
+        assert graph.has_edge(1, 0)
+        assert graph.edge_type(1, 0) == "bond"
+
+    def test_edges_listed_canonically(self):
+        graph = Graph()
+        for node in range(3):
+            graph.add_node(node)
+        graph.add_edge(2, 0)
+        graph.add_edge(1, 0)
+        assert graph.edges == [(0, 1), (0, 2)]
+
+
+class TestRemoval:
+    def test_remove_edge(self, triangle_graph):
+        triangle_graph.remove_edge(0, 1)
+        assert not triangle_graph.has_edge(0, 1)
+        assert triangle_graph.num_edges() == 2
+
+    def test_remove_missing_edge_raises(self, triangle_graph):
+        with pytest.raises(EdgeNotFoundError):
+            triangle_graph.remove_edge(0, 99)
+
+    def test_remove_node_drops_incident_edges(self, triangle_graph):
+        triangle_graph.remove_node(1)
+        assert not triangle_graph.has_node(1)
+        assert triangle_graph.num_edges() == 1
+        assert triangle_graph.edges == [(0, 2)]
+
+    def test_remove_missing_node_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            triangle_graph.remove_node(42)
+
+
+class TestInspection:
+    def test_neighbors(self, triangle_graph):
+        assert triangle_graph.neighbors(0) == {1, 2}
+
+    def test_neighbors_of_missing_node_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            triangle_graph.neighbors(9)
+
+    def test_degree(self, triangle_graph):
+        assert triangle_graph.degree(0) == 2
+
+    def test_len_and_iteration_order(self):
+        graph = Graph()
+        for node in (5, 3, 9):
+            graph.add_node(node)
+        assert len(graph) == 3
+        assert list(graph) == [5, 3, 9]
+
+    def test_type_counts(self, triangle_graph):
+        assert triangle_graph.type_counts() == {"A": 2, "B": 1}
+
+    def test_repr_contains_sizes(self, triangle_graph):
+        assert "|V|=3" in repr(triangle_graph)
+        assert "|E|=3" in repr(triangle_graph)
+
+
+class TestMatrices:
+    def test_adjacency_matrix_symmetric(self, triangle_graph):
+        adjacency = triangle_graph.adjacency_matrix()
+        np.testing.assert_allclose(adjacency, adjacency.T)
+        assert adjacency.sum() == 6  # three undirected edges
+
+    def test_feature_matrix_alignment(self, triangle_graph):
+        features = triangle_graph.feature_matrix()
+        index = triangle_graph.node_index()
+        np.testing.assert_allclose(features[index[1]], [0.0, 1.0])
+
+    def test_feature_matrix_default_for_featureless_nodes(self):
+        graph = Graph()
+        graph.add_node(0, "C")
+        graph.add_node(1, "C", [0.5, 0.5])
+        features = graph.feature_matrix()
+        np.testing.assert_allclose(features[0], [1.0, 1.0])
+
+    def test_feature_matrix_dim_mismatch_raises(self):
+        graph = Graph()
+        graph.add_node(0, "C", [1.0])
+        graph.add_node(1, "C", [1.0, 2.0])
+        with pytest.raises(GraphError):
+            graph.feature_matrix()
+
+    def test_feature_matrix_requested_dim_conflict_raises(self):
+        graph = Graph()
+        graph.add_node(0, "C", [1.0, 2.0])
+        with pytest.raises(GraphError):
+            graph.feature_matrix(feature_dim=3)
+
+
+class TestStructure:
+    def test_connected_components_single(self, triangle_graph):
+        assert triangle_graph.connected_components() == [{0, 1, 2}]
+        assert triangle_graph.is_connected()
+
+    def test_connected_components_multiple(self):
+        graph = Graph()
+        for node in range(4):
+            graph.add_node(node)
+        graph.add_edge(0, 1)
+        components = graph.connected_components()
+        assert len(components) == 3
+        assert components[0] == {0, 1}
+
+    def test_empty_graph_not_connected(self):
+        assert not Graph().is_connected()
+
+    def test_copy_is_independent(self, triangle_graph):
+        clone = triangle_graph.copy()
+        clone.remove_node(0)
+        assert triangle_graph.has_node(0)
+        assert not clone.has_node(0)
+
+    def test_relabel_default_compacts_ids(self):
+        graph = Graph()
+        graph.add_node(10, "A")
+        graph.add_node(20, "B")
+        graph.add_edge(10, 20)
+        relabelled = graph.relabel()
+        assert relabelled.nodes == [0, 1]
+        assert relabelled.has_edge(0, 1)
+
+    def test_relabel_requires_injective_mapping(self, triangle_graph):
+        with pytest.raises(GraphError):
+            triangle_graph.relabel({0: 5, 1: 5, 2: 6})
+
+    def test_structural_signature_invariant_to_relabeling(self, triangle_graph):
+        relabelled = triangle_graph.relabel({0: 10, 1: 11, 2: 12})
+        assert triangle_graph.structural_signature() == relabelled.structural_signature()
+
+    def test_structural_signature_differs_for_different_structure(self, triangle_graph, path_graph):
+        assert triangle_graph.structural_signature() != path_graph.structural_signature()
+
+
+class TestSerialisation:
+    def test_round_trip(self, triangle_graph):
+        clone = Graph.from_dict(triangle_graph.to_dict())
+        assert clone.nodes == triangle_graph.nodes
+        assert clone.edges == triangle_graph.edges
+        assert clone.node_type(1) == "B"
+        np.testing.assert_allclose(clone.node_features(0), [1.0, 0.0])
+
+    def test_round_trip_preserves_edge_types(self, triangle_graph):
+        clone = Graph.from_dict(triangle_graph.to_dict())
+        assert clone.edge_type(0, 2) == "y"

@@ -1,0 +1,104 @@
+"""Unit tests for the feature-influence estimators (paper Eqs. 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.gnn import GNNClassifier
+from repro.gnn.influence import (
+    influence_matrix,
+    jacobian_l1_matrix,
+    normalized_influence_matrix,
+)
+from repro.gnn.loss import cross_entropy
+from repro.graphs import Graph
+
+
+@pytest.fixture
+def small_model():
+    return GNNClassifier(feature_dim=2, num_classes=2, hidden_dim=4, num_layers=2, seed=11)
+
+
+class TestExactJacobian:
+    def test_shape(self, small_model, path_graph):
+        matrix = jacobian_l1_matrix(small_model, path_graph)
+        assert matrix.shape == (5, 5)
+        assert (matrix >= 0).all()
+
+    def test_empty_graph(self, small_model):
+        assert jacobian_l1_matrix(small_model, Graph()).shape == (0, 0)
+
+    def test_far_nodes_have_zero_influence(self, small_model):
+        # A path of 6 nodes with a 2-layer model: node 0 cannot influence node 5.
+        graph = Graph()
+        for node in range(6):
+            graph.add_node(node, "P", [1.0, 0.0])
+        for node in range(5):
+            graph.add_edge(node, node + 1)
+        matrix = jacobian_l1_matrix(small_model, graph)
+        assert matrix[5, 0] == pytest.approx(0.0, abs=1e-12)
+        assert matrix[1, 0] > 0.0
+
+    def test_matches_finite_difference_jacobian(self, path_graph):
+        """The exact per-pair L1 norms agree with numerically perturbed features."""
+        model = GNNClassifier(feature_dim=2, num_classes=2, hidden_dim=3, num_layers=2, seed=4)
+        matrix = jacobian_l1_matrix(model, path_graph)
+        features = path_graph.feature_matrix(2)
+        adjacency = path_graph.adjacency_matrix()
+        epsilon = 1e-6
+        source, target = 1, 2  # adjacent nodes
+        numerical = 0.0
+        for j in range(2):
+            plus = features.copy()
+            plus[source, j] += epsilon
+            minus = features.copy()
+            minus[source, j] -= epsilon
+            _, cache_plus = model.forward_matrices(plus, adjacency)
+            _, cache_minus = model.forward_matrices(minus, adjacency)
+            diff = (cache_plus["layer_outputs"][-1][target] - cache_minus["layer_outputs"][-1][target]) / (
+                2 * epsilon
+            )
+            numerical += np.abs(diff).sum()
+        assert matrix[target, source] == pytest.approx(numerical, rel=1e-4, abs=1e-6)
+
+
+class TestInfluenceMatrix:
+    def test_propagation_estimator_shape(self, small_model, path_graph):
+        matrix = influence_matrix(small_model, path_graph, method="propagation")
+        assert matrix.shape == (5, 5)
+        assert (matrix >= 0).all()
+
+    def test_auto_uses_exact_for_small_graphs(self, small_model, path_graph):
+        auto = influence_matrix(small_model, path_graph, method="auto")
+        exact = influence_matrix(small_model, path_graph, method="exact")
+        np.testing.assert_allclose(auto, exact)
+
+    def test_unknown_method_rejected(self, small_model, path_graph):
+        with pytest.raises(ModelError):
+            influence_matrix(small_model, path_graph, method="magic")
+
+    def test_propagation_reflects_topology(self, small_model):
+        # A star: the hub reaches every leaf within 2 hops, leaves reach each
+        # other only through the hub.
+        graph = Graph()
+        graph.add_node(0, "S", [1.0, 0.0])
+        for leaf in range(1, 5):
+            graph.add_node(leaf, "S", [0.0, 1.0])
+            graph.add_edge(0, leaf)
+        matrix = influence_matrix(small_model, graph, method="propagation")
+        assert matrix[1, 0] > 0
+        assert matrix[1, 2] > 0  # two-hop path through the hub with k=2 layers
+
+
+class TestNormalisedInfluence:
+    def test_rows_source_columns_target_sum(self, small_model, path_graph):
+        matrix = normalized_influence_matrix(small_model, path_graph, method="exact")
+        # For each target v, the shares over sources u sum to 1.
+        np.testing.assert_allclose(matrix.sum(axis=0), np.ones(5), atol=1e-9)
+
+    def test_values_between_zero_and_one(self, small_model, path_graph):
+        matrix = normalized_influence_matrix(small_model, path_graph)
+        assert (matrix >= 0).all() and (matrix <= 1 + 1e-9).all()
+
+    def test_empty_graph(self, small_model):
+        assert normalized_influence_matrix(small_model, Graph()).size == 0

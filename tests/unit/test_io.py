@@ -1,0 +1,60 @@
+"""Unit tests for graph interchange helpers."""
+
+import networkx as nx
+
+from repro.graphs import GraphPattern
+from repro.graphs.io import (
+    graph_to_networkx,
+    networkx_to_graph,
+    pattern_to_networkx,
+    read_edge_list,
+    read_graph_json,
+    write_edge_list,
+    write_graph_json,
+)
+
+
+class TestNetworkxConversion:
+    def test_graph_to_networkx_preserves_structure(self, triangle_graph):
+        converted = graph_to_networkx(triangle_graph)
+        assert isinstance(converted, nx.Graph)
+        assert converted.number_of_nodes() == 3
+        assert converted.number_of_edges() == 3
+        assert converted.nodes[0]["node_type"] == "A"
+
+    def test_round_trip_through_networkx(self, triangle_graph):
+        back = networkx_to_graph(graph_to_networkx(triangle_graph))
+        assert back.nodes == triangle_graph.nodes
+        assert back.edges == triangle_graph.edges
+        assert back.edge_type(0, 2) == "y"
+
+    def test_pattern_to_networkx(self):
+        pattern = GraphPattern()
+        pattern.add_node(0, "A")
+        pattern.add_node(1, "B")
+        pattern.add_edge(0, 1)
+        converted = pattern_to_networkx(pattern)
+        assert converted.number_of_edges() == 1
+
+
+class TestFileFormats:
+    def test_edge_list_round_trip(self, triangle_graph, tmp_path):
+        path = tmp_path / "graph.edges"
+        write_edge_list(triangle_graph, path)
+        back = read_edge_list(path)
+        assert back.edges == triangle_graph.edges
+        assert back.node_type(1) == "B"
+
+    def test_edge_list_without_headers(self, tmp_path):
+        path = tmp_path / "plain.edges"
+        path.write_text("0 1\n1 2 bond\n")
+        graph = read_edge_list(path)
+        assert graph.num_nodes() == 3
+        assert graph.edge_type(1, 2) == "bond"
+
+    def test_json_round_trip(self, triangle_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        write_graph_json(triangle_graph, path)
+        back = read_graph_json(path)
+        assert back.nodes == triangle_graph.nodes
+        assert back.num_edges() == 3

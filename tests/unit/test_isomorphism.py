@@ -1,0 +1,116 @@
+"""Unit tests for node-induced subgraph isomorphism (PMatch)."""
+
+import pytest
+
+from repro.graphs import Graph, GraphPattern
+from repro.matching import (
+    count_matchings,
+    find_matchings,
+    has_matching,
+    iter_matchings,
+    matched_node_sets,
+)
+
+
+def typed_path(types, edge_types=None):
+    graph = Graph()
+    for index, node_type in enumerate(types):
+        graph.add_node(index, node_type)
+    for index in range(len(types) - 1):
+        edge_type = edge_types[index] if edge_types else "edge"
+        graph.add_edge(index, index + 1, edge_type)
+    return graph
+
+
+def pattern_from_types(types, edge_types=None):
+    return GraphPattern.from_graph(typed_path(types, edge_types))
+
+
+class TestBasicMatching:
+    def test_single_node_pattern_matches_each_typed_node(self):
+        graph = typed_path(["A", "B", "A"])
+        pattern = pattern_from_types(["A"])
+        assert count_matchings(pattern, graph) == 2
+
+    def test_edge_pattern_matches_both_directions(self):
+        graph = typed_path(["A", "A"])
+        pattern = pattern_from_types(["A", "A"])
+        assert count_matchings(pattern, graph) == 2  # two orientations
+
+    def test_node_type_mismatch_blocks_matching(self):
+        graph = typed_path(["A", "B"])
+        pattern = pattern_from_types(["A", "C"])
+        assert not has_matching(pattern, graph)
+
+    def test_edge_type_mismatch_blocks_matching(self):
+        graph = typed_path(["A", "B"], edge_types=["single"])
+        pattern = pattern_from_types(["A", "B"], edge_types=["double"])
+        assert not has_matching(pattern, graph)
+
+    def test_pattern_larger_than_graph_never_matches(self):
+        graph = typed_path(["A", "A"])
+        pattern = pattern_from_types(["A", "A", "A"])
+        assert not has_matching(pattern, graph)
+
+    def test_empty_pattern_has_no_matchings(self):
+        assert find_matchings(GraphPattern(), typed_path(["A"])) == []
+
+
+class TestInducedSemantics:
+    def test_induced_matching_rejects_extra_edges(self):
+        # Pattern: path A-B-A (no edge between the two A's).
+        pattern = pattern_from_types(["A", "B", "A"])
+        # Graph: triangle A-B-A with an extra A-A edge, so the node-induced
+        # subgraph on any 3 nodes has an extra edge and cannot match the path.
+        graph = typed_path(["A", "B", "A"])
+        graph.add_edge(0, 2)
+        assert not has_matching(pattern, graph)
+
+    def test_triangle_pattern_matches_triangle(self):
+        graph = typed_path(["A", "A", "A"])
+        graph.add_edge(0, 2)
+        pattern = GraphPattern.from_graph(graph)
+        assert has_matching(pattern, graph)
+        assert count_matchings(pattern, graph) == 6  # 3! automorphisms
+
+    def test_matching_is_injective(self):
+        graph = typed_path(["A", "B"])
+        pattern = pattern_from_types(["A", "B"])
+        for mapping in find_matchings(pattern, graph):
+            assert len(set(mapping.values())) == len(mapping)
+
+    def test_matching_preserves_adjacency(self):
+        graph = typed_path(["A", "B", "C", "A"])
+        pattern = pattern_from_types(["B", "C"])
+        for mapping in find_matchings(pattern, graph):
+            for u, v in pattern.edges:
+                assert graph.has_edge(mapping[u], mapping[v])
+
+
+class TestEnumeration:
+    def test_max_matchings_caps_enumeration(self):
+        graph = typed_path(["A"] * 6)
+        pattern = pattern_from_types(["A", "A"])
+        assert len(find_matchings(pattern, graph, max_matchings=3)) == 3
+
+    def test_iter_matchings_is_lazy(self):
+        graph = typed_path(["A"] * 6)
+        pattern = pattern_from_types(["A", "A"])
+        iterator = iter_matchings(pattern, graph)
+        first = next(iterator)
+        assert isinstance(first, dict)
+
+    def test_matched_node_sets_deduplicates_automorphisms(self):
+        graph = typed_path(["A", "A"])
+        pattern = pattern_from_types(["A", "A"])
+        node_sets = matched_node_sets(pattern, graph)
+        assert node_sets == [{0, 1}]
+
+    def test_pattern_from_subgraph_always_matches_source(self, mut_database):
+        graph = mut_database[0]
+        from repro.graphs.subgraph import induced_subgraph
+
+        nodes = graph.nodes[:4]
+        pattern = GraphPattern.from_graph(induced_subgraph(graph, nodes))
+        if pattern.is_connected():
+            assert has_matching(pattern, graph)

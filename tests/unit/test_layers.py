@@ -1,0 +1,177 @@
+"""Unit tests for the GNN layers, including gradient checks against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.gnn.layers import DenseLayer, GCNLayer, GINLayer, SAGELayer
+from repro.gnn.tensor_ops import normalize_adjacency
+
+
+def finite_difference_weight_grad(layer, param_name, forward, epsilon=1e-5):
+    """Numerical gradient of sum(forward()) with respect to one parameter."""
+    param = layer.params[param_name]
+    grad = np.zeros_like(param)
+    for index in np.ndindex(param.shape):
+        original = param[index]
+        param[index] = original + epsilon
+        plus = forward().sum()
+        param[index] = original - epsilon
+        minus = forward().sum()
+        param[index] = original
+        grad[index] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+@pytest.fixture
+def small_inputs():
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(4, 3))
+    adjacency = np.array(
+        [
+            [0, 1, 0, 1],
+            [1, 0, 1, 0],
+            [0, 1, 0, 1],
+            [1, 0, 1, 0],
+        ],
+        dtype=float,
+    )
+    return features, adjacency
+
+
+class TestGCNLayer:
+    def test_output_shape(self, small_inputs):
+        features, adjacency = small_inputs
+        layer = GCNLayer(3, 5, np.random.default_rng(1))
+        output, _ = layer.forward(features, normalize_adjacency(adjacency))
+        assert output.shape == (4, 5)
+
+    def test_activation_non_negative(self, small_inputs):
+        features, adjacency = small_inputs
+        layer = GCNLayer(3, 5, np.random.default_rng(1))
+        output, _ = layer.forward(features, normalize_adjacency(adjacency))
+        assert (output >= 0).all()
+
+    def test_no_activation_option(self, small_inputs):
+        features, adjacency = small_inputs
+        layer = GCNLayer(3, 5, np.random.default_rng(1), activation=False)
+        output, _ = layer.forward(features, normalize_adjacency(adjacency))
+        assert (output < 0).any()
+
+    def test_weight_gradient_matches_finite_differences(self, small_inputs):
+        features, adjacency = small_inputs
+        propagation = normalize_adjacency(adjacency)
+        layer = GCNLayer(3, 4, np.random.default_rng(2))
+
+        def forward():
+            return layer.forward(features, propagation)[0]
+
+        output, cache = layer.forward(features, propagation)
+        layer.zero_grads()
+        layer.backward(np.ones_like(output), cache)
+        numerical = finite_difference_weight_grad(layer, "weight", forward)
+        np.testing.assert_allclose(layer.grads["weight"], numerical, atol=1e-5)
+
+    def test_input_gradient_matches_finite_differences(self, small_inputs):
+        features, adjacency = small_inputs
+        propagation = normalize_adjacency(adjacency)
+        layer = GCNLayer(3, 4, np.random.default_rng(3))
+        output, cache = layer.forward(features, propagation)
+        layer.zero_grads()
+        grad_input = layer.backward(np.ones_like(output), cache)
+        numerical = np.zeros_like(features)
+        epsilon = 1e-5
+        for index in np.ndindex(features.shape):
+            perturbed = features.copy()
+            perturbed[index] += epsilon
+            plus = layer.forward(perturbed, propagation)[0].sum()
+            perturbed[index] -= 2 * epsilon
+            minus = layer.forward(perturbed, propagation)[0].sum()
+            numerical[index] = (plus - minus) / (2 * epsilon)
+        np.testing.assert_allclose(grad_input, numerical, atol=1e-4)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ModelError):
+            GCNLayer(0, 4, np.random.default_rng(0))
+
+    def test_parameter_count(self):
+        layer = GCNLayer(3, 4, np.random.default_rng(0))
+        assert layer.parameter_count() == 12
+
+
+class TestGINLayer:
+    def test_output_shape_and_grad(self, small_inputs):
+        features, adjacency = small_inputs
+        layer = GINLayer(3, 4, np.random.default_rng(4), epsilon=0.1)
+        output, cache = layer.forward(features, adjacency)
+        assert output.shape == (4, 4)
+        layer.zero_grads()
+        layer.backward(np.ones_like(output), cache)
+
+        def forward():
+            return layer.forward(features, adjacency)[0]
+
+        numerical = finite_difference_weight_grad(layer, "weight", forward)
+        np.testing.assert_allclose(layer.grads["weight"], numerical, atol=1e-5)
+
+
+class TestSAGELayer:
+    def test_output_shape(self, small_inputs):
+        features, adjacency = small_inputs
+        layer = SAGELayer(3, 6, np.random.default_rng(5))
+        output, _ = layer.forward(features, adjacency)
+        assert output.shape == (4, 6)
+
+    def test_weight_gradients_match_finite_differences(self, small_inputs):
+        features, adjacency = small_inputs
+        layer = SAGELayer(3, 4, np.random.default_rng(6))
+        output, cache = layer.forward(features, adjacency)
+        layer.zero_grads()
+        layer.backward(np.ones_like(output), cache)
+
+        def forward():
+            return layer.forward(features, adjacency)[0]
+
+        for name in ("weight_self", "weight_neigh"):
+            numerical = finite_difference_weight_grad(layer, name, forward)
+            np.testing.assert_allclose(layer.grads[name], numerical, atol=1e-5)
+
+    def test_isolated_nodes_handled(self):
+        layer = SAGELayer(2, 3, np.random.default_rng(7))
+        features = np.ones((2, 2))
+        adjacency = np.zeros((2, 2))
+        output, _ = layer.forward(features, adjacency)
+        assert np.isfinite(output).all()
+
+
+class TestDenseLayer:
+    def test_forward_shape_matrix(self):
+        layer = DenseLayer(3, 2, np.random.default_rng(8))
+        output, _ = layer.forward(np.ones((5, 3)))
+        assert output.shape == (5, 2)
+
+    def test_forward_shape_vector(self):
+        layer = DenseLayer(3, 2, np.random.default_rng(8))
+        output, _ = layer.forward(np.ones(3))
+        assert output.shape == (2,)
+
+    def test_vector_gradients_match_finite_differences(self):
+        layer = DenseLayer(3, 2, np.random.default_rng(9))
+        inputs = np.array([0.5, -1.0, 2.0])
+        output, cache = layer.forward(inputs)
+        layer.zero_grads()
+        layer.backward(np.ones_like(output), cache)
+
+        def forward():
+            return layer.forward(inputs)[0]
+
+        for name in ("weight", "bias"):
+            numerical = finite_difference_weight_grad(layer, name, forward)
+            np.testing.assert_allclose(layer.grads[name], numerical, atol=1e-5)
+
+    def test_zero_grads_resets(self):
+        layer = DenseLayer(2, 2, np.random.default_rng(10))
+        output, cache = layer.forward(np.ones(2))
+        layer.backward(np.ones_like(output), cache)
+        layer.zero_grads()
+        assert np.allclose(layer.grads["weight"], 0.0)

@@ -1,0 +1,92 @@
+"""Unit tests for loss functions and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.layers import DenseLayer
+from repro.gnn.loss import accuracy, cross_entropy, cross_entropy_grad
+from repro.gnn.optim import SGD, Adam
+from repro.gnn.tensor_ops import softmax
+
+
+class TestCrossEntropy:
+    def test_loss_is_negative_log_probability(self):
+        logits = np.array([2.0, 0.0])
+        expected = -np.log(softmax(logits)[0])
+        assert cross_entropy(logits, 0) == pytest.approx(expected)
+
+    def test_loss_decreases_with_confidence(self):
+        assert cross_entropy(np.array([5.0, 0.0]), 0) < cross_entropy(np.array([1.0, 0.0]), 0)
+
+    def test_gradient_matches_finite_differences(self):
+        logits = np.array([0.3, -0.7, 1.2])
+        grad = cross_entropy_grad(logits, 2)
+        numerical = np.zeros_like(logits)
+        epsilon = 1e-6
+        for index in range(3):
+            plus = logits.copy()
+            plus[index] += epsilon
+            minus = logits.copy()
+            minus[index] -= epsilon
+            numerical[index] = (cross_entropy(plus, 2) - cross_entropy(minus, 2)) / (2 * epsilon)
+        np.testing.assert_allclose(grad, numerical, atol=1e-6)
+
+    def test_gradient_sums_to_zero(self):
+        grad = cross_entropy_grad(np.array([1.0, 2.0, 3.0]), 1)
+        assert grad.sum() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        assert accuracy([1, 0, 1], [1, 0, 1]) == 1.0
+        assert accuracy([1, 1, 1], [0, 0, 0]) == 0.0
+
+    def test_partial(self):
+        assert accuracy([1, 0], [1, 1]) == pytest.approx(0.5)
+
+    def test_empty_inputs(self):
+        assert accuracy([], []) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy([1, 2], [1])
+
+
+def quadratic_layer():
+    """A dense layer set up so the loss (w - 3)^2 has a known minimum."""
+    layer = DenseLayer(1, 1, np.random.default_rng(0))
+    layer.params["weight"][:] = 0.0
+    layer.params["bias"][:] = 0.0
+    return layer
+
+
+def quadratic_grad(layer):
+    layer.zero_grads()
+    layer.grads["weight"][:] = 2 * (layer.params["weight"] - 3.0)
+    layer.grads["bias"][:] = 0.0
+
+
+class TestOptimisers:
+    def test_adam_converges_on_quadratic(self):
+        layer = quadratic_layer()
+        optimiser = Adam(learning_rate=0.1)
+        for _ in range(500):
+            quadratic_grad(layer)
+            optimiser.step([layer])
+        assert layer.params["weight"][0, 0] == pytest.approx(3.0, abs=0.05)
+
+    def test_sgd_converges_on_quadratic(self):
+        layer = quadratic_layer()
+        optimiser = SGD(learning_rate=0.1, momentum=0.5)
+        for _ in range(200):
+            quadratic_grad(layer)
+            optimiser.step([layer])
+        assert layer.params["weight"][0, 0] == pytest.approx(3.0, abs=0.05)
+
+    def test_adam_rejects_bad_learning_rate(self):
+        with pytest.raises(ValueError):
+            Adam(learning_rate=0.0)
+
+    def test_sgd_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.5)

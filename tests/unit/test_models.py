@@ -1,0 +1,135 @@
+"""Unit tests for the GNN classifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.gnn import GNNClassifier
+from repro.gnn.loss import cross_entropy, cross_entropy_grad
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_rejects_invalid_dimensions(self):
+        with pytest.raises(ModelError):
+            GNNClassifier(feature_dim=0, num_classes=2)
+        with pytest.raises(ModelError):
+            GNNClassifier(feature_dim=2, num_classes=1)
+        with pytest.raises(ModelError):
+            GNNClassifier(feature_dim=2, num_classes=2, num_layers=0)
+        with pytest.raises(ModelError):
+            GNNClassifier(feature_dim=2, num_classes=2, conv="transformer")
+
+    def test_layer_stack_sizes(self):
+        model = GNNClassifier(feature_dim=3, num_classes=4, hidden_dim=8, num_layers=2)
+        assert len(model.conv_layers) == 2
+        assert model.head.out_dim == 4
+
+    @pytest.mark.parametrize("conv", ["gcn", "gin", "sage"])
+    def test_all_conv_types_forward(self, conv, triangle_graph):
+        model = GNNClassifier(feature_dim=2, num_classes=2, hidden_dim=4, conv=conv, seed=0)
+        logits = model.predict_logits(triangle_graph)
+        assert logits.shape == (2,)
+
+    def test_parameter_count_positive(self, untrained_small_model):
+        assert untrained_small_model.parameter_count() > 0
+
+    def test_seed_makes_weights_deterministic(self):
+        first = GNNClassifier(feature_dim=2, num_classes=2, seed=42)
+        second = GNNClassifier(feature_dim=2, num_classes=2, seed=42)
+        np.testing.assert_allclose(
+            first.conv_layers[0].params["weight"], second.conv_layers[0].params["weight"]
+        )
+
+
+class TestInference:
+    def test_predict_returns_valid_label(self, untrained_small_model, triangle_graph):
+        assert untrained_small_model.predict(triangle_graph) in (0, 1)
+
+    def test_predict_proba_sums_to_one(self, untrained_small_model, triangle_graph):
+        probs = untrained_small_model.predict_proba(triangle_graph)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_predict_many(self, untrained_small_model, triangle_graph, path_graph):
+        labels = untrained_small_model.predict_many([triangle_graph, path_graph])
+        assert len(labels) == 2
+
+    def test_empty_graph_prediction(self, untrained_small_model):
+        empty = Graph()
+        assert untrained_small_model.predict(empty) in (0, 1)
+
+    def test_node_embeddings_shape(self, untrained_small_model, path_graph):
+        embeddings = untrained_small_model.node_embeddings(path_graph)
+        assert embeddings.shape == (5, untrained_small_model.hidden_dim)
+
+    def test_node_embeddings_of_empty_graph(self, untrained_small_model):
+        assert untrained_small_model.node_embeddings(Graph()).shape == (0, 8)
+
+    def test_forward_matrices_matches_graph_forward(self, untrained_small_model, triangle_graph):
+        logits_graph = untrained_small_model.predict_logits(triangle_graph)
+        logits_matrix, _ = untrained_small_model.forward_matrices(
+            triangle_graph.feature_matrix(2), triangle_graph.adjacency_matrix()
+        )
+        np.testing.assert_allclose(logits_graph, logits_matrix)
+
+    def test_prediction_invariant_to_node_relabeling(self, untrained_small_model, triangle_graph):
+        relabelled = triangle_graph.relabel({0: 5, 1: 6, 2: 7})
+        np.testing.assert_allclose(
+            untrained_small_model.predict_proba(triangle_graph),
+            untrained_small_model.predict_proba(relabelled),
+            atol=1e-9,
+        )
+
+
+class TestBackward:
+    def test_backward_returns_feature_gradient(self, untrained_small_model, triangle_graph):
+        logits, cache = untrained_small_model.forward(triangle_graph)
+        grad = untrained_small_model.backward(cross_entropy_grad(logits, 0), cache)
+        assert grad.shape == (3, 2)
+
+    def test_end_to_end_gradient_matches_finite_differences(self, triangle_graph):
+        model = GNNClassifier(feature_dim=2, num_classes=2, hidden_dim=4, num_layers=2, seed=3)
+        label = 1
+        logits, cache = model.forward(triangle_graph)
+        model.zero_grads()
+        model.backward(cross_entropy_grad(logits, label), cache)
+        analytic = model.conv_layers[0].grads["weight"].copy()
+
+        weight = model.conv_layers[0].params["weight"]
+        numerical = np.zeros_like(weight)
+        epsilon = 1e-5
+        for index in np.ndindex(weight.shape):
+            original = weight[index]
+            weight[index] = original + epsilon
+            plus = cross_entropy(model.predict_logits(triangle_graph), label)
+            weight[index] = original - epsilon
+            minus = cross_entropy(model.predict_logits(triangle_graph), label)
+            weight[index] = original
+            numerical[index] = (plus - minus) / (2 * epsilon)
+        np.testing.assert_allclose(analytic, numerical, atol=1e-4)
+
+
+class TestPersistence:
+    def test_get_set_weights_round_trip(self, triangle_graph):
+        model = GNNClassifier(feature_dim=2, num_classes=2, seed=0)
+        other = GNNClassifier(feature_dim=2, num_classes=2, seed=99)
+        other.set_weights(model.get_weights())
+        np.testing.assert_allclose(
+            model.predict_logits(triangle_graph), other.predict_logits(triangle_graph)
+        )
+
+    def test_set_weights_shape_mismatch_raises(self):
+        model = GNNClassifier(feature_dim=2, num_classes=2, hidden_dim=8)
+        other = GNNClassifier(feature_dim=2, num_classes=2, hidden_dim=4)
+        with pytest.raises(ModelError):
+            other.set_weights(model.get_weights())
+
+    def test_set_weights_wrong_layer_count_raises(self):
+        model = GNNClassifier(feature_dim=2, num_classes=2, num_layers=3)
+        other = GNNClassifier(feature_dim=2, num_classes=2, num_layers=2)
+        with pytest.raises(ModelError):
+            other.set_weights(model.get_weights())
+
+    def test_require_trained(self, untrained_small_model):
+        with pytest.raises(NotFittedError):
+            untrained_small_model.require_trained()

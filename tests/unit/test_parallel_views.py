@@ -1,0 +1,138 @@
+"""Unit tests for the parallel driver and the view query engine."""
+
+import pytest
+
+from repro.core import (
+    ApproxGVEX,
+    Configuration,
+    ExplanationView,
+    ViewQueryEngine,
+    merge_views,
+    parallel_explain,
+)
+from repro.exceptions import ExplanationError
+from repro.graphs import GraphPattern
+
+
+@pytest.fixture(scope="module")
+def small_views(trained_mut_model, mut_database):
+    config = Configuration(theta=0.08).with_default_bound(0, 8)
+    explainer = ApproxGVEX(trained_mut_model, config)
+    return explainer.explain(mut_database)
+
+
+class TestMergeViews:
+    def test_merges_subgraphs_and_dedupes_patterns(self, small_views):
+        view = small_views.view_for(small_views.labels()[0])
+        merged = merge_views([view, view], view.label)
+        assert len(merged.subgraphs) == 2 * len(view.subgraphs)
+        assert len(merged.patterns) == len(view.patterns)
+        assert merged.explainability == pytest.approx(2 * view.explainability)
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ExplanationError):
+            merge_views([ExplanationView(label=0), ExplanationView(label=1)], 0)
+
+
+class TestParallelExplain:
+    def test_serial_backend_matches_label_set(self, trained_mut_model, mut_database):
+        config = Configuration().with_default_bound(0, 6)
+        views = parallel_explain(
+            trained_mut_model,
+            mut_database,
+            config=config,
+            num_workers=1,
+            backend="serial",
+        )
+        assert len(views) >= 1
+        for view in views:
+            for subgraph in view.subgraphs:
+                assert trained_mut_model.predict(subgraph.source_graph) == view.label
+
+    def test_thread_backend_two_workers(self, trained_mut_model, mut_database):
+        config = Configuration().with_default_bound(0, 6)
+        views = parallel_explain(
+            trained_mut_model,
+            mut_database,
+            config=config,
+            num_workers=2,
+            backend="thread",
+        )
+        serial = parallel_explain(
+            trained_mut_model,
+            mut_database,
+            config=config,
+            num_workers=1,
+            backend="serial",
+        )
+        # Sharding changes per-shard pattern mining but not which graphs are
+        # explained for each label.
+        for label in serial.labels():
+            assert {s.source_graph.graph_id for s in views.view_for(label).subgraphs} == {
+                s.source_graph.graph_id for s in serial.view_for(label).subgraphs
+            }
+
+    def test_stream_algorithm_option(self, trained_mut_model, mut_database):
+        config = Configuration().with_default_bound(0, 6)
+        views = parallel_explain(
+            trained_mut_model,
+            mut_database,
+            config=config,
+            num_workers=2,
+            backend="serial",
+            algorithm="stream",
+        )
+        assert len(views) >= 1
+
+    def test_invalid_arguments(self, trained_mut_model, mut_database):
+        with pytest.raises(ExplanationError):
+            parallel_explain(trained_mut_model, [], num_workers=1)
+        with pytest.raises(ExplanationError):
+            parallel_explain(trained_mut_model, mut_database, num_workers=0)
+        with pytest.raises(ExplanationError):
+            parallel_explain(trained_mut_model, mut_database, backend="gpu", num_workers=2)
+
+
+class TestViewQueryEngine:
+    def test_patterns_for_label(self, small_views, mut_database):
+        engine = ViewQueryEngine(small_views, mut_database)
+        label = small_views.labels()[0]
+        assert engine.patterns_for_label(label) == small_views.view_for(label).patterns
+
+    def test_summary_has_entry_per_label(self, small_views, mut_database):
+        engine = ViewQueryEngine(small_views, mut_database)
+        summary = engine.summary()
+        assert set(summary) == set(small_views.labels())
+        for stats in summary.values():
+            assert stats["num_subgraphs"] >= 0
+
+    def test_graphs_containing_pattern(self, small_views, mut_database):
+        engine = ViewQueryEngine(small_views, mut_database)
+        carbon = GraphPattern()
+        carbon.add_node(0, "C")
+        hits = engine.graphs_containing_pattern(carbon)
+        assert len(hits) == len(mut_database)  # every molecule contains carbon
+
+    def test_nitro_pattern_occurs_only_in_mutagen_label(self, small_views, mut_database, trained_mut_model):
+        engine = ViewQueryEngine(small_views, mut_database)
+        nitro = GraphPattern()
+        nitro.add_node(0, "N")
+        nitro.add_node(1, "O")
+        nitro.add_node(2, "O")
+        nitro.add_edge(0, 1, "double")
+        nitro.add_edge(0, 2, "double")
+        labels = engine.labels_with_pattern(nitro)
+        assert 0 not in labels  # nonmutagen explanations never contain a nitro group
+
+    def test_explanation_for_graph(self, small_views, mut_database):
+        engine = ViewQueryEngine(small_views, mut_database)
+        some_view = next(iter(small_views))
+        graph_id = some_view.subgraphs[0].source_graph.graph_id
+        result = engine.explanation_for_graph(graph_id)
+        assert result is not None
+        assert result["label"] == some_view.label
+        assert engine.explanation_for_graph(10_000) is None
+
+    def test_empty_database_rejected(self, small_views):
+        with pytest.raises(ExplanationError):
+            ViewQueryEngine(small_views, [])

@@ -1,0 +1,90 @@
+"""Unit tests for graph patterns."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import Graph, GraphPattern
+
+
+def make_edge_pattern() -> GraphPattern:
+    pattern = GraphPattern(pattern_id=1)
+    pattern.add_node(0, "A")
+    pattern.add_node(1, "B")
+    pattern.add_edge(0, 1, "x")
+    return pattern
+
+
+class TestConstruction:
+    def test_basic_sizes(self):
+        pattern = make_edge_pattern()
+        assert pattern.num_nodes() == 2
+        assert pattern.num_edges() == 1
+        assert pattern.size() == 3
+
+    def test_node_and_edge_types(self):
+        pattern = make_edge_pattern()
+        assert pattern.node_type(1) == "B"
+        assert pattern.edge_type(0, 1) == "x"
+
+    def test_from_graph_drops_features_and_relabels(self, triangle_graph):
+        pattern = GraphPattern.from_graph(triangle_graph)
+        assert pattern.nodes == [0, 1, 2]
+        assert pattern.num_edges() == 3
+        assert pattern.node_type(0) == "A"
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(GraphError):
+            GraphPattern().validate()
+
+    def test_validate_rejects_disconnected(self):
+        pattern = GraphPattern()
+        pattern.add_node(0, "A")
+        pattern.add_node(1, "A")
+        with pytest.raises(GraphError):
+            pattern.validate()
+
+    def test_validate_accepts_connected(self):
+        make_edge_pattern().validate()
+
+
+class TestEquality:
+    def test_isomorphic_patterns_compare_equal(self):
+        first = make_edge_pattern()
+        second = GraphPattern()
+        second.add_node(5, "B")
+        second.add_node(9, "A")
+        second.add_edge(5, 9, "x")
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_different_types_not_equal(self):
+        first = make_edge_pattern()
+        second = GraphPattern()
+        second.add_node(0, "A")
+        second.add_node(1, "A")
+        second.add_edge(0, 1, "x")
+        assert first != second
+
+    def test_canonical_key_matches_source_graph_signature(self, triangle_graph):
+        pattern = GraphPattern.from_graph(triangle_graph)
+        relabelled = GraphPattern.from_graph(triangle_graph.relabel({0: 3, 1: 4, 2: 5}))
+        assert pattern.canonical_key() == relabelled.canonical_key()
+
+    def test_comparison_with_other_type(self):
+        assert make_edge_pattern().__eq__(42) is NotImplemented
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        pattern = make_edge_pattern()
+        clone = GraphPattern.from_dict(pattern.to_dict())
+        assert clone == pattern
+        assert clone.pattern_id == 1
+
+    def test_repr_mentions_sizes(self):
+        assert "|Vp|=2" in repr(make_edge_pattern())
+
+    def test_graph_property_exposes_underlying_graph(self):
+        pattern = make_edge_pattern()
+        assert isinstance(pattern.graph, Graph)
+        assert pattern.graph.num_nodes() == 2

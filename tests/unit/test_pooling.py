@@ -1,0 +1,65 @@
+"""Unit tests for graph readout layers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.gnn.pooling import MaxPooling, MeanPooling, SumPooling, make_pooling
+
+
+@pytest.fixture
+def embeddings():
+    return np.array([[1.0, -2.0], [3.0, 0.5], [-1.0, 4.0]])
+
+
+class TestMaxPooling:
+    def test_forward_takes_columnwise_max(self, embeddings):
+        pooled, _ = MaxPooling().forward(embeddings)
+        np.testing.assert_allclose(pooled, [3.0, 4.0])
+
+    def test_backward_routes_gradient_to_argmax(self, embeddings):
+        pooling = MaxPooling()
+        _, cache = pooling.forward(embeddings)
+        grad = pooling.backward(np.array([1.0, 2.0]), cache)
+        assert grad[1, 0] == 1.0
+        assert grad[2, 1] == 2.0
+        assert grad.sum() == pytest.approx(3.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ModelError):
+            MaxPooling().forward(np.zeros((0, 3)))
+
+
+class TestMeanPooling:
+    def test_forward_average(self, embeddings):
+        pooled, _ = MeanPooling().forward(embeddings)
+        np.testing.assert_allclose(pooled, embeddings.mean(axis=0))
+
+    def test_backward_spreads_gradient(self, embeddings):
+        pooling = MeanPooling()
+        _, cache = pooling.forward(embeddings)
+        grad = pooling.backward(np.array([3.0, 3.0]), cache)
+        np.testing.assert_allclose(grad, np.full((3, 2), 1.0))
+
+
+class TestSumPooling:
+    def test_forward_sum(self, embeddings):
+        pooled, _ = SumPooling().forward(embeddings)
+        np.testing.assert_allclose(pooled, embeddings.sum(axis=0))
+
+    def test_backward_replicates_gradient(self, embeddings):
+        pooling = SumPooling()
+        _, cache = pooling.forward(embeddings)
+        grad = pooling.backward(np.array([1.0, 2.0]), cache)
+        np.testing.assert_allclose(grad, np.tile([1.0, 2.0], (3, 1)))
+
+
+class TestFactory:
+    def test_make_pooling_by_name(self):
+        assert isinstance(make_pooling("max"), MaxPooling)
+        assert isinstance(make_pooling("mean"), MeanPooling)
+        assert isinstance(make_pooling("sum"), SumPooling)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ModelError):
+            make_pooling("median")

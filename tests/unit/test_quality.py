@@ -1,0 +1,107 @@
+"""Unit tests for the explainability quality measures (Eqs. 2, 5, 6)."""
+
+import pytest
+
+from repro.core import Configuration, GraphAnalysis
+from repro.core.quality import view_explainability
+from repro.graphs import Graph
+
+
+@pytest.fixture
+def analysis(untrained_small_model, path_graph):
+    config = Configuration(theta=0.05, radius=0.3, gamma=0.5)
+    return GraphAnalysis(untrained_small_model, path_graph, config)
+
+
+class TestInfluenceScore:
+    def test_empty_seed_has_zero_score(self, analysis):
+        assert analysis.influence_score(set()) == 0
+
+    def test_score_bounded_by_graph_size(self, analysis, path_graph):
+        assert analysis.influence_score(set(path_graph.nodes)) <= path_graph.num_nodes()
+
+    def test_monotone_in_seed_set(self, analysis):
+        small = analysis.influence_score({0})
+        large = analysis.influence_score({0, 2, 4})
+        assert large >= small
+
+    def test_unknown_nodes_ignored(self, analysis):
+        assert analysis.influence_score({999}) == 0
+
+    def test_influenced_nodes_contains_seed_neighbourhood(self, analysis):
+        influenced = analysis.influenced_nodes({2})
+        assert isinstance(influenced, set)
+        assert influenced  # a node always influences at least itself strongly
+
+
+class TestDiversityScore:
+    def test_empty_seed_zero(self, analysis):
+        assert analysis.diversity_score(set()) == 0
+
+    def test_monotone(self, analysis):
+        assert analysis.diversity_score({0, 1}) >= analysis.diversity_score({0})
+
+    def test_bounded_by_graph_size(self, analysis, path_graph):
+        assert analysis.diversity_score(set(path_graph.nodes)) <= path_graph.num_nodes()
+
+
+class TestExplainability:
+    def test_normalised_by_graph_size(self, analysis, path_graph):
+        full = analysis.explainability(set(path_graph.nodes))
+        assert full <= 1.0 + analysis.config.gamma
+
+    def test_empty_graph_analysis(self, untrained_small_model):
+        analysis = GraphAnalysis(untrained_small_model, Graph(), Configuration())
+        assert analysis.explainability({0}) == 0.0
+        assert analysis.num_nodes() == 0
+
+    def test_marginal_gain_consistency(self, analysis):
+        base = {0}
+        gain = analysis.marginal_gain(base, 3)
+        assert gain == pytest.approx(
+            analysis.explainability({0, 3}) - analysis.explainability({0})
+        )
+
+    def test_loss_of_removal_consistency(self, analysis):
+        selected = {0, 2}
+        loss = analysis.loss_of_removal(selected, 2)
+        assert loss == pytest.approx(
+            analysis.explainability({0, 2}) - analysis.explainability({0})
+        )
+
+    def test_gamma_zero_removes_diversity_term(self, untrained_small_model, path_graph):
+        config = Configuration(theta=0.05, gamma=0.0)
+        analysis = GraphAnalysis(untrained_small_model, path_graph, config)
+        nodes = {0, 1}
+        expected = analysis.influence_score(nodes) / path_graph.num_nodes()
+        assert analysis.explainability(nodes) == pytest.approx(expected)
+
+    def test_exerted_influence_non_negative(self, analysis, path_graph):
+        for node in path_graph.nodes:
+            assert analysis.exerted_influence(node) >= 0.0
+        assert analysis.exerted_influence(12345) == 0.0
+
+    def test_higher_theta_never_increases_influence(self, untrained_small_model, path_graph):
+        loose = GraphAnalysis(untrained_small_model, path_graph, Configuration(theta=0.01))
+        strict = GraphAnalysis(untrained_small_model, path_graph, Configuration(theta=0.5))
+        seeds = {0, 2}
+        assert strict.influence_score(seeds) <= loose.influence_score(seeds)
+
+
+class TestViewExplainability:
+    def test_sums_over_graphs(self, untrained_small_model, path_graph, triangle_graph):
+        config = Configuration(theta=0.05)
+        analyses = [
+            GraphAnalysis(untrained_small_model, path_graph, config),
+            GraphAnalysis(untrained_small_model, triangle_graph, config),
+        ]
+        node_sets = [{0, 1}, {0}]
+        total = view_explainability(analyses, node_sets)
+        assert total == pytest.approx(
+            analyses[0].explainability({0, 1}) + analyses[1].explainability({0})
+        )
+
+    def test_misaligned_inputs_raise(self, untrained_small_model, path_graph):
+        analyses = [GraphAnalysis(untrained_small_model, path_graph, Configuration())]
+        with pytest.raises(ValueError):
+            view_explainability(analyses, [{0}, {1}])

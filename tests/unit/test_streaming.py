@@ -1,0 +1,109 @@
+"""Unit tests for StreamGVEX (Algorithm 3)."""
+
+import pytest
+
+from repro.core import ApproxGVEX, Configuration, StreamGVEX
+from repro.exceptions import ExplanationError
+from repro.graphs import Graph
+from repro.matching import pattern_set_covers_nodes
+
+
+@pytest.fixture
+def stream_explainer(trained_mut_model):
+    config = Configuration(theta=0.08).with_default_bound(0, 8)
+    return StreamGVEX(trained_mut_model, config, batch_size=5, seed=0)
+
+
+class TestExplainGraph:
+    def test_respects_upper_bound(self, stream_explainer, mut_database):
+        subgraph, patterns, _ = stream_explainer.explain_graph(mut_database[1])
+        assert subgraph is not None
+        assert len(subgraph.nodes) <= 8
+        assert patterns
+
+    def test_patterns_cover_selected_nodes(self, stream_explainer, mut_database):
+        subgraph, patterns, _ = stream_explainer.explain_graph(mut_database[1])
+        assert pattern_set_covers_nodes(patterns, [subgraph.subgraph()])
+
+    def test_empty_graph(self, stream_explainer):
+        subgraph, patterns, history = stream_explainer.explain_graph(Graph())
+        assert subgraph is None
+        assert patterns == []
+        assert history == []
+
+    def test_history_recorded_per_batch(self, stream_explainer, mut_database):
+        graph = mut_database[1]
+        _, _, history = stream_explainer.explain_graph(graph, record_history=True)
+        expected_batches = -(-graph.num_nodes() // stream_explainer.batch_size)
+        assert len(history) == expected_batches
+        assert history[-1]["seen_fraction"] == pytest.approx(1.0)
+        fractions = [entry["seen_fraction"] for entry in history]
+        assert fractions == sorted(fractions)
+
+    def test_custom_node_order_controls_stream(self, stream_explainer, mut_database):
+        graph = mut_database[1]
+        order = list(reversed(graph.nodes))
+        subgraph, _, _ = stream_explainer.explain_graph(graph, node_order=order)
+        assert subgraph is not None
+        assert subgraph.nodes <= set(graph.nodes)
+
+    def test_truncated_stream_limits_selection(self, stream_explainer, mut_database):
+        graph = mut_database[1]
+        prefix = graph.nodes[:4]
+        subgraph, _, _ = stream_explainer.explain_graph(graph, node_order=prefix)
+        if subgraph is not None:
+            assert subgraph.nodes <= set(prefix)
+
+    def test_lower_bound_enforced(self, trained_mut_model, mut_database):
+        config = Configuration().with_default_bound(6, 8)
+        stream = StreamGVEX(trained_mut_model, config, batch_size=4)
+        subgraph, _, _ = stream.explain_graph(mut_database[1])
+        if subgraph is not None:
+            assert len(subgraph.nodes) >= 6
+
+    def test_invalid_batch_size_rejected(self, trained_mut_model):
+        with pytest.raises(ExplanationError):
+            StreamGVEX(trained_mut_model, batch_size=0)
+
+
+class TestApproximationBehaviour:
+    def test_stream_quality_close_to_approx(self, trained_mut_model, mut_database):
+        """Anytime guarantee: streaming quality stays within a constant factor
+        of the offline greedy on the same graphs (paper: 1/4 vs 1/2)."""
+        config = Configuration(theta=0.08).with_default_bound(0, 6)
+        label = 1
+        graphs = [g for g in mut_database.graphs if trained_mut_model.predict(g) == label][:4]
+        approx_view = ApproxGVEX(trained_mut_model, config).explain_label(graphs, label)
+        stream_view = StreamGVEX(trained_mut_model, config, batch_size=5).explain_label(graphs, label)
+        assert stream_view.explainability >= 0.25 * approx_view.explainability
+
+    def test_swapping_never_exceeds_cache_size(self, trained_mut_model, mut_database):
+        config = Configuration().with_default_bound(0, 4)
+        stream = StreamGVEX(trained_mut_model, config, batch_size=3)
+        subgraph, _, _ = stream.explain_graph(mut_database[1])
+        assert subgraph is None or len(subgraph.nodes) <= 4
+
+
+class TestExplainLabelAndAll:
+    def test_view_metadata(self, stream_explainer, mut_database):
+        view = stream_explainer.explain_label(mut_database.graphs, 1)
+        assert view.metadata["algorithm"] == "StreamGVEX"
+        assert view.metadata["batch_size"] == 5
+        assert view.subgraphs
+
+    def test_patterns_deduplicated_across_graphs(self, stream_explainer, mut_database):
+        view = stream_explainer.explain_label(mut_database.graphs, 1)
+        keys = [pattern.canonical_key() for pattern in view.patterns]
+        assert len(keys) == len(set(keys))
+
+    def test_explain_all_labels(self, stream_explainer, mut_database):
+        views = stream_explainer.explain(mut_database)
+        assert len(views) >= 1
+
+    def test_empty_collection_rejected(self, stream_explainer):
+        with pytest.raises(ExplanationError):
+            stream_explainer.explain([])
+
+    def test_explain_instance_fallback(self, stream_explainer, mut_database):
+        explanation = stream_explainer.explain_instance(mut_database[0])
+        assert explanation.nodes

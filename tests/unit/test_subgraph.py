@@ -1,0 +1,102 @@
+"""Unit tests for induced/residual/k-hop subgraph construction."""
+
+import pytest
+
+from repro.exceptions import NodeNotFoundError
+from repro.graphs import (
+    Graph,
+    connected_component_subgraphs,
+    induced_subgraph,
+    khop_subgraph,
+    remove_subgraph,
+)
+
+
+class TestInducedSubgraph:
+    def test_keeps_only_internal_edges(self, triangle_graph):
+        sub = induced_subgraph(triangle_graph, {0, 1})
+        assert sub.nodes == [0, 1]
+        assert sub.edges == [(0, 1)]
+
+    def test_preserves_types_and_features(self, triangle_graph):
+        sub = induced_subgraph(triangle_graph, {0, 1})
+        assert sub.node_type(1) == "B"
+        assert sub.node_features(0) is not None
+        assert sub.edge_type(0, 1) == "x"
+
+    def test_missing_node_raises(self, triangle_graph):
+        with pytest.raises(NodeNotFoundError):
+            induced_subgraph(triangle_graph, {0, 99})
+
+    def test_empty_selection_gives_empty_graph(self, triangle_graph):
+        sub = induced_subgraph(triangle_graph, set())
+        assert sub.num_nodes() == 0
+        assert sub.num_edges() == 0
+
+    def test_full_selection_copies_graph(self, triangle_graph):
+        sub = induced_subgraph(triangle_graph, triangle_graph.nodes)
+        assert sub.num_nodes() == triangle_graph.num_nodes()
+        assert sub.num_edges() == triangle_graph.num_edges()
+
+    def test_graph_id_propagates(self, triangle_graph):
+        assert induced_subgraph(triangle_graph, {0}).graph_id == triangle_graph.graph_id
+        assert induced_subgraph(triangle_graph, {0}, graph_id=9).graph_id == 9
+
+
+class TestRemoveSubgraph:
+    def test_residual_is_complement(self, path_graph):
+        residual = remove_subgraph(path_graph, {0, 1})
+        assert set(residual.nodes) == {2, 3, 4}
+
+    def test_residual_drops_boundary_edges(self, triangle_graph):
+        residual = remove_subgraph(triangle_graph, {0})
+        assert residual.edges == [(1, 2)]
+
+    def test_removing_everything_gives_empty_graph(self, triangle_graph):
+        residual = remove_subgraph(triangle_graph, triangle_graph.nodes)
+        assert residual.num_nodes() == 0
+
+    def test_union_of_partition_covers_nodes(self, path_graph):
+        kept = induced_subgraph(path_graph, {0, 1})
+        residual = remove_subgraph(path_graph, {0, 1})
+        assert set(kept.nodes) | set(residual.nodes) == set(path_graph.nodes)
+        assert set(kept.nodes) & set(residual.nodes) == set()
+
+
+class TestKhopSubgraph:
+    def test_zero_hops_is_single_node(self, path_graph):
+        sub = khop_subgraph(path_graph, 2, 0)
+        assert sub.nodes == [2]
+
+    def test_one_hop_includes_neighbours(self, path_graph):
+        sub = khop_subgraph(path_graph, 2, 1)
+        assert set(sub.nodes) == {1, 2, 3}
+
+    def test_large_radius_covers_component(self, path_graph):
+        sub = khop_subgraph(path_graph, 0, 10)
+        assert set(sub.nodes) == set(path_graph.nodes)
+
+    def test_negative_hops_rejected(self, path_graph):
+        with pytest.raises(ValueError):
+            khop_subgraph(path_graph, 0, -1)
+
+    def test_missing_center_raises(self, path_graph):
+        with pytest.raises(NodeNotFoundError):
+            khop_subgraph(path_graph, 99, 1)
+
+
+class TestConnectedComponentSubgraphs:
+    def test_splits_disconnected_graph(self):
+        graph = Graph()
+        for node in range(5):
+            graph.add_node(node)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        parts = connected_component_subgraphs(graph)
+        assert len(parts) == 3
+        assert {len(part.nodes) for part in parts} == {2, 2, 1}
+
+    def test_connected_graph_returns_single_part(self, triangle_graph):
+        parts = connected_component_subgraphs(triangle_graph)
+        assert len(parts) == 1
+        assert parts[0].num_edges() == 3

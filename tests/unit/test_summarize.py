@@ -1,0 +1,102 @@
+"""Unit tests for the Psum summarisation step."""
+
+import pytest
+
+from repro.core.summarize import pattern_weight, summarize_subgraphs
+from repro.graphs import Graph, GraphPattern
+from repro.matching import pattern_set_covers_nodes
+from repro.mining import PatternGenerator
+
+
+def molecule_like(repeats=2):
+    """A graph with repeated N-O-O motifs hanging off a carbon chain."""
+    graph = Graph()
+    next_id = 0
+    carbons = []
+    for _ in range(repeats * 2):
+        graph.add_node(next_id, "C")
+        if carbons:
+            graph.add_edge(carbons[-1], next_id)
+        carbons.append(next_id)
+        next_id += 1
+    for index in range(repeats):
+        carbon = carbons[index * 2]
+        n, o1, o2 = next_id, next_id + 1, next_id + 2
+        graph.add_node(n, "N")
+        graph.add_node(o1, "O")
+        graph.add_node(o2, "O")
+        graph.add_edge(carbon, n)
+        graph.add_edge(n, o1)
+        graph.add_edge(n, o2)
+        next_id += 3
+    return graph
+
+
+class TestPatternWeight:
+    def test_zero_weight_when_pattern_covers_all_edges(self, triangle_graph):
+        pattern = GraphPattern.from_graph(triangle_graph)
+        assert pattern_weight(pattern, [triangle_graph]) == pytest.approx(0.0)
+
+    def test_full_weight_when_pattern_covers_no_edges(self, triangle_graph):
+        pattern = GraphPattern()
+        pattern.add_node(0, "Z")
+        assert pattern_weight(pattern, [triangle_graph]) == pytest.approx(1.0)
+
+    def test_edgeless_subgraphs_have_zero_weight(self):
+        graph = Graph()
+        graph.add_node(0, "A")
+        pattern = GraphPattern()
+        pattern.add_node(0, "A")
+        assert pattern_weight(pattern, [graph]) == 0.0
+
+
+class TestSummarize:
+    def test_covers_all_nodes(self):
+        subgraphs = [molecule_like(2), molecule_like(1)]
+        result = summarize_subgraphs(subgraphs)
+        assert result.node_coverage == pytest.approx(1.0)
+        assert pattern_set_covers_nodes(result.patterns, subgraphs)
+
+    def test_result_counts_are_consistent(self):
+        subgraphs = [molecule_like(1)]
+        result = summarize_subgraphs(subgraphs)
+        assert result.total_nodes == subgraphs[0].num_nodes()
+        assert result.total_edges == subgraphs[0].num_edges()
+        assert 0.0 <= result.edge_loss <= 1.0
+
+    def test_patterns_are_smaller_than_subgraphs(self):
+        subgraphs = [molecule_like(3)]
+        result = summarize_subgraphs(subgraphs)
+        pattern_size = sum(pattern.size() for pattern in result.patterns)
+        subgraph_size = subgraphs[0].num_nodes() + subgraphs[0].num_edges()
+        assert pattern_size < subgraph_size
+
+    def test_empty_input(self):
+        result = summarize_subgraphs([])
+        assert result.patterns == []
+        assert result.node_coverage == 1.0
+        assert result.edge_loss == 0.0
+
+    def test_empty_graphs_are_skipped(self):
+        result = summarize_subgraphs([Graph()])
+        assert result.patterns == []
+
+    def test_fallback_singletons_guarantee_coverage(self):
+        # A generator that can only produce candidates of size 1 from a graph
+        # whose rare node type may be missed by the greedy cover.
+        subgraphs = [molecule_like(1)]
+        generator = PatternGenerator(max_pattern_size=1, max_candidates=1)
+        result = summarize_subgraphs(subgraphs, pattern_generator=generator)
+        assert result.node_coverage == pytest.approx(1.0)
+        assert result.fallback_singletons >= 1
+
+    def test_pattern_ids_assigned_sequentially(self):
+        result = summarize_subgraphs([molecule_like(2)])
+        assert [pattern.pattern_id for pattern in result.patterns] == list(
+            range(len(result.patterns))
+        )
+
+    def test_pattern_weights_recorded(self):
+        result = summarize_subgraphs([molecule_like(2)])
+        assert set(result.pattern_weights) <= set(range(len(result.patterns)))
+        assert all(0.0 <= weight <= 1.0 for weight in result.pattern_weights.values())

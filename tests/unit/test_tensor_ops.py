@@ -1,0 +1,76 @@
+"""Unit tests for the numerical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.tensor_ops import (
+    log_softmax,
+    normalize_adjacency,
+    relu,
+    relu_grad,
+    softmax,
+    stable_norm,
+    xavier_init,
+)
+
+
+class TestActivations:
+    def test_relu_clips_negatives(self):
+        np.testing.assert_allclose(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_relu_grad_is_indicator(self):
+        np.testing.assert_allclose(relu_grad(np.array([-1.0, 0.5])), [0.0, 1.0])
+
+    def test_softmax_sums_to_one(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert probs.sum() == pytest.approx(1.0)
+        assert probs.argmax() == 2
+
+    def test_softmax_is_shift_invariant(self):
+        logits = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_softmax_handles_large_values(self):
+        probs = softmax(np.array([1000.0, 0.0]))
+        assert np.isfinite(probs).all()
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        np.testing.assert_allclose(log_softmax(logits), np.log(softmax(logits)), atol=1e-9)
+
+
+class TestNormalizeAdjacency:
+    def test_symmetric_normalisation_row_sums(self):
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        normalised = normalize_adjacency(adjacency)
+        # With self loops a two-node clique normalises to all entries 0.5.
+        np.testing.assert_allclose(normalised, np.full((2, 2), 0.5))
+
+    def test_without_self_loops(self):
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        normalised = normalize_adjacency(adjacency, add_self_loops=False)
+        np.testing.assert_allclose(normalised, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_isolated_nodes_do_not_divide_by_zero(self):
+        adjacency = np.zeros((3, 3))
+        normalised = normalize_adjacency(adjacency, add_self_loops=False)
+        assert np.isfinite(normalised).all()
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            normalize_adjacency(np.zeros((2, 3)))
+
+
+class TestMisc:
+    def test_xavier_init_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        weights = xavier_init(rng, 10, 20)
+        assert weights.shape == (10, 20)
+        limit = np.sqrt(6.0 / 30.0)
+        assert np.abs(weights).max() <= limit
+
+    def test_stable_norm_of_empty_vector(self):
+        assert stable_norm(np.array([])) == 0.0
+
+    def test_stable_norm_l1(self):
+        assert stable_norm(np.array([1.0, -2.0, 3.0])) == pytest.approx(6.0)

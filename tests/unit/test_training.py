@@ -1,0 +1,76 @@
+"""Unit tests for the training loop."""
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.datasets import make_mutagenicity
+from repro.gnn import GNNClassifier, Trainer, train_test_split
+from repro.graphs import GraphDatabase
+
+
+class TestTrainTestSplit:
+    def test_partitions_all_indices(self, mut_database):
+        train, validation, test = train_test_split(mut_database, seed=1)
+        combined = sorted(train + validation + test)
+        assert combined == list(range(len(mut_database)))
+
+    def test_split_sizes_roughly_match_fractions(self, mut_database):
+        train, validation, test = train_test_split(mut_database, 0.75, 0.125, seed=2)
+        assert len(train) == round(0.75 * len(mut_database))
+        assert len(validation) + len(test) == len(mut_database) - len(train)
+
+    def test_split_is_seed_deterministic(self, mut_database):
+        assert train_test_split(mut_database, seed=5) == train_test_split(mut_database, seed=5)
+
+    def test_invalid_fractions_raise(self, mut_database):
+        with pytest.raises(DatasetError):
+            train_test_split(mut_database, train_fraction=1.2)
+        with pytest.raises(DatasetError):
+            train_test_split(mut_database, train_fraction=0.8, validation_fraction=0.4)
+
+
+class TestTrainer:
+    def test_training_reaches_high_accuracy(self, mut_database):
+        model = GNNClassifier(feature_dim=14, num_classes=2, hidden_dim=16, seed=0)
+        trainer = Trainer(model, learning_rate=0.01, epochs=40, seed=0)
+        result = trainer.fit(mut_database, train_indices=list(range(len(mut_database))))
+        assert result.train_accuracy >= 0.9
+        assert model.is_trained
+
+    def test_loss_decreases(self, mut_database):
+        model = GNNClassifier(feature_dim=14, num_classes=2, hidden_dim=16, seed=1)
+        trainer = Trainer(model, learning_rate=0.01, epochs=15, seed=1)
+        result = trainer.fit(mut_database, train_indices=list(range(len(mut_database))))
+        assert result.losses[-1] < result.losses[0]
+
+    def test_default_split_used_when_indices_missing(self):
+        database = make_mutagenicity(num_graphs=20, seed=9)
+        model = GNNClassifier(feature_dim=14, num_classes=2, hidden_dim=8, seed=2)
+        result = Trainer(model, epochs=3, seed=2).fit(database)
+        assert 0.0 <= result.test_accuracy <= 1.0
+
+    def test_missing_labels_raise(self):
+        database = GraphDatabase()
+        source = make_mutagenicity(num_graphs=4, seed=0)
+        for graph in source.graphs:
+            database.add_graph(graph)  # no labels
+        model = GNNClassifier(feature_dim=14, num_classes=2, seed=0)
+        with pytest.raises(DatasetError):
+            Trainer(model, epochs=1).fit(database, train_indices=[0, 1])
+
+    def test_out_of_range_label_raises(self):
+        database = make_mutagenicity(num_graphs=4, seed=0)
+        database.set_label(0, 7)
+        model = GNNClassifier(feature_dim=14, num_classes=2, seed=0)
+        with pytest.raises(DatasetError):
+            Trainer(model, epochs=1).fit(database, train_indices=[0, 1, 2, 3])
+
+    def test_evaluate_on_empty_indices(self, mut_database, trained_mut_model):
+        trainer = Trainer(trained_mut_model, epochs=1)
+        assert trainer.evaluate(mut_database, []) == 0.0
+
+    def test_invalid_hyperparameters_raise(self, trained_mut_model):
+        with pytest.raises(ValueError):
+            Trainer(trained_mut_model, epochs=0)
+        with pytest.raises(ValueError):
+            Trainer(trained_mut_model, batch_size=0)
