@@ -1,0 +1,80 @@
+"""CI regression guard for the influence / EVerify hot paths.
+
+Compares a fresh ``bench_hot_paths.py`` JSON report against the committed
+``benchmarks/baseline.json`` and exits non-zero when either hot path's
+*speedup over the reference implementation* regressed by more than the
+tolerance (default 25%).
+
+Speedup ratios — not wall-clock seconds — are compared, because both the
+vectorized and the reference implementation run on the same machine in the
+same process: the ratio cancels machine speed, leaving only changes to the
+code paths themselves.  A >25% drop in the ratio means someone slowed the
+vectorized path (or sped up only the reference), which is exactly the
+regression the ISSUE's CI pipeline must catch.
+
+Usage::
+
+    python benchmarks/regression_guard.py current.json [baseline.json] [--tolerance 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+GUARDED_METRICS = ("influence_speedup_min", "everify_speedup_min")
+
+
+def check(current: dict, baseline: dict, tolerance: float = 0.25) -> list[str]:
+    """Return a list of failure messages (empty when the guard passes)."""
+    failures: list[str] = []
+    if not current.get("views_identical", False):
+        failures.append(
+            "vectorized and reference backends no longer produce identical views"
+        )
+    for metric in GUARDED_METRICS:
+        reference = baseline.get(metric)
+        measured = current.get(metric)
+        if reference is None:
+            continue
+        if measured is None:
+            failures.append(f"current report is missing '{metric}'")
+            continue
+        floor = reference * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{metric}: {measured:.2f}x is below {floor:.2f}x "
+                f"(baseline {reference:.2f}x minus {tolerance:.0%} tolerance)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="JSON report from bench_hot_paths.py")
+    parser.add_argument("baseline", type=Path, nargs="?", default=DEFAULT_BASELINE)
+    parser.add_argument("--tolerance", type=float, default=0.25)
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    failures = check(current, baseline, tolerance=args.tolerance)
+
+    for metric in GUARDED_METRICS:
+        if metric in current:
+            note = f" (baseline {baseline[metric]:.2f}x)" if metric in baseline else ""
+            print(f"{metric}: {current[metric]:.2f}x{note}")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print("hot-path performance within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

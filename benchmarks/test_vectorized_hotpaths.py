@@ -1,0 +1,44 @@
+"""Efficiency guard: the vectorized sparse backend vs the reference paths.
+
+Runs a scaled-down configuration of :mod:`benchmarks.bench_hot_paths` (the
+full configuration runs in the CI benchmark-smoke job and is what the
+committed ``baseline.json`` records) and asserts
+
+* both backends produce *identical* explanation views — node sets,
+  explainability, and fidelity numbers;
+* the influence hot path (Eqs. 3-6 + the greedy gain loop) and the
+  ``EVerify`` probes are substantially faster vectorized.
+
+The full-scale benchmark demonstrates >= 3x on both paths (see the committed
+``baseline.json``, which the CI regression guard enforces with a 25%
+tolerance); the looser bounds asserted here keep the tier-1 suite robust to
+contention when the whole test session shares a noisy machine.
+"""
+
+import json
+
+from benchmarks.bench_hot_paths import run_benchmark
+from benchmarks.conftest import RESULTS_DIR, run_once
+
+
+def test_vectorized_hot_paths(benchmark):
+    report = run_once(
+        benchmark,
+        run_benchmark,
+        datasets=["SYN"],
+        reps=2,
+        num_graphs=6,
+        graph_size=192,
+        epochs=8,
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "vectorized_hot_paths.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+    assert report["views_identical"], "sparse and legacy backends must produce identical views"
+    assert report["influence_speedup_min"] >= 2.5, (
+        f"influence hot path speedup {report['influence_speedup_min']:.2f}x < 2.5x"
+    )
+    assert report["everify_speedup_min"] >= 1.5, (
+        f"EVerify hot path speedup {report['everify_speedup_min']:.2f}x < 1.5x"
+    )

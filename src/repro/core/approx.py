@@ -29,7 +29,7 @@ from repro.exceptions import ExplanationError
 from repro.gnn.models import GNNClassifier
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
-from repro.graphs.subgraph import induced_subgraph, remove_subgraph
+from repro.graphs.subgraph import induced_subgraph
 from repro.mining.candidates import PatternGenerator
 
 __all__ = ["ApproxGVEX"]
@@ -110,6 +110,21 @@ class ApproxGVEX:
         backup: set[int] = set()
         all_nodes = set(graph.nodes)
 
+        # Label probabilities of node-induced subgraphs, memoised by node set:
+        # the greedy tie-breakers below probe many overlapping subsets, and
+        # with the sparse backend each miss is a matrix slice + forward pass
+        # rather than a materialised subgraph.
+        label_probability_cache: dict[frozenset[int], float] = {}
+
+        def label_probability(nodes: frozenset[int]) -> float:
+            if not nodes:
+                return 0.0
+            cached = label_probability_cache.get(nodes)
+            if cached is None:
+                cached = float(self.model.predict_proba_nodes(graph, nodes)[label])
+                label_probability_cache[nodes] = cached
+            return cached
+
         def counterfactual_gain(node: int) -> float:
             """Drop in the residual graph's probability of ``label`` caused by
             moving ``node`` into the explanation.
@@ -120,29 +135,8 @@ class ApproxGVEX:
             actually relies on, which is what the counterfactual property of
             an explanation subgraph requires.
             """
-            residual_now = remove_subgraph(graph, selected)
-            residual_next = remove_subgraph(graph, selected | {node})
-            prob_now = (
-                self.model.predict_proba(residual_now)[label]
-                if residual_now.num_nodes()
-                else 0.0
-            )
-            prob_next = (
-                self.model.predict_proba(residual_next)[label]
-                if residual_next.num_nodes()
-                else 0.0
-            )
-            return float(prob_now - prob_next)
-
-        def selection_key(node: int) -> tuple[float, float, float, int]:
-            """Greedy key: marginal explainability gain, then counterfactual
-            gain, then the influence the node itself exerts."""
-            return (
-                round(analysis.marginal_gain(selected, node), 9),
-                round(counterfactual_gain(node), 6),
-                analysis.exerted_influence(node),
-                -node,
-            )
+            residual_now = frozenset(all_nodes - selected)
+            return label_probability(residual_now) - label_probability(residual_now - {node})
 
         # Greedy growth under the upper bound (Algorithm 1 lines 3-9): keep
         # selecting the candidate with the best marginal gain until the size
@@ -155,8 +149,19 @@ class ApproxGVEX:
             backup |= set(candidates)
             if not candidates:
                 break
-            best = max(candidates, key=selection_key)
-            selected.add(best)
+            # One batched evaluation of every candidate's Eq.-2 gain, then the
+            # tie-breakers (counterfactual gain, exerted influence) per node.
+            gains = analysis.marginal_gains(selected, candidates)
+            best = max(
+                range(len(candidates)),
+                key=lambda slot: (
+                    round(float(gains[slot]), 9),
+                    round(counterfactual_gain(candidates[slot]), 6),
+                    analysis.exerted_influence(candidates[slot]),
+                    -candidates[slot],
+                ),
+            )
+            selected.add(candidates[best])
 
         # Top up from the backup candidate set until the lower bound is met.
         while len(selected) < bound.lower and backup - selected:
@@ -167,8 +172,11 @@ class ApproxGVEX:
             ]
             if not usable:
                 break
-            best = max(usable, key=lambda node: (analysis.marginal_gain(selected, node), -node))
-            selected.add(best)
+            gains = analysis.marginal_gains(selected, usable)
+            best = max(
+                range(len(usable)), key=lambda slot: (float(gains[slot]), -usable[slot])
+            )
+            selected.add(usable[best])
 
         if len(selected) < bound.lower or not selected:
             return None
@@ -187,13 +195,8 @@ class ApproxGVEX:
             single-node removals barely move the residual probability, but the
             nodes that make the kept subgraph *sufficient* are the same ones
             whose joint removal flips the prediction."""
-            current = induced_subgraph(graph, selected)
-            extended = induced_subgraph(graph, selected | {node})
-            prob_current = (
-                self.model.predict_proba(current)[label] if current.num_nodes() else 0.0
-            )
-            prob_extended = self.model.predict_proba(extended)[label]
-            return float(prob_extended - prob_current)
+            current = frozenset(selected)
+            return label_probability(current | {node}) - label_probability(current)
 
         if self.config.verification_mode != "none" and selected:
             swaps_left = len(selected)

@@ -88,6 +88,10 @@ class Configuration:
         Caps forwarded to the pattern generator (``PGen``).
     diversity_hops:
         r-hop neighbourhood radius handed to ``IncPGen`` in streaming mode.
+    seed:
+        Seed for every randomised choice made under this configuration —
+        most importantly the shuffled node arrival order of ``StreamGVEX``
+        (Fig. 12), which would otherwise differ between runs.
     """
 
     theta: float = 0.1
@@ -101,6 +105,7 @@ class Configuration:
     max_pattern_size: int = 4
     max_pattern_candidates: int = 32
     diversity_hops: int = 1
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.theta <= 1.0:
@@ -125,6 +130,8 @@ class Configuration:
             raise ConfigurationError("max_pattern_candidates must be at least 1")
         if self.diversity_hops < 0:
             raise ConfigurationError("diversity_hops must be non-negative")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise ConfigurationError("seed must be an integer")
 
     # ------------------------------------------------------------------
     # coverage bounds
@@ -156,4 +163,5 @@ class Configuration:
             },
             "influence_method": self.influence_method,
             "verification_mode": self.verification_mode,
+            "seed": self.seed,
         }

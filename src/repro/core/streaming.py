@@ -49,7 +49,7 @@ class StreamGVEX:
         config: Configuration | None = None,
         pattern_generator: PatternGenerator | None = None,
         batch_size: int = 8,
-        seed: int = 0,
+        seed: int | None = None,
     ) -> None:
         if batch_size < 1:
             raise ExplanationError("batch_size must be at least 1")
@@ -60,7 +60,10 @@ class StreamGVEX:
             max_candidates=self.config.max_pattern_candidates,
         )
         self.batch_size = batch_size
-        self.seed = seed
+        # The node-arrival shuffle must be reproducible (Fig. 12 sweeps
+        # shuffled orders): default to the configuration's seed so two runs
+        # with the same Configuration see identical streams.
+        self.seed = self.config.seed if seed is None else seed
         self.everify = EVerify(model)
 
     # ------------------------------------------------------------------
@@ -198,6 +201,8 @@ class StreamGVEX:
 
         order = list(node_order) if node_order is not None else list(graph.nodes)
         if node_order is None:
+            # A fresh seeded generator per graph keeps per-graph streams
+            # independent of database iteration order.
             random.Random(self.seed).shuffle(order)
 
         selected: set[int] = set()
@@ -245,8 +250,11 @@ class StreamGVEX:
                 ]
                 if not usable:
                     break
-                best = max(usable, key=lambda node: (analysis.marginal_gain(selected, node), -node))
-                selected.add(best)
+                gains = analysis.marginal_gains(selected, usable)
+                best = max(
+                    range(len(usable)), key=lambda slot: (float(gains[slot]), -usable[slot])
+                )
+                selected.add(usable[best])
             if selected:
                 patterns = self._inc_update_p(
                     next(iter(selected)), selected, patterns, graph, matcher

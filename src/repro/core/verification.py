@@ -23,6 +23,7 @@ from repro.core.config import Configuration
 from repro.core.explanation import ExplanationSubgraph, ExplanationView
 from repro.gnn.models import GNNClassifier
 from repro.graphs.graph import Graph
+from repro.graphs.sparse import sparse_enabled
 from repro.graphs.subgraph import induced_subgraph, remove_subgraph
 from repro.matching.coverage import pattern_set_covered_nodes
 
@@ -40,16 +41,31 @@ class EVerify:
 
     def __init__(self, model: GNNClassifier) -> None:
         self.model = model
-        self._cache: dict[tuple, int] = {}
+        # Per graph object: (graph version when cached, {node set: label}).
+        # A version bump drops that graph's entries wholesale, so probes on
+        # mutating graphs neither read stale labels nor accumulate dead
+        # entries from superseded versions.
+        self._cache: dict[int, tuple[int, dict[frozenset[int], int]]] = {}
         self.inference_calls = 0
 
     def _predict_nodes(self, graph: Graph, nodes: frozenset[int]) -> int:
-        key = (id(graph), nodes)
-        if key in self._cache:
-            return self._cache[key]
-        candidate = induced_subgraph(graph, nodes)
-        label = self.model.predict(candidate)
-        self._cache[key] = label
+        entry = self._cache.get(id(graph))
+        if entry is None or entry[0] != graph.version:
+            entry = (graph.version, {})
+            self._cache[id(graph)] = entry
+        labels = entry[1]
+        cached = labels.get(nodes)
+        if cached is not None:
+            return cached
+        if sparse_enabled():
+            # Vectorized path: slice the candidate's feature/adjacency
+            # matrices straight out of the source graph's CSR cache instead
+            # of materialising an induced subgraph per probe.
+            label = self.model.predict_node_subset(graph, nodes)
+        else:
+            candidate = induced_subgraph(graph, nodes)
+            label = self.model.predict(candidate)
+        labels[nodes] = label
         self.inference_calls += 1
         return label
 
@@ -82,7 +98,8 @@ class EVerify:
         return subgraph
 
     def stats(self) -> dict[str, int]:
-        return {"inference_calls": self.inference_calls, "cache_entries": len(self._cache)}
+        entries = sum(len(labels) for _, labels in self._cache.values())
+        return {"inference_calls": self.inference_calls, "cache_entries": entries}
 
 
 @dataclass

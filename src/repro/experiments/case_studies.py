@@ -15,7 +15,6 @@ from repro.core.approx import ApproxGVEX
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationView
 from repro.experiments.setup import ExperimentContext, build_explainers, prepare_context
-from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
 from repro.matching.isomorphism import has_matching
 

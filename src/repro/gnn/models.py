@@ -10,7 +10,7 @@ model-agnostic exactly as the paper requires.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 from typing import Any
 
 import numpy as np
@@ -20,10 +20,17 @@ from repro.gnn.layers import DenseLayer, GCNLayer, GINLayer, SAGELayer
 from repro.gnn.pooling import make_pooling
 from repro.gnn.tensor_ops import normalize_adjacency, softmax
 from repro.graphs.graph import Graph
+from repro.graphs.sparse import sparse_enabled
 
 __all__ = ["GNNClassifier"]
 
 _CONV_TYPES = ("gcn", "gin", "sage")
+
+# Node-subset inference switches from dense submatrix aggregation to
+# scipy-CSR aggregation above this subset size: message passing then costs
+# O(|E| * d) per layer instead of O(k^2 * d), which is what keeps large
+# residual-graph (counterfactual) probes cheap.
+_SPARSE_FORWARD_MIN_NODES = 64
 
 
 class GNNClassifier:
@@ -101,6 +108,14 @@ class GNNClassifier:
             layer.zero_grads()
 
     def _propagation_matrix(self, graph: Graph) -> np.ndarray:
+        if sparse_enabled():
+            # Reuse the view's cached operator when a snapshot exists —
+            # repeated forward passes over the same graph then skip the
+            # normalisation — but do not build a snapshot just for one
+            # forward (perturbation baselines predict on throwaway graphs).
+            view = graph.sparse_view_if_cached()
+            if view is not None:
+                return view.propagation(self.conv)
         adjacency = graph.adjacency_matrix()
         if self.conv == "gcn":
             return normalize_adjacency(adjacency)
@@ -112,7 +127,13 @@ class GNNClassifier:
             pooled = np.zeros(self.hidden_dim)
             logits, head_cache = self.head.forward(pooled)
             return logits, {"empty": True, "head_cache": head_cache}
-        features = graph.feature_matrix(self.feature_dim)
+        view = graph.sparse_view_if_cached() if sparse_enabled() else None
+        if view is not None:
+            # Read-only borrow of the cached matrix; the layers never write
+            # to their inputs, so the per-forward copy can be skipped.
+            features = view.feature_matrix(self.feature_dim)
+        else:
+            features = graph.feature_matrix(self.feature_dim)
         propagation = self._propagation_matrix(graph)
         hidden = features
         conv_caches = []
@@ -200,6 +221,104 @@ class GNNClassifier:
     def predict_many(self, graphs: Sequence[Graph]) -> list[int]:
         """Labels for a sequence of graphs."""
         return [self.predict(graph) for graph in graphs]
+
+    def _subset_logits(self, graph: Graph, nodes: Iterable[int]) -> np.ndarray:
+        """Logits of ``G[nodes]`` straight from the cached view.
+
+        A lean inference-only pass: no backprop caches, minimal temporaries,
+        in-place GCN normalisation.  Every operation mirrors the reference
+        ``forward_matrices`` pipeline in the same order, so the logits are
+        bit-identical to predicting on a materialised induced subgraph.
+        """
+        view = graph.sparse_view()
+        index = view.index
+        # The set comprehension deduplicates, matching induced_subgraph's
+        # set-of-nodes semantics when callers pass an id twice.
+        rows = np.array(sorted({index[node] for node in nodes}), dtype=np.intp)
+        if rows.size == 0:
+            logits, _ = self.head.forward(np.zeros(self.hidden_dim))
+            return logits
+        hidden = view.feature_matrix(self.feature_dim)[rows]
+        if rows.size > _SPARSE_FORWARD_MIN_NODES and self.conv in ("gcn", "gin"):
+            sparse_logits = self._subset_logits_scipy(view, rows, hidden)
+            if sparse_logits is not None:
+                return sparse_logits
+        if self.conv == "gcn":
+            # D^-1/2 (A+I) D^-1/2 on the fresh submatrix, in place; the
+            # self loops guarantee every degree is at least one.
+            propagation = view.dense_adjacency_self_loops()[rows[:, None], rows]
+            inv_sqrt = propagation.sum(axis=1) ** -0.5
+            propagation *= inv_sqrt[:, None]
+            propagation *= inv_sqrt
+        else:
+            propagation = view.sub_adjacency(rows)
+        for layer in self.conv_layers:
+            if isinstance(layer, GCNLayer):
+                pre = (propagation @ hidden) @ layer.params["weight"]
+            elif isinstance(layer, GINLayer):
+                aggregated = (1.0 + layer.epsilon) * hidden + propagation @ hidden
+                pre = aggregated @ layer.params["weight"]
+            else:
+                hidden, _ = layer.forward(hidden, propagation)
+                continue
+            hidden = np.maximum(pre, 0.0) if layer.activation else pre
+        if self.pooling_name == "max":
+            pooled = hidden.max(axis=0)
+        elif self.pooling_name == "mean":
+            pooled = hidden.mean(axis=0)
+        else:
+            pooled, _ = self.pooling.forward(hidden)
+        return pooled @ self.head.params["weight"] + self.head.params["bias"]
+
+    def _subset_logits_scipy(self, view, rows: np.ndarray, hidden: np.ndarray) -> np.ndarray | None:
+        """CSR message passing for large node subsets (or ``None`` sans scipy)."""
+        adjacency = view.scipy_adjacency()
+        if adjacency is None:
+            return None
+        from scipy import sparse as scipy_sparse
+
+        operator = adjacency[rows][:, rows]
+        if self.conv == "gcn":
+            operator = operator + scipy_sparse.identity(rows.size, format="csr")
+            inv_sqrt = np.asarray(operator.sum(axis=1)).ravel() ** -0.5
+            scaling = scipy_sparse.diags(inv_sqrt)
+            operator = scaling @ operator @ scaling
+        for layer in self.conv_layers:
+            if isinstance(layer, GCNLayer):
+                pre = (operator @ hidden) @ layer.params["weight"]
+            else:  # GINLayer (guarded by the caller)
+                aggregated = (1.0 + layer.epsilon) * hidden + operator @ hidden
+                pre = aggregated @ layer.params["weight"]
+            hidden = np.maximum(pre, 0.0) if layer.activation else pre
+        if self.pooling_name == "max":
+            pooled = hidden.max(axis=0)
+        elif self.pooling_name == "mean":
+            pooled = hidden.mean(axis=0)
+        else:
+            pooled, _ = self.pooling.forward(hidden)
+        return pooled @ self.head.params["weight"] + self.head.params["bias"]
+
+    def predict_node_subset(self, graph: Graph, nodes: Iterable[int]) -> int:
+        """Label of the node-induced subgraph ``G[nodes]`` without building it.
+
+        Equivalent to ``predict(induced_subgraph(graph, nodes))`` but sliced
+        directly out of the graph's cached feature/adjacency matrices — the
+        vectorized ``EVerify`` hot path.  Falls back to materialising the
+        subgraph when the sparse backend is disabled.
+        """
+        if not sparse_enabled():
+            from repro.graphs.subgraph import induced_subgraph
+
+            return self.predict(induced_subgraph(graph, nodes))
+        return int(self._subset_logits(graph, nodes).argmax())
+
+    def predict_proba_nodes(self, graph: Graph, nodes: Iterable[int]) -> np.ndarray:
+        """Class probabilities of ``G[nodes]``, sliced from the cached view."""
+        if not sparse_enabled():
+            from repro.graphs.subgraph import induced_subgraph
+
+            return self.predict_proba(induced_subgraph(graph, nodes))
+        return softmax(self._subset_logits(graph, nodes))
 
     def node_embeddings(self, graph: Graph) -> np.ndarray:
         """Last-layer node representations ``X^k`` (rows follow node order).

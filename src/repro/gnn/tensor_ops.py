@@ -53,8 +53,10 @@ def normalize_adjacency(adjacency: np.ndarray, add_self_loops: bool = True) -> n
     inv_sqrt = np.zeros_like(degrees)
     nonzero = degrees > 0
     inv_sqrt[nonzero] = degrees[nonzero] ** -0.5
-    d_inv_sqrt = np.diag(inv_sqrt)
-    return d_inv_sqrt @ matrix @ d_inv_sqrt
+    # Row/column scaling by a diagonal matrix is an elementwise product
+    # d_i * m_ij * d_j; broadcasting computes it in O(n^2) instead of two
+    # O(n^3) matrix products, with bit-identical results.
+    return inv_sqrt[:, None] * matrix * inv_sqrt[None, :]
 
 
 def xavier_init(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:

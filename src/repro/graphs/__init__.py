@@ -3,6 +3,12 @@
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
+from repro.graphs.sparse import (
+    SparseGraphView,
+    set_sparse_backend,
+    sparse_backend,
+    sparse_enabled,
+)
 from repro.graphs.subgraph import (
     connected_component_subgraphs,
     induced_subgraph,
@@ -14,6 +20,10 @@ __all__ = [
     "Graph",
     "GraphPattern",
     "GraphDatabase",
+    "SparseGraphView",
+    "sparse_enabled",
+    "set_sparse_backend",
+    "sparse_backend",
     "induced_subgraph",
     "remove_subgraph",
     "khop_subgraph",

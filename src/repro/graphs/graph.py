@@ -21,6 +21,7 @@ from typing import Any
 import numpy as np
 
 from repro.exceptions import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphs.sparse import SparseGraphView, sparse_enabled
 
 __all__ = ["Graph"]
 
@@ -54,6 +55,9 @@ class Graph:
         self._node_features: dict[int, np.ndarray] = {}
         self._edge_types: dict[tuple[int, int], str] = {}
         self._node_order: list[int] = []
+        # Mutation counter + cached CSR snapshot (see repro.graphs.sparse).
+        self._version = 0
+        self._sparse_view: SparseGraphView | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -74,6 +78,7 @@ class Graph:
         self._node_types[node_id] = str(node_type)
         if features is not None:
             self._node_features[node_id] = np.asarray(features, dtype=float)
+        self._version += 1
 
     def add_edge(self, u: int, v: int, edge_type: str = "edge") -> None:
         """Add an undirected edge between two existing nodes."""
@@ -85,6 +90,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._edge_types[_edge_key(u, v)] = str(edge_type)
+        self._version += 1
 
     def remove_node(self, node_id: int) -> None:
         """Remove a node and all incident edges."""
@@ -96,6 +102,7 @@ class Graph:
         self._node_types.pop(node_id, None)
         self._node_features.pop(node_id, None)
         self._node_order.remove(node_id)
+        self._version += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove an undirected edge."""
@@ -104,6 +111,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._edge_types.pop(_edge_key(u, v), None)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # inspection
@@ -184,12 +192,73 @@ class Graph:
     # ------------------------------------------------------------------
     # matrix views used by the GNN substrate
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every structural or attribute change."""
+        return self._version
+
+    def sparse_view(self) -> "SparseGraphView":
+        """The cached CSR snapshot of this graph, rebuilt after mutations."""
+        view = self._sparse_view
+        if view is None or view.version != self._version:
+            view = SparseGraphView(self)
+            self._sparse_view = view
+        return view
+
+    def sparse_view_if_cached(self) -> "SparseGraphView | None":
+        """The CSR snapshot only when already built and current, else ``None``.
+
+        Matrix accessors use this so a one-shot prediction on a throwaway
+        graph (the perturbation-based baselines build thousands) does not pay
+        for a snapshot it would use once; the hot paths that amortise the
+        snapshot (influence analysis, ``EVerify``, coverage, extraction) call
+        :meth:`sparse_view` and build it eagerly.
+        """
+        view = self._sparse_view
+        if view is not None and view.version == self._version:
+            return view
+        return None
+
+    @classmethod
+    def build(
+        cls,
+        nodes: Iterable[tuple[int, str, np.ndarray | None]],
+        edges: Iterable[tuple[int, int, str]],
+        graph_id: int | None = None,
+    ) -> "Graph":
+        """Bulk-construct a graph from trusted, pre-validated node/edge data.
+
+        The fast extraction paths (induced subgraphs, k-hop neighbourhoods)
+        derive their inputs from an existing graph, so the per-call validation
+        of :meth:`add_node` / :meth:`add_edge` would only re-check invariants
+        that already hold.  Feature arrays are shared, matching the aliasing
+        behaviour of ``add_node`` with an ``ndarray`` argument.
+        """
+        graph = cls(graph_id=graph_id)
+        adj = graph._adj
+        for node_id, node_type, features in nodes:
+            adj[node_id] = set()
+            graph._node_order.append(node_id)
+            graph._node_types[node_id] = node_type
+            if features is not None:
+                graph._node_features[node_id] = features
+        for u, v, edge_type in edges:
+            adj[u].add(v)
+            adj[v].add(u)
+            graph._edge_types[_edge_key(u, v)] = edge_type
+        graph._version += 1
+        return graph
+
     def node_index(self) -> dict[int, int]:
         """Mapping from node id to row index in matrix representations."""
         return {node: idx for idx, node in enumerate(self._node_order)}
 
     def adjacency_matrix(self) -> np.ndarray:
         """Dense symmetric adjacency matrix aligned with :meth:`node_index`."""
+        if sparse_enabled():
+            view = self.sparse_view_if_cached()
+            if view is not None:
+                return view.dense_adjacency().copy()
         n = self.num_nodes()
         index = self.node_index()
         matrix = np.zeros((n, n), dtype=float)
@@ -206,6 +275,10 @@ class Graph:
         datasets without node features).  All feature vectors must share one
         dimensionality.
         """
+        if sparse_enabled():
+            view = self.sparse_view_if_cached()
+            if view is not None:
+                return view.feature_matrix(feature_dim).copy()
         dims = {vec.shape[0] for vec in self._node_features.values()}
         if len(dims) > 1:
             raise GraphError(f"inconsistent feature dimensions: {sorted(dims)}")

@@ -1,0 +1,339 @@
+"""Cached CSR-style sparse views of :class:`~repro.graphs.graph.Graph`.
+
+The dict/set adjacency structure of :class:`Graph` is the source of truth for
+mutation (``StreamGVEX`` grows graphs incrementally, the generators build them
+node by node), but the hot paths of GVEX — influence propagation, ``EVerify``
+probes, coverage matching, neighbourhood extraction — are all bulk array
+operations.  :class:`SparseGraphView` snapshots a graph into flat ``numpy``
+arrays once and caches every derived matrix (dense adjacency, GCN propagation
+operator, feature matrix) so repeated queries against the same graph cost a
+dictionary lookup instead of a Python loop over nodes and edges.
+
+Views are immutable snapshots: :meth:`Graph.sparse_view` compares the view's
+``version`` against the graph's mutation counter and rebuilds lazily after any
+``add_node`` / ``add_edge`` / ``remove_*`` call, so incremental algorithms keep
+working unchanged.
+
+The whole backend can be switched off (``REPRO_SPARSE_BACKEND=0`` or
+:func:`set_sparse_backend` / the :func:`sparse_backend` context manager), which
+routes every caller back to the original per-node implementations.  The
+efficiency benchmarks use exactly this toggle to A/B the two code paths on
+identical inputs.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import GraphError
+
+try:  # scipy is optional; dense fallbacks exist everywhere it is used.
+    from scipy import sparse as _scipy_sparse
+except ImportError:  # pragma: no cover - exercised only without scipy
+    _scipy_sparse = None
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graphs.graph import Graph
+
+__all__ = [
+    "SparseGraphView",
+    "sparse_enabled",
+    "set_sparse_backend",
+    "sparse_backend",
+]
+
+_OFF_VALUES = {"0", "false", "off", "no"}
+_enabled = os.environ.get("REPRO_SPARSE_BACKEND", "1").strip().lower() not in _OFF_VALUES
+
+
+def sparse_enabled() -> bool:
+    """True when the vectorized sparse backend is active (the default)."""
+    return _enabled
+
+
+def set_sparse_backend(enabled: bool) -> bool:
+    """Enable/disable the sparse backend globally; returns the previous state."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def sparse_backend(enabled: bool):
+    """Context manager that temporarily forces the backend on or off."""
+    previous = set_sparse_backend(enabled)
+    try:
+        yield
+    finally:
+        set_sparse_backend(previous)
+
+
+class SparseGraphView:
+    """An immutable CSR snapshot of one graph plus cached derived matrices.
+
+    Attributes
+    ----------
+    version:
+        The graph's mutation counter at snapshot time; a mismatch tells
+        :meth:`Graph.sparse_view` to rebuild.
+    node_ids:
+        Node identifiers in insertion order (row ``i`` of every matrix is
+        ``node_ids[i]``).
+    indptr / indices:
+        CSR adjacency over row indices; the neighbours of row ``i`` are
+        ``indices[indptr[i]:indptr[i + 1]]``, sorted ascending.
+    edge_u / edge_v:
+        Row-index endpoints of the canonical undirected edge list, aligned
+        with ``Graph.edges`` (sorted by node-id pair).
+    node_type_codes / edge_type_codes:
+        Integer type codes into ``node_type_vocab`` / ``edge_type_vocab``.
+    """
+
+    __slots__ = (
+        "version",
+        "node_ids",
+        "index",
+        "num_nodes",
+        "num_edges",
+        "indptr",
+        "indices",
+        "edge_u",
+        "edge_v",
+        "node_type_codes",
+        "node_type_vocab",
+        "edge_type_codes",
+        "edge_type_vocab",
+        "_dense_adjacency",
+        "_dense_adjacency_self_loops",
+        "_scipy_adjacency",
+        "_propagation",
+        "_feature_rows",
+        "_feature_block",
+        "_feature_dims",
+        "_feature_cache",
+        "_rows_by_type",
+        "_type_counts",
+    )
+
+    def __init__(self, graph: "Graph") -> None:
+        adj = graph._adj
+        order = graph._node_order
+        self.version = graph.version
+        self.node_ids = list(order)
+        self.index = {node: row for row, node in enumerate(order)}
+        self.num_nodes = len(order)
+        self.num_edges = graph.num_edges()
+
+        degrees = np.fromiter(
+            (len(adj[node]) for node in order), dtype=np.int64, count=self.num_nodes
+        )
+        self.indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(degrees, out=self.indptr[1:])
+        self.indices = np.empty(int(self.indptr[-1]), dtype=np.int64)
+        index = self.index
+        for row, node in enumerate(order):
+            neighbours = adj[node]
+            if neighbours:
+                start, stop = self.indptr[row], self.indptr[row + 1]
+                self.indices[start:stop] = np.sort(
+                    np.fromiter((index[n] for n in neighbours), dtype=np.int64, count=len(neighbours))
+                )
+
+        # Canonical edge list aligned with ``Graph.edges`` (sorted id pairs).
+        edges = graph.edges
+        edge_types = graph._edge_types
+        self.edge_u = np.fromiter((index[u] for u, _ in edges), dtype=np.int64, count=len(edges))
+        self.edge_v = np.fromiter((index[v] for _, v in edges), dtype=np.int64, count=len(edges))
+        edge_vocab: dict[str, int] = {}
+        edge_codes = np.empty(len(edges), dtype=np.int64)
+        for position, key in enumerate(edges):
+            edge_codes[position] = edge_vocab.setdefault(edge_types[key], len(edge_vocab))
+        self.edge_type_codes = edge_codes
+        self.edge_type_vocab = list(edge_vocab)
+
+        node_types = graph._node_types
+        node_vocab: dict[str, int] = {}
+        node_codes = np.empty(self.num_nodes, dtype=np.int64)
+        for row, node in enumerate(order):
+            node_codes[row] = node_vocab.setdefault(node_types[node], len(node_vocab))
+        self.node_type_codes = node_codes
+        self.node_type_vocab = list(node_vocab)
+
+        features = graph._node_features
+        self._feature_rows = np.fromiter(
+            (row for row, node in enumerate(order) if node in features), dtype=np.int64
+        )
+        self._feature_dims = sorted({int(vec.shape[0]) for vec in features.values()})
+        if len(self._feature_dims) == 1:
+            self._feature_block = np.stack([features[order[row]] for row in self._feature_rows])
+        else:
+            self._feature_block = None  # empty or inconsistent; resolved on demand
+
+        self._dense_adjacency: np.ndarray | None = None
+        self._dense_adjacency_self_loops: np.ndarray | None = None
+        self._scipy_adjacency = None
+        self._propagation: dict[str, np.ndarray] = {}
+        self._feature_cache: dict[int, np.ndarray] = {}
+        self._rows_by_type: dict[int, np.ndarray] | None = None
+        self._type_counts: dict[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    # row lookups
+    # ------------------------------------------------------------------
+    def rows_for(self, nodes: Iterable[int]) -> np.ndarray:
+        """Sorted row indices of a node-id subset (insertion order preserved)."""
+        index = self.index
+        rows = np.fromiter((index[node] for node in nodes), dtype=np.int64)
+        rows.sort()
+        return rows
+
+    def neighbours_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Union of neighbour rows of ``rows`` (one CSR gather, deduplicated)."""
+        if len(rows) == 0:
+            return rows
+        chunks = [self.indices[self.indptr[row] : self.indptr[row + 1]] for row in rows]
+        return np.unique(np.concatenate(chunks)) if chunks else rows
+
+    def khop_rows(self, start_row: int, hops: int) -> np.ndarray:
+        """Rows within ``hops`` of ``start_row`` — one array pass per hop."""
+        seen = np.zeros(self.num_nodes, dtype=bool)
+        seen[start_row] = True
+        frontier = np.array([start_row], dtype=np.int64)
+        for _ in range(hops):
+            candidates = self.neighbours_of_rows(frontier)
+            frontier = candidates[~seen[candidates]]
+            if len(frontier) == 0:
+                break
+            seen[frontier] = True
+        return np.flatnonzero(seen)
+
+    def type_counts(self) -> dict[str, int]:
+        """Histogram of node types (one ``bincount`` pass, cached per view)."""
+        if self._type_counts is None:
+            counts = np.bincount(self.node_type_codes, minlength=len(self.node_type_vocab))
+            self._type_counts = {
+                name: int(counts[code]) for code, name in enumerate(self.node_type_vocab)
+            }
+        return self._type_counts
+
+    def rows_of_type(self, type_code: int) -> np.ndarray:
+        """Rows whose node type has the given code (cached per view)."""
+        if self._rows_by_type is None:
+            self._rows_by_type = {
+                code: np.flatnonzero(self.node_type_codes == code)
+                for code in range(len(self.node_type_vocab))
+            }
+        return self._rows_by_type.get(type_code, np.empty(0, dtype=np.int64))
+
+    def node_type_code(self, type_name: str) -> int | None:
+        """Code of a node-type name, or ``None`` when absent from this graph."""
+        try:
+            return self.node_type_vocab.index(type_name)
+        except ValueError:
+            return None
+
+    def edge_type_code(self, type_name: str) -> int | None:
+        """Code of an edge-type name, or ``None`` when absent from this graph."""
+        try:
+            return self.edge_type_vocab.index(type_name)
+        except ValueError:
+            return None
+
+    # ------------------------------------------------------------------
+    # cached dense matrices
+    # ------------------------------------------------------------------
+    def dense_adjacency(self) -> np.ndarray:
+        """Dense symmetric 0/1 adjacency (cached; treat as read-only)."""
+        if self._dense_adjacency is None:
+            matrix = np.zeros((self.num_nodes, self.num_nodes), dtype=float)
+            if len(self.edge_u):
+                matrix[self.edge_u, self.edge_v] = 1.0
+                matrix[self.edge_v, self.edge_u] = 1.0
+            self._dense_adjacency = matrix
+        return self._dense_adjacency
+
+    def sub_adjacency(self, rows: np.ndarray) -> np.ndarray:
+        """Dense adjacency of the node-induced submatrix (a fresh array)."""
+        return self.dense_adjacency()[np.ix_(rows, rows)]
+
+    def scipy_adjacency(self):
+        """The adjacency as a ``scipy.sparse`` CSR matrix (cached; read-only).
+
+        Shares this view's ``indptr``/``indices`` buffers (zero copy).
+        Returns ``None`` when scipy is unavailable.
+        """
+        if _scipy_sparse is None:
+            return None
+        if self._scipy_adjacency is None:
+            data = np.ones(len(self.indices), dtype=float)
+            self._scipy_adjacency = _scipy_sparse.csr_matrix(
+                (data, self.indices, self.indptr), shape=(self.num_nodes, self.num_nodes)
+            )
+        return self._scipy_adjacency
+
+    def dense_adjacency_self_loops(self) -> np.ndarray:
+        """``A + I`` (cached; treat as read-only).
+
+        Any node-induced submatrix of ``A + I`` equals the submatrix of ``A``
+        plus its own identity, so subset extraction for GCN normalisation is
+        a single slice of this cache.
+        """
+        if self._dense_adjacency_self_loops is None:
+            matrix = self.dense_adjacency().copy()
+            matrix.flat[:: self.num_nodes + 1] += 1.0
+            self._dense_adjacency_self_loops = matrix
+        return self._dense_adjacency_self_loops
+
+    def propagation(self, conv: str) -> np.ndarray:
+        """The message-passing operator for a convolution type (cached).
+
+        ``gcn`` gets the symmetric normalisation ``D^-1/2 (A+I) D^-1/2``;
+        every other convolution uses the raw adjacency.
+        """
+        cached = self._propagation.get(conv)
+        if cached is None:
+            if conv == "gcn":
+                from repro.gnn.tensor_ops import normalize_adjacency
+
+                cached = normalize_adjacency(self.dense_adjacency())
+            else:
+                cached = self.dense_adjacency()
+            self._propagation[conv] = cached
+        return cached
+
+    def resolve_feature_dim(self, feature_dim: int | None) -> int:
+        """Validate a requested feature dimensionality against stored features."""
+        dims = self._feature_dims
+        if len(dims) > 1:
+            raise GraphError(f"inconsistent feature dimensions: {dims}")
+        if feature_dim is None:
+            return dims[0] if dims else 1
+        if dims and dims != [feature_dim]:
+            raise GraphError(
+                f"requested feature_dim={feature_dim} but stored features have dim {dims[0]}"
+            )
+        return feature_dim
+
+    def feature_matrix(self, feature_dim: int | None = None) -> np.ndarray:
+        """Dense feature matrix with the ``1.0`` default fill (cached; read-only).
+
+        Semantics match :meth:`Graph.feature_matrix`, including the errors for
+        inconsistent or mismatching dimensionalities.
+        """
+        dim = self.resolve_feature_dim(feature_dim)
+        cached = self._feature_cache.get(dim)
+        if cached is None:
+            cached = np.ones((self.num_nodes, dim), dtype=float)
+            if self._feature_block is not None and len(self._feature_rows):
+                cached[self._feature_rows] = self._feature_block
+            self._feature_cache[dim] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SparseGraphView |V|={self.num_nodes} |E|={self.num_edges} v{self.version}>"

@@ -11,8 +11,11 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+import numpy as np
+
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
+from repro.graphs.sparse import SparseGraphView, sparse_enabled
 from repro.matching.isomorphism import iter_matchings
 
 __all__ = [
@@ -24,8 +27,89 @@ __all__ = [
 ]
 
 
+def _type_prefilter_fails(pattern: GraphPattern, view: SparseGraphView) -> bool:
+    """True when the type histograms alone rule out any matching.
+
+    A matching maps pattern nodes to *distinct* graph nodes of the same type,
+    so a pattern needing more nodes of some type than the graph has cannot
+    match — an exact emptiness certificate, independent of matching caps.
+    """
+    graph_counts = view.type_counts()
+    for node_type, needed in pattern.graph.type_counts().items():
+        if needed > graph_counts.get(node_type, 0):
+            return True
+    return False
+
+
+def _matched_edge_mask(pattern: GraphPattern, view: SparseGraphView) -> np.ndarray | None:
+    """Boolean mask over the graph's edge list matched by a 2-node pattern.
+
+    Returns ``None`` when some pattern type does not occur in the graph (the
+    mask would be all-false, which the caller handles the same way).
+    """
+    u, v = pattern.edges[0]
+    type_u = view.node_type_code(pattern.node_type(u))
+    type_v = view.node_type_code(pattern.node_type(v))
+    edge_code = view.edge_type_code(pattern.edge_type(u, v))
+    if type_u is None or type_v is None or edge_code is None:
+        return None
+    ends_u = view.node_type_codes[view.edge_u]
+    ends_v = view.node_type_codes[view.edge_v]
+    mask = view.edge_type_codes == edge_code
+    return mask & (
+        ((ends_u == type_u) & (ends_v == type_v)) | ((ends_u == type_v) & (ends_v == type_u))
+    )
+
+
+def _fast_covered_nodes(
+    pattern: GraphPattern, graph: Graph, max_matchings: int | None
+) -> set[int] | None:
+    """Vectorized coverage for the pattern shapes that dominate in practice.
+
+    Handles singleton patterns (one type-array scan) and single-edge patterns
+    (one mask over the flat edge arrays) exactly, plus the type-histogram
+    emptiness certificate for larger patterns.  Returns ``None`` when the
+    general backtracking search is required — either a larger pattern, or a
+    matching cap that this path cannot reproduce faithfully.
+    """
+    if pattern.num_nodes() == 0 or pattern.num_nodes() > graph.num_nodes():
+        return set()
+    view = graph.sparse_view()
+    if _type_prefilter_fails(pattern, view):
+        return set()
+    if pattern.num_nodes() == 1:
+        code = view.node_type_code(pattern.node_type(pattern.nodes[0]))
+        if code is None:
+            return set()
+        rows = view.rows_of_type(code)
+        # The backtracking search visits nodes in insertion order, so a cap
+        # keeps the first ``max_matchings`` rows — reproduced exactly here.
+        if max_matchings is not None:
+            rows = rows[:max_matchings]
+        return {view.node_ids[row] for row in rows}
+    if pattern.num_nodes() == 2 and pattern.num_edges() == 1:
+        mask = _matched_edge_mask(pattern, view)
+        if mask is None or not mask.any():
+            return set()
+        if max_matchings is not None:
+            u, v = pattern.edges[0]
+            same_types = pattern.node_type(u) == pattern.node_type(v)
+            num_matchings = int(mask.sum()) * (2 if same_types else 1)
+            if num_matchings > max_matchings:
+                # A cap below the matching count truncates enumeration
+                # order-dependently; defer to the reference search.
+                return None
+        rows = np.union1d(view.edge_u[mask], view.edge_v[mask])
+        return {view.node_ids[row] for row in rows}
+    return None
+
+
 def covered_nodes(pattern: GraphPattern, graph: Graph, max_matchings: int | None = None) -> set[int]:
     """Graph nodes covered by at least one matching of ``pattern``."""
+    if sparse_enabled():
+        fast = _fast_covered_nodes(pattern, graph, max_matchings)
+        if fast is not None:
+            return fast
     covered: set[int] = set()
     for mapping in iter_matchings(pattern, graph, max_matchings=max_matchings):
         covered.update(mapping.values())
@@ -34,10 +118,45 @@ def covered_nodes(pattern: GraphPattern, graph: Graph, max_matchings: int | None
     return covered
 
 
+def _fast_covered_edges(
+    pattern: GraphPattern, graph: Graph, max_matchings: int | None
+) -> set[tuple[int, int]] | None:
+    """Vectorized edge coverage for edgeless and single-edge patterns."""
+    if pattern.num_nodes() == 0 or pattern.num_nodes() > graph.num_nodes():
+        return set()
+    if pattern.num_edges() == 0:
+        # Matchings of an edgeless pattern never cover an edge.
+        return set()
+    view = graph.sparse_view()
+    if _type_prefilter_fails(pattern, view):
+        return set()
+    if pattern.num_nodes() == 2 and pattern.num_edges() == 1:
+        mask = _matched_edge_mask(pattern, view)
+        if mask is None or not mask.any():
+            return set()
+        if max_matchings is not None:
+            u, v = pattern.edges[0]
+            same_types = pattern.node_type(u) == pattern.node_type(v)
+            num_matchings = int(mask.sum()) * (2 if same_types else 1)
+            if num_matchings > max_matchings:
+                return None
+        node_ids = view.node_ids
+        covered: set[tuple[int, int]] = set()
+        for row_u, row_v in zip(view.edge_u[mask], view.edge_v[mask]):
+            a, b = node_ids[row_u], node_ids[row_v]
+            covered.add((a, b) if a <= b else (b, a))
+        return covered
+    return None
+
+
 def covered_edges(
     pattern: GraphPattern, graph: Graph, max_matchings: int | None = None
 ) -> set[tuple[int, int]]:
     """Graph edges covered by at least one matching of ``pattern``."""
+    if sparse_enabled():
+        fast = _fast_covered_edges(pattern, graph, max_matchings)
+        if fast is not None:
+            return fast
     covered: set[tuple[int, int]] = set()
     for mapping in iter_matchings(pattern, graph, max_matchings=max_matchings):
         for u, v in pattern.edges:

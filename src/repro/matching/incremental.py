@@ -35,14 +35,16 @@ class IncrementalMatcher:
     def covered_nodes(self, pattern: GraphPattern, graph: Graph) -> set[int]:
         """Nodes of ``graph`` covered by ``pattern``, reusing cached results."""
         key = (pattern.canonical_key(), self._graph_key(graph))
-        size = graph.num_nodes() + graph.num_edges()
+        # The mutation counter invalidates on *any* change, unlike the old
+        # node+edge count which a swap mutation could leave unchanged.
+        version = graph.version
         cached = self._cache.get(key)
-        if cached is not None and cached[0] == size:
+        if cached is not None and cached[0] == version:
             self.cache_hits += 1
             return set(cached[1])
         self.recomputations += 1
         covered = covered_nodes(pattern, graph, max_matchings=self.max_matchings)
-        self._cache[key] = (size, frozenset(covered))
+        self._cache[key] = (version, frozenset(covered))
         return covered
 
     def covered_by_set(self, patterns: list[GraphPattern], graph: Graph) -> set[int]:

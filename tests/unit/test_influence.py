@@ -10,7 +10,6 @@ from repro.gnn.influence import (
     jacobian_l1_matrix,
     normalized_influence_matrix,
 )
-from repro.gnn.loss import cross_entropy
 from repro.graphs import Graph
 
 

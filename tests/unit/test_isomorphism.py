@@ -1,6 +1,5 @@
 """Unit tests for node-induced subgraph isomorphism (PMatch)."""
 
-import pytest
 
 from repro.graphs import Graph, GraphPattern
 from repro.matching import (

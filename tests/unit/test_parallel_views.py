@@ -33,6 +33,31 @@ class TestMergeViews:
         with pytest.raises(ExplanationError):
             merge_views([ExplanationView(label=0), ExplanationView(label=1)], 0)
 
+    def test_dedupes_isomorphic_patterns_across_shards(self):
+        """Patterns that match up to isomorphism must merge to one entry."""
+
+        def edge_pattern(node_ids):
+            pattern = GraphPattern()
+            pattern.add_node(node_ids[0], "C")
+            pattern.add_node(node_ids[1], "N")
+            pattern.add_edge(node_ids[0], node_ids[1], "single")
+            return pattern
+
+        def singleton(node_type):
+            pattern = GraphPattern()
+            pattern.add_node(0, node_type)
+            return pattern
+
+        # Shard views carry differently-labelled but isomorphic CN patterns,
+        # plus one pattern unique to each shard.
+        shard_a = ExplanationView(label=3, patterns=[edge_pattern((0, 1)), singleton("O")])
+        shard_b = ExplanationView(label=3, patterns=[edge_pattern((7, 4)), singleton("S")])
+        merged = merge_views([shard_a, shard_b], 3)
+        keys = {pattern.canonical_key() for pattern in merged.patterns}
+        assert len(merged.patterns) == 3
+        assert len(keys) == 3
+        assert [pattern.pattern_id for pattern in merged.patterns] == [0, 1, 2]
+
 
 class TestParallelExplain:
     def test_serial_backend_matches_label_set(self, trained_mut_model, mut_database):
@@ -71,6 +96,39 @@ class TestParallelExplain:
             assert {s.source_graph.graph_id for s in views.view_for(label).subgraphs} == {
                 s.source_graph.graph_id for s in serial.view_for(label).subgraphs
             }
+
+    def test_process_backend_two_workers(self, trained_mut_model, mut_database):
+        """The ProcessPoolExecutor path: workers get pickled models/graphs and
+        the merged result matches the serial reference per label."""
+        config = Configuration().with_default_bound(0, 6)
+        views = parallel_explain(
+            trained_mut_model,
+            mut_database,
+            config=config,
+            num_workers=2,
+            backend="process",
+        )
+        serial = parallel_explain(
+            trained_mut_model,
+            mut_database,
+            config=config,
+            num_workers=1,
+            backend="serial",
+        )
+        assert set(views.labels()) == set(serial.labels())
+        for label in serial.labels():
+            merged = views.view_for(label)
+            assert {s.source_graph.graph_id for s in merged.subgraphs} == {
+                s.source_graph.graph_id for s in serial.view_for(label).subgraphs
+            }
+            # Merged patterns are deduplicated across the two shards.
+            keys = [pattern.canonical_key() for pattern in merged.patterns]
+            assert len(keys) == len(set(keys))
+            assert merged.metadata["merged_from"] == 2
+            # Rebuilt subgraphs reference the caller's graph objects, not
+            # worker-side copies.
+            for subgraph in merged.subgraphs:
+                assert any(subgraph.source_graph is graph for graph in mut_database.graphs)
 
     def test_stream_algorithm_option(self, trained_mut_model, mut_database):
         config = Configuration().with_default_bound(0, 6)

@@ -66,6 +66,44 @@ class TestExplainGraph:
             StreamGVEX(trained_mut_model, batch_size=0)
 
 
+class TestSeededNodeOrder:
+    def test_seed_defaults_to_configuration(self, trained_mut_model):
+        config = Configuration(seed=11)
+        assert StreamGVEX(trained_mut_model, config).seed == 11
+
+    def test_explicit_seed_overrides_configuration(self, trained_mut_model):
+        config = Configuration(seed=11)
+        assert StreamGVEX(trained_mut_model, config, seed=3).seed == 3
+
+    def test_default_configuration_seed_is_zero(self, trained_mut_model):
+        assert Configuration().seed == 0
+        assert StreamGVEX(trained_mut_model).seed == 0
+
+    def test_shuffled_runs_reproducible(self, trained_mut_model, mut_database):
+        """Two explainers built from the same Configuration must consume the
+        same shuffled node stream and select identical explanations (Fig. 12
+        requires reproducible shuffled-order runs)."""
+        config = Configuration(theta=0.08, seed=23).with_default_bound(0, 8)
+        graph = mut_database[1]
+        first, _, _ = StreamGVEX(trained_mut_model, config, batch_size=5).explain_graph(graph)
+        second, _, _ = StreamGVEX(trained_mut_model, config, batch_size=5).explain_graph(graph)
+        assert first is not None and second is not None
+        assert first.nodes == second.nodes
+        assert first.explainability == second.explainability
+
+    def test_different_seeds_can_change_stream(self, trained_mut_model, mut_database):
+        graph = mut_database[1]
+        orders = set()
+        for seed in range(4):
+            explainer = StreamGVEX(trained_mut_model, Configuration(seed=seed), batch_size=5)
+            import random as _random
+
+            order = list(graph.nodes)
+            _random.Random(explainer.seed).shuffle(order)
+            orders.add(tuple(order))
+        assert len(orders) > 1
+
+
 class TestApproximationBehaviour:
     def test_stream_quality_close_to_approx(self, trained_mut_model, mut_database):
         """Anytime guarantee: streaming quality stays within a constant factor
