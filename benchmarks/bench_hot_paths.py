@@ -6,6 +6,12 @@ with the sparse CSR backend enabled and disabled on the same inputs, and
 cross-checks that both backends produce *identical* explanation views (same
 node sets, same explainability, same fidelity numbers).
 
+It also times ``ApproxGVEX.explain_label`` and ``StreamGVEX.explain_label``
+*end to end* per label group — the Figure 9a-c explainer-runtime path — with
+the lazy (CELF) selection strategy plus database-level batched inference
+against the eager reference strategy, asserting that both strategies produce
+node-set-identical views.
+
 The datasets are the repo's synthetic stand-ins (SYNTHETIC and MALNET-TINY)
 built at sizes representative of the paper's Table 3 (~100-node graphs); the
 scaled-down sizes used by the figure benchmarks are too small for matrix
@@ -27,7 +33,7 @@ import argparse
 import json
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 if __name__ == "__main__":  # allow running from a clean checkout
@@ -38,6 +44,7 @@ if __name__ == "__main__":  # allow running from a clean checkout
 from repro.core.approx import ApproxGVEX
 from repro.core.config import Configuration
 from repro.core.quality import GraphAnalysis
+from repro.core.streaming import StreamGVEX
 from repro.core.verification import EVerify
 from repro.datasets import load_dataset
 from repro.gnn.models import GNNClassifier
@@ -169,7 +176,13 @@ def bench_everify(context: BenchContext, reps: int) -> float:
 
 
 def check_identical_views(context: BenchContext, config) -> dict:
-    """Explain one label group with both backends; compare views + fidelity."""
+    """Explain one label group with both backends; compare views + fidelity.
+
+    Node sets and explainability must match exactly.  Fidelity runs through
+    batched inference under the sparse backend, whose block-diagonal message
+    passing reorders float accumulation, so the fidelity comparison allows
+    ULP-level noise (9 decimals — far below any behavioural regression).
+    """
     graphs = context.database.graphs[:4]
     label = context.model.predict(graphs[0])
     results = {}
@@ -179,8 +192,8 @@ def check_identical_views(context: BenchContext, config) -> dict:
             results[key] = {
                 "node_sets": [sorted(subgraph.nodes) for subgraph in view.subgraphs],
                 "explainability": round(view.explainability, 12),
-                "fidelity_plus": round(fidelity_plus(context.model, view.subgraphs), 12),
-                "fidelity_minus": round(fidelity_minus(context.model, view.subgraphs), 12),
+                "fidelity_plus": round(fidelity_plus(context.model, view.subgraphs), 9),
+                "fidelity_minus": round(fidelity_minus(context.model, view.subgraphs), 9),
             }
     return {
         "identical": results["sparse"] == results["legacy"],
@@ -189,26 +202,64 @@ def check_identical_views(context: BenchContext, config) -> dict:
     }
 
 
+def bench_explain_label(
+    context: BenchContext, config, algorithm: str = "approx", reps: int = 1, num_graphs: int | None = None
+) -> tuple[float, list[list[int]]]:
+    """End-to-end per-label wall clock of an explainer (Figure 9a-c path).
+
+    Returns total seconds over ``reps`` runs plus the last run's sorted
+    explanation node sets (for the lazy-vs-eager identity cross-check).
+    CSR snapshots are warmed outside the timer, mirroring the steady state
+    of a long-running explanation service.
+    """
+    source = context.database.graphs
+    if num_graphs is not None:
+        source = source[:num_graphs]
+    label = context.model.predict(source[0])
+    total = 0.0
+    node_sets: list[list[int]] = []
+    for _ in range(reps):
+        graphs = [graph.copy() for graph in source]
+        _warm_caches([graphs])
+        if algorithm == "stream":
+            explainer: ApproxGVEX | StreamGVEX = StreamGVEX(
+                context.model, config, batch_size=32
+            )
+        else:
+            explainer = ApproxGVEX(context.model, config)
+        start = time.perf_counter()
+        view = explainer.explain_label(graphs, label)
+        total += time.perf_counter() - start
+        node_sets = [sorted(subgraph.nodes) for subgraph in view.subgraphs]
+    return total, node_sets
+
+
 def run_benchmark(
     datasets=DEFAULT_DATASETS,
     reps: int = 3,
     num_graphs: int = 8,
     graph_size: int = 256,
     epochs: int = 10,
+    e2e_reps: int = 1,
+    e2e_num_graphs: int = 6,
 ) -> dict:
     """Produce the full benchmark payload (see module docstring)."""
     report: dict = {"datasets": {}, "reps": reps, "graph_size": graph_size}
     influence_speedups: list[float] = []
     everify_speedups: list[float] = []
+    explain_label_speedups: list[float] = []
+    stream_explain_label_speedups: list[float] = []
     views_identical = True
+    lazy_eager_identical = True
     for name in datasets:
         context = build_context(name, num_graphs=num_graphs, graph_size=graph_size, epochs=epochs)
         config = Configuration().with_default_bound(0, 8)
+        eager_config = replace(config, selection_strategy="eager")
         with sparse_backend(False):
-            legacy_influence = bench_influence(context, config, reps)
+            legacy_influence = bench_influence(context, eager_config, reps)
             legacy_everify = bench_everify(context, reps)
         with sparse_backend(True):
-            sparse_influence = bench_influence(context, config, reps)
+            sparse_influence = bench_influence(context, eager_config, reps)
             sparse_everify = bench_everify(context, reps)
         views = check_identical_views(context, config)
         views_identical = views_identical and views["identical"]
@@ -216,6 +267,33 @@ def run_benchmark(
         everify_speedup = legacy_everify / max(sparse_everify, 1e-9)
         influence_speedups.append(influence_speedup)
         everify_speedups.append(everify_speedup)
+
+        # End-to-end explainer runtime (Figure 9a-c path): the lazy (CELF)
+        # strategy with batched inference vs the eager reference strategy,
+        # both on the sparse backend, same inputs, identical outputs.
+        with sparse_backend(True):
+            eager_seconds, eager_sets = bench_explain_label(
+                context, eager_config, "approx", e2e_reps, e2e_num_graphs
+            )
+            lazy_seconds, lazy_sets = bench_explain_label(
+                context, config, "approx", e2e_reps, e2e_num_graphs
+            )
+            stream_eager_seconds, stream_eager_sets = bench_explain_label(
+                context, eager_config, "stream", e2e_reps, e2e_num_graphs
+            )
+            stream_lazy_seconds, stream_lazy_sets = bench_explain_label(
+                context, config, "stream", e2e_reps, e2e_num_graphs
+            )
+        explain_label_speedup = eager_seconds / max(lazy_seconds, 1e-9)
+        stream_speedup = stream_eager_seconds / max(stream_lazy_seconds, 1e-9)
+        explain_label_speedups.append(explain_label_speedup)
+        stream_explain_label_speedups.append(stream_speedup)
+        lazy_eager_identical = (
+            lazy_eager_identical
+            and lazy_sets == eager_sets
+            and stream_lazy_sets == stream_eager_sets
+        )
+
         report["datasets"][name] = {
             "influence": {
                 "legacy_seconds": legacy_influence,
@@ -227,12 +305,27 @@ def run_benchmark(
                 "sparse_seconds": sparse_everify,
                 "speedup": everify_speedup,
             },
+            "explain_label": {
+                "eager_seconds": eager_seconds,
+                "lazy_seconds": lazy_seconds,
+                "speedup": explain_label_speedup,
+            },
+            "stream_explain_label": {
+                "eager_seconds": stream_eager_seconds,
+                "lazy_seconds": stream_lazy_seconds,
+                "speedup": stream_speedup,
+            },
             "views_identical": views["identical"],
+            "lazy_eager_identical": lazy_sets == eager_sets
+            and stream_lazy_sets == stream_eager_sets,
             "fidelity": views["sparse"],
         }
     report["influence_speedup_min"] = min(influence_speedups)
     report["everify_speedup_min"] = min(everify_speedups)
+    report["explain_label_speedup_min"] = min(explain_label_speedups)
+    report["stream_explain_label_speedup_min"] = min(stream_explain_label_speedups)
     report["views_identical"] = views_identical
+    report["lazy_eager_identical"] = lazy_eager_identical
     return report
 
 
@@ -243,6 +336,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--num-graphs", type=int, default=8)
     parser.add_argument("--graph-size", type=int, default=256)
     parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument("--e2e-reps", type=int, default=1)
+    parser.add_argument("--e2e-num-graphs", type=int, default=6)
     parser.add_argument("--output", type=Path, default=None, help="write the JSON report here")
     args = parser.parse_args(argv)
 
@@ -252,6 +347,8 @@ def main(argv: list[str] | None = None) -> int:
         num_graphs=args.num_graphs,
         graph_size=args.graph_size,
         epochs=args.epochs,
+        e2e_reps=args.e2e_reps,
+        e2e_num_graphs=args.e2e_num_graphs,
     )
     payload = json.dumps(report, indent=2, sort_keys=True)
     if args.output is not None:
@@ -261,7 +358,10 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"\ninfluence speedup (min over datasets): {report['influence_speedup_min']:.2f}x\n"
         f"everify   speedup (min over datasets): {report['everify_speedup_min']:.2f}x\n"
-        f"views identical across backends: {report['views_identical']}",
+        f"explain_label (CELF+batched vs eager): {report['explain_label_speedup_min']:.2f}x\n"
+        f"stream explain_label:                  {report['stream_explain_label_speedup_min']:.2f}x\n"
+        f"views identical across backends: {report['views_identical']}\n"
+        f"lazy and eager node sets identical: {report['lazy_eager_identical']}",
         file=sys.stderr,
     )
     return 0

@@ -1,9 +1,12 @@
-"""CI regression guard for the influence / EVerify hot paths.
+"""CI regression guard for the influence / EVerify / end-to-end hot paths.
 
 Compares a fresh ``bench_hot_paths.py`` JSON report against the committed
-``benchmarks/baseline.json`` and exits non-zero when either hot path's
+``benchmarks/baseline.json`` and exits non-zero when any guarded path's
 *speedup over the reference implementation* regressed by more than the
-tolerance (default 25%).
+tolerance (default 25%).  Guarded paths: the influence and ``EVerify``
+micro-benchmarks (vectorized vs reference backend) and the end-to-end
+``explain_label`` runtimes (lazy CELF + batched inference vs the eager
+strategy).
 
 Speedup ratios — not wall-clock seconds — are compared, because both the
 vectorized and the reference implementation run on the same machine in the
@@ -26,7 +29,12 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
 
-GUARDED_METRICS = ("influence_speedup_min", "everify_speedup_min")
+GUARDED_METRICS = (
+    "influence_speedup_min",
+    "everify_speedup_min",
+    "explain_label_speedup_min",
+    "stream_explain_label_speedup_min",
+)
 
 
 def check(current: dict, baseline: dict, tolerance: float = 0.25) -> list[str]:
@@ -35,6 +43,10 @@ def check(current: dict, baseline: dict, tolerance: float = 0.25) -> list[str]:
     if not current.get("views_identical", False):
         failures.append(
             "vectorized and reference backends no longer produce identical views"
+        )
+    if "lazy_eager_identical" in current and not current["lazy_eager_identical"]:
+        failures.append(
+            "lazy (CELF) and eager selection no longer produce identical node sets"
         )
     for metric in GUARDED_METRICS:
         reference = baseline.get(metric)

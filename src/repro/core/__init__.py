@@ -1,10 +1,12 @@
 """GVEX core: configuration, quality measures, view generation algorithms."""
 
 from repro.core.approx import ApproxGVEX
+from repro.core.caching import LRUCache
 from repro.core.config import Configuration, CoverageBound
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
 from repro.core.parallel import merge_views, parallel_explain
-from repro.core.quality import GraphAnalysis, view_explainability
+from repro.core.quality import CoverageState, GraphAnalysis, view_explainability
+from repro.core.selection import lazy_greedy_select
 from repro.core.streaming import StreamGVEX
 from repro.core.summarize import SummarizeResult, pattern_weight, summarize_subgraphs
 from repro.core.verification import EVerify, VerificationReport, verify_view
@@ -13,7 +15,10 @@ from repro.core.views import PatternOccurrence, ViewQueryEngine
 __all__ = [
     "Configuration",
     "CoverageBound",
+    "CoverageState",
     "GraphAnalysis",
+    "LRUCache",
+    "lazy_greedy_select",
     "view_explainability",
     "ExplanationSubgraph",
     "ExplanationView",

@@ -20,15 +20,18 @@ from __future__ import annotations
 import time
 from collections.abc import Sequence
 
+from repro.core.caching import LRUCache
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
 from repro.core.quality import GraphAnalysis
+from repro.core.selection import lazy_greedy_select
 from repro.core.summarize import summarize_subgraphs
-from repro.core.verification import EVerify
+from repro.core.verification import EVerify, prime_vp_extend_probes
 from repro.exceptions import ExplanationError
 from repro.gnn.models import GNNClassifier
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
+from repro.graphs.sparse import sparse_enabled
 from repro.graphs.subgraph import induced_subgraph
 from repro.mining.candidates import PatternGenerator
 
@@ -90,6 +93,25 @@ class ApproxGVEX:
                 return False
         return True
 
+    def _vp_extend_many(
+        self,
+        nodes: Sequence[int],
+        selected: set[int],
+        graph: Graph,
+        label: int,
+    ) -> list[bool]:
+        """Batched ``VpExtend``: same per-node answers, amortised inference.
+
+        The model probes behind the per-node checks are primed through
+        ``EVerify.prime`` — one block-diagonal inference pass for the whole
+        frontier — before the (now cache-hitting) per-node logic runs.
+        """
+        prime_vp_extend_probes(
+            self.everify, graph, nodes, selected, label, self.config,
+            upper=self.config.bound_for(label).upper,
+        )
+        return [self._vp_extend(node, selected, graph, label) for node in nodes]
+
     # ------------------------------------------------------------------
     # explanation phase for a single graph (Algorithm 1 lines 1-17)
     # ------------------------------------------------------------------
@@ -109,12 +131,16 @@ class ApproxGVEX:
         selected: set[int] = set()
         backup: set[int] = set()
         all_nodes = set(graph.nodes)
+        use_lazy = self.config.selection_strategy == "lazy"
 
-        # Label probabilities of node-induced subgraphs, memoised by node set:
-        # the greedy tie-breakers below probe many overlapping subsets, and
-        # with the sparse backend each miss is a matrix slice + forward pass
-        # rather than a materialised subgraph.
-        label_probability_cache: dict[frozenset[int], float] = {}
+        # Label probabilities of node-induced subgraphs, memoised by node set
+        # with a config-capped LRU so memory stays flat on large graphs: the
+        # greedy tie-breakers and the counterfactual swap loop below probe
+        # many overlapping subsets, and with the sparse backend each miss is
+        # a matrix slice + forward pass rather than a materialised subgraph.
+        label_probability_cache: LRUCache[frozenset[int], float] = LRUCache(
+            self.config.label_probability_cache_size
+        )
 
         def label_probability(nodes: frozenset[int]) -> float:
             if not nodes:
@@ -122,8 +148,23 @@ class ApproxGVEX:
             cached = label_probability_cache.get(nodes)
             if cached is None:
                 cached = float(self.model.predict_proba_nodes(graph, nodes)[label])
-                label_probability_cache[nodes] = cached
+                label_probability_cache.put(nodes, cached)
             return cached
+
+        def prefetch_probabilities(node_sets: Sequence[frozenset[int]]) -> None:
+            """Fill the memo for many subsets with one batched forward pass."""
+            if label_probability_cache.capacity <= 0:
+                return  # nowhere to store the batch results
+            missing = [
+                nodes
+                for nodes in dict.fromkeys(node_sets)
+                if nodes and nodes not in label_probability_cache
+            ]
+            if len(missing) < 2 or not sparse_enabled():
+                return
+            probabilities = self.model.predict_proba_subsets(graph, missing)
+            for nodes, row in zip(missing, probabilities):
+                label_probability_cache.put(nodes, float(row[label]))
 
         def counterfactual_gain(node: int) -> float:
             """Drop in the residual graph's probability of ``label`` caused by
@@ -140,43 +181,90 @@ class ApproxGVEX:
 
         # Greedy growth under the upper bound (Algorithm 1 lines 3-9): keep
         # selecting the candidate with the best marginal gain until the size
-        # budget is exhausted or no candidate passes VpExtend.
-        while len(selected) < bound.upper and all_nodes - selected:
-            candidates: list[int] = []
-            for node in all_nodes - selected:
-                if self._vp_extend(node, selected, graph, label):
-                    candidates.append(node)
-            backup |= set(candidates)
-            if not candidates:
-                break
-            # One batched evaluation of every candidate's Eq.-2 gain, then the
-            # tie-breakers (counterfactual gain, exerted influence) per node.
-            gains = analysis.marginal_gains(selected, candidates)
-            best = max(
-                range(len(candidates)),
-                key=lambda slot: (
-                    round(float(gains[slot]), 9),
-                    round(counterfactual_gain(candidates[slot]), 6),
-                    analysis.exerted_influence(candidates[slot]),
-                    -candidates[slot],
-                ),
+        # budget is exhausted or no candidate passes VpExtend.  The lazy
+        # (CELF) engine produces node sets identical to the eager loop while
+        # re-evaluating only the heap entries whose stale upper bound still
+        # competes; the eager loop is kept as the A/B efficiency baseline.
+        if use_lazy:
+
+            def choose_tied(tied: Sequence[int], current: set[int]) -> int:
+                residual_now = frozenset(all_nodes - current)
+                prefetch_probabilities(
+                    [residual_now] + [residual_now - {node} for node in tied]
+                )
+
+                def gain_of(node: int) -> float:
+                    return label_probability(residual_now) - label_probability(
+                        residual_now - {node}
+                    )
+
+                return max(
+                    tied,
+                    key=lambda node: (
+                        round(gain_of(node), 6),
+                        analysis.exerted_influence(node),
+                        -node,
+                    ),
+                )
+
+            selected = lazy_greedy_select(
+                analysis,
+                graph.nodes,
+                selected,
+                bound.upper,
+                lambda nodes, current: self._vp_extend_many(nodes, current, graph, label),
+                choose_tied,
+                gain_key=lambda gain: round(float(gain), 9),
+                backup=backup if bound.lower > 0 else None,
             )
-            selected.add(candidates[best])
+        else:
+            while len(selected) < bound.upper and all_nodes - selected:
+                candidates: list[int] = []
+                for node in all_nodes - selected:
+                    if self._vp_extend(node, selected, graph, label):
+                        candidates.append(node)
+                backup |= set(candidates)
+                if not candidates:
+                    break
+                # One batched evaluation of every candidate's Eq.-2 gain, then
+                # the tie-breakers (counterfactual gain, exerted influence).
+                gains = analysis.marginal_gains(selected, candidates)
+                best = max(
+                    range(len(candidates)),
+                    key=lambda slot: (
+                        round(float(gains[slot]), 9),
+                        round(counterfactual_gain(candidates[slot]), 6),
+                        analysis.exerted_influence(candidates[slot]),
+                        -candidates[slot],
+                    ),
+                )
+                selected.add(candidates[best])
 
         # Top up from the backup candidate set until the lower bound is met.
-        while len(selected) < bound.lower and backup - selected:
-            usable = [
-                node
-                for node in backup - selected
-                if self._vp_extend(node, selected, graph, label)
-            ]
-            if not usable:
-                break
-            gains = analysis.marginal_gains(selected, usable)
-            best = max(
-                range(len(usable)), key=lambda slot: (float(gains[slot]), -usable[slot])
-            )
-            selected.add(usable[best])
+        if use_lazy:
+            if len(selected) < bound.lower and backup - selected:
+                selected = lazy_greedy_select(
+                    analysis,
+                    sorted(backup - selected),
+                    selected,
+                    bound.lower,
+                    lambda nodes, current: self._vp_extend_many(nodes, current, graph, label),
+                    lambda tied, current: min(tied),
+                )
+        else:
+            while len(selected) < bound.lower and backup - selected:
+                usable = [
+                    node
+                    for node in backup - selected
+                    if self._vp_extend(node, selected, graph, label)
+                ]
+                if not usable:
+                    break
+                gains = analysis.marginal_gains(selected, usable)
+                best = max(
+                    range(len(usable)), key=lambda slot: (float(gains[slot]), -usable[slot])
+                )
+                selected.add(usable[best])
 
         if len(selected) < bound.lower or not selected:
             return None
@@ -209,6 +297,17 @@ class ApproxGVEX:
                 evictable = selected - swapped_in
                 if not outside or not evictable:
                     break
+                if use_lazy:
+                    # One batched pass over every probe this swap iteration
+                    # needs (residual and sufficiency probabilities per
+                    # outside node) instead of two forwards per node.
+                    residual_now = frozenset(all_nodes - selected)
+                    current = frozenset(selected)
+                    prefetch_probabilities(
+                        [residual_now, current]
+                        + [residual_now - {node} for node in outside]
+                        + [current | {node} for node in outside]
+                    )
                 best_out = max(
                     outside,
                     key=lambda node: (
@@ -240,12 +339,22 @@ class ApproxGVEX:
     # ------------------------------------------------------------------
     # per-label view and full view-set drivers
     # ------------------------------------------------------------------
+    def _predicted_labels(self, graphs: Sequence[Graph]) -> list[int]:
+        """Predicted label per graph — one batched pass for the whole group.
+
+        The eager strategy keeps the per-graph reference path so the A/B
+        efficiency benchmarks time the pre-CELF pipeline end to end.
+        """
+        if self.config.selection_strategy == "lazy" and sparse_enabled() and len(graphs) > 1:
+            return self.model.predict_batch(graphs)
+        return [self.model.predict(graph) for graph in graphs]
+
     def explain_label(self, graphs: Sequence[Graph], label: int) -> ExplanationView:
         """Explanation view for one label group (graphs the GNN assigns ``label``)."""
         start = time.perf_counter()
         subgraphs: list[ExplanationSubgraph] = []
-        for graph in graphs:
-            if self.model.predict(graph) != label:
+        for graph, predicted in zip(graphs, self._predicted_labels(graphs)):
+            if predicted != label:
                 continue
             explanation = self.explain_graph(graph, label)
             if explanation is not None:
@@ -279,7 +388,7 @@ class ApproxGVEX:
         if not graphs:
             raise ExplanationError("cannot explain an empty graph collection")
         if labels is None:
-            labels = sorted({self.model.predict(graph) for graph in graphs})
+            labels = sorted(set(self._predicted_labels(graphs)))
         views = ExplanationViewSet()
         for label in labels:
             views.add(self.explain_label(graphs, label))

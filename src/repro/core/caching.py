@@ -1,0 +1,67 @@
+"""Bounded memoisation helpers for the explainer hot loops.
+
+The greedy tie-breakers and the counterfactual swap loop probe many
+overlapping node subsets of the same source graph; memoising the label
+probabilities by node set is what keeps those probes cheap.  On large graphs
+an unbounded memo grows with O(|V|) entries *per greedy round*, so the cache
+is a plain LRU with a configurable capacity
+(:attr:`~repro.core.config.Configuration.label_probability_cache_size`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Hashable
+from typing import Generic, TypeVar
+
+__all__ = ["LRUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LRUCache(Generic[K, V]):
+    """A minimal least-recently-used mapping.
+
+    ``capacity <= 0`` disables storage entirely (every lookup misses), which
+    is the behaviour ``label_probability_cache_size=0`` requests.
+    """
+
+    __slots__ = ("capacity", "_data", "hits", "misses")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Look up ``key``, refreshing its recency on a hit."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        """Insert ``key``, evicting the least recently used entry when full."""
+        if self.capacity <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def stats(self) -> dict[str, int]:
+        return {"size": len(self._data), "hits": self.hits, "misses": self.misses}

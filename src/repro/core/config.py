@@ -21,6 +21,7 @@ __all__ = ["CoverageBound", "Configuration"]
 
 _VERIFICATION_MODES = ("strict", "consistent", "none")
 _INFLUENCE_METHODS = ("auto", "propagation", "exact")
+_SELECTION_STRATEGIES = ("lazy", "eager")
 
 
 @dataclass(frozen=True)
@@ -88,6 +89,21 @@ class Configuration:
         Caps forwarded to the pattern generator (``PGen``).
     diversity_hops:
         r-hop neighbourhood radius handed to ``IncPGen`` in streaming mode.
+    selection_strategy:
+        How the greedy loops pick the next node:
+
+        * ``lazy`` (default) — CELF-style lazy greedy: marginal gains are kept
+          in a max-heap of stale upper bounds (valid because the Eq.-2
+          objective is monotone submodular) and only re-evaluated on pop, and
+          the model-probe tie-breakers run only on the exact-gain ties that
+          surface.  Produces node sets *identical* to the eager loop.
+        * ``eager`` — the reference loop: every unselected node is re-verified
+          and re-scored on every iteration.  Kept as the A/B baseline for the
+          end-to-end efficiency benchmarks.
+    label_probability_cache_size:
+        LRU capacity of the per-graph memo of subgraph label probabilities
+        used by the greedy tie-breakers and the counterfactual swap loop
+        (``0`` disables caching; the cap keeps memory flat on large graphs).
     seed:
         Seed for every randomised choice made under this configuration —
         most importantly the shuffled node arrival order of ``StreamGVEX``
@@ -105,6 +121,8 @@ class Configuration:
     max_pattern_size: int = 4
     max_pattern_candidates: int = 32
     diversity_hops: int = 1
+    selection_strategy: str = "lazy"
+    label_probability_cache_size: int = 8192
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -130,6 +148,12 @@ class Configuration:
             raise ConfigurationError("max_pattern_candidates must be at least 1")
         if self.diversity_hops < 0:
             raise ConfigurationError("diversity_hops must be non-negative")
+        if self.selection_strategy not in _SELECTION_STRATEGIES:
+            raise ConfigurationError(
+                f"selection_strategy must be one of {_SELECTION_STRATEGIES}"
+            )
+        if self.label_probability_cache_size < 0:
+            raise ConfigurationError("label_probability_cache_size must be non-negative")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ConfigurationError("seed must be an integer")
 
@@ -163,5 +187,7 @@ class Configuration:
             },
             "influence_method": self.influence_method,
             "verification_mode": self.verification_mode,
+            "selection_strategy": self.selection_strategy,
+            "label_probability_cache_size": self.label_probability_cache_size,
             "seed": self.seed,
         }

@@ -20,7 +20,149 @@ from repro.gnn.models import GNNClassifier
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_enabled
 
-__all__ = ["GraphAnalysis", "view_explainability"]
+__all__ = ["CoverageState", "GraphAnalysis", "view_explainability"]
+
+
+class CoverageState:
+    """Incremental coverage bookkeeping for one growing seed set.
+
+    The Eq.-2 objective is a weighted sum of two coverage functions — the
+    influenced-node set (Eq. 5) and the union of embedding neighbourhoods of
+    the influenced nodes (Eq. 6).  Both are monotone submodular, so a greedy
+    loop never needs to re-derive them from scratch: this object keeps the
+    covered-node boolean masks and the integer coverage counts of the
+    committed seed set, answers a candidate's exact marginal gain as a
+    popcount of *newly* covered rows, and folds a pick in with
+    :meth:`commit` in time proportional to the rows that actually changed.
+
+    Gains are computed with exactly the same float expression as
+    :meth:`GraphAnalysis.marginal_gain` (score-after minus score-before with
+    integer counts), so they are bit-identical to the eager loop's values —
+    the property the CELF selection engine relies on for identical output.
+    """
+
+    __slots__ = ("_analysis", "_covered", "_neigh_covered", "_influence", "_diversity", "_bounds")
+
+    def __init__(self, analysis: "GraphAnalysis", selected: Iterable[int] = ()) -> None:
+        self._analysis = analysis
+        total = len(analysis.node_list)
+        positions = analysis._positions(selected)
+        if positions:
+            self._covered = analysis._influence_mask[positions].any(axis=0)
+        else:
+            self._covered = np.zeros(total, dtype=bool)
+        if self._covered.any():
+            self._neigh_covered = analysis._neighbourhood_mask[self._covered].any(axis=0)
+        else:
+            self._neigh_covered = np.zeros(total, dtype=bool)
+        self._influence = int(self._covered.sum())
+        self._diversity = int(self._neigh_covered.sum())
+        # Last exact gain computed per node — a valid stale upper bound on the
+        # node's current gain because coverage gains only shrink as the
+        # committed set grows (submodularity).
+        self._bounds: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # scores
+    # ------------------------------------------------------------------
+    def _score(self, influence: int, diversity: int) -> float:
+        total = len(self._analysis.node_list)
+        if total == 0:
+            return 0.0
+        return (influence + self._analysis.config.gamma * diversity) / total
+
+    def explainability(self) -> float:
+        """Eq.-2 score of the committed seed set."""
+        return self._score(self._influence, self._diversity)
+
+    def _delta_counts(self, position: int) -> tuple[int, int, np.ndarray]:
+        analysis = self._analysis
+        newly = analysis._influence_mask[position] & ~self._covered
+        new_influence = self._influence + int(newly.sum())
+        if newly.any():
+            neigh = analysis._neighbourhood_mask[newly].any(axis=0)
+            new_diversity = self._diversity + int((neigh & ~self._neigh_covered).sum())
+        else:
+            new_diversity = self._diversity
+        return new_influence, new_diversity, newly
+
+    # ------------------------------------------------------------------
+    # gains
+    # ------------------------------------------------------------------
+    def gain(self, node: int) -> float:
+        """Exact marginal Eq.-2 gain of adding ``node`` to the committed set.
+
+        Also refreshes the node's stale bound (see :meth:`gain_upper_bound`).
+        """
+        position = self._analysis._index.get(node)
+        if position is None:
+            value = 0.0
+        else:
+            new_influence, new_diversity, _ = self._delta_counts(position)
+            value = self._score(new_influence, new_diversity) - self.explainability()
+        self._bounds[node] = value
+        return value
+
+    def batch_gains(self, candidates: Sequence[int]) -> np.ndarray:
+        """Exact marginal gains of every candidate (one boolean matrix pass).
+
+        Values are element-wise identical to :meth:`gain`.  Stale bounds are
+        *not* recorded here — the CELF engine keeps its own heap of stale
+        gains, so per-candidate dict writes in this hot call would be dead
+        weight; :meth:`gain_upper_bound` computes lazily on first use instead.
+        """
+        analysis = self._analysis
+        total = len(analysis.node_list)
+        gains = np.zeros(len(candidates))
+        if total == 0 or not len(candidates):
+            return gains
+        known = [
+            (slot, analysis._index[candidate])
+            for slot, candidate in enumerate(candidates)
+            if candidate in analysis._index
+        ]
+        if known:
+            slots = np.array([slot for slot, _ in known])
+            positions = np.array([position for _, position in known])
+            influenced = self._covered[None, :] | analysis._influence_mask[positions]
+            influence_counts = influenced.sum(axis=1)
+            diversity_counts = (influenced @ analysis._neighbourhood_float > 0).sum(axis=1)
+            scores = (influence_counts + analysis.config.gamma * diversity_counts) / total
+            gains[slots] = scores - self.explainability()
+        return gains
+
+    def gain_upper_bound(self, node: int) -> float:
+        """Stale upper bound on ``node``'s current gain (lazily initialised).
+
+        Returns the gain last computed for the node; if the node was never
+        scored, computes (and caches) its exact gain now.
+        """
+        cached = self._bounds.get(node)
+        if cached is None:
+            cached = self.gain(node)
+        return cached
+
+    # ------------------------------------------------------------------
+    # committing a pick
+    # ------------------------------------------------------------------
+    def commit(self, node: int) -> float:
+        """Fold ``node`` into the committed set; returns the realised gain.
+
+        Only the rows the pick newly covers are touched, so a commit costs
+        O(changed) instead of a full objective re-evaluation.
+        """
+        position = self._analysis._index.get(node)
+        if position is None:
+            return 0.0
+        before = self.explainability()
+        new_influence, new_diversity, newly = self._delta_counts(position)
+        if newly.any():
+            self._covered |= newly
+            self._neigh_covered |= self._analysis._neighbourhood_mask[newly].any(axis=0)
+        self._influence = new_influence
+        self._diversity = new_diversity
+        self._bounds.pop(node, None)
+        return self.explainability() - before
 
 
 class GraphAnalysis:
@@ -45,6 +187,7 @@ class GraphAnalysis:
             self._neighbourhood_mask = np.zeros((0, 0), dtype=bool)
             self._neighbourhood_float = np.zeros((0, 0))
             self._exerted_influence = np.zeros(0)
+            self._coverage = None
             return
 
         # I2[u, v]: share of node v's sensitivity attributable to node u (Eq. 4).
@@ -66,6 +209,7 @@ class GraphAnalysis:
         self._neighbourhood_mask = distances <= config.radius
         # Float copy used to batch-evaluate diversity via one matrix product.
         self._neighbourhood_float = self._neighbourhood_mask.astype(float)
+        self._coverage: CoverageState | None = None
 
     # ------------------------------------------------------------------
     # low-level accessors
@@ -172,6 +316,31 @@ class GraphAnalysis:
         scores = (influence_counts + self.config.gamma * diversity_counts) / total_nodes
         gains[slots] = scores - base_score
         return gains
+
+    # ------------------------------------------------------------------
+    # incremental coverage state (CELF support)
+    # ------------------------------------------------------------------
+    def reset_coverage(self, selected: Iterable[int] = ()) -> CoverageState:
+        """Start a fresh :class:`CoverageState` seeded with ``selected``.
+
+        The returned state is also installed as the analysis's *current*
+        coverage, which :meth:`commit` / :meth:`gain_upper_bound` act on.
+        """
+        self._coverage = CoverageState(self, selected)
+        return self._coverage
+
+    def _current_coverage(self) -> CoverageState:
+        if self._coverage is None:
+            self._coverage = CoverageState(self)
+        return self._coverage
+
+    def commit(self, node: int) -> float:
+        """Fold ``node`` into the current coverage state (realised gain)."""
+        return self._current_coverage().commit(node)
+
+    def gain_upper_bound(self, node: int) -> float:
+        """Stale upper bound on ``node``'s marginal gain (see CELF)."""
+        return self._current_coverage().gain_upper_bound(node)
 
     def loss_of_removal(self, selected: set[int], node: int) -> float:
         """Explainability lost by removing ``node`` from ``selected``."""

@@ -27,12 +27,14 @@ from collections.abc import Sequence
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
 from repro.core.quality import GraphAnalysis
-from repro.core.verification import EVerify
+from repro.core.selection import lazy_greedy_select
+from repro.core.verification import EVerify, prime_vp_extend_probes
 from repro.exceptions import ExplanationError
 from repro.gnn.models import GNNClassifier
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
+from repro.graphs.sparse import sparse_enabled
 from repro.graphs.subgraph import induced_subgraph
 from repro.matching.incremental import IncrementalMatcher
 from repro.mining.candidates import PatternGenerator
@@ -85,6 +87,18 @@ class StreamGVEX:
             if not self.everify.is_counterfactual(graph, extended, label):
                 return False
         return True
+
+    def _vp_extend_many(
+        self,
+        nodes: Sequence[int],
+        selected: set[int],
+        graph: Graph,
+        label: int,
+    ) -> list[bool]:
+        """Batched ``VpExtend`` (no upper-bound filter: a full node cache is
+        handled by the swapping rule, not by rejection)."""
+        prime_vp_extend_probes(self.everify, graph, nodes, selected, label, self.config)
+        return [self._vp_extend(node, selected, graph, label) for node in nodes]
 
     # ------------------------------------------------------------------
     # IncUpdateVS (Procedure 4)
@@ -240,21 +254,34 @@ class StreamGVEX:
                     }
                 )
 
-        # Post-processing: meet the lower bound from the backup set.
+        # Post-processing: meet the lower bound from the backup set.  The
+        # lazy (CELF) top-up picks node sets identical to the eager loop; the
+        # eager loop stays as the A/B efficiency baseline.
         if analysis is not None:
-            while len(selected) < bound.lower and backup - selected:
-                usable = [
-                    node
-                    for node in backup - selected
-                    if self._vp_extend(node, selected, graph, label)
-                ]
-                if not usable:
-                    break
-                gains = analysis.marginal_gains(selected, usable)
-                best = max(
-                    range(len(usable)), key=lambda slot: (float(gains[slot]), -usable[slot])
-                )
-                selected.add(usable[best])
+            if self.config.selection_strategy == "lazy":
+                if len(selected) < bound.lower and backup - selected:
+                    selected = lazy_greedy_select(
+                        analysis,
+                        sorted(backup - selected),
+                        selected,
+                        bound.lower,
+                        lambda nodes, current: self._vp_extend_many(nodes, current, graph, label),
+                        lambda tied, current: min(tied),
+                    )
+            else:
+                while len(selected) < bound.lower and backup - selected:
+                    usable = [
+                        node
+                        for node in backup - selected
+                        if self._vp_extend(node, selected, graph, label)
+                    ]
+                    if not usable:
+                        break
+                    gains = analysis.marginal_gains(selected, usable)
+                    best = max(
+                        range(len(usable)), key=lambda slot: (float(gains[slot]), -usable[slot])
+                    )
+                    selected.add(usable[best])
             if selected:
                 patterns = self._inc_update_p(
                     next(iter(selected)), selected, patterns, graph, matcher
@@ -276,6 +303,12 @@ class StreamGVEX:
     # ------------------------------------------------------------------
     # per-label and full drivers (same shape as ApproxGVEX)
     # ------------------------------------------------------------------
+    def _predicted_labels(self, graphs: Sequence[Graph]) -> list[int]:
+        """Predicted label per graph (batched under the lazy strategy)."""
+        if self.config.selection_strategy == "lazy" and sparse_enabled() and len(graphs) > 1:
+            return self.model.predict_batch(graphs)
+        return [self.model.predict(graph) for graph in graphs]
+
     def explain_label(
         self,
         graphs: Sequence[Graph],
@@ -287,8 +320,8 @@ class StreamGVEX:
         subgraphs: list[ExplanationSubgraph] = []
         patterns: dict[tuple, GraphPattern] = {}
         histories: list[list[dict]] = []
-        for graph in graphs:
-            if self.model.predict(graph) != label:
+        for graph, predicted in zip(graphs, self._predicted_labels(graphs)):
+            if predicted != label:
                 continue
             subgraph, graph_patterns, history = self.explain_graph(
                 graph, label, record_history=record_history
@@ -326,7 +359,7 @@ class StreamGVEX:
         if not graphs:
             raise ExplanationError("cannot explain an empty graph collection")
         if labels is None:
-            labels = sorted({self.model.predict(graph) for graph in graphs})
+            labels = sorted(set(self._predicted_labels(graphs)))
         views = ExplanationViewSet()
         for label in labels:
             views.add(self.explain_label(graphs, label))

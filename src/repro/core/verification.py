@@ -17,6 +17,8 @@ isomorphism search for C1/C3).
 
 from __future__ import annotations
 
+import weakref
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.core.config import Configuration
@@ -27,7 +29,44 @@ from repro.graphs.sparse import sparse_enabled
 from repro.graphs.subgraph import induced_subgraph, remove_subgraph
 from repro.matching.coverage import pattern_set_covered_nodes
 
-__all__ = ["EVerify", "VerificationReport", "verify_view"]
+__all__ = ["EVerify", "VerificationReport", "prime_vp_extend_probes", "verify_view"]
+
+
+def prime_vp_extend_probes(
+    everify: "EVerify",
+    graph: Graph,
+    nodes: Sequence[int],
+    selected: set[int],
+    label: int,
+    config: Configuration,
+    upper: int | None = None,
+) -> None:
+    """Warm ``EVerify``'s memo for a whole ``VpExtend`` frontier at once.
+
+    Primes the consistency probes of ``selected | {node}`` for every
+    candidate (restricted to candidates within the ``upper`` size bound when
+    given — the ApproxGVEX contract; StreamGVEX passes ``None`` because its
+    full cache is handled by the swapping rule), and, under strict
+    verification, the residual probes of the consistent candidates.  The
+    subsequent per-node ``VpExtend`` calls then hit the cache instead of
+    running one inference each.
+    """
+    if config.verification_mode == "none":
+        return
+    probes = []
+    for node in nodes:
+        extended = frozenset(selected | {node})
+        if (upper is None or len(extended) <= upper) and len(extended) >= config.min_check_size:
+            probes.append(extended)
+    everify.prime(graph, probes)
+    if config.verification_mode == "strict" and probes:
+        all_nodes = set(graph.nodes)
+        residuals = [
+            frozenset(all_nodes - extended)
+            for extended in probes
+            if everify.is_consistent(graph, extended, label)
+        ]
+        everify.prime(graph, residuals)
 
 
 class EVerify:
@@ -44,15 +83,21 @@ class EVerify:
         # Per graph object: (graph version when cached, {node set: label}).
         # A version bump drops that graph's entries wholesale, so probes on
         # mutating graphs neither read stale labels nor accumulate dead
-        # entries from superseded versions.
-        self._cache: dict[int, tuple[int, dict[frozenset[int], int]]] = {}
+        # entries from superseded versions.  Keyed by weak reference — not
+        # ``id()`` — so a long-lived EVerify (worker pools reuse one
+        # explainer across shards) can never serve another graph's labels
+        # after CPython recycles a freed graph's address, and entries die
+        # with their graphs instead of accumulating.
+        self._cache: weakref.WeakKeyDictionary[Graph, tuple[int, dict[frozenset[int], int]]] = (
+            weakref.WeakKeyDictionary()
+        )
         self.inference_calls = 0
 
     def _predict_nodes(self, graph: Graph, nodes: frozenset[int]) -> int:
-        entry = self._cache.get(id(graph))
+        entry = self._cache.get(graph)
         if entry is None or entry[0] != graph.version:
             entry = (graph.version, {})
-            self._cache[id(graph)] = entry
+            self._cache[graph] = entry
         labels = entry[1]
         cached = labels.get(nodes)
         if cached is not None:
@@ -72,6 +117,33 @@ class EVerify:
     def predict(self, graph: Graph) -> int:
         """Label of a full graph (cached)."""
         return self._predict_nodes(graph, frozenset(graph.nodes))
+
+    def prime(self, graph: Graph, node_sets: Sequence[frozenset[int]]) -> int:
+        """Batch-compute and cache the labels of many candidate node sets.
+
+        All uncached sets are classified in a single block-diagonal
+        message-passing pass (``GNNClassifier.predict_subsets``), so a
+        greedy round that is about to probe a whole frontier pays one
+        inference instead of one per candidate.  Subsequent
+        :meth:`is_consistent` / :meth:`is_counterfactual` calls hit the
+        cache.  Returns the number of sets actually classified; a no-op
+        (sequential probes stay bit-faithful) when the sparse backend is
+        off or fewer than two sets are missing.
+        """
+        if not sparse_enabled():
+            return 0
+        entry = self._cache.get(graph)
+        if entry is None or entry[0] != graph.version:
+            entry = (graph.version, {})
+            self._cache[graph] = entry
+        labels = entry[1]
+        missing = [nodes for nodes in dict.fromkeys(node_sets) if nodes and nodes not in labels]
+        if len(missing) < 2:
+            return 0
+        for nodes, label in zip(missing, self.model.predict_subsets(graph, missing)):
+            labels[nodes] = label
+        self.inference_calls += len(missing)
+        return len(missing)
 
     def is_consistent(self, graph: Graph, nodes: set[int], label: int) -> bool:
         """C2 first half: ``M(G[nodes]) == label``."""

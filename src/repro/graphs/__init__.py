@@ -4,6 +4,7 @@ from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
 from repro.graphs.sparse import (
+    BatchedGraphView,
     SparseGraphView,
     set_sparse_backend,
     sparse_backend,
@@ -20,6 +21,7 @@ __all__ = [
     "Graph",
     "GraphPattern",
     "GraphDatabase",
+    "BatchedGraphView",
     "SparseGraphView",
     "sparse_enabled",
     "set_sparse_backend",

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.exceptions import DatasetError
 from repro.graphs.graph import Graph
+from repro.graphs.sparse import BatchedGraphView
 
 __all__ = ["GraphDatabase"]
 
@@ -27,6 +28,12 @@ class GraphDatabase:
         self.name = name
         self._graphs: list[Graph] = []
         self._labels: list[int | None] = []
+        # Memo for batched_view, keyed by (indices, per-graph versions) so a
+        # mutation of any member graph invalidates the cached batch.  Bounded
+        # (insertion-ordered eviction) so long-lived databases queried with
+        # many distinct index subsets don't pin batches forever.
+        self._batch_cache: dict[tuple, BatchedGraphView] = {}
+        self._batch_cache_size = 8
 
     # ------------------------------------------------------------------
     # construction
@@ -117,6 +124,30 @@ class GraphDatabase:
                 view.feature_matrix(feature_dim)
             built += 1
         return built
+
+    def batched_view(self, indices: Sequence[int] | None = None) -> BatchedGraphView:
+        """Block-diagonal CSR batch over the selected graphs (default: all).
+
+        One message-passing pass over the returned batch classifies every
+        selected graph at once (``GNNClassifier.predict_batch``), which is
+        how the explainers amortise inference across a whole label group.
+        The batch is memoised per (indices, graph versions) and rebuilt
+        automatically after any member graph mutates.
+        """
+        if indices is None:
+            indices = range(len(self._graphs))
+        selected = [self._graphs[index] for index in indices]
+        key = (tuple(indices), tuple(graph.version for graph in selected))
+        cached = self._batch_cache.get(key)
+        if cached is None:
+            cached = BatchedGraphView.from_graphs(selected)
+            # Drop stale batches for the same index tuple (old versions).
+            for existing in [k for k in self._batch_cache if k[0] == key[0]]:
+                del self._batch_cache[existing]
+            while len(self._batch_cache) >= self._batch_cache_size:
+                del self._batch_cache[next(iter(self._batch_cache))]
+            self._batch_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # statistics (Table 3 of the paper)

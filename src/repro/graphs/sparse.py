@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.graphs.graph import Graph
 
 __all__ = [
+    "BatchedGraphView",
     "SparseGraphView",
     "sparse_enabled",
     "set_sparse_backend",
@@ -337,3 +338,183 @@ class SparseGraphView:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SparseGraphView |V|={self.num_nodes} |E|={self.num_edges} v{self.version}>"
+
+
+class BatchedGraphView:
+    """A block-diagonal CSR batch over node subsets of one or more graphs.
+
+    Message passing never crosses graph boundaries, so a whole label group —
+    or many candidate subsets of one source graph — can run through a single
+    forward pass when their adjacencies are stacked block-diagonally and
+    their feature rows concatenated.  Each block is ``(view, rows)``: a
+    :class:`SparseGraphView` snapshot plus the row indices participating in
+    the block (all rows for whole-graph batches, a subset for ``EVerify``
+    style probes).
+
+    The batch caches the stacked feature matrix per dimensionality and one
+    message-passing operator per convolution type (``gcn`` symmetric
+    normalisation, ``gin`` raw adjacency, ``sage`` row-normalised mean
+    adjacency) — normalisation is safe to apply globally because node degrees
+    never span blocks.  All operators require scipy; :meth:`operator` returns
+    ``None`` without it and callers fall back to per-graph inference.
+    """
+
+    __slots__ = ("blocks", "offsets", "total_rows", "_adjacency", "_operators", "_features")
+
+    def __init__(self, blocks: list[tuple[SparseGraphView, np.ndarray]]) -> None:
+        self.blocks = blocks
+        sizes = np.fromiter((len(rows) for _, rows in blocks), dtype=np.int64, count=len(blocks))
+        self.offsets = np.zeros(len(blocks) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.offsets[1:])
+        self.total_rows = int(self.offsets[-1])
+        self._adjacency = None
+        self._operators: dict[str, object] = {}
+        self._features: dict[int, np.ndarray] = {}
+
+    @classmethod
+    def from_graphs(cls, graphs: Iterable["Graph"]) -> "BatchedGraphView":
+        """Whole-graph batch: one block per graph, all rows."""
+        blocks = []
+        for graph in graphs:
+            view = graph.sparse_view()
+            blocks.append((view, np.arange(view.num_nodes, dtype=np.int64)))
+        return cls(blocks)
+
+    @classmethod
+    def from_subsets(cls, view: SparseGraphView, row_sets: Iterable[np.ndarray]) -> "BatchedGraphView":
+        """Subset batch: every block slices the same source view."""
+        return cls([(view, np.asarray(rows, dtype=np.int64)) for rows in row_sets])
+
+    # ------------------------------------------------------------------
+    # stacked matrices
+    # ------------------------------------------------------------------
+    def feature_matrix(self, feature_dim: int | None = None) -> np.ndarray:
+        """Concatenated feature rows of every block (cached; read-only)."""
+        key = -1 if feature_dim is None else feature_dim
+        cached = self._features.get(key)
+        if cached is None:
+            parts = [view.feature_matrix(feature_dim)[rows] for view, rows in self.blocks]
+            cached = (
+                np.concatenate(parts, axis=0)
+                if parts
+                else np.zeros((0, feature_dim or 1))
+            )
+            self._features[key] = cached
+        return cached
+
+    @staticmethod
+    def _sub_csr(view: SparseGraphView, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(indptr, indices) of the node-induced CSR submatrix, pure numpy.
+
+        One flat gather of the selected rows' neighbour lists plus a
+        membership filter — no scipy ``__getitem__`` machinery, which
+        dominates the runtime when batches hold many small blocks.
+        """
+        starts = view.indptr[rows]
+        lengths = view.indptr[rows + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.zeros(len(rows) + 1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        # Flat positions of every neighbour entry of every selected row.
+        ends = np.cumsum(lengths)
+        flat = np.arange(total, dtype=np.int64) - np.repeat(ends - lengths, lengths)
+        flat += np.repeat(starts, lengths)
+        cols = view.indices[flat]
+        local = np.full(view.num_nodes, -1, dtype=np.int64)
+        local[rows] = np.arange(len(rows), dtype=np.int64)
+        keep = local[cols] >= 0
+        row_ids = np.repeat(np.arange(len(rows), dtype=np.int64), lengths)
+        kept_per_row = np.bincount(row_ids[keep], minlength=len(rows))
+        indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum(kept_per_row, out=indptr[1:])
+        return indptr, local[cols[keep]]
+
+    def _block_adjacency(self):
+        """Block-diagonal scipy CSR adjacency (cached; ``None`` sans scipy)."""
+        if _scipy_sparse is None:
+            return None
+        if self._adjacency is None:
+            indptr_parts = [np.zeros(1, dtype=np.int64)]
+            indices_parts = []
+            nnz = 0
+            for (view, rows), offset in zip(self.blocks, self.offsets[:-1]):
+                if len(rows) == view.num_nodes:
+                    sub_indptr, sub_indices = view.indptr, view.indices
+                else:
+                    sub_indptr, sub_indices = self._sub_csr(view, rows)
+                indptr_parts.append(sub_indptr[1:] + nnz)
+                indices_parts.append(sub_indices + offset)
+                nnz += int(sub_indptr[-1])
+            indptr = np.concatenate(indptr_parts)
+            indices = (
+                np.concatenate(indices_parts) if indices_parts else np.zeros(0, dtype=np.int64)
+            )
+            data = np.ones(len(indices), dtype=float)
+            self._adjacency = _scipy_sparse.csr_matrix(
+                (data, indices, indptr), shape=(self.total_rows, self.total_rows)
+            )
+        return self._adjacency
+
+    def _degree_scale(self, conv: str) -> np.ndarray:
+        """Cached per-row normalisation vector for a convolution type."""
+        cached = self._operators.get(conv)
+        if cached is None:
+            adjacency = self._block_adjacency()
+            degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+            if conv == "gcn":
+                cached = (degrees + 1.0) ** -0.5  # self loops: every degree >= 1
+            else:  # sage mean aggregation
+                degrees[degrees == 0] = 1.0
+                cached = 1.0 / degrees
+            self._operators[conv] = cached
+        return cached
+
+    def propagate(self, conv: str, hidden: np.ndarray) -> np.ndarray | None:
+        """One message-passing aggregation over the whole batch.
+
+        Returns the conv-specific aggregation of ``hidden`` (``None`` when
+        scipy is unavailable): the GCN symmetric normalisation
+        ``D^-1/2 (A+I) D^-1/2 H`` is applied as two row scalings around one
+        sparse matvec — the self loops and diagonal scalings never need a
+        materialised ``A+I`` — ``sage`` yields the mean-aggregated
+        neighbours, and anything else the raw ``A @ H``.
+        """
+        adjacency = self._block_adjacency()
+        if adjacency is None:
+            return None
+        if conv == "gcn":
+            inv_sqrt = self._degree_scale(conv)[:, None]
+            scaled = inv_sqrt * hidden
+            return inv_sqrt * (adjacency @ scaled + scaled)
+        if conv == "sage":
+            return self._degree_scale(conv)[:, None] * (adjacency @ hidden)
+        return adjacency @ hidden
+
+    # ------------------------------------------------------------------
+    # per-block readout
+    # ------------------------------------------------------------------
+    def segment_pool(self, hidden: np.ndarray, mode: str) -> np.ndarray:
+        """Pool node rows into one row per block (max/mean/sum).
+
+        Empty blocks pool to zero rows, matching the empty-graph
+        short-circuit of the per-graph forward pass.
+        """
+        num_blocks = len(self.blocks)
+        pooled = np.zeros((num_blocks, hidden.shape[1]))
+        sizes = np.diff(self.offsets)
+        nonempty = sizes > 0
+        if not nonempty.any():
+            return pooled
+        # Empty segments occupy no rows, so the spans between consecutive
+        # non-empty starts align exactly with block contents.
+        starts = self.offsets[:-1][nonempty]
+        if mode == "max":
+            pooled[nonempty] = np.maximum.reduceat(hidden, starts, axis=0)
+        elif mode == "mean":
+            pooled[nonempty] = np.add.reduceat(hidden, starts, axis=0) / sizes[nonempty][:, None]
+        else:
+            pooled[nonempty] = np.add.reduceat(hidden, starts, axis=0)
+        return pooled
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BatchedGraphView blocks={len(self.blocks)} rows={self.total_rows}>"

@@ -133,3 +133,75 @@ class TestPersistence:
     def test_require_trained(self, untrained_small_model):
         with pytest.raises(NotFittedError):
             untrained_small_model.require_trained()
+
+
+class TestBatchedInference:
+    """Database-level batched inference vs the per-graph reference paths."""
+
+    @pytest.fixture(autouse=True)
+    def _force_batching(self, monkeypatch):
+        """Drop the row-count gate so small fixtures hit the batched path."""
+        import repro.gnn.models as models_module
+
+        monkeypatch.setattr(models_module, "_BATCH_MIN_ROWS", 0)
+
+    @pytest.mark.parametrize("conv", ["gcn", "gin", "sage"])
+    @pytest.mark.parametrize("pooling", ["max", "mean", "sum"])
+    def test_predict_batch_matches_per_graph(self, mut_database, conv, pooling):
+        model = GNNClassifier(
+            feature_dim=14, num_classes=2, hidden_dim=8, num_layers=2,
+            conv=conv, pooling=pooling, seed=2,
+        )
+        graphs = mut_database.graphs[:6]
+        batched = model.predict_batch(graphs)
+        assert batched == [model.predict(graph) for graph in graphs]
+
+    @pytest.mark.parametrize("conv", ["gcn", "gin", "sage"])
+    def test_batch_logits_close_to_per_graph(self, mut_database, conv):
+        model = GNNClassifier(
+            feature_dim=14, num_classes=2, hidden_dim=8, num_layers=2, conv=conv, seed=2
+        )
+        graphs = mut_database.graphs[:5]
+        batched = model.batch_logits(graphs)
+        reference = np.stack([model.predict_logits(graph) for graph in graphs])
+        np.testing.assert_allclose(batched, reference, atol=1e-9)
+
+    def test_predict_proba_batch_rows_match(self, trained_mut_model, mut_database):
+        graphs = mut_database.graphs[:5]
+        batched = trained_mut_model.predict_proba_batch(graphs)
+        for row, graph in enumerate(graphs):
+            np.testing.assert_allclose(
+                batched[row], trained_mut_model.predict_proba(graph), atol=1e-9
+            )
+
+    def test_batch_handles_empty_graph(self, trained_mut_model, mut_database):
+        graphs = [mut_database[0], Graph(), mut_database[1]]
+        batched = trained_mut_model.predict_batch(graphs)
+        assert batched == [trained_mut_model.predict(graph) for graph in graphs]
+
+    def test_predict_subsets_matches_per_subset(self, trained_mut_model, mut_database):
+        graph = mut_database[0]
+        node_sets = [
+            frozenset(graph.nodes[:3]),
+            frozenset(graph.nodes[2:8]),
+            frozenset(graph.nodes),
+        ]
+        batched = trained_mut_model.predict_subsets(graph, node_sets)
+        assert batched == [
+            trained_mut_model.predict_node_subset(graph, nodes) for nodes in node_sets
+        ]
+
+    def test_predict_proba_subsets_close(self, trained_mut_model, mut_database):
+        graph = mut_database[0]
+        node_sets = [frozenset(graph.nodes[:4]), frozenset(graph.nodes[3:9])]
+        batched = trained_mut_model.predict_proba_subsets(graph, node_sets)
+        for row, nodes in enumerate(node_sets):
+            np.testing.assert_allclose(
+                batched[row], trained_mut_model.predict_proba_nodes(graph, nodes), atol=1e-9
+            )
+
+    def test_single_graph_falls_back_to_reference(self, trained_mut_model, mut_database):
+        graph = mut_database[0]
+        np.testing.assert_array_equal(
+            trained_mut_model.batch_logits([graph]), [trained_mut_model.predict_logits(graph)]
+        )

@@ -124,7 +124,9 @@ class TestParallelExplain:
             # Merged patterns are deduplicated across the two shards.
             keys = [pattern.canonical_key() for pattern in merged.patterns]
             assert len(keys) == len(set(keys))
-            assert merged.metadata["merged_from"] == 2
+            # Chunked sharding hands each worker several smaller shards (load
+            # balancing), so the merge sees at least one shard per worker.
+            assert merged.metadata["merged_from"] >= 2
             # Rebuilt subgraphs reference the caller's graph objects, not
             # worker-side copies.
             for subgraph in merged.subgraphs:

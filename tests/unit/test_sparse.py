@@ -15,6 +15,7 @@ from repro.graphs import (
     sparse_backend,
     sparse_enabled,
 )
+from repro.graphs.sparse import BatchedGraphView
 from repro.matching.coverage import covered_edges, covered_nodes
 
 
@@ -214,3 +215,58 @@ class TestModelEquivalence:
                     gains.tolist(),
                 )
         assert results[True] == results[False]
+
+
+class TestBatchedGraphView:
+    def test_block_adjacency_is_block_diagonal(self):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        graphs = [build_test_graph(), build_test_graph()]
+        batch = BatchedGraphView.from_graphs(graphs)
+        dense = np.zeros((batch.total_rows, batch.total_rows))
+        offset = 0
+        for graph in graphs:
+            n = graph.num_nodes()
+            dense[offset : offset + n, offset : offset + n] = graph.adjacency_matrix()
+            offset += n
+        adjacency = batch._block_adjacency()
+        assert scipy_sparse.issparse(adjacency)
+        np.testing.assert_array_equal(adjacency.toarray(), dense)
+
+    def test_subset_blocks_match_induced_adjacency(self):
+        pytest.importorskip("scipy.sparse")
+        graph = build_test_graph()
+        view = graph.sparse_view()
+        rows = view.rows_for(graph.nodes[:3])
+        batch = BatchedGraphView.from_subsets(view, [rows, np.arange(view.num_nodes)])
+        blocks = batch._block_adjacency().toarray()
+        np.testing.assert_array_equal(blocks[:3, :3], view.sub_adjacency(rows))
+        np.testing.assert_array_equal(blocks[3:, 3:], view.dense_adjacency())
+
+    def test_feature_matrix_concatenates_blocks(self):
+        graph = build_test_graph()
+        batch = BatchedGraphView.from_graphs([graph, graph])
+        features = batch.feature_matrix(2)
+        np.testing.assert_array_equal(features[:5], graph.feature_matrix(2))
+        np.testing.assert_array_equal(features[5:], graph.feature_matrix(2))
+
+    def test_segment_pool_handles_empty_blocks(self):
+        graph = build_test_graph()
+        empty = Graph()
+        batch = BatchedGraphView.from_graphs([graph, empty, graph])
+        hidden = np.arange(batch.total_rows * 2, dtype=float).reshape(batch.total_rows, 2)
+        pooled = batch.segment_pool(hidden, "max")
+        np.testing.assert_array_equal(pooled[0], hidden[:5].max(axis=0))
+        np.testing.assert_array_equal(pooled[1], np.zeros(2))
+        np.testing.assert_array_equal(pooled[2], hidden[5:].max(axis=0))
+        summed = batch.segment_pool(hidden, "sum")
+        np.testing.assert_array_equal(summed[2], hidden[5:].sum(axis=0))
+
+    def test_gcn_propagate_matches_dense_normalisation(self):
+        pytest.importorskip("scipy.sparse")
+        from repro.gnn.tensor_ops import normalize_adjacency
+
+        graph = build_test_graph()
+        batch = BatchedGraphView.from_graphs([graph])
+        hidden = graph.feature_matrix(2)
+        expected = normalize_adjacency(graph.adjacency_matrix()) @ hidden
+        np.testing.assert_allclose(batch.propagate("gcn", hidden), expected, atol=1e-12)
