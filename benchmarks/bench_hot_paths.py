@@ -41,6 +41,7 @@ if __name__ == "__main__":  # allow running from a clean checkout
     if _src.is_dir() and str(_src) not in sys.path:
         sys.path.insert(0, str(_src))
 
+from repro.api import ExplanationService, create_explainer
 from repro.core.approx import ApproxGVEX
 from repro.core.config import Configuration
 from repro.core.quality import GraphAnalysis
@@ -234,6 +235,63 @@ def bench_explain_label(
     return total, node_sets
 
 
+def bench_service(context: BenchContext, config, num_graphs: int) -> dict:
+    """Service-level throughput: ``explain_many`` vs direct calls, warm vs cold.
+
+    Three measurements over the same label fan-out on the same database:
+
+    * ``direct_seconds``  — one ``create_explainer("approx").explain_label``
+      per label, the pre-service call shape;
+    * ``cold_seconds``    — ``ExplanationService.explain_many`` with an empty
+      result cache (pays provenance + fingerprint + store bookkeeping);
+    * ``warm_seconds``    — the identical fan-out again, now served entirely
+      from the fingerprint-keyed view cache.
+
+    The guard watches ``direct/cold`` (the service layer must stay a thin
+    wrapper) and ``cold/warm`` (cache hits must stay near-free), plus
+    node-set identity between the direct and service views.
+    """
+    subset = context.database.subset(list(range(min(num_graphs, len(context.database)))))
+    with sparse_backend(True):
+        subset.warm_sparse_cache()
+        labels = sorted({context.model.predict(graph) for graph in subset.graphs})
+
+        start = time.perf_counter()
+        direct_views = {
+            label: create_explainer("approx", context.model, config=config).explain_label(
+                subset.graphs, label
+            )
+            for label in labels
+        }
+        direct_seconds = time.perf_counter() - start
+
+        service = ExplanationService(
+            context.dataset, database=subset, model=context.model, config=config
+        )
+        start = time.perf_counter()
+        cold_results = service.explain_many(labels=labels, algorithm="approx")
+        cold_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm_results = service.explain_many(labels=labels, algorithm="approx")
+        warm_seconds = time.perf_counter() - start
+
+    identical = all(
+        [sorted(s.nodes) for s in direct_views[result.provenance.label].subgraphs]
+        == [sorted(s.nodes) for s in result.view.subgraphs]
+        for result in cold_results
+    ) and all(result.provenance.cache_hit for result in warm_results)
+    return {
+        "labels": labels,
+        "direct_seconds": direct_seconds,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "direct_ratio": direct_seconds / max(cold_seconds, 1e-9),
+        "warm_speedup": cold_seconds / max(warm_seconds, 1e-9),
+        "identical": identical,
+    }
+
+
 def run_benchmark(
     datasets=DEFAULT_DATASETS,
     reps: int = 3,
@@ -249,8 +307,11 @@ def run_benchmark(
     everify_speedups: list[float] = []
     explain_label_speedups: list[float] = []
     stream_explain_label_speedups: list[float] = []
+    service_warm_speedups: list[float] = []
+    service_direct_ratios: list[float] = []
     views_identical = True
     lazy_eager_identical = True
+    service_identical = True
     for name in datasets:
         context = build_context(name, num_graphs=num_graphs, graph_size=graph_size, epochs=epochs)
         config = Configuration().with_default_bound(0, 8)
@@ -294,7 +355,15 @@ def run_benchmark(
             and stream_lazy_sets == stream_eager_sets
         )
 
+        # Service-level throughput (explain_many via the service vs direct
+        # per-label calls, warm vs cold view cache).
+        service = bench_service(context, config, e2e_num_graphs)
+        service_warm_speedups.append(service["warm_speedup"])
+        service_direct_ratios.append(service["direct_ratio"])
+        service_identical = service_identical and service["identical"]
+
         report["datasets"][name] = {
+            "service": service,
             "influence": {
                 "legacy_seconds": legacy_influence,
                 "sparse_seconds": sparse_influence,
@@ -324,8 +393,11 @@ def run_benchmark(
     report["everify_speedup_min"] = min(everify_speedups)
     report["explain_label_speedup_min"] = min(explain_label_speedups)
     report["stream_explain_label_speedup_min"] = min(stream_explain_label_speedups)
+    report["service_warm_speedup_min"] = min(service_warm_speedups)
+    report["service_direct_ratio_min"] = min(service_direct_ratios)
     report["views_identical"] = views_identical
     report["lazy_eager_identical"] = lazy_eager_identical
+    report["service_identical"] = service_identical
     return report
 
 
@@ -360,8 +432,11 @@ def main(argv: list[str] | None = None) -> int:
         f"everify   speedup (min over datasets): {report['everify_speedup_min']:.2f}x\n"
         f"explain_label (CELF+batched vs eager): {report['explain_label_speedup_min']:.2f}x\n"
         f"stream explain_label:                  {report['stream_explain_label_speedup_min']:.2f}x\n"
+        f"service warm-cache speedup:            {report['service_warm_speedup_min']:.2f}x\n"
+        f"service direct/cold ratio:             {report['service_direct_ratio_min']:.2f}x\n"
         f"views identical across backends: {report['views_identical']}\n"
-        f"lazy and eager node sets identical: {report['lazy_eager_identical']}",
+        f"lazy and eager node sets identical: {report['lazy_eager_identical']}\n"
+        f"service and direct node sets identical: {report['service_identical']}",
         file=sys.stderr,
     )
     return 0

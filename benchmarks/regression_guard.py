@@ -34,6 +34,8 @@ GUARDED_METRICS = (
     "everify_speedup_min",
     "explain_label_speedup_min",
     "stream_explain_label_speedup_min",
+    "service_warm_speedup_min",
+    "service_direct_ratio_min",
 )
 
 
@@ -47,6 +49,11 @@ def check(current: dict, baseline: dict, tolerance: float = 0.25) -> list[str]:
     if "lazy_eager_identical" in current and not current["lazy_eager_identical"]:
         failures.append(
             "lazy (CELF) and eager selection no longer produce identical node sets"
+        )
+    if "service_identical" in current and not current["service_identical"]:
+        failures.append(
+            "service-layer explain_many no longer matches direct explain_label "
+            "node sets (or warm requests stopped hitting the view cache)"
         )
     for metric in GUARDED_METRICS:
         reference = baseline.get(metric)

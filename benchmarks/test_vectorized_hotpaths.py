@@ -55,3 +55,14 @@ def test_vectorized_hot_paths(benchmark):
     assert report["explain_label_speedup_min"] >= 1.5, (
         f"end-to-end explain_label speedup {report['explain_label_speedup_min']:.2f}x < 1.5x"
     )
+    assert report["service_identical"], (
+        "service explain_many must match direct explain_label node sets and "
+        "serve warm requests from the view cache"
+    )
+    assert report["service_warm_speedup_min"] >= 10.0, (
+        f"warm view-cache speedup {report['service_warm_speedup_min']:.2f}x < 10x"
+    )
+    assert report["service_direct_ratio_min"] >= 0.5, (
+        f"service layer overhead too high: direct/cold ratio "
+        f"{report['service_direct_ratio_min']:.2f} < 0.5"
+    )

@@ -1,0 +1,102 @@
+"""Walkthrough of the unified service API: train → explain → save → reload → query.
+
+The paper's central artifact is the *explanation view* — a two-tier structure
+built to be stored and queried downstream.  This example drives the whole
+lifecycle through :class:`repro.api.ExplanationService`, the single public
+surface of the library:
+
+1. train a classifier on a dataset (cached in-process),
+2. produce views through two different algorithms via the string-keyed
+   registry (``create_explainer`` names),
+3. persist the results as versioned JSON artifacts,
+4. reload them into a *fresh* service (no re-explaining), and
+5. answer the paper's Example-1.1-style queries over the stored views.
+
+Run with::
+
+    PYTHONPATH=src python examples/service_api.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.api import ExplanationService, available_explainers, views_equal
+from repro.core import Configuration
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. train-or-load: the service owns the dataset + model lifecycle
+    # ------------------------------------------------------------------
+    service = ExplanationService(
+        "MUT",
+        epochs=25,
+        config=Configuration(theta=0.08).with_default_bound(0, 6),
+    )
+    print(f"dataset        : {service.dataset} ({len(service.database)} graphs)")
+    print(f"test accuracy  : {service.test_accuracy:.3f}")
+    print(f"algorithms     : {', '.join(available_explainers())}")
+
+    # ------------------------------------------------------------------
+    # 2. explain through the registry — same call shape for every algorithm
+    # ------------------------------------------------------------------
+    approx = service.explain(algorithm="approx", label=1, limit=4)
+    stream = service.explain(algorithm="stream", label=1, limit=4)
+    print("\nper-algorithm views for label 1:")
+    for result in (approx, stream):
+        provenance = result.provenance
+        print(
+            f"  {provenance.algorithm:<8} subgraphs={len(result.view.subgraphs)} "
+            f"patterns={len(result.view.patterns)} "
+            f"runtime={provenance.runtime_seconds:.2f}s "
+            f"config={provenance.config_fingerprint}"
+        )
+
+    # Asking again is free: the result cache is keyed by the request's
+    # configuration fingerprint.
+    cached = service.explain(algorithm="approx", label=1, limit=4)
+    print(f"\nrepeat request served from cache: {cached.provenance.cache_hit}")
+
+    # ------------------------------------------------------------------
+    # 3-4. save the views, then reload them into a fresh service
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        # save_views persists the *latest* view per label — here the cached
+        # approx result, which superseded the stream view for label 1.
+        path = Path(tmp) / "mut_views.json"
+        service.save_views(path)
+        print(f"\nsaved views to {path.name} ({path.stat().st_size} bytes)")
+
+        fresh = ExplanationService(
+            "MUT", database=service.database, model=service.model
+        )
+        [reloaded] = fresh.load_views(path)
+        print(f"reloaded losslessly: {views_equal(reloaded.view, approx.view)}")
+
+        # --------------------------------------------------------------
+        # 5. downstream queries — no explainer runs from here on
+        # --------------------------------------------------------------
+        query = fresh.query()
+        print("\nper-label summary:", query.summary())
+        if reloaded.view.patterns:
+            pattern = reloaded.view.patterns[0]
+            print(
+                f"labels whose witnesses contain pattern {pattern.pattern_id}: "
+                f"{query.labels_with_pattern(pattern)}"
+            )
+        witness_graph = reloaded.view.subgraphs[0].source_graph.graph_id
+        witness = query.witness(witness_graph)
+        print(f"witness for graph {witness_graph}: nodes={witness['nodes']}")
+        report = query.report(reloaded.provenance.label)
+        print(
+            "fidelity+ = {fidelity_plus:.3f}, sparsity = {sparsity:.3f}".format(
+                fidelity_plus=report["fidelity"]["fidelity_plus"],
+                sparsity=report["conciseness"]["sparsity"],
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

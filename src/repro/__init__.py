@@ -9,9 +9,19 @@ The package is organised as
 * :mod:`repro.core` — the GVEX explainers (ApproxGVEX, StreamGVEX) and view API;
 * :mod:`repro.baselines` — GNNExplainer, SubgraphX, GStarX, GCFExplainer;
 * :mod:`repro.metrics` — fidelity, sparsity, compression, edge loss;
+* :mod:`repro.api` — **the public service layer**: explainer registry,
+  serializable views, result cache, query facade, HTTP endpoint;
 * :mod:`repro.experiments` — runners that regenerate the paper's tables and figures.
 
-Quick start::
+Quick start (service API)::
+
+    from repro import ExplanationService
+
+    service = ExplanationService("MUT", epochs=30)
+    result = service.explain(algorithm="approx", label=1, max_nodes=8)
+    service.query().witness(result.view.subgraphs[0].source_graph.graph_id)
+
+The direct algorithm constructors remain available as a deprecated path::
 
     from repro import load_dataset, GNNClassifier, Trainer, ApproxGVEX, Configuration
 
@@ -21,6 +31,15 @@ Quick start::
     views = ApproxGVEX(model, Configuration()).explain(database)
 """
 
+from repro.api import (
+    ExplainRequest,
+    ExplanationResult,
+    ExplanationService,
+    available_explainers as available_explainer_names,
+    create_explainer,
+    load_artifact,
+    save_artifact,
+)
 from repro.core import (
     ApproxGVEX,
     Configuration,
@@ -60,4 +79,11 @@ __all__ = [
     "parallel_explain",
     "verify_view",
     "ViewQueryEngine",
+    "ExplanationService",
+    "ExplainRequest",
+    "ExplanationResult",
+    "create_explainer",
+    "available_explainer_names",
+    "save_artifact",
+    "load_artifact",
 ]

@@ -1,0 +1,83 @@
+"""The public service layer of the GVEX reproduction.
+
+``repro.api`` is the stable surface downstream code should program against:
+
+* :func:`create_explainer` / :func:`available_explainers` — one string-keyed
+  factory over every algorithm (GVEX and baselines alike), all conforming to
+  the :class:`Explainer` protocol;
+* :class:`ExplainRequest` → :class:`ExplanationResult` — typed, cacheable
+  job descriptions with provenance;
+* :mod:`repro.api.serialize` — versioned, lossless JSON persistence of
+  views (``save_artifact`` / ``load_artifact``) plus the published schema;
+* :class:`ExplanationService` — session object owning the model + database
+  lifecycle, the fingerprint-keyed result cache, parallel fan-out, and the
+  :class:`ServiceQuery` facade;
+* :func:`create_server` / :func:`serve` — the ``repro serve`` JSON/HTTP
+  endpoint.
+
+The algorithm classes (``ApproxGVEX``, ``StreamGVEX``, the
+``BaseExplainer`` zoo) remain importable from their historical locations as
+deprecation shims; new code should reach them through this package.
+"""
+
+from repro.api.registry import (
+    DEFAULT_REGISTRY,
+    ExplainerRegistry,
+    InstanceViewExplainer,
+    available_explainers,
+    create_explainer,
+    register_explainer,
+)
+from repro.api.serialize import (
+    explanation_schema,
+    load_artifact,
+    result_from_dict,
+    result_to_dict,
+    save_artifact,
+    validate_against_schema,
+    view_from_dict,
+    view_set_from_dict,
+    view_set_to_dict,
+    view_to_dict,
+    views_equal,
+)
+from repro.api.server import create_server, serve
+from repro.api.service import ExplanationService, ServiceQuery
+from repro.api.store import ViewStore
+from repro.api.types import (
+    SCHEMA_VERSION,
+    ExplainRequest,
+    ExplanationResult,
+    Explainer,
+    Provenance,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Explainer",
+    "ExplainRequest",
+    "ExplanationResult",
+    "Provenance",
+    "ExplainerRegistry",
+    "InstanceViewExplainer",
+    "DEFAULT_REGISTRY",
+    "register_explainer",
+    "create_explainer",
+    "available_explainers",
+    "view_to_dict",
+    "view_from_dict",
+    "view_set_to_dict",
+    "view_set_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_artifact",
+    "load_artifact",
+    "explanation_schema",
+    "validate_against_schema",
+    "views_equal",
+    "ViewStore",
+    "ExplanationService",
+    "ServiceQuery",
+    "create_server",
+    "serve",
+]

@@ -1,0 +1,203 @@
+"""``repro serve``: a stdlib-only JSON/HTTP endpoint over the service.
+
+A thin request/response shim — all real work happens in
+:class:`~repro.api.service.ExplanationService` — so the wire format is
+exactly the serialisation layer's schema (``GET /schema`` publishes it).
+
+Endpoints
+---------
+* ``GET  /health``              — service stats (dataset, accuracy, cache);
+* ``GET  /algorithms``          — names accepted by ``create_explainer``;
+* ``GET  /schema``              — the explanation-artifact JSON schema;
+* ``POST /explain``             — body ``{"algorithm", "label", "max_nodes",
+  "limit", "graph_ids"}`` → a serialised explanation result envelope;
+* ``GET  /views``               — provenance of every stored view;
+* ``GET  /query/summary``       — per-label view summary;
+* ``GET  /query/graph/<id>``    — stored witness subgraph for one graph;
+* ``GET  /query/label/<label>`` — patterns + metric report for one label.
+
+Built on :class:`http.server.ThreadingHTTPServer` (no third-party
+dependency), which is sufficient for the explanation workloads this repo
+targets: views are cached after first computation, so steady-state requests
+are dictionary lookups + JSON dumps.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.api.registry import available_explainers
+from repro.api.serialize import explanation_schema, result_to_dict
+from repro.api.service import ExplanationService
+from repro.exceptions import ReproError
+
+__all__ = ["create_server", "serve"]
+
+
+class _ExplanationRequestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the bound :class:`ExplanationService`."""
+
+    # Installed by create_server on the generated subclass.
+    service: ExplanationService = None  # type: ignore[assignment]
+    quiet: bool = True
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: Any, status: int = 200) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, message: str, status: int = 400) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server contract)
+        try:
+            self._route_get(self.path.rstrip("/") or "/")
+        except ReproError as error:
+            self._send_error(str(error), status=404)
+        except (ValueError, TypeError) as error:
+            # e.g. a non-integer /query/graph/<id> segment — a client fault.
+            self._send_error(str(error), status=400)
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error(f"internal error: {error}", status=500)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server contract)
+        try:
+            self._route_post(self.path.rstrip("/") or "/")
+        except (ValueError, TypeError, ReproError) as error:
+            self._send_error(str(error), status=400)
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_error(f"internal error: {error}", status=500)
+
+    def _route_get(self, path: str) -> None:
+        if path == "/health":
+            self._send_json({"status": "ok", **self.service.stats()})
+        elif path == "/algorithms":
+            self._send_json({"algorithms": available_explainers()})
+        elif path == "/schema":
+            self._send_json(explanation_schema())
+        elif path == "/views":
+            self._send_json(
+                {
+                    "views": [
+                        result.provenance.to_dict() for result in self.service.results()
+                    ]
+                }
+            )
+        elif path == "/query/summary":
+            summary = self.service.query().summary()
+            self._send_json({"summary": {str(label): row for label, row in summary.items()}})
+        elif path.startswith("/query/graph/"):
+            graph_id = int(path.rsplit("/", 1)[1])
+            witness = self.service.query().witness(graph_id)
+            if witness is None:
+                self._send_error(f"no stored witness for graph {graph_id}", status=404)
+                return
+            witness = dict(witness)
+            witness["patterns"] = [pattern.to_dict() for pattern in witness["patterns"]]
+            self._send_json({"graph_id": graph_id, "witness": witness})
+        elif path.startswith("/query/label/"):
+            label = int(path.rsplit("/", 1)[1])
+            query = self.service.query()
+            self._send_json(
+                {
+                    "label": label,
+                    "patterns": [pattern.to_dict() for pattern in query.patterns(label)],
+                    "report": query.report(label),
+                }
+            )
+        else:
+            self._send_error(f"unknown endpoint {path!r}", status=404)
+
+    def _route_post(self, path: str) -> None:
+        if path != "/explain":
+            self._send_error(f"unknown endpoint {path!r}", status=404)
+            return
+        body = self._read_body()
+        allowed = {"algorithm", "label", "max_nodes", "limit", "graph_ids"}
+        unknown = set(body) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown explain parameters {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        result = self.service.explain(
+            algorithm=body.get("algorithm", "approx"),
+            label=body.get("label"),
+            max_nodes=body.get("max_nodes"),
+            limit=body.get("limit"),
+            graph_ids=body.get("graph_ids"),
+        )
+        # The wire format is the exact persistence envelope, so a client can
+        # pipe the response straight into `repro query --views -`.
+        self._send_json(
+            {
+                "schema_version": result.provenance.schema_version,
+                "kind": "explanation_result",
+                "payload": result_to_dict(result),
+            }
+        )
+
+
+def create_server(
+    service: ExplanationService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) an HTTP server bound to a service.
+
+    ``port=0`` picks a free port — the bound address is available as
+    ``server.server_address``.  Callers own the lifecycle: run
+    ``serve_forever()`` (optionally on a thread) and ``shutdown()`` when
+    done.
+    """
+    handler = type(
+        "BoundExplanationRequestHandler",
+        (_ExplanationRequestHandler,),
+        {"service": service, "quiet": quiet},
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    service: ExplanationService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    quiet: bool = False,
+) -> None:
+    """Blocking convenience wrapper: create a server and run it until ^C."""
+    server = create_server(service, host, port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

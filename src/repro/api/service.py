@@ -1,0 +1,493 @@
+"""The explanation service: one session object from model to queryable views.
+
+:class:`ExplanationService` owns the full lifecycle the paper's system
+section describes — train (or adopt) a classifier over a graph database,
+produce explanation views through any registered algorithm, keep them in a
+fingerprint-keyed result cache (memory LRU + disk spill), and answer
+downstream queries over the stored views without re-running an explainer:
+
+>>> service = ExplanationService("MUT", epochs=20)
+>>> result = service.explain(algorithm="approx", label=1, max_nodes=8)
+>>> service.query().witness(result.view.subgraphs[0].source_graph.graph_id)
+
+Every consumer of the library — the CLI (``repro explain/serve/query``),
+the experiment runners, and the benchmarks — routes through this surface;
+the algorithm classes underneath remain importable but are no longer the
+public contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections.abc import Sequence
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.api.registry import create_explainer
+from repro.api.serialize import load_artifact, save_artifact
+from repro.api.types import ExplainRequest, ExplanationResult, Provenance
+from repro.core.config import Configuration
+from repro.core.explanation import ExplanationViewSet
+from repro.exceptions import ExplanationError
+from repro.graphs.database import GraphDatabase
+from repro.graphs.graph import Graph
+from repro.graphs.sparse import sparse_enabled
+from repro.api.store import ViewStore
+
+__all__ = ["ExplanationService", "ServiceQuery"]
+
+
+class ExplanationService:
+    """Train-or-load a model, explain through any algorithm, cache, query.
+
+    Parameters
+    ----------
+    dataset:
+        Name of a built-in dataset; when ``model`` is not supplied, the
+        service builds the dataset and trains a classifier through the
+        shared experiment context (cached in-process, so repeated service
+        construction does not retrain).
+    database / model:
+        Adopt an existing database and trained classifier instead of the
+        train path (both must be given together).
+    config:
+        Default configuration for requests that do not carry their own.
+    cache_size / cache_dir:
+        Capacity of the in-memory result LRU and the optional spill
+        directory; with a ``cache_dir``, a restarted service starts warm.
+    epochs / seed / num_graphs / hidden_dim:
+        Training knobs forwarded to the experiment context on the train
+        path.
+    """
+
+    def __init__(
+        self,
+        dataset: str | None = None,
+        *,
+        database: GraphDatabase | None = None,
+        model: Any | None = None,
+        config: Configuration | None = None,
+        cache_size: int = 64,
+        cache_dir: str | Path | None = None,
+        epochs: int = 40,
+        seed: int = 7,
+        num_graphs: int | None = None,
+        hidden_dim: int = 16,
+    ) -> None:
+        if (database is None) != (model is None):
+            raise ExplanationError(
+                "pass either both 'database' and 'model' (adopt path) or neither "
+                "(train path with a dataset name)"
+            )
+        if model is None:
+            if dataset is None:
+                raise ExplanationError(
+                    "ExplanationService needs a dataset name to train on, or an "
+                    "existing database + model pair to adopt"
+                )
+            # Imported lazily: the experiment layer sits above the API layer
+            # and pulls in the full baseline zoo.
+            from repro.experiments.setup import prepare_context
+
+            context = prepare_context(
+                dataset,
+                num_graphs=num_graphs,
+                epochs=epochs,
+                hidden_dim=hidden_dim,
+                seed=seed,
+            )
+            self.dataset = context.dataset
+            self.database = context.database
+            self.model = context.model
+            self.train_accuracy: float | None = context.train_accuracy
+            self.test_accuracy: float | None = context.test_accuracy
+            # The paper explains the test split, so limited selections put
+            # test-split graphs first (matching the experiment runners).
+            self._test_ids: list[int | None] = [
+                self.database[index].graph_id for index in context.test_indices
+            ]
+        else:
+            self.dataset = dataset
+            self.database = database
+            self.model = model
+            self.train_accuracy = None
+            self.test_accuracy = None
+            self._test_ids = []
+        self.config = config or Configuration()
+        self._graphs_by_id: dict[int | None, Graph] = {
+            graph.graph_id: graph for graph in self.database.graphs
+        }
+        self.store = ViewStore(
+            capacity=cache_size, spill_dir=cache_dir, graphs_by_id=self._graphs_by_id
+        )
+        # Model-assigned label per graph id, filled lazily (the model is
+        # fixed for the service's lifetime, so one batched pass serves every
+        # request's label filtering).
+        self._predicted: dict[int | None, int] | None = None
+        # Latest result fingerprint per label — what the query facade reads.
+        # Guarded by _lock: the HTTP server handles requests on threads.
+        self._latest: dict[int, str] = {}
+        self._lock = threading.RLock()
+        # Cache keys embed the *context* identity (model weights, database
+        # size, split) next to the request fingerprint, so a persistent
+        # cache_dir can never serve views computed by a different model —
+        # e.g. after retraining with other epochs on the same dataset.
+        self._context_fingerprint = self._fingerprint_context()
+
+    # ------------------------------------------------------------------
+    # the explain surface
+    # ------------------------------------------------------------------
+    def explain(
+        self,
+        request: ExplainRequest | None = None,
+        *,
+        algorithm: str = "approx",
+        label: int | None = None,
+        max_nodes: int | None = None,
+        config: Configuration | None = None,
+        graph_ids: Sequence[int] | None = None,
+        limit: int | None = None,
+    ) -> ExplanationResult:
+        """Produce (or fetch from cache) one label's explanation view.
+
+        Accepts either a prebuilt :class:`~repro.api.types.ExplainRequest`
+        or the equivalent keyword arguments.  The result's provenance
+        records whether it was served from cache.
+        """
+        if request is None:
+            request = ExplainRequest(
+                algorithm=algorithm,
+                label=label,
+                config=config or self.config,
+                max_nodes=max_nodes,
+                graph_ids=tuple(graph_ids) if graph_ids is not None else None,
+                limit=limit,
+            )
+        request = self._resolve_label(request)
+        key = self._cache_key(request)
+        with self._lock:
+            cached = self.store.get(key)
+            if cached is not None:
+                self._latest[cached.provenance.label] = key
+                return cached.marked_cached()
+
+        # The explanation itself runs outside the lock so concurrent
+        # requests for *different* jobs proceed in parallel; two concurrent
+        # misses on the same key redundantly (but harmlessly) both compute.
+        graphs = self._select_graphs(request)
+        explainer = create_explainer(
+            request.algorithm, self.model, config=request.effective_config()
+        )
+        start = time.perf_counter()
+        view = explainer.explain_label(graphs, request.label)
+        runtime = time.perf_counter() - start
+        result = ExplanationResult(
+            view=view,
+            provenance=Provenance(
+                algorithm=request.algorithm,
+                label=request.label,
+                config_fingerprint=request.effective_config().fingerprint(),
+                request_fingerprint=request.fingerprint(),
+                runtime_seconds=runtime,
+                backend="sparse" if sparse_enabled() else "legacy",
+                num_graphs=len(graphs),
+                dataset=self.dataset,
+            ),
+        )
+        with self._lock:
+            self.store.put(key, result)
+            self._latest[request.label] = key
+        return result
+
+    def explain_many(
+        self,
+        labels: Sequence[int] | None = None,
+        *,
+        algorithm: str = "approx",
+        max_nodes: int | None = None,
+        config: Configuration | None = None,
+        limit: int | None = None,
+        num_workers: int = 1,
+    ) -> list[ExplanationResult]:
+        """Fan an explanation job out over every label of interest.
+
+        ``num_workers > 1`` routes the uncached labels of the two GVEX
+        algorithms through :func:`repro.core.parallel.parallel_explain`
+        (process-pool sharding with per-worker model unpickling); cached
+        labels are served from the store either way.
+        """
+        if labels is None:
+            predicted = self._predicted_labels()
+            labels = sorted(set(predicted.values()))
+        requests = {
+            label: self._resolve_label(
+                ExplainRequest(
+                    algorithm=algorithm,
+                    label=label,
+                    config=config or self.config,
+                    max_nodes=max_nodes,
+                    limit=limit,
+                )
+            )
+            for label in labels
+        }
+        results: dict[int, ExplanationResult] = {}
+        pending: list[int] = []
+        with self._lock:
+            for label, request in requests.items():
+                cached = self.store.get(self._cache_key(request))
+                if cached is not None:
+                    self._latest[label] = self._cache_key(request)
+                    results[label] = cached.marked_cached()
+                else:
+                    pending.append(label)
+
+        parallelizable = algorithm in ("approx", "stream") and limit is None
+        if pending and num_workers > 1 and parallelizable:
+            from repro.core.parallel import parallel_explain
+
+            sample = requests[pending[0]]
+            start = time.perf_counter()
+            views = parallel_explain(
+                self.model,
+                self.database,
+                config=sample.effective_config(),
+                labels=pending,
+                num_workers=num_workers,
+                algorithm=algorithm,
+            )
+            elapsed = time.perf_counter() - start
+            for label in pending:
+                request = requests[label]
+                result = ExplanationResult(
+                    view=views.view_for(label),
+                    provenance=Provenance(
+                        algorithm=request.algorithm,
+                        label=label,
+                        config_fingerprint=request.effective_config().fingerprint(),
+                        request_fingerprint=request.fingerprint(),
+                        runtime_seconds=elapsed / max(len(pending), 1),
+                        backend="sparse" if sparse_enabled() else "legacy",
+                        num_graphs=len(self.database),
+                        dataset=self.dataset,
+                    ),
+                )
+                key = self._cache_key(request)
+                with self._lock:
+                    self.store.put(key, result)
+                    self._latest[label] = key
+                results[label] = result
+        else:
+            for label in pending:
+                results[label] = self.explain(requests[label])
+        return [results[label] for label in labels]
+
+    # ------------------------------------------------------------------
+    # stored-view access
+    # ------------------------------------------------------------------
+    def view_set(self) -> ExplanationViewSet:
+        """The latest stored view per label, as one queryable set."""
+        with self._lock:
+            latest = dict(self._latest)
+        views = ExplanationViewSet()
+        for key in latest.values():
+            result = self.store.get(key)
+            if result is not None:
+                views.add(result.view)
+        return views
+
+    def results(self) -> list[ExplanationResult]:
+        """The latest stored result per label (sorted by label)."""
+        with self._lock:
+            latest = dict(self._latest)
+        collected = []
+        for label in sorted(latest):
+            result = self.store.get(latest[label])
+            if result is not None:
+                collected.append(result)
+        return collected
+
+    def query(self) -> "ServiceQuery":
+        """A query facade over every currently stored view."""
+        return ServiceQuery(self)
+
+    def save_views(self, path: str | Path) -> Path:
+        """Persist the latest result per label as one envelope file."""
+        results = self.results()
+        if not results:
+            raise ExplanationError(
+                "the service holds no views to save; call explain() first"
+            )
+        return save_artifact(results, path)
+
+    def load_views(self, path: str | Path) -> list[ExplanationResult]:
+        """Ingest results saved by :meth:`save_views` into the store."""
+        loaded = load_artifact(path, graphs_by_id=self._graphs_by_id)
+        if isinstance(loaded, ExplanationResult):
+            loaded = [loaded]
+        if not isinstance(loaded, list):
+            raise ExplanationError(
+                f"{path} does not hold explanation results (found "
+                f"{type(loaded).__name__}); save with ExplanationService.save_views"
+            )
+        with self._lock:
+            for result in loaded:
+                key = self._result_key(result)
+                self.store.put(key, result)
+                self._latest[result.provenance.label] = key
+        return loaded
+
+    def stats(self) -> dict[str, Any]:
+        """Service health snapshot (dataset, model quality, cache counters)."""
+        with self._lock:
+            labels_explained = sorted(self._latest)
+        return {
+            "dataset": self.dataset,
+            "num_graphs": len(self.database),
+            "labels_explained": labels_explained,
+            "train_accuracy": self.train_accuracy,
+            "test_accuracy": self.test_accuracy,
+            "backend": "sparse" if sparse_enabled() else "legacy",
+            "cache": self.store.stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _predicted_labels(self) -> dict[int | None, int]:
+        if self._predicted is None:
+            graphs = [graph for graph in self.database.graphs if graph.num_nodes() > 0]
+            if sparse_enabled() and len(graphs) > 1:
+                assigned = self.model.predict_batch(graphs)
+            else:
+                assigned = [self.model.predict(graph) for graph in graphs]
+            self._predicted = {
+                graph.graph_id: label for graph, label in zip(graphs, assigned)
+            }
+        return self._predicted
+
+    def _resolve_label(self, request: ExplainRequest) -> ExplainRequest:
+        if request.label is not None:
+            return request
+        predicted = self._predicted_labels()
+        pool = (
+            [predicted[graph_id] for graph_id in request.graph_ids if graph_id in predicted]
+            if request.graph_ids is not None
+            else list(predicted.values())
+        )
+        if not pool:
+            raise ExplanationError(
+                "cannot infer a label to explain: the request selects no "
+                "non-empty graphs"
+            )
+        return request.with_label(min(pool))
+
+    def _select_graphs(self, request: ExplainRequest) -> list[Graph]:
+        if request.graph_ids is not None:
+            wanted = set(request.graph_ids)
+            graphs = [graph for graph in self.database.graphs if graph.graph_id in wanted]
+        else:
+            graphs = list(self.database.graphs)
+        if request.limit is not None:
+            # Test-split graphs first (the paper explains the test set;
+            # train-split graphs only top the group up), matching the
+            # experiment runners' label_group semantics.
+            test_rank = {graph_id: rank for rank, graph_id in enumerate(self._test_ids)}
+            graphs = sorted(
+                graphs, key=lambda graph: test_rank.get(graph.graph_id, len(test_rank))
+            )
+            predicted = self._predicted_labels()
+            graphs = [
+                graph for graph in graphs if predicted.get(graph.graph_id) == request.label
+            ][: request.limit]
+        return graphs
+
+    def _fingerprint_context(self) -> str:
+        """Stable hash of the model weights + database/split identity.
+
+        Part of every cache key: a spill directory shared across runs must
+        never serve views computed by a different (e.g. retrained) model,
+        and the adopt path must not collide across unrelated model/database
+        pairs.
+        """
+        digest = hashlib.sha256()
+        for layer in self.model.get_weights():
+            for name in sorted(layer):
+                array = np.ascontiguousarray(layer[name])
+                digest.update(name.encode("utf-8"))
+                digest.update(str(array.shape).encode("utf-8"))
+                digest.update(array.tobytes())
+        digest.update(str(len(self.database)).encode("utf-8"))
+        digest.update(str(self._test_ids).encode("utf-8"))
+        return digest.hexdigest()[:12]
+
+    def _cache_key(self, request: ExplainRequest) -> str:
+        prefix = (self.dataset or "custom").lower()
+        return f"{prefix}-{self._context_fingerprint}-{request.fingerprint()}"
+
+    def _result_key(self, result: ExplanationResult) -> str:
+        prefix = (result.provenance.dataset or self.dataset or "custom").lower()
+        return f"{prefix}-{self._context_fingerprint}-{result.provenance.request_fingerprint}"
+
+
+class ServiceQuery:
+    """Downstream queries over a service's stored views (no re-explaining).
+
+    Wraps :class:`~repro.core.views.ViewQueryEngine` over the latest view
+    per label and adds the metric reports the paper's case studies read off
+    a view (fidelity, conciseness).
+    """
+
+    def __init__(self, service: ExplanationService) -> None:
+        from repro.core.views import ViewQueryEngine
+
+        self.service = service
+        self.views = service.view_set()
+        if len(self.views) == 0:
+            raise ExplanationError(
+                "no views stored yet; run service.explain() (or load_views) "
+                "before querying"
+            )
+        self.engine = ViewQueryEngine(self.views, service.database)
+
+    # -- pattern-centric ------------------------------------------------
+    def patterns(self, label: int) -> list:
+        """Higher-tier patterns explaining one label."""
+        return self.engine.patterns_for_label(label)
+
+    def labels_with_pattern(self, pattern) -> list[int]:
+        """Labels whose witnesses contain the pattern ('which classes?')."""
+        return self.engine.labels_with_pattern(pattern)
+
+    def discriminative_patterns(self, label: int) -> list:
+        """Patterns unique to one label's view."""
+        return self.engine.discriminative_patterns(label)
+
+    def graphs_with_pattern(self, pattern, label: int | None = None) -> list[Graph]:
+        """Source graphs containing a pattern (optionally label-filtered)."""
+        return self.engine.graphs_containing_pattern(pattern, label=label)
+
+    # -- graph-centric --------------------------------------------------
+    def witness(self, graph_id: int) -> dict[str, Any] | None:
+        """The stored witness subgraph + matching patterns for one graph."""
+        return self.engine.explanation_for_graph(graph_id)
+
+    # -- reporting ------------------------------------------------------
+    def report(self, label: int) -> dict[str, Any]:
+        """Fidelity + conciseness of one label's stored view."""
+        from repro.metrics import conciseness_report, fidelity_report
+
+        view = self.views.view_for(label)
+        return {
+            "label": label,
+            "fidelity": fidelity_report(self.service.model, view.subgraphs),
+            "conciseness": conciseness_report(view),
+        }
+
+    def summary(self) -> dict[int, dict[str, float]]:
+        """Per-label sizes/compression of every stored view."""
+        return self.engine.summary()

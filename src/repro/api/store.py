@@ -1,0 +1,165 @@
+"""Result cache of the explanation service: LRU memory tier + disk spill.
+
+Views are expensive to produce (minutes at paper scale) and cheap to store
+(KBs of JSON), so the service keeps every result it has ever computed:
+
+* a bounded in-memory LRU holds the hot working set as live objects;
+* entries evicted from memory (and, optionally, every entry as it is
+  written) spill to ``<spill_dir>/<key>.json`` via the versioned
+  serialisation layer, from which they are transparently reloaded — a
+  restart with the same ``spill_dir`` starts warm.
+
+Keys are built by the service as ``<dataset>-<context>-<request>``: the
+context fingerprint hashes the model weights and database/split identity,
+and the request fingerprint embeds the configuration fingerprint — so a
+cache (including a spill directory shared across restarts) can never serve
+a view computed under different parameters *or by a different model*.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+from repro.api.serialize import load_artifact, save_artifact
+from repro.api.types import ExplanationResult
+from repro.exceptions import ExplanationError
+from repro.graphs.graph import Graph
+
+__all__ = ["ViewStore"]
+
+
+class ViewStore:
+    """A two-tier (memory LRU + JSON spill directory) result store."""
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        spill_dir: str | Path | None = None,
+        *,
+        graphs_by_id: dict[int | None, Graph] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ExplanationError(
+                f"ViewStore capacity must be at least 1, got {capacity}"
+            )
+        self.capacity = int(capacity)
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+        # Shared graph index so reloaded subgraphs reuse the service's live
+        # graph objects instead of materialising embedded copies.
+        self._graphs_by_id = graphs_by_id or {}
+        self._memory: OrderedDict[str, ExplanationResult] = OrderedDict()
+        # The HTTP server drives the store from request threads; all state
+        # transitions happen under this lock.
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.spills = 0
+        self.disk_loads = 0
+
+    # ------------------------------------------------------------------
+    # the mapping surface
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> ExplanationResult | None:
+        """Fetch a result by fingerprint (memory first, then spill files)."""
+        with self._lock:
+            result = self._memory.get(key)
+            if result is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return result
+            path = self._spill_path(key)
+            if path is not None and path.is_file():
+                loaded = load_artifact(path, graphs_by_id=self._graphs_by_id)
+                if not isinstance(loaded, ExplanationResult):
+                    raise ExplanationError(
+                        f"spill file {path} does not hold an explanation result"
+                    )
+                self.disk_loads += 1
+                self.hits += 1
+                self._admit(key, loaded)
+                return loaded
+            self.misses += 1
+            return None
+
+    def put(self, key: str, result: ExplanationResult) -> None:
+        """Store a result under its fingerprint (write-through to disk)."""
+        with self._lock:
+            self._admit(key, result)
+            # Write-through: the spill directory is the durable tier, so a
+            # crash after explain() never loses a computed view.
+            self._spill(key, result)
+
+    def __contains__(self, key: object) -> bool:
+        if not isinstance(key, str):
+            return False
+        with self._lock:
+            if key in self._memory:
+                return True
+            path = self._spill_path(key)
+            return path is not None and path.is_file()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def keys(self) -> list[str]:
+        """Every stored fingerprint (memory and disk, deduplicated)."""
+        with self._lock:
+            keys = set(self._memory)
+        if self.spill_dir is not None:
+            keys.update(path.stem for path in self.spill_dir.glob("*.json"))
+        return sorted(keys)
+
+    def results_in_memory(self) -> list[ExplanationResult]:
+        """The hot tier's results, most recently used last."""
+        with self._lock:
+            return list(self._memory.values())
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "memory_entries": len(self._memory),
+                "total_entries": len(self),
+                "hits": self.hits,
+                "misses": self.misses,
+                "spills": self.spills,
+                "disk_loads": self.disk_loads,
+            }
+
+    def clear_memory(self) -> None:
+        """Drop the hot tier (spill files remain — a cold restart)."""
+        with self._lock:
+            self._memory.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _admit(self, key: str, result: ExplanationResult) -> None:
+        if key in self._memory:
+            self._memory.move_to_end(key)
+        self._memory[key] = result
+        while len(self._memory) > self.capacity:
+            victim_key, victim = self._memory.popitem(last=False)
+            # Eviction spill keeps the entry reachable when write-through is
+            # disabled (no spill_dir configured → the entry is simply lost,
+            # which the capacity contract allows).
+            self._spill(victim_key, victim)
+
+    def _spill_path(self, key: str) -> Path | None:
+        if self.spill_dir is None:
+            return None
+        safe = "".join(ch for ch in key if ch.isalnum() or ch in "-_")
+        if not safe:
+            raise ExplanationError(f"cannot derive a spill filename from key {key!r}")
+        return self.spill_dir / f"{safe}.json"
+
+    def _spill(self, key: str, result: ExplanationResult) -> None:
+        path = self._spill_path(key)
+        if path is None:
+            return
+        if not path.is_file():
+            save_artifact(result, path)
+            self.spills += 1

@@ -35,9 +35,30 @@ class BaseExplainer(ABC):
 
     name = "base"
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Auto-register every concrete subclass in the unified API registry.
+
+        This is what keeps the legacy ``repro.baselines`` surface and the
+        new ``repro.api`` surface in lockstep: defining (or importing) a
+        ``BaseExplainer`` subclass makes it reachable as
+        ``create_explainer(cls.name.lower())`` with no extra wiring —
+        including user-defined explainers outside this package.
+        """
+        super().__init_subclass__(**kwargs)
+        # ``__abstractmethods__`` is not populated yet at this point, so ask
+        # the method itself whether it is still the abstract stub.
+        select = getattr(cls, "select_nodes", None)
+        if select is not None and not getattr(select, "__isabstractmethod__", False):
+            from repro.api.registry import DEFAULT_REGISTRY
+
+            DEFAULT_REGISTRY.register_instance_class(cls)
+
     def __init__(self, model: GNNClassifier, max_nodes: int = 10) -> None:
         if max_nodes < 1:
-            raise ExplanationError("max_nodes must be at least 1")
+            raise ExplanationError(
+                f"max_nodes must be at least 1, got {max_nodes}; it bounds the "
+                "explanation's node count (GVEX's upper coverage bound u_l)"
+            )
         self.model = model
         self.max_nodes = max_nodes
         self.everify = EVerify(model)

@@ -1,13 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-The CLI wraps the most common workflows so the library can be driven without
-writing Python:
+The CLI is a thin shell over the :mod:`repro.api` service layer:
 
 * ``datasets``              — list the available dataset substrates;
+* ``algorithms``            — list the explainers ``create_explainer`` accepts;
 * ``stats --dataset MUT``   — print Table-3-style statistics for one dataset;
 * ``train --dataset MUT``   — train the GCN classifier and report accuracies;
-* ``explain --dataset MUT --label 1``  — generate an explanation view and
-  print its patterns, fidelity and conciseness;
+* ``explain --dataset MUT --label 1``  — generate an explanation view through
+  the service (any registered algorithm; ``--json`` emits the versioned
+  envelope, ``--save`` persists it for ``query``);
+* ``query --views out.json`` — answer pattern/witness queries over saved
+  views without re-running an explainer;
+* ``serve --dataset MUT``   — run the JSON/HTTP explanation endpoint;
+* ``schema``                — print the serialised-view JSON schema;
 * ``compare --dataset MUT`` — run the explainer comparison (Fig. 5/6 rows);
 * ``table1`` / ``table3``   — print the paper's tables.
 """
@@ -15,17 +20,19 @@ writing Python:
 from __future__ import annotations
 
 import argparse
+import json
 from collections.abc import Sequence
 
-from repro.core import ApproxGVEX, Configuration, StreamGVEX
-from repro.datasets import available_datasets
-from repro.experiments import (
-    prepare_context,
-    print_table,
-    run_fidelity_sweep,
-    run_table1,
-    run_table3,
+from repro.api import (
+    ExplanationService,
+    available_explainers,
+    explanation_schema,
+    load_artifact,
+    result_to_dict,
+    save_artifact,
 )
+from repro.core import Configuration, ExplanationViewSet
+from repro.datasets import available_datasets
 from repro.metrics import conciseness_report, fidelity_report
 
 __all__ = ["build_parser", "main"]
@@ -40,6 +47,8 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("datasets", help="list available dataset substrates")
+    subparsers.add_parser("algorithms", help="list registered explainer names")
+    subparsers.add_parser("schema", help="print the serialized-view JSON schema")
     subparsers.add_parser("table1", help="print the explainer capability matrix")
     subparsers.add_parser("table3", help="print dataset statistics")
 
@@ -51,14 +60,52 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--epochs", type=int, default=40)
     train.add_argument("--seed", type=int, default=7)
 
-    explain = subparsers.add_parser("explain", help="generate an explanation view")
+    explain = subparsers.add_parser(
+        "explain", help="generate an explanation view through the service API"
+    )
     explain.add_argument("--dataset", default="MUT")
     explain.add_argument("--label", type=int, default=None)
-    explain.add_argument("--algorithm", choices=["approx", "stream"], default="approx")
+    # Validated against the registry at execution time (keeps parser
+    # construction import-light and accepts aliases like "gvex").
+    explain.add_argument(
+        "--algorithm",
+        default="approx",
+        help="any registered explainer: approx, stream, gnnexplainer, "
+        "subgraphx, gstarx, gcfexplainer, random, ... (see `repro algorithms`)",
+    )
     explain.add_argument("--max-nodes", type=int, default=10)
     explain.add_argument("--theta", type=float, default=0.08)
     explain.add_argument("--gamma", type=float, default=0.5)
     explain.add_argument("--epochs", type=int, default=40)
+    explain.add_argument("--graphs", type=int, default=8, help="label-group size cap")
+    explain.add_argument(
+        "--json", action="store_true", help="emit the versioned JSON envelope instead of text"
+    )
+    explain.add_argument(
+        "--save", default=None, metavar="PATH", help="persist the result for `repro query`"
+    )
+
+    query = subparsers.add_parser(
+        "query", help="query saved explanation views (no model, no re-explaining)"
+    )
+    query.add_argument(
+        "--views", required=True, metavar="PATH", help="file written by `repro explain --save`"
+    )
+    query.add_argument("--summary", action="store_true", help="per-label view summary")
+    query.add_argument("--graph-id", type=int, default=None, help="witness for one graph")
+    query.add_argument("--label", type=int, default=None, help="patterns of one label")
+
+    serve = subparsers.add_parser("serve", help="run the JSON/HTTP explanation endpoint")
+    serve.add_argument("--dataset", default="MUT")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000)
+    serve.add_argument("--epochs", type=int, default=40)
+    serve.add_argument("--cache-dir", default=None, help="spill directory for the view cache")
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="start, run one explain round-trip against the live server, exit",
+    )
 
     compare = subparsers.add_parser("compare", help="compare explainers (Fig. 5/6 rows)")
     compare.add_argument("--dataset", default="MUT")
@@ -75,13 +122,28 @@ def _command_datasets() -> int:
     return 0
 
 
+def _command_algorithms() -> int:
+    for name in available_explainers():
+        print(name)
+    return 0
+
+
+def _command_schema() -> int:
+    print(json.dumps(explanation_schema(), indent=2, sort_keys=True))
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
+    from repro.experiments import prepare_context, print_table
+
     context = prepare_context(args.dataset, epochs=1)
     print_table([context.database.statistics()], title=f"{context.dataset} statistics")
     return 0
 
 
 def _command_train(args: argparse.Namespace) -> int:
+    from repro.experiments import prepare_context
+
     context = prepare_context(args.dataset, epochs=args.epochs, seed=args.seed, use_cache=False)
     print(f"dataset        : {context.dataset}")
     print(f"train accuracy : {context.train_accuracy:.3f}")
@@ -90,26 +152,137 @@ def _command_train(args: argparse.Namespace) -> int:
 
 
 def _command_explain(args: argparse.Namespace) -> int:
-    context = prepare_context(args.dataset, epochs=args.epochs)
-    config = Configuration(theta=args.theta, gamma=args.gamma).with_default_bound(0, args.max_nodes)
-    if args.algorithm == "stream":
-        explainer: ApproxGVEX | StreamGVEX = StreamGVEX(context.model, config)
-    else:
-        explainer = ApproxGVEX(context.model, config)
-    label = args.label if args.label is not None else context.labels()[0]
-    graphs = context.label_group(label, limit=8) or context.test_graphs(limit=8)
-    view = explainer.explain_label(graphs, label)
-    print(f"explanation view for label {label} ({args.algorithm}):")
+    from repro.api import DEFAULT_REGISTRY
+
+    # Fail on a bad algorithm name *before* paying for dataset + training.
+    DEFAULT_REGISTRY.resolve(args.algorithm)
+    service = ExplanationService(
+        args.dataset,
+        epochs=args.epochs,
+        config=Configuration(theta=args.theta, gamma=args.gamma),
+    )
+    result = service.explain(
+        algorithm=args.algorithm,
+        label=args.label,
+        max_nodes=args.max_nodes,
+        limit=args.graphs,
+    )
+    if args.save:
+        save_artifact(result, args.save)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema_version": result.provenance.schema_version,
+                    "kind": "explanation_result",
+                    "payload": result_to_dict(result),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    view = result.view
+    provenance = result.provenance
+    print(f"explanation view for label {provenance.label} ({provenance.algorithm}):")
     print(f"  subgraphs : {len(view.subgraphs)}")
     print(f"  patterns  : {len(view.patterns)}")
     for pattern in view.patterns:
         print(f"    pattern {pattern.pattern_id}: {sorted(pattern.graph.type_counts().items())}")
-    print(f"  fidelity    : {fidelity_report(context.model, view.subgraphs)}")
+    print(f"  fidelity    : {fidelity_report(service.model, view.subgraphs)}")
     print(f"  conciseness : {conciseness_report(view)}")
+    print(
+        f"  provenance  : dataset={provenance.dataset} "
+        f"config={provenance.config_fingerprint} backend={provenance.backend} "
+        f"runtime={provenance.runtime_seconds:.2f}s cache_hit={provenance.cache_hit}"
+    )
+    return 0
+
+
+def _load_view_set(path: str) -> ExplanationViewSet:
+    """Any saved artifact as a view set (results, a view, or a set)."""
+    from repro.api import ExplanationResult
+    from repro.core import ExplanationView
+
+    artifact = load_artifact(path)
+    if isinstance(artifact, ExplanationViewSet):
+        return artifact
+    if isinstance(artifact, ExplanationView):
+        return ExplanationViewSet([artifact])
+    if isinstance(artifact, ExplanationResult):
+        return ExplanationViewSet([artifact.view])
+    return ExplanationViewSet([result.view for result in artifact])
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from repro.core.views import ViewQueryEngine
+
+    views = _load_view_set(args.views)
+    graphs_by_id = {
+        subgraph.source_graph.graph_id: subgraph.source_graph
+        for view in views
+        for subgraph in view.subgraphs
+    }
+    engine = ViewQueryEngine(views, list(graphs_by_id.values()))
+    output: dict[str, object] = {}
+    if args.graph_id is not None:
+        witness = engine.explanation_for_graph(args.graph_id)
+        if witness is None:
+            print(json.dumps({"error": f"no stored witness for graph {args.graph_id}"}))
+            return 1
+        witness = dict(witness)
+        witness["patterns"] = [pattern.to_dict() for pattern in witness["patterns"]]
+        output["witness"] = witness
+    if args.label is not None:
+        output["patterns"] = [
+            pattern.to_dict() for pattern in engine.patterns_for_label(args.label)
+        ]
+    if args.summary or not output:
+        output["summary"] = {
+            str(label): row for label, row in engine.summary().items()
+        }
+    print(json.dumps(output, indent=2, sort_keys=True))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.api.server import create_server, serve
+
+    service = ExplanationService(
+        args.dataset, epochs=args.epochs, cache_dir=args.cache_dir
+    )
+    if not args.smoke:
+        serve(service, host=args.host, port=args.port)
+        return 0
+
+    # Smoke mode: bring the server up for real, run one explain round-trip
+    # over HTTP, print the response, and shut down — the CI health check.
+    import threading
+    import urllib.request
+
+    server = create_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        request = urllib.request.Request(
+            f"http://{host}:{port}/explain",
+            data=json.dumps({"algorithm": "approx", "max_nodes": 6, "limit": 3}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=600) as response:
+            payload = json.loads(response.read())
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
+    from repro.experiments import prepare_context, print_table, run_fidelity_sweep
+
     context = prepare_context(args.dataset, epochs=args.epochs)
     rows = run_fidelity_sweep(
         context, max_nodes_values=list(args.max_nodes), graphs_per_point=args.graphs
@@ -123,10 +296,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
         return _command_datasets()
+    if args.command == "algorithms":
+        return _command_algorithms()
+    if args.command == "schema":
+        return _command_schema()
     if args.command == "table1":
+        from repro.experiments import print_table, run_table1
+
         print_table(run_table1(), title="Table 1")
         return 0
     if args.command == "table3":
+        from repro.experiments import print_table, run_table3
+
         print_table(run_table3(), title="Table 3")
         return 0
     if args.command == "stats":
@@ -135,6 +316,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_train(args)
     if args.command == "explain":
         return _command_explain(args)
+    if args.command == "query":
+        return _command_query(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "compare":
         return _command_compare(args)
     raise SystemExit(f"unknown command {args.command!r}")

@@ -13,6 +13,8 @@ A configuration bundles every user-tunable knob of GVEX:
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 
 from repro.exceptions import ConfigurationError
@@ -33,10 +35,14 @@ class CoverageBound:
 
     def __post_init__(self) -> None:
         if self.lower < 0:
-            raise ConfigurationError("coverage lower bound must be non-negative")
+            raise ConfigurationError(
+                f"coverage lower bound must be non-negative, got {self.lower}; "
+                "use 0 to disable the lower bound"
+            )
         if self.upper < max(self.lower, 1):
             raise ConfigurationError(
-                f"coverage upper bound {self.upper} must be >= max(lower, 1)"
+                f"coverage upper bound {self.upper} must be >= max(lower, 1) = "
+                f"{max(self.lower, 1)}; raise the upper bound or lower the lower bound"
             )
 
     def contains(self, size: int) -> bool:
@@ -127,11 +133,22 @@ class Configuration:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.theta <= 1.0:
-            raise ConfigurationError("theta must be in [0, 1]")
+            raise ConfigurationError(
+                f"theta (influence threshold, Eq. 5) must be in [0, 1], got "
+                f"{self.theta!r}; it is a *share* of a node's total input "
+                "sensitivity, not an absolute score"
+            )
         if self.radius < 0.0:
-            raise ConfigurationError("radius must be non-negative")
+            raise ConfigurationError(
+                f"radius (diversity threshold, Eq. 6) must be non-negative, got "
+                f"{self.radius!r}; distances are normalised so values in [0, 1] "
+                "are meaningful"
+            )
         if not 0.0 <= self.gamma <= 1.0:
-            raise ConfigurationError("gamma must be in [0, 1]")
+            raise ConfigurationError(
+                f"gamma (influence/diversity trade-off, Eq. 2) must be in [0, 1], "
+                f"got {self.gamma!r}; 0 ignores diversity, 1 ignores influence"
+            )
         if self.influence_method not in _INFLUENCE_METHODS:
             raise ConfigurationError(
                 f"influence_method must be one of {_INFLUENCE_METHODS}"
@@ -156,6 +173,18 @@ class Configuration:
             raise ConfigurationError("label_probability_cache_size must be non-negative")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ConfigurationError("seed must be an integer")
+        if not isinstance(self.default_bound, CoverageBound):
+            raise ConfigurationError(
+                f"default_bound must be a CoverageBound, got "
+                f"{type(self.default_bound).__name__}; build one with "
+                "CoverageBound(lower, upper) or use with_default_bound(lower, upper)"
+            )
+        for label, bound in self.coverage_bounds.items():
+            if not isinstance(bound, CoverageBound):
+                raise ConfigurationError(
+                    f"coverage_bounds[{label!r}] must be a CoverageBound, got "
+                    f"{type(bound).__name__}; use with_bound(label, lower, upper)"
+                )
 
     # ------------------------------------------------------------------
     # coverage bounds
@@ -174,6 +203,23 @@ class Configuration:
         """A copy with a new default coverage bound."""
         return replace(self, default_bound=CoverageBound(lower, upper))
 
+    def with_max_nodes(self, max_nodes: int) -> "Configuration":
+        """A copy whose default upper coverage bound is ``max_nodes``.
+
+        The single size knob shared by every explainer in the comparison
+        experiments; the lower bound is clamped so the result is always a
+        valid :class:`CoverageBound`.  This is *the* folding rule used by
+        both the registry and ``ExplainRequest`` — keep it in one place.
+        """
+        if max_nodes < 1:
+            raise ConfigurationError(
+                f"max_nodes must be at least 1, got {max_nodes}; it becomes the "
+                "upper coverage bound u_l"
+            )
+        return self.with_default_bound(
+            min(self.default_bound.lower, max_nodes), max_nodes
+        )
+
     def describe(self) -> dict[str, object]:
         """Human-readable summary used in experiment logs."""
         return {
@@ -191,3 +237,29 @@ class Configuration:
             "label_probability_cache_size": self.label_probability_cache_size,
             "seed": self.seed,
         }
+
+    def canonical_dict(self) -> dict[str, object]:
+        """Every knob of the configuration, in a stable JSON-friendly shape.
+
+        Unlike :meth:`describe` (a human-oriented log summary), this includes
+        *all* fields so that two configurations hash equal exactly when every
+        explainer-visible parameter matches.
+        """
+        return self.describe() | {
+            "min_check_size": self.min_check_size,
+            "max_pattern_size": self.max_pattern_size,
+            "max_pattern_candidates": self.max_pattern_candidates,
+            "diversity_hops": self.diversity_hops,
+        }
+
+    def fingerprint(self) -> str:
+        """A stable 16-hex-digit hash of the full configuration.
+
+        Used as (part of) the key of the result cache in
+        :mod:`repro.api.service`: two runs with identical configurations can
+        share cached explanation views, and any parameter change invalidates
+        them.  Stable across processes and Python versions (no reliance on
+        ``hash()``), since the key may be persisted to disk.
+        """
+        payload = json.dumps(self.canonical_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

@@ -10,16 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines import (
-    ApproxGVEXAdapter,
-    BaseExplainer,
-    GCFExplainerBaseline,
-    GNNExplainerBaseline,
-    GStarXBaseline,
-    RandomExplainer,
-    StreamGVEXAdapter,
-    SubgraphXBaseline,
-)
+from repro.api.registry import create_explainer
+from repro.api.types import Explainer
 from repro.core.config import Configuration
 from repro.datasets import load_dataset
 from repro.exceptions import DatasetError
@@ -144,32 +136,32 @@ def build_explainers(
     config: Configuration | None = None,
     include: list[str] | None = None,
     fast: bool = True,
-) -> dict[str, BaseExplainer]:
+) -> dict[str, Explainer]:
     """The explainer zoo used in the comparison figures.
 
-    ``fast`` trims the iteration budgets of the sampling-based competitors so
-    the whole comparison grid stays CPU-friendly; the relative ordering of the
-    methods is unchanged.
+    Every entry is built through the unified :func:`repro.api.create_explainer`
+    registry, so the comparison pipeline exercises exactly the objects the
+    service layer serves.  ``fast`` trims the iteration budgets of the
+    sampling-based competitors so the whole comparison grid stays
+    CPU-friendly; the relative ordering of the methods is unchanged.
     """
     config = config or Configuration()
-    zoo: dict[str, BaseExplainer] = {
-        "ApproxGVEX": ApproxGVEXAdapter(model, max_nodes=max_nodes, config=config),
-        "StreamGVEX": StreamGVEXAdapter(model, max_nodes=max_nodes, config=config),
-        "GNNExplainer": GNNExplainerBaseline(
-            model, max_nodes=max_nodes, epochs=30 if fast else 100
+    # (registry key, per-algorithm knobs) in the paper's figure order.
+    specs: dict[str, tuple[str, dict]] = {
+        "ApproxGVEX": ("approxgvex", {}),
+        "StreamGVEX": ("streamgvex", {}),
+        "GNNExplainer": ("gnnexplainer", {"epochs": 30 if fast else 100}),
+        "SubgraphX": (
+            "subgraphx",
+            {"iterations": 8 if fast else 20, "shapley_samples": 4 if fast else 8},
         ),
-        "SubgraphX": SubgraphXBaseline(
-            model,
-            max_nodes=max_nodes,
-            iterations=8 if fast else 20,
-            shapley_samples=4 if fast else 8,
-        ),
-        "GStarX": GStarXBaseline(
-            model, max_nodes=max_nodes, coalition_samples=12 if fast else 24
-        ),
-        "GCFExplainer": GCFExplainerBaseline(model, max_nodes=max_nodes),
-        "Random": RandomExplainer(model, max_nodes=max_nodes),
+        "GStarX": ("gstarx", {"coalition_samples": 12 if fast else 24}),
+        "GCFExplainer": ("gcfexplainer", {}),
+        "Random": ("random", {}),
     }
     if include is not None:
-        zoo = {name: explainer for name, explainer in zoo.items() if name in include}
-    return zoo
+        specs = {name: spec for name, spec in specs.items() if name in include}
+    return {
+        name: create_explainer(key, model, config=config, max_nodes=max_nodes, **kwargs)
+        for name, (key, kwargs) in specs.items()
+    }

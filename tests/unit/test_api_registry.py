@@ -1,0 +1,140 @@
+"""Unit tests for the unified explainer registry (`repro.api.registry`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    DEFAULT_REGISTRY,
+    Explainer,
+    InstanceViewExplainer,
+    available_explainers,
+    create_explainer,
+)
+from repro.baselines import BaseExplainer
+from repro.core import ApproxGVEX, Configuration, StreamGVEX
+from repro.exceptions import ExplanationError
+
+ALL_NAMES = [
+    "approx",
+    "stream",
+    "approxgvex",
+    "streamgvex",
+    "gnnexplainer",
+    "subgraphx",
+    "gstarx",
+    "gcfexplainer",
+    "random",
+]
+
+
+class TestRegistryLookup:
+    def test_every_algorithm_is_registered(self):
+        names = available_explainers()
+        for name in ALL_NAMES:
+            assert name in names
+
+    def test_unknown_name_lists_alternatives(self, untrained_small_model):
+        with pytest.raises(ExplanationError, match="unknown explainer 'magic'.*approx"):
+            create_explainer("magic", untrained_small_model)
+
+    def test_lookup_is_case_and_separator_insensitive(self, untrained_small_model):
+        for spelling in ("Approx", "APPROX", "GNN-Explainer", "gnn_explainer"):
+            assert create_explainer(spelling, untrained_small_model) is not None
+
+    def test_aliases_resolve(self):
+        assert DEFAULT_REGISTRY.resolve("gvex") == "approx"
+        assert DEFAULT_REGISTRY.resolve("streaming") == "stream"
+
+    def test_contains(self):
+        assert "approx" in DEFAULT_REGISTRY
+        assert "definitely-not-registered" not in DEFAULT_REGISTRY
+        assert 42 not in DEFAULT_REGISTRY
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ExplanationError, match="already registered"):
+            DEFAULT_REGISTRY.register("approx", lambda *a, **k: None)
+
+
+class TestCreateExplainer:
+    def test_core_algorithms_come_back_unwrapped(self, untrained_small_model):
+        assert isinstance(create_explainer("approx", untrained_small_model), ApproxGVEX)
+        assert isinstance(create_explainer("stream", untrained_small_model), StreamGVEX)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_name_satisfies_the_protocol(self, untrained_small_model, name):
+        explainer = create_explainer(name, untrained_small_model)
+        assert isinstance(explainer, Explainer)
+        assert hasattr(explainer, "explain_label")
+        assert hasattr(explainer, "explain_instance")
+
+    def test_max_nodes_folds_into_the_coverage_bound(self, untrained_small_model):
+        explainer = create_explainer("approx", untrained_small_model, max_nodes=5)
+        assert explainer.config.default_bound.upper == 5
+
+    def test_max_nodes_reaches_instance_baselines(self, untrained_small_model):
+        explainer = create_explainer("random", untrained_small_model, max_nodes=4)
+        assert explainer.base.max_nodes == 4
+
+    def test_invalid_max_nodes_rejected(self, untrained_small_model):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError, match="max_nodes"):
+            create_explainer("approx", untrained_small_model, max_nodes=0)
+
+    def test_algorithm_kwargs_pass_through(self, untrained_small_model):
+        explainer = create_explainer("stream", untrained_small_model, batch_size=4)
+        assert explainer.batch_size == 4
+
+    def test_config_threads_through_to_gvex_adapters(self, untrained_small_model):
+        config = Configuration(theta=0.3)
+        explainer = create_explainer("approxgvex", untrained_small_model, config=config)
+        assert explainer.base.config.theta == 0.3
+
+
+class TestInstanceViewExplainer:
+    def test_baselines_produce_two_tier_views(self, trained_mut_model, mut_database):
+        explainer = create_explainer("random", trained_mut_model, max_nodes=4, seed=1)
+        graphs = mut_database.graphs[:4]
+        label = trained_mut_model.predict(graphs[0])
+        view = explainer.explain_label(graphs, label)
+        assert view.label == label
+        assert view.subgraphs, "label group should yield at least one subgraph"
+        assert view.patterns, "Psum should summarise baseline subgraphs too"
+        assert view.metadata["algorithm"] == "Random"
+        assert view.metadata["runtime_seconds"] >= 0.0
+        for subgraph in view.subgraphs:
+            assert subgraph.label == label
+            assert len(subgraph.nodes) <= 4
+
+    def test_adapter_delegates_the_legacy_surface(self, untrained_small_model):
+        explainer = create_explainer("random", untrained_small_model, max_nodes=3)
+        assert isinstance(explainer, InstanceViewExplainer)
+        assert explainer.max_nodes == 3  # delegated to the wrapped baseline
+        assert explainer.model is untrained_small_model
+
+    def test_explain_many_keeps_the_comparison_contract(
+        self, trained_mut_model, mut_database
+    ):
+        explainer = create_explainer("random", trained_mut_model, max_nodes=3, seed=0)
+        explanations = explainer.explain_many(mut_database.graphs[:3])
+        assert len(explanations) == 3
+
+
+class TestAutoRegistration:
+    def test_defining_a_subclass_registers_it(self, untrained_small_model):
+        class HubExplainer(BaseExplainer):
+            name = "TestHub"
+
+            def select_nodes(self, graph, label):
+                return {max(graph.nodes, key=graph.degree)}
+
+        assert "testhub" in available_explainers()
+        explainer = create_explainer("testhub", untrained_small_model, max_nodes=2)
+        assert isinstance(explainer, InstanceViewExplainer)
+
+    def test_abstract_intermediates_are_not_registered(self):
+        class AbstractIntermediate(BaseExplainer):
+            name = "TestAbstractIntermediate"
+
+        assert "testabstractintermediate" not in available_explainers()

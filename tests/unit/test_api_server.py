@@ -1,0 +1,141 @@
+"""End-to-end tests for the `repro serve` HTTP endpoint (`repro.api.server`)."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import (
+    ExplanationService,
+    create_server,
+    explanation_schema,
+    validate_against_schema,
+)
+from repro.core import Configuration
+
+
+@pytest.fixture(scope="module")
+def live_server(mut_database, trained_mut_model):
+    """A real ThreadingHTTPServer on an ephemeral port, torn down at the end."""
+    service = ExplanationService(
+        "MUT",
+        database=mut_database,
+        model=trained_mut_model,
+        config=Configuration().with_default_bound(0, 5),
+    )
+    server = create_server(service, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _get(base: str, path: str) -> dict:
+    with urllib.request.urlopen(f"{base}{path}", timeout=120) as response:
+        return json.loads(response.read())
+
+
+def _post(base: str, path: str, body: dict) -> dict:
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return json.loads(response.read())
+
+
+class TestReadEndpoints:
+    def test_health(self, live_server):
+        payload = _get(live_server, "/health")
+        assert payload["status"] == "ok"
+        assert payload["dataset"] == "MUT"
+
+    def test_algorithms(self, live_server):
+        names = _get(live_server, "/algorithms")["algorithms"]
+        assert "approx" in names and "gnnexplainer" in names
+
+    def test_schema_endpoint_serves_the_published_schema(self, live_server):
+        assert _get(live_server, "/schema") == json.loads(
+            json.dumps(explanation_schema())
+        )
+
+    def test_unknown_endpoint_is_404(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(live_server, "/nope")
+        assert excinfo.value.code == 404
+
+
+class TestExplainEndpoint:
+    def test_explain_round_trip_validates_against_the_schema(self, live_server):
+        payload = _post(
+            live_server, "/explain", {"algorithm": "approx", "max_nodes": 5, "limit": 3}
+        )
+        assert validate_against_schema(payload, explanation_schema()) == []
+        assert payload["kind"] == "explanation_result"
+        assert payload["payload"]["view"]["subgraphs"]
+
+    def test_repeat_request_is_served_from_cache(self, live_server):
+        body = {"algorithm": "approx", "max_nodes": 5, "limit": 3}
+        _post(live_server, "/explain", body)
+        second = _post(live_server, "/explain", body)
+        assert second["payload"]["provenance"]["cache_hit"] is True
+
+    def test_unknown_parameter_is_a_400(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(live_server, "/explain", {"algorithm": "approx", "bogus": 1})
+        assert excinfo.value.code == 400
+        assert "bogus" in json.loads(excinfo.value.read())["error"]
+
+    def test_unknown_algorithm_is_a_400_with_suggestions(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(live_server, "/explain", {"algorithm": "magic"})
+        assert excinfo.value.code == 400
+        assert "approx" in json.loads(excinfo.value.read())["error"]
+
+
+class TestQueryEndpoints:
+    @pytest.fixture(autouse=True)
+    def _ensure_a_view(self, live_server):
+        self.result = _post(
+            live_server, "/explain", {"algorithm": "approx", "max_nodes": 5, "limit": 3}
+        )
+
+    def test_views_listing_carries_provenance(self, live_server):
+        views = _get(live_server, "/views")["views"]
+        assert views
+        assert all("config_fingerprint" in view for view in views)
+
+    def test_query_summary(self, live_server):
+        summary = _get(live_server, "/query/summary")["summary"]
+        label = str(self.result["payload"]["provenance"]["label"])
+        assert label in summary
+
+    def test_query_witness_for_graph(self, live_server):
+        graph_id = self.result["payload"]["view"]["subgraphs"][0]["source_graph_id"]
+        payload = _get(live_server, f"/query/graph/{graph_id}")
+        assert payload["graph_id"] == graph_id
+        assert payload["witness"]["nodes"]
+
+    def test_query_witness_missing_graph_is_404(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(live_server, "/query/graph/999999")
+        assert excinfo.value.code == 404
+
+    def test_query_non_integer_graph_id_is_400(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(live_server, "/query/graph/abc")
+        assert excinfo.value.code == 400
+
+    def test_query_label_report(self, live_server):
+        label = self.result["payload"]["provenance"]["label"]
+        payload = _get(live_server, f"/query/label/{label}")
+        assert payload["label"] == label
+        assert "fidelity" in payload["report"]

@@ -1,0 +1,260 @@
+"""Unit tests for `repro.api.service` (and the backing `ViewStore`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    ExplainRequest,
+    ExplanationService,
+    ViewStore,
+    views_equal,
+)
+from repro.core import Configuration
+from repro.exceptions import ExplanationError
+
+
+@pytest.fixture
+def service(mut_database, trained_mut_model):
+    """A service adopting the session-scoped trained MUT context."""
+    return ExplanationService(
+        "MUT",
+        database=mut_database,
+        model=trained_mut_model,
+        config=Configuration().with_default_bound(0, 5),
+    )
+
+
+class TestConstruction:
+    def test_adopt_path_requires_both_parts(self, mut_database):
+        with pytest.raises(ExplanationError, match="both 'database' and 'model'"):
+            ExplanationService("MUT", database=mut_database)
+
+    def test_train_path_requires_a_dataset(self):
+        with pytest.raises(ExplanationError, match="dataset name"):
+            ExplanationService()
+
+    def test_train_path_builds_a_context(self):
+        trained = ExplanationService("SYN", epochs=3, num_graphs=6, seed=11)
+        assert trained.train_accuracy is not None
+        assert len(trained.database) == 6
+
+
+class TestExplainAndCache:
+    def test_explain_returns_provenance(self, service):
+        result = service.explain(algorithm="approx", limit=3)
+        assert result.provenance.algorithm == "approx"
+        assert result.provenance.dataset == "MUT"
+        assert result.provenance.num_graphs <= 3
+        assert result.provenance.cache_hit is False
+        assert result.provenance.runtime_seconds > 0.0
+        assert len(result.provenance.config_fingerprint) == 16
+        assert result.view.subgraphs
+
+    def test_second_call_is_a_cache_hit(self, service):
+        first = service.explain(algorithm="approx", limit=3)
+        second = service.explain(algorithm="approx", limit=3)
+        assert second.provenance.cache_hit is True
+        assert views_equal(first.view, second.view)
+        assert service.store.stats()["hits"] >= 1
+
+    def test_request_object_and_kwargs_agree(self, service):
+        request = ExplainRequest(algorithm="approx", limit=3, config=service.config)
+        via_request = service.explain(request)
+        via_kwargs = service.explain(algorithm="approx", limit=3)
+        assert via_kwargs.provenance.cache_hit is True
+        assert views_equal(via_request.view, via_kwargs.view)
+
+    def test_parameter_changes_miss_the_cache(self, service):
+        service.explain(algorithm="approx", limit=3, max_nodes=4)
+        other = service.explain(algorithm="approx", limit=3, max_nodes=5)
+        assert other.provenance.cache_hit is False
+
+    def test_label_resolution_picks_a_predicted_label(self, service):
+        result = service.explain(algorithm="approx", limit=2)
+        assert result.provenance.label in set(
+            service.model.predict(graph) for graph in service.database.graphs
+        )
+
+    def test_limited_selection_puts_test_split_graphs_first(self):
+        """The paper explains the test split; limits must respect that."""
+        trained = ExplanationService("SYN", epochs=3, num_graphs=8, seed=11)
+        assert trained._test_ids, "train path should record the test split"
+        request = ExplainRequest(algorithm="approx", limit=2)
+        request = trained._resolve_label(request)
+        selected = trained._select_graphs(request)
+        predicted = trained._predicted_labels()
+        expected = [
+            graph_id
+            for graph_id in trained._test_ids
+            if predicted.get(graph_id) == request.label
+        ]
+        for graph, graph_id in zip(selected, expected):
+            assert graph.graph_id == graph_id
+
+    def test_graph_ids_restrict_the_job(self, service):
+        graph = service.database.graphs[0]
+        label = service.model.predict(graph)
+        result = service.explain(
+            algorithm="approx", label=label, graph_ids=[graph.graph_id]
+        )
+        assert result.provenance.num_graphs == 1
+        assert all(
+            subgraph.source_graph.graph_id == graph.graph_id
+            for subgraph in result.view.subgraphs
+        )
+
+    def test_baseline_algorithms_flow_through_the_same_cache(self, service):
+        first = service.explain(algorithm="random", limit=2, max_nodes=3)
+        second = service.explain(algorithm="random", limit=2, max_nodes=3)
+        assert first.view.patterns, "baseline views are two-tier as well"
+        assert second.provenance.cache_hit is True
+
+
+class TestExplainMany:
+    def test_covers_every_predicted_label(self, service):
+        results = service.explain_many(limit=2)
+        labels = [result.provenance.label for result in results]
+        assert labels == sorted(set(labels))
+        assert len(results) >= 1
+
+    def test_second_fanout_is_served_from_cache(self, service):
+        service.explain_many(limit=2)
+        again = service.explain_many(limit=2)
+        assert all(result.provenance.cache_hit for result in again)
+
+    def test_parallel_fanout_matches_serial_node_sets(self, mut_database, trained_mut_model):
+        config = Configuration().with_default_bound(0, 4)
+        serial = ExplanationService(
+            "MUT", database=mut_database, model=trained_mut_model, config=config
+        )
+        parallel = ExplanationService(
+            "MUT", database=mut_database, model=trained_mut_model, config=config
+        )
+        serial_results = serial.explain_many(algorithm="approx")
+        parallel_results = parallel.explain_many(algorithm="approx", num_workers=2)
+        assert len(serial_results) == len(parallel_results)
+        for left, right in zip(serial_results, parallel_results):
+            assert left.provenance.label == right.provenance.label
+            assert sorted(sorted(s.nodes) for s in left.view.subgraphs) == sorted(
+                sorted(s.nodes) for s in right.view.subgraphs
+            )
+
+
+class TestStoreSpill:
+    def test_evicted_entries_reload_from_disk(self, tmp_path, mut_database, trained_mut_model):
+        service = ExplanationService(
+            "MUT",
+            database=mut_database,
+            model=trained_mut_model,
+            cache_size=1,
+            cache_dir=tmp_path / "cache",
+        )
+        first = service.explain(algorithm="approx", limit=2, max_nodes=3)
+        service.explain(algorithm="approx", limit=2, max_nodes=4)  # evicts the first
+        assert service.store.stats()["memory_entries"] == 1
+        again = service.explain(algorithm="approx", limit=2, max_nodes=3)
+        assert again.provenance.cache_hit is True
+        assert views_equal(first.view, again.view)
+        assert service.store.stats()["disk_loads"] >= 1
+
+    def test_restarted_service_starts_warm(self, tmp_path, mut_database, trained_mut_model):
+        cache_dir = tmp_path / "cache"
+        first_service = ExplanationService(
+            "MUT", database=mut_database, model=trained_mut_model, cache_dir=cache_dir
+        )
+        original = first_service.explain(algorithm="approx", limit=2)
+        restarted = ExplanationService(
+            "MUT", database=mut_database, model=trained_mut_model, cache_dir=cache_dir
+        )
+        warm = restarted.explain(algorithm="approx", limit=2)
+        assert warm.provenance.cache_hit is True
+        assert views_equal(original.view, warm.view)
+        # Reloaded subgraphs resolve against the live database objects.
+        assert all(
+            subgraph.source_graph is restarted._graphs_by_id[subgraph.source_graph.graph_id]
+            for subgraph in warm.view.subgraphs
+        )
+
+    def test_store_capacity_must_be_positive(self):
+        with pytest.raises(ExplanationError, match="capacity"):
+            ViewStore(capacity=0)
+
+    def test_different_model_never_hits_the_shared_cache(self, tmp_path, mut_database):
+        """A retrained model must not be served another model's views."""
+        from repro.gnn import GNNClassifier
+
+        cache_dir = tmp_path / "cache"
+        first_model = GNNClassifier(
+            feature_dim=14, num_classes=2, hidden_dim=8, num_layers=2, seed=1
+        )
+        second_model = GNNClassifier(
+            feature_dim=14, num_classes=2, hidden_dim=8, num_layers=2, seed=2
+        )
+        first = ExplanationService(
+            "MUT", database=mut_database, model=first_model, cache_dir=cache_dir
+        )
+        second = ExplanationService(
+            "MUT", database=mut_database, model=second_model, cache_dir=cache_dir
+        )
+        first.explain(algorithm="random", limit=2, max_nodes=3)
+        other = second.explain(algorithm="random", limit=2, max_nodes=3)
+        assert other.provenance.cache_hit is False
+        assert first._context_fingerprint != second._context_fingerprint
+
+
+class TestQueryFacade:
+    def test_query_without_views_is_an_error(self, service):
+        with pytest.raises(ExplanationError, match="no views stored"):
+            service.query()
+
+    def test_query_answers_after_explain(self, service):
+        result = service.explain(algorithm="approx", limit=3)
+        query = service.query()
+        label = result.provenance.label
+        assert query.patterns(label) == result.view.patterns
+        summary = query.summary()
+        assert label in summary
+        witness_graph = result.view.subgraphs[0].source_graph.graph_id
+        witness = query.witness(witness_graph)
+        assert witness is not None
+        assert witness["label"] == label
+
+    def test_report_combines_fidelity_and_conciseness(self, service):
+        result = service.explain(algorithm="approx", limit=3)
+        report = service.query().report(result.provenance.label)
+        assert set(report) == {"label", "fidelity", "conciseness"}
+        assert "fidelity_plus" in report["fidelity"]
+        assert "sparsity" in report["conciseness"]
+
+    def test_labels_with_pattern(self, service):
+        result = service.explain(algorithm="approx", limit=3)
+        if result.view.patterns:
+            labels = service.query().labels_with_pattern(result.view.patterns[0])
+            assert result.provenance.label in labels
+
+
+class TestPersistence:
+    def test_save_and_reload_views(self, tmp_path, service):
+        result = service.explain(algorithm="approx", limit=3)
+        path = service.save_views(tmp_path / "views.json")
+        fresh = ExplanationService(
+            "MUT", database=service.database, model=service.model
+        )
+        loaded = fresh.load_views(path)
+        assert len(loaded) == 1
+        assert views_equal(loaded[0].view, result.view)
+        # Loaded views serve queries without any explainer run.
+        assert fresh.query().summary()
+
+    def test_save_without_views_is_an_error(self, tmp_path, service):
+        with pytest.raises(ExplanationError, match="no views"):
+            service.save_views(tmp_path / "empty.json")
+
+    def test_stats_snapshot(self, service):
+        service.explain(algorithm="approx", limit=2)
+        stats = service.stats()
+        assert stats["dataset"] == "MUT"
+        assert stats["num_graphs"] == len(service.database)
+        assert stats["labels_explained"]
+        assert "cache" in stats

@@ -21,8 +21,12 @@ class TestParser:
         assert args.max_nodes == [4, 8]
 
     def test_invalid_algorithm_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["explain", "--algorithm", "magic"])
+        from repro.exceptions import ExplanationError
+
+        # Validated against the registry at execution time (before any
+        # dataset/training work), not by argparse choices.
+        with pytest.raises(ExplanationError, match="unknown explainer 'magic'"):
+            main(["explain", "--algorithm", "magic"])
 
 
 class TestCommands:
@@ -90,3 +94,207 @@ class TestCommands:
         )
         output = capsys.readouterr().out
         assert "ApproxGVEX" in output
+
+
+class TestServiceCommands:
+    """End-to-end coverage of the service-layer CLI surface (in-process)."""
+
+    def test_algorithms_lists_the_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        names = capsys.readouterr().out.strip().splitlines()
+        assert "approx" in names
+        assert "stream" in names
+        assert "gnnexplainer" in names
+
+    def test_schema_command_prints_the_published_schema(self, capsys):
+        import json
+
+        from repro.api import explanation_schema
+
+        assert main(["schema"]) == 0
+        assert json.loads(capsys.readouterr().out) == json.loads(
+            json.dumps(explanation_schema())
+        )
+
+    def test_explain_json_output_parses_against_the_schema(self, capsys):
+        import json
+
+        from repro.api import explanation_schema, validate_against_schema
+
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "20",
+                    "--max-nodes",
+                    "5",
+                    "--graphs",
+                    "3",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_against_schema(payload, explanation_schema()) == []
+        assert payload["kind"] == "explanation_result"
+        assert payload["payload"]["provenance"]["dataset"] == "MUT"
+
+    def test_explain_stream_algorithm_end_to_end(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "20",
+                    "--algorithm",
+                    "stream",
+                    "--max-nodes",
+                    "5",
+                    "--graphs",
+                    "3",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["payload"]["provenance"]["algorithm"] == "stream"
+
+    def test_explain_baseline_algorithm_via_registry(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "20",
+                    "--algorithm",
+                    "random",
+                    "--max-nodes",
+                    "4",
+                    "--graphs",
+                    "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["payload"]["provenance"]["algorithm"] == "random"
+
+    def test_explain_save_then_query(self, capsys, tmp_path):
+        import json
+
+        saved = tmp_path / "views.json"
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "20",
+                    "--max-nodes",
+                    "5",
+                    "--graphs",
+                    "3",
+                    "--save",
+                    str(saved),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert saved.is_file()
+
+        assert main(["query", "--views", str(saved), "--summary"]) == 0
+        summary = json.loads(capsys.readouterr().out)["summary"]
+        assert summary
+
+        envelope = json.loads(saved.read_text())
+        graph_id = envelope["payload"]["view"]["subgraphs"][0]["source_graph_id"]
+        label = envelope["payload"]["provenance"]["label"]
+        assert main(["query", "--views", str(saved), "--graph-id", str(graph_id)]) == 0
+        witness = json.loads(capsys.readouterr().out)["witness"]
+        assert witness["label"] == label
+
+        assert main(["query", "--views", str(saved), "--label", str(label)]) == 0
+        patterns = json.loads(capsys.readouterr().out)["patterns"]
+        assert isinstance(patterns, list)
+
+    def test_query_missing_witness_fails_cleanly(self, capsys, tmp_path):
+        saved = tmp_path / "views.json"
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "20",
+                    "--graphs",
+                    "2",
+                    "--save",
+                    str(saved),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["query", "--views", str(saved), "--graph-id", "999999"]) == 1
+
+    def test_serve_smoke_round_trip(self, capsys):
+        import json
+
+        from repro.api import explanation_schema, validate_against_schema
+
+        assert (
+            main(
+                [
+                    "serve",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "20",
+                    "--port",
+                    "0",
+                    "--smoke",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_against_schema(payload, explanation_schema()) == []
+        assert payload["payload"]["view"]["subgraphs"]
+
+    def test_explain_text_output_mentions_provenance(self, capsys):
+        assert (
+            main(
+                [
+                    "explain",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "20",
+                    "--max-nodes",
+                    "5",
+                    "--graphs",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "provenance" in output
+        assert "cache_hit" in output

