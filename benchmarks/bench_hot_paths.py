@@ -7,10 +7,22 @@ cross-checks that both backends produce *identical* explanation views (same
 node sets, same explainability, same fidelity numbers).
 
 It also times ``ApproxGVEX.explain_label`` and ``StreamGVEX.explain_label``
-*end to end* per label group — the Figure 9a-c explainer-runtime path — with
-the lazy (CELF) selection strategy plus database-level batched inference
-against the eager reference strategy, asserting that both strategies produce
-node-set-identical views.
+*end to end* per label group — the Figure 9a-c explainer-runtime path.
+ApproxGVEX compares the lazy (CELF) selection strategy plus database-level
+batched inference against the eager reference strategy, asserting that both
+strategies produce node-set-identical views.  StreamGVEX — whose runtime is
+dominated by the pattern front-end (IncPGen mining + IncPMatch coverage) —
+compares the full fast path (sparse backend + indexed match engine + lazy
+selection, the defaults) against the full reference path (legacy backend,
+reference matcher, eager selection), again asserting node-set identity.
+
+The pattern front-end itself gets two dedicated micro-benchmarks:
+``pattern_matching`` replays the matcher call mix of the coverage/query
+paths (existence, capped covered-node sets, capped matching counts) through
+the indexed engine vs the reference backtracking search, and ``mining``
+times ``frequent_patterns`` + ``PGen`` candidate generation (incremental
+canonical keys + batched support counting vs per-set re-canonicalisation).
+Both assert result identity between the two paths.
 
 The datasets are the repo's synthetic stand-ins (SYNTHETIC and MALNET-TINY)
 built at sizes representative of the paper's Table 3 (~100-node graphs); the
@@ -52,7 +64,12 @@ from repro.gnn.models import GNNClassifier
 from repro.gnn.training import Trainer
 from repro.graphs.database import GraphDatabase
 from repro.graphs.sparse import sparse_backend, sparse_enabled
+from repro.graphs.subgraph import khop_subgraph
+from repro.matching import count_matchings, covered_nodes, get_engine, has_matching
+from repro.matching.engine import warm_match_indices
 from repro.metrics.fidelity import fidelity_minus, fidelity_plus
+from repro.mining.candidates import PatternGenerator
+from repro.mining.frequent import enumerate_connected_patterns, frequent_patterns
 
 DEFAULT_DATASETS = ("SYN", "PRO")
 
@@ -104,6 +121,7 @@ def _warm_caches(batches) -> None:
     for batch in batches:
         for graph in batch:
             graph.sparse_view()
+        warm_match_indices(batch)
 
 
 def _probe_sets(graph, max_sets: int = 256) -> list[frozenset[int]]:
@@ -124,6 +142,114 @@ def _probe_sets(graph, max_sets: int = 256) -> list[frozenset[int]]:
             if len(sets) >= max_sets:
                 return sets
     return sets
+
+
+def _mining_subgraphs(context: BenchContext, num_graphs: int = 6, hops: int = 2) -> list:
+    """Explanation-subgraph stand-ins: r-hop neighbourhoods of the sources."""
+    subgraphs = []
+    for graph in context.database.graphs[:num_graphs]:
+        subgraphs.append(khop_subgraph(graph, graph.nodes[0], hops))
+    return subgraphs
+
+
+def _matching_workload(context: BenchContext, max_patterns: int = 16) -> list:
+    """A representative pattern mix for the matcher benchmark.
+
+    Patterns are mined from the first graphs' neighbourhoods (sizes 1-4,
+    mixed node/edge types), then matched against *every* database graph —
+    patterns mined from one graph frequently miss another, so the mix
+    exercises both the backtracking search and the emptiness certificates.
+    Mined once under the default backend; enumeration is asserted identical
+    across backends by :func:`bench_mining`.
+    """
+    patterns: dict[tuple, object] = {}
+    with sparse_backend(True):
+        for graph in context.database.graphs[:3]:
+            local = khop_subgraph(graph, graph.nodes[0], 1)
+            for pattern in enumerate_connected_patterns(local, 4, max_patterns_per_graph=32):
+                patterns.setdefault(pattern.canonical_key(), pattern)
+                if len(patterns) >= max_patterns:
+                    return list(patterns.values())
+    return list(patterns.values())
+
+
+def bench_pattern_matching(
+    context: BenchContext, patterns: list, reps: int
+) -> tuple[float, list]:
+    """Seconds for the matcher call mix of the coverage/query hot paths.
+
+    Mirrors where the matcher is actually hammered in the pipeline:
+
+    * existence checks against *whole database graphs* — the shape of
+      explanation queries (``patterns_matching``, ``ViewQueryEngine``) and
+      mining support counts — plus a capped matching count per pair;
+    * capped covered-node/edge queries against *explanation-subgraph-scale*
+      graphs — the ``Psum`` greedy cover, MDL scoring and C1-verification
+      shape, each of which queries the same (pattern, subgraph) pair several
+      times per run (scoring, weighting, final bookkeeping), reproduced here
+      with repeated calls.
+
+    Under the sparse backend everything routes through the indexed match
+    engine (memo cleared first, so the first rep pays the misses and later
+    reps measure the steady state the explainers see); under the legacy
+    backend every call re-runs the reference search.  Returns the wall-clock
+    plus a result signature that must be identical across backends (capped
+    queries whose cap binds replay the reference enumeration order).
+    """
+    graphs = context.database.graphs
+    subgraphs = _mining_subgraphs(context, num_graphs=4, hops=1)
+    if sparse_enabled():
+        get_engine().clear()
+        warm_match_indices(graphs)
+        warm_match_indices(subgraphs)
+    signature: list = []
+    start = time.perf_counter()
+    for _ in range(reps):
+        signature = []
+        for pattern in patterns:
+            for graph in graphs:
+                hit = has_matching(pattern, graph)
+                count = count_matchings(pattern, graph, limit=8)
+                signature.append((hit, count))
+            for subgraph in subgraphs:
+                # Psum scores, weights and then re-reads coverage of every
+                # candidate: three capped queries per (pattern, subgraph).
+                covered = covered_nodes(pattern, subgraph, max_matchings=64)
+                covered_nodes(pattern, subgraph, max_matchings=64)
+                covered_again = covered_nodes(pattern, subgraph, max_matchings=64)
+                signature.append((tuple(sorted(covered)), tuple(sorted(covered_again))))
+    return time.perf_counter() - start, signature
+
+
+def bench_mining(context: BenchContext, reps: int) -> tuple[float, list]:
+    """Seconds for the PGen/IncPGen front-end: enumeration + support + MDL.
+
+    Runs ``frequent_patterns`` (bounded gSpan-style growth + support
+    counting) and ``PatternGenerator.generate`` (enumeration + MDL ranking)
+    over the same explanation-subgraph collection.  The fast path grows
+    canonical keys incrementally and batch-prefilters support counting via
+    ``match_many``; the legacy path re-induces and re-canonicalises every
+    node set and re-matches per graph.  Returns the wall-clock plus a
+    signature (pattern keys, supports, candidate ranking) that must be
+    identical across backends.
+    """
+    subgraphs = _mining_subgraphs(context)
+    if sparse_enabled():
+        get_engine().clear()
+        warm_match_indices(subgraphs)
+    generator = PatternGenerator(max_pattern_size=4, max_candidates=16, max_patterns_per_graph=96)
+    signature: list = []
+    start = time.perf_counter()
+    for _ in range(reps):
+        frequent = frequent_patterns(
+            subgraphs, min_support=2, max_pattern_size=4, max_patterns_per_graph=96
+        )
+        ranked = generator.generate(subgraphs)
+        signature = [
+            [(fp.pattern.canonical_key(), fp.support, tuple(fp.supporting_graphs)) for fp in frequent],
+            [pattern.canonical_key() for pattern in ranked],
+        ]
+    return time.perf_counter() - start, signature
 
 
 def bench_influence(context: BenchContext, config, reps: int, budget: int = 8) -> float:
@@ -305,33 +431,58 @@ def run_benchmark(
     report: dict = {"datasets": {}, "reps": reps, "graph_size": graph_size}
     influence_speedups: list[float] = []
     everify_speedups: list[float] = []
+    matching_speedups: list[float] = []
+    mining_speedups: list[float] = []
     explain_label_speedups: list[float] = []
     stream_explain_label_speedups: list[float] = []
     service_warm_speedups: list[float] = []
     service_direct_ratios: list[float] = []
     views_identical = True
     lazy_eager_identical = True
+    matching_identical = True
+    mining_identical = True
     service_identical = True
     for name in datasets:
         context = build_context(name, num_graphs=num_graphs, graph_size=graph_size, epochs=epochs)
         config = Configuration().with_default_bound(0, 8)
         eager_config = replace(config, selection_strategy="eager")
+        matching_patterns = _matching_workload(context)
         with sparse_backend(False):
             legacy_influence = bench_influence(context, eager_config, reps)
             legacy_everify = bench_everify(context, reps)
+            legacy_matching, legacy_matching_sig = bench_pattern_matching(
+                context, matching_patterns, reps
+            )
+            legacy_mining, legacy_mining_sig = bench_mining(context, reps)
         with sparse_backend(True):
             sparse_influence = bench_influence(context, eager_config, reps)
             sparse_everify = bench_everify(context, reps)
+            sparse_matching, sparse_matching_sig = bench_pattern_matching(
+                context, matching_patterns, reps
+            )
+            sparse_mining, sparse_mining_sig = bench_mining(context, reps)
         views = check_identical_views(context, config)
         views_identical = views_identical and views["identical"]
         influence_speedup = legacy_influence / max(sparse_influence, 1e-9)
         everify_speedup = legacy_everify / max(sparse_everify, 1e-9)
+        matching_speedup = legacy_matching / max(sparse_matching, 1e-9)
+        mining_speedup = legacy_mining / max(sparse_mining, 1e-9)
         influence_speedups.append(influence_speedup)
         everify_speedups.append(everify_speedup)
+        matching_speedups.append(matching_speedup)
+        mining_speedups.append(mining_speedup)
+        matching_identical = matching_identical and (
+            legacy_matching_sig == sparse_matching_sig
+        )
+        mining_identical = mining_identical and (legacy_mining_sig == sparse_mining_sig)
 
-        # End-to-end explainer runtime (Figure 9a-c path): the lazy (CELF)
-        # strategy with batched inference vs the eager reference strategy,
-        # both on the sparse backend, same inputs, identical outputs.
+        # End-to-end explainer runtime (Figure 9a-c path).  ApproxGVEX: the
+        # lazy (CELF) strategy with batched inference vs the eager reference
+        # strategy, both on the sparse backend, same inputs, identical
+        # outputs.  StreamGVEX (dominated by the IncPGen/IncPMatch pattern
+        # front-end): the full fast path — sparse backend + indexed match
+        # engine + lazy selection, i.e. the defaults — vs the full reference
+        # path (legacy backend, reference matcher, eager selection).
         with sparse_backend(True):
             eager_seconds, eager_sets = bench_explain_label(
                 context, eager_config, "approx", e2e_reps, e2e_num_graphs
@@ -339,20 +490,21 @@ def run_benchmark(
             lazy_seconds, lazy_sets = bench_explain_label(
                 context, config, "approx", e2e_reps, e2e_num_graphs
             )
-            stream_eager_seconds, stream_eager_sets = bench_explain_label(
-                context, eager_config, "stream", e2e_reps, e2e_num_graphs
-            )
-            stream_lazy_seconds, stream_lazy_sets = bench_explain_label(
+            stream_fast_seconds, stream_fast_sets = bench_explain_label(
                 context, config, "stream", e2e_reps, e2e_num_graphs
             )
+        with sparse_backend(False):
+            stream_reference_seconds, stream_reference_sets = bench_explain_label(
+                context, eager_config, "stream", e2e_reps, e2e_num_graphs
+            )
         explain_label_speedup = eager_seconds / max(lazy_seconds, 1e-9)
-        stream_speedup = stream_eager_seconds / max(stream_lazy_seconds, 1e-9)
+        stream_speedup = stream_reference_seconds / max(stream_fast_seconds, 1e-9)
         explain_label_speedups.append(explain_label_speedup)
         stream_explain_label_speedups.append(stream_speedup)
         lazy_eager_identical = (
             lazy_eager_identical
             and lazy_sets == eager_sets
-            and stream_lazy_sets == stream_eager_sets
+            and stream_fast_sets == stream_reference_sets
         )
 
         # Service-level throughput (explain_many via the service vs direct
@@ -374,29 +526,46 @@ def run_benchmark(
                 "sparse_seconds": sparse_everify,
                 "speedup": everify_speedup,
             },
+            "pattern_matching": {
+                "legacy_seconds": legacy_matching,
+                "sparse_seconds": sparse_matching,
+                "speedup": matching_speedup,
+                "num_patterns": len(matching_patterns),
+            },
+            "mining": {
+                "legacy_seconds": legacy_mining,
+                "sparse_seconds": sparse_mining,
+                "speedup": mining_speedup,
+            },
             "explain_label": {
                 "eager_seconds": eager_seconds,
                 "lazy_seconds": lazy_seconds,
                 "speedup": explain_label_speedup,
             },
             "stream_explain_label": {
-                "eager_seconds": stream_eager_seconds,
-                "lazy_seconds": stream_lazy_seconds,
+                "reference_seconds": stream_reference_seconds,
+                "fast_seconds": stream_fast_seconds,
                 "speedup": stream_speedup,
             },
             "views_identical": views["identical"],
             "lazy_eager_identical": lazy_sets == eager_sets
-            and stream_lazy_sets == stream_eager_sets,
+            and stream_fast_sets == stream_reference_sets,
+            "matching_identical": legacy_matching_sig == sparse_matching_sig,
+            "mining_identical": legacy_mining_sig == sparse_mining_sig,
             "fidelity": views["sparse"],
         }
     report["influence_speedup_min"] = min(influence_speedups)
     report["everify_speedup_min"] = min(everify_speedups)
+    report["matching_speedup_min"] = min(matching_speedups)
+    report["mining_speedup_min"] = min(mining_speedups)
     report["explain_label_speedup_min"] = min(explain_label_speedups)
     report["stream_explain_label_speedup_min"] = min(stream_explain_label_speedups)
     report["service_warm_speedup_min"] = min(service_warm_speedups)
     report["service_direct_ratio_min"] = min(service_direct_ratios)
     report["views_identical"] = views_identical
     report["lazy_eager_identical"] = lazy_eager_identical
+    report["matching_identical"] = matching_identical
+    report["mining_identical"] = mining_identical
     report["service_identical"] = service_identical
     return report
 
@@ -430,12 +599,16 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"\ninfluence speedup (min over datasets): {report['influence_speedup_min']:.2f}x\n"
         f"everify   speedup (min over datasets): {report['everify_speedup_min']:.2f}x\n"
+        f"pattern matching (engine vs reference): {report['matching_speedup_min']:.2f}x\n"
+        f"mining (incremental vs reference):      {report['mining_speedup_min']:.2f}x\n"
         f"explain_label (CELF+batched vs eager): {report['explain_label_speedup_min']:.2f}x\n"
-        f"stream explain_label:                  {report['stream_explain_label_speedup_min']:.2f}x\n"
+        f"stream explain_label (fast vs reference): {report['stream_explain_label_speedup_min']:.2f}x\n"
         f"service warm-cache speedup:            {report['service_warm_speedup_min']:.2f}x\n"
         f"service direct/cold ratio:             {report['service_direct_ratio_min']:.2f}x\n"
         f"views identical across backends: {report['views_identical']}\n"
         f"lazy and eager node sets identical: {report['lazy_eager_identical']}\n"
+        f"matching results identical across backends: {report['matching_identical']}\n"
+        f"mining results identical across backends: {report['mining_identical']}\n"
         f"service and direct node sets identical: {report['service_identical']}",
         file=sys.stderr,
     )

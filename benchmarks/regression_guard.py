@@ -1,12 +1,16 @@
-"""CI regression guard for the influence / EVerify / end-to-end hot paths.
+"""CI regression guard for the influence / EVerify / matching / mining /
+end-to-end hot paths.
 
 Compares a fresh ``bench_hot_paths.py`` JSON report against the committed
 ``benchmarks/baseline.json`` and exits non-zero when any guarded path's
 *speedup over the reference implementation* regressed by more than the
 tolerance (default 25%).  Guarded paths: the influence and ``EVerify``
-micro-benchmarks (vectorized vs reference backend) and the end-to-end
-``explain_label`` runtimes (lazy CELF + batched inference vs the eager
-strategy).
+micro-benchmarks (vectorized vs reference backend), the pattern-matching and
+mining front-end micro-benchmarks (indexed match engine / incremental
+canonical keys vs the reference matcher and per-set re-canonicalisation),
+and the end-to-end ``explain_label`` runtimes (ApproxGVEX: lazy CELF +
+batched inference vs the eager strategy; StreamGVEX: the full fast path vs
+the full reference path).
 
 Speedup ratios — not wall-clock seconds — are compared, because both the
 vectorized and the reference implementation run on the same machine in the
@@ -32,6 +36,8 @@ DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
 GUARDED_METRICS = (
     "influence_speedup_min",
     "everify_speedup_min",
+    "matching_speedup_min",
+    "mining_speedup_min",
     "explain_label_speedup_min",
     "stream_explain_label_speedup_min",
     "service_warm_speedup_min",
@@ -49,6 +55,16 @@ def check(current: dict, baseline: dict, tolerance: float = 0.25) -> list[str]:
     if "lazy_eager_identical" in current and not current["lazy_eager_identical"]:
         failures.append(
             "lazy (CELF) and eager selection no longer produce identical node sets"
+        )
+    if "matching_identical" in current and not current["matching_identical"]:
+        failures.append(
+            "indexed match engine and reference matcher no longer produce "
+            "identical match results"
+        )
+    if "mining_identical" in current and not current["mining_identical"]:
+        failures.append(
+            "incremental pattern enumeration / batched support counting no "
+            "longer matches the reference mining path"
         )
     if "service_identical" in current and not current["service_identical"]:
         failures.append(

@@ -8,6 +8,9 @@ committed ``baseline.json`` records) and asserts
   explainability, and fidelity numbers;
 * the lazy (CELF) and eager selection strategies produce *identical*
   explanation node sets end to end;
+* the indexed match engine and the incremental mining front-end produce
+  results *identical* to the reference matcher / reference enumeration,
+  and both are substantially faster;
 * the influence hot path (Eqs. 3-6 + the greedy gain loop) and the
   ``EVerify`` probes are substantially faster vectorized;
 * the end-to-end ``ApproxGVEX.explain_label`` path (CELF + batched
@@ -46,6 +49,19 @@ def test_vectorized_hot_paths(benchmark):
     assert report["lazy_eager_identical"], (
         "lazy (CELF) and eager selection must produce identical node sets"
     )
+    assert report["matching_identical"], (
+        "the indexed match engine must reproduce the reference matcher's results"
+    )
+    assert report["mining_identical"], (
+        "incremental enumeration / batched support counting must reproduce "
+        "the reference mining results"
+    )
+    assert report["matching_speedup_min"] >= 2.0, (
+        f"pattern-matching speedup {report['matching_speedup_min']:.2f}x < 2.0x"
+    )
+    assert report["mining_speedup_min"] >= 1.5, (
+        f"mining speedup {report['mining_speedup_min']:.2f}x < 1.5x"
+    )
     assert report["influence_speedup_min"] >= 2.5, (
         f"influence hot path speedup {report['influence_speedup_min']:.2f}x < 2.5x"
     )
@@ -54,6 +70,10 @@ def test_vectorized_hot_paths(benchmark):
     )
     assert report["explain_label_speedup_min"] >= 1.5, (
         f"end-to-end explain_label speedup {report['explain_label_speedup_min']:.2f}x < 1.5x"
+    )
+    assert report["stream_explain_label_speedup_min"] >= 0.9, (
+        f"stream explain_label fast path {report['stream_explain_label_speedup_min']:.2f}x "
+        "slower than the full reference path"
     )
     assert report["service_identical"], (
         "service explain_many must match direct explain_label node sets and "

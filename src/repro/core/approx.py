@@ -33,6 +33,7 @@ from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_enabled
 from repro.graphs.subgraph import induced_subgraph
+from repro.matching.engine import apply_config_cache_size
 from repro.mining.candidates import PatternGenerator
 
 __all__ = ["ApproxGVEX"]
@@ -65,6 +66,9 @@ class ApproxGVEX:
             max_candidates=self.config.max_pattern_candidates,
         )
         self.everify = EVerify(model)
+        # The match memo is process-wide; apply this configuration's cap
+        # (a REPRO_MATCH_CACHE_SIZE operator override takes precedence).
+        apply_config_cache_size(self.config.match_cache_size)
 
     # ------------------------------------------------------------------
     # VpExtend (Procedure 2)

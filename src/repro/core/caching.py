@@ -63,5 +63,23 @@ class LRUCache(Generic[K, V]):
         while len(self._data) > self.capacity:
             self._data.popitem(last=False)
 
+    def resize(self, capacity: int) -> None:
+        """Change the capacity in place, evicting LRU entries when shrinking.
+
+        Existing entries survive a grow (or an unchanged capacity), so warm
+        caches are not thrown away when a new explainer re-applies the same
+        configuration knob.
+        """
+        self.capacity = int(capacity)
+        if self.capacity <= 0:
+            self._data.clear()
+            return
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._data.clear()
+
     def stats(self) -> dict[str, int]:
         return {"size": len(self._data), "hits": self.hits, "misses": self.misses}

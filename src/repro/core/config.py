@@ -110,6 +110,14 @@ class Configuration:
         LRU capacity of the per-graph memo of subgraph label probabilities
         used by the greedy tie-breakers and the counterfactual swap loop
         (``0`` disables caching; the cap keeps memory flat on large graphs).
+    match_cache_size:
+        LRU capacity of the *process-wide* pattern-match memo
+        (:mod:`repro.matching.engine`), keyed by
+        ``(pattern.canonical_key(), graph version)``.  Every coverage
+        predicate, view-verification check, mining support count and
+        explanation query shares the memo; ``0`` disables match memoisation.
+        Applied when an explainer is built (and in every parallel worker's
+        initializer), since the engine is shared by the whole process.
     seed:
         Seed for every randomised choice made under this configuration —
         most importantly the shuffled node arrival order of ``StreamGVEX``
@@ -129,6 +137,7 @@ class Configuration:
     diversity_hops: int = 1
     selection_strategy: str = "lazy"
     label_probability_cache_size: int = 8192
+    match_cache_size: int = 4096
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -171,6 +180,11 @@ class Configuration:
             )
         if self.label_probability_cache_size < 0:
             raise ConfigurationError("label_probability_cache_size must be non-negative")
+        if self.match_cache_size < 0:
+            raise ConfigurationError(
+                f"match_cache_size must be non-negative, got {self.match_cache_size}; "
+                "use 0 to disable match-result memoisation"
+            )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ConfigurationError("seed must be an integer")
         if not isinstance(self.default_bound, CoverageBound):
@@ -235,6 +249,7 @@ class Configuration:
             "verification_mode": self.verification_mode,
             "selection_strategy": self.selection_strategy,
             "label_probability_cache_size": self.label_probability_cache_size,
+            "match_cache_size": self.match_cache_size,
             "seed": self.seed,
         }
 

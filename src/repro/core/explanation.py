@@ -20,7 +20,7 @@ from typing import Any
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
 from repro.graphs.subgraph import induced_subgraph, remove_subgraph
-from repro.matching.isomorphism import has_matching
+from repro.matching.engine import has_matching
 
 __all__ = ["ExplanationSubgraph", "ExplanationView", "ExplanationViewSet"]
 

@@ -36,6 +36,7 @@ from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
 from repro.graphs.sparse import sparse_enabled
 from repro.graphs.subgraph import induced_subgraph
+from repro.matching.engine import apply_config_cache_size
 from repro.matching.incremental import IncrementalMatcher
 from repro.mining.candidates import PatternGenerator
 
@@ -67,6 +68,9 @@ class StreamGVEX:
         # with the same Configuration see identical streams.
         self.seed = self.config.seed if seed is None else seed
         self.everify = EVerify(model)
+        # The match memo is process-wide; apply this configuration's cap
+        # (a REPRO_MATCH_CACHE_SIZE operator override takes precedence).
+        apply_config_cache_size(self.config.match_cache_size)
 
     # ------------------------------------------------------------------
     # VpExtend (same contract as in ApproxGVEX)

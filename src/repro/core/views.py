@@ -22,7 +22,7 @@ from repro.exceptions import ExplanationError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
-from repro.matching.isomorphism import has_matching
+from repro.matching.engine import has_matching
 
 __all__ = ["PatternOccurrence", "ViewQueryEngine"]
 

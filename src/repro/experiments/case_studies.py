@@ -16,7 +16,7 @@ from repro.core.config import Configuration
 from repro.core.explanation import ExplanationView
 from repro.experiments.setup import ExperimentContext, build_explainers, prepare_context
 from repro.graphs.pattern import GraphPattern
-from repro.matching.isomorphism import has_matching
+from repro.matching.engine import has_matching
 
 __all__ = [
     "DrugCaseRow",

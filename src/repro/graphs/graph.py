@@ -58,6 +58,11 @@ class Graph:
         # Mutation counter + cached CSR snapshot (see repro.graphs.sparse).
         self._version = 0
         self._sparse_view: SparseGraphView | None = None
+        # Version-keyed memo for type_counts(): the matcher's candidate
+        # ordering and the mining batch prefilter read the histogram on
+        # every query, while the graph mutates rarely in those loops.
+        self._type_counts_cache: dict[str, int] | None = None
+        self._type_counts_version = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -170,11 +175,14 @@ class Graph:
         return dict(self._node_types)
 
     def type_counts(self) -> dict[str, int]:
-        """Histogram of node types."""
-        counts: dict[str, int] = {}
-        for node_type in self._node_types.values():
-            counts[node_type] = counts.get(node_type, 0) + 1
-        return counts
+        """Histogram of node types (memoised per mutation; returns a copy)."""
+        if self._type_counts_cache is None or self._type_counts_version != self._version:
+            counts: dict[str, int] = {}
+            for node_type in self._node_types.values():
+                counts[node_type] = counts.get(node_type, 0) + 1
+            self._type_counts_cache = counts
+            self._type_counts_version = self._version
+        return dict(self._type_counts_cache)
 
     def __contains__(self, node_id: object) -> bool:
         return node_id in self._adj

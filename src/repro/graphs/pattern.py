@@ -23,6 +23,12 @@ class GraphPattern:
     def __init__(self, pattern_id: int | None = None) -> None:
         self.pattern_id = pattern_id
         self._graph = Graph()
+        # canonical_key() memo: every dedup/match-cache lookup recomputing the
+        # structural signature from scratch was a measurable share of PGen /
+        # IncPGen; the key is invalidated through the underlying graph's
+        # mutation counter so in-place edits stay safe.
+        self._key_cache: tuple | None = None
+        self._key_version = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -90,8 +96,18 @@ class GraphPattern:
             raise GraphError("a graph pattern must be connected")
 
     def canonical_key(self) -> tuple:
-        """Isomorphism-invariant key used to deduplicate candidate patterns."""
-        return self._graph.structural_signature()
+        """Isomorphism-invariant key used to deduplicate candidate patterns.
+
+        Cached on the instance (keyed by the underlying graph's mutation
+        counter): patterns are looked up far more often than they are built,
+        and ``__eq__`` / ``__hash__`` / the match-engine memo all route
+        through this key.
+        """
+        version = self._graph.version
+        if self._key_cache is None or self._key_version != version:
+            self._key_cache = self._graph.structural_signature()
+            self._key_version = version
+        return self._key_cache
 
     def size(self) -> int:
         """Total number of nodes plus edges (used by compression metrics)."""

@@ -120,6 +120,10 @@ class SparseGraphView:
         "_feature_cache",
         "_rows_by_type",
         "_type_counts",
+        "_degrees",
+        "_neighbour_type_counts",
+        "_row_neighbour_sets",
+        "_edge_code_map",
     )
 
     def __init__(self, graph: "Graph") -> None:
@@ -183,6 +187,10 @@ class SparseGraphView:
         self._feature_cache: dict[int, np.ndarray] = {}
         self._rows_by_type: dict[int, np.ndarray] | None = None
         self._type_counts: dict[str, int] | None = None
+        self._degrees: np.ndarray | None = None
+        self._neighbour_type_counts: np.ndarray | None = None
+        self._row_neighbour_sets: list[set[int]] | None = None
+        self._edge_code_map: dict[int, int] | None = None
 
     # ------------------------------------------------------------------
     # row lookups
@@ -231,6 +239,63 @@ class SparseGraphView:
                 for code in range(len(self.node_type_vocab))
             }
         return self._rows_by_type.get(type_code, np.empty(0, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # match-engine indices (see repro.matching.engine)
+    # ------------------------------------------------------------------
+    def degrees(self) -> np.ndarray:
+        """Per-row node degrees (cached; treat as read-only)."""
+        if self._degrees is None:
+            self._degrees = np.diff(self.indptr)
+        return self._degrees
+
+    def neighbour_type_counts(self) -> np.ndarray:
+        """``(num_nodes, num_types)`` counts of each row's neighbour types.
+
+        Row ``i``, column ``c`` holds how many neighbours of node ``i`` carry
+        the node type with code ``c`` — the neighbourhood signature the match
+        engine prunes candidates with: a graph node can only host a pattern
+        node if it has at least as many neighbours of every type as the
+        pattern node does.  Built with two scatter-adds over the flat edge
+        arrays, cached per view.
+        """
+        if self._neighbour_type_counts is None:
+            counts = np.zeros(
+                (self.num_nodes, max(len(self.node_type_vocab), 1)), dtype=np.int64
+            )
+            if len(self.edge_u):
+                np.add.at(counts, (self.edge_u, self.node_type_codes[self.edge_v]), 1)
+                np.add.at(counts, (self.edge_v, self.node_type_codes[self.edge_u]), 1)
+            self._neighbour_type_counts = counts
+        return self._neighbour_type_counts
+
+    def row_neighbour_sets(self) -> list[set[int]]:
+        """Per-row neighbour sets over row indices (cached; treat as read-only).
+
+        The match engine's inner loop is millions of adjacency membership
+        tests on small graphs, where Python ``in set`` beats a numpy binary
+        search by an order of magnitude; one CSR pass builds all sets.
+        """
+        if self._row_neighbour_sets is None:
+            flat = self.indices.tolist()
+            bounds = self.indptr.tolist()
+            self._row_neighbour_sets = [
+                set(flat[bounds[row] : bounds[row + 1]]) for row in range(self.num_nodes)
+            ]
+        return self._row_neighbour_sets
+
+    def edge_code_map(self) -> dict[int, int]:
+        """``{row_lo * num_nodes + row_hi: edge type code}`` (cached).
+
+        O(1) edge-type lookups for the match engine's edge consistency
+        checks; built vectorized from the flat edge arrays.
+        """
+        if self._edge_code_map is None:
+            lo = np.minimum(self.edge_u, self.edge_v)
+            hi = np.maximum(self.edge_u, self.edge_v)
+            keys = (lo * np.int64(self.num_nodes) + hi).tolist()
+            self._edge_code_map = dict(zip(keys, self.edge_type_codes.tolist()))
+        return self._edge_code_map
 
     def node_type_code(self, type_name: str) -> int | None:
         """Code of a node-type name, or ``None`` when absent from this graph."""

@@ -1,4 +1,14 @@
-"""Graph pattern matching substrate (the PMatch / IncPMatch operators)."""
+"""Graph pattern matching substrate (the PMatch / IncPMatch operators).
+
+The package-level ``has_matching`` / ``count_matchings`` /
+``matched_node_sets`` / ``match_many`` route through the indexed, memoising
+:mod:`repro.matching.engine` when the sparse backend is enabled (the default)
+and fall back to the reference matcher in
+:mod:`repro.matching.isomorphism` under the ``REPRO_SPARSE_BACKEND=0`` /
+:func:`repro.graphs.sparse.sparse_backend` toggle.  ``find_matchings`` /
+``iter_matchings`` expose full matching *functions* and always run the
+reference search (the engine memoises derived results, not raw mappings).
+"""
 
 from repro.matching.coverage import (
     coverage_summary,
@@ -7,14 +17,18 @@ from repro.matching.coverage import (
     pattern_set_covered_nodes,
     pattern_set_covers_nodes,
 )
-from repro.matching.incremental import IncrementalMatcher
-from repro.matching.isomorphism import (
+from repro.matching.engine import (
+    MatchEngine,
     count_matchings,
-    find_matchings,
+    get_engine,
     has_matching,
-    iter_matchings,
+    match_many,
     matched_node_sets,
+    set_match_cache_size,
+    warm_match_indices,
 )
+from repro.matching.incremental import IncrementalMatcher
+from repro.matching.isomorphism import find_matchings, iter_matchings
 
 __all__ = [
     "find_matchings",
@@ -22,6 +36,11 @@ __all__ = [
     "has_matching",
     "count_matchings",
     "matched_node_sets",
+    "match_many",
+    "MatchEngine",
+    "get_engine",
+    "set_match_cache_size",
+    "warm_match_indices",
     "covered_nodes",
     "covered_edges",
     "pattern_set_covered_nodes",

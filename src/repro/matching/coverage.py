@@ -16,6 +16,7 @@ import numpy as np
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
 from repro.graphs.sparse import SparseGraphView, sparse_enabled
+from repro.matching.engine import get_engine, type_histogram_deficit
 from repro.matching.isomorphism import iter_matchings
 
 __all__ = [
@@ -30,15 +31,10 @@ __all__ = [
 def _type_prefilter_fails(pattern: GraphPattern, view: SparseGraphView) -> bool:
     """True when the type histograms alone rule out any matching.
 
-    A matching maps pattern nodes to *distinct* graph nodes of the same type,
-    so a pattern needing more nodes of some type than the graph has cannot
-    match — an exact emptiness certificate, independent of matching caps.
+    Thin wrapper over the single shared certificate implementation in
+    :func:`repro.matching.engine.type_histogram_deficit`.
     """
-    graph_counts = view.type_counts()
-    for node_type, needed in pattern.graph.type_counts().items():
-        if needed > graph_counts.get(node_type, 0):
-            return True
-    return False
+    return type_histogram_deficit(pattern.graph.type_counts(), view.type_counts())
 
 
 def _matched_edge_mask(pattern: GraphPattern, view: SparseGraphView) -> np.ndarray | None:
@@ -110,6 +106,10 @@ def covered_nodes(pattern: GraphPattern, graph: Graph, max_matchings: int | None
         fast = _fast_covered_nodes(pattern, graph, max_matchings)
         if fast is not None:
             return fast
+        # Larger patterns (and capped small ones the closed forms defer on)
+        # go through the memoised, prefiltered match engine; capped queries
+        # replay the reference enumeration order so truncation is identical.
+        return get_engine().covered_nodes(pattern, graph, max_matchings=max_matchings)
     covered: set[int] = set()
     for mapping in iter_matchings(pattern, graph, max_matchings=max_matchings):
         covered.update(mapping.values())
@@ -157,6 +157,7 @@ def covered_edges(
         fast = _fast_covered_edges(pattern, graph, max_matchings)
         if fast is not None:
             return fast
+        return get_engine().covered_edges(pattern, graph, max_matchings=max_matchings)
     covered: set[tuple[int, int]] = set()
     for mapping in iter_matchings(pattern, graph, max_matchings=max_matchings):
         for u, v in pattern.edges:

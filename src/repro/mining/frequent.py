@@ -6,18 +6,33 @@ isomorphism-invariant canonical key, and support is counted with the exact
 matcher.  It is intentionally bounded (pattern size <= ``max_pattern_size``)
 because GVEX only needs small summarising patterns, never a full frequent
 subgraph lattice.
+
+Enumeration expands connected node sets breadth-first (a deque — seeds in
+node insertion order, boundary nodes in sorted order — so the enumeration
+sequence, and therefore any ``max_patterns_per_graph`` truncation, is fully
+deterministic and reproducible across runs).  With the sparse backend enabled
+(the default) the canonical key of every candidate node set is maintained
+*incrementally* while the set grows — adding one node updates a handful of
+degree counters and appends the new induced edges' descriptors — so the old
+per-set cost of re-inducing a subgraph, rebuilding a :class:`GraphPattern`
+and re-canonicalising it from scratch is paid only for node sets whose key is
+genuinely new.  Both paths traverse identical frontiers and produce identical
+pattern lists; the reference path (``REPRO_SPARSE_BACKEND=0``) is the
+correctness oracle the tests and benchmarks compare against.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.exceptions import MiningError
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
+from repro.graphs.sparse import sparse_enabled
 from repro.graphs.subgraph import induced_subgraph
-from repro.matching.isomorphism import has_matching
+from repro.matching.engine import match_many
 
 __all__ = ["FrequentPattern", "enumerate_connected_patterns", "frequent_patterns"]
 
@@ -31,25 +46,16 @@ class FrequentPattern:
     supporting_graphs: list[int]
 
 
-def enumerate_connected_patterns(
-    graph: Graph,
-    max_pattern_size: int,
-    max_patterns_per_graph: int = 256,
+def _enumerate_reference(
+    graph: Graph, max_pattern_size: int, max_patterns_per_graph: int
 ) -> list[GraphPattern]:
-    """All connected induced patterns of ``graph`` up to ``max_pattern_size`` nodes.
-
-    Enumeration expands connected node sets breadth-first and deduplicates by
-    canonical key; it stops early once ``max_patterns_per_graph`` distinct
-    patterns were produced so pathological graphs cannot blow up the search.
-    """
-    if max_pattern_size < 1:
-        raise MiningError("max_pattern_size must be at least 1")
+    """Breadth-first enumeration, one induce + canonicalise per node set."""
     patterns: dict[tuple, GraphPattern] = {}
     visited_sets: set[frozenset[int]] = set()
-    frontier: list[frozenset[int]] = [frozenset({node}) for node in graph.nodes]
+    frontier: deque[frozenset[int]] = deque(frozenset({node}) for node in graph.nodes)
     visited_sets.update(frontier)
     while frontier and len(patterns) < max_patterns_per_graph:
-        node_set = frontier.pop()
+        node_set = frontier.popleft()
         pattern = GraphPattern.from_graph(induced_subgraph(graph, node_set))
         patterns.setdefault(pattern.canonical_key(), pattern)
         if len(node_set) >= max_pattern_size:
@@ -57,12 +63,86 @@ def enumerate_connected_patterns(
         boundary: set[int] = set()
         for node in node_set:
             boundary |= graph.neighbors(node)
-        for neighbour in boundary - node_set:
+        for neighbour in sorted(boundary - node_set):
             extended = node_set | {neighbour}
             if extended not in visited_sets:
                 visited_sets.add(extended)
                 frontier.append(extended)
     return list(patterns.values())
+
+
+def _enumerate_incremental(
+    graph: Graph, max_pattern_size: int, max_patterns_per_graph: int
+) -> list[GraphPattern]:
+    """Same traversal as :func:`_enumerate_reference`, incremental keys.
+
+    Each frontier entry carries its node set *plus* the per-node induced
+    degrees and the multiset of edge descriptors — exactly the ingredients of
+    :meth:`Graph.structural_signature` — maintained incrementally as the set
+    grows.  The canonical key then costs a sort of <= ``max_pattern_size``
+    tuples, and a :class:`GraphPattern` is only materialised (one induced
+    subgraph) for keys not seen before.  Identical output to the reference
+    path: same frontier order, same keys, same first-occurrence node sets.
+    """
+    adjacency = {node: graph.neighbors(node) for node in graph.nodes}
+    node_type = graph.node_types()
+    patterns: dict[tuple, GraphPattern] = {}
+    visited_sets: set[frozenset[int]] = set()
+    # Frontier entries: (node set, {node: induced degree}, [edge descriptors]).
+    frontier: deque[tuple[frozenset[int], dict[int, int], list[tuple]]] = deque(
+        (frozenset({node}), {node: 0}, []) for node in graph.nodes
+    )
+    visited_sets.update(entry[0] for entry in frontier)
+    while frontier and len(patterns) < max_patterns_per_graph:
+        node_set, degrees, edge_descriptors = frontier.popleft()
+        key = (
+            tuple(sorted((node_type[node], degrees[node]) for node in node_set)),
+            tuple(sorted(edge_descriptors)),
+        )
+        if key not in patterns:
+            patterns[key] = GraphPattern.from_graph(induced_subgraph(graph, node_set))
+        if len(node_set) >= max_pattern_size:
+            continue
+        boundary: set[int] = set()
+        for node in node_set:
+            boundary |= adjacency[node]
+        for neighbour in sorted(boundary - node_set):
+            extended = node_set | {neighbour}
+            if extended in visited_sets:
+                continue
+            visited_sets.add(extended)
+            new_links = adjacency[neighbour] & node_set
+            new_degrees = dict(degrees)
+            new_degrees[neighbour] = len(new_links)
+            new_edges = list(edge_descriptors)
+            for other in new_links:
+                new_degrees[other] += 1
+                type_pair = tuple(sorted((node_type[neighbour], node_type[other])))
+                new_edges.append((graph.edge_type(neighbour, other), type_pair))
+            frontier.append((extended, new_degrees, new_edges))
+    return list(patterns.values())
+
+
+def enumerate_connected_patterns(
+    graph: Graph,
+    max_pattern_size: int,
+    max_patterns_per_graph: int = 256,
+) -> list[GraphPattern]:
+    """All connected induced patterns of ``graph`` up to ``max_pattern_size`` nodes.
+
+    Enumeration expands connected node sets breadth-first (deterministically:
+    seeds in insertion order, boundary extensions in sorted node order) and
+    deduplicates by canonical key; it stops early once
+    ``max_patterns_per_graph`` distinct patterns were produced so
+    pathological graphs cannot blow up the search.  The truncated prefix is
+    reproducible across runs and identical between the incremental fast path
+    and the reference path.
+    """
+    if max_pattern_size < 1:
+        raise MiningError("max_pattern_size must be at least 1")
+    if sparse_enabled():
+        return _enumerate_incremental(graph, max_pattern_size, max_patterns_per_graph)
+    return _enumerate_reference(graph, max_pattern_size, max_patterns_per_graph)
 
 
 def frequent_patterns(
@@ -74,10 +154,14 @@ def frequent_patterns(
     """Connected patterns appearing in at least ``min_support`` of the graphs.
 
     Results are sorted by descending support, then descending pattern size, so
-    the most frequent and most informative patterns come first.
+    the most frequent and most informative patterns come first.  Support is
+    counted through :func:`repro.matching.engine.match_many`, which
+    batch-prefilters the graph collection (type histograms) and memoises the
+    surviving exact matches.
     """
     if min_support < 1:
         raise MiningError("min_support must be at least 1")
+    graphs = list(graphs)
     candidate_index: dict[tuple, GraphPattern] = {}
     for graph in graphs:
         for pattern in enumerate_connected_patterns(
@@ -86,9 +170,8 @@ def frequent_patterns(
             candidate_index.setdefault(pattern.canonical_key(), pattern)
     results: list[FrequentPattern] = []
     for pattern in candidate_index.values():
-        supporting = [
-            index for index, graph in enumerate(graphs) if has_matching(pattern, graph)
-        ]
+        matched = match_many(pattern, graphs)
+        supporting = [index for index, hit in enumerate(matched) if hit]
         if len(supporting) >= min_support:
             results.append(
                 FrequentPattern(pattern=pattern, support=len(supporting), supporting_graphs=supporting)

@@ -132,6 +132,7 @@ class TestFingerprint:
             Configuration(max_pattern_size=3),
             Configuration(diversity_hops=2),
             Configuration(selection_strategy="eager"),
+            Configuration(match_cache_size=64),
             Configuration().with_default_bound(0, 9),
             Configuration().with_bound(1, 0, 5),
         ]

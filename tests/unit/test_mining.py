@@ -140,3 +140,71 @@ class TestPatternGenerator:
     def test_incremental_generation_on_missing_node(self):
         generator = PatternGenerator()
         assert generator.generate_incremental(typed_triangle(), 99, []) == []
+
+
+class TestEnumerationDeterminism:
+    """BFS expansion (deque, sorted boundaries) makes enumeration — and any
+    ``max_patterns_per_graph`` truncation — reproducible across runs and
+    identical between the incremental-key fast path and the reference path."""
+
+    def build_graph(self, seed=11, num_nodes=12):
+        from tests.conftest import build_random_typed_graph
+
+        return build_random_typed_graph(num_nodes, seed=seed)
+
+    def test_enumeration_order_is_deterministic(self):
+        graph = self.build_graph()
+        first = enumerate_connected_patterns(graph, 3, max_patterns_per_graph=20)
+        second = enumerate_connected_patterns(graph, 3, max_patterns_per_graph=20)
+        assert [p.canonical_key() for p in first] == [p.canonical_key() for p in second]
+
+    def test_truncation_is_a_prefix_of_the_full_enumeration(self):
+        graph = self.build_graph()
+        full = enumerate_connected_patterns(graph, 3, max_patterns_per_graph=10_000)
+        truncated = enumerate_connected_patterns(graph, 3, max_patterns_per_graph=7)
+        assert [p.canonical_key() for p in truncated] == [
+            p.canonical_key() for p in full
+        ][: len(truncated)]
+
+    def test_breadth_first_yields_small_patterns_first(self):
+        # All singleton node sets are seeded before any 2-node extension, so
+        # a breadth-first frontier must emit every 1-node pattern before the
+        # first multi-node one — the LIFO bug emitted large patterns first.
+        graph = typed_path(["A", "B", "C", "D"])
+        patterns = enumerate_connected_patterns(graph, 3)
+        sizes = [pattern.num_nodes() for pattern in patterns]
+        num_types = len({"A", "B", "C", "D"})
+        assert sizes[:num_types] == [1] * num_types
+        assert sizes == sorted(sizes)
+
+    def test_incremental_and_reference_paths_agree(self):
+        from repro.graphs.sparse import sparse_backend
+
+        for seed in (0, 3, 9):
+            graph = self.build_graph(seed=seed)
+            for cap in (6, 40, 10_000):
+                with sparse_backend(True):
+                    fast = enumerate_connected_patterns(graph, 4, max_patterns_per_graph=cap)
+                with sparse_backend(False):
+                    reference = enumerate_connected_patterns(
+                        graph, 4, max_patterns_per_graph=cap
+                    )
+                assert [p.canonical_key() for p in fast] == [
+                    p.canonical_key() for p in reference
+                ]
+
+    def test_frequent_patterns_identical_across_backends(self):
+        from repro.graphs.sparse import sparse_backend
+
+        graphs = [self.build_graph(seed=seed, num_nodes=8) for seed in range(4)]
+        def snapshot(results):
+            return [
+                (fp.pattern.canonical_key(), fp.support, tuple(fp.supporting_graphs))
+                for fp in results
+            ]
+
+        with sparse_backend(True):
+            fast = snapshot(frequent_patterns(graphs, min_support=2, max_pattern_size=3))
+        with sparse_backend(False):
+            reference = snapshot(frequent_patterns(graphs, min_support=2, max_pattern_size=3))
+        assert fast == reference
