@@ -24,6 +24,13 @@ times ``frequent_patterns`` + ``PGen`` candidate generation (incremental
 canonical keys + batched support counting vs per-set re-canonicalisation).
 Both assert result identity between the two paths.
 
+Dynamic databases get their own benchmark (``bench_incremental``, runnable
+alone via ``--suite incremental``): ingesting a 10% delta into a *warm*
+``ViewMaintainer`` (per-graph streaming + delta-driven view repair) versus a
+full StreamGVEX recompute on the resulting database, plus a removal
+(retraction-only) measurement — with the maintained views asserted
+*identical* to the recompute.
+
 The datasets are the repo's synthetic stand-ins (SYNTHETIC and MALNET-TINY)
 built at sizes representative of the paper's Table 3 (~100-node graphs); the
 scaled-down sizes used by the figure benchmarks are too small for matrix
@@ -56,6 +63,7 @@ if __name__ == "__main__":  # allow running from a clean checkout
 from repro.api import ExplanationService, create_explainer
 from repro.core.approx import ApproxGVEX
 from repro.core.config import Configuration
+from repro.core.maintenance import ViewMaintainer
 from repro.core.quality import GraphAnalysis
 from repro.core.streaming import StreamGVEX
 from repro.core.verification import EVerify
@@ -418,6 +426,100 @@ def bench_service(context: BenchContext, config, num_graphs: int) -> dict:
     }
 
 
+def _view_signature(view) -> tuple:
+    """Node sets + pattern keys + objective: recompute-identity oracle."""
+    return (
+        [sorted(subgraph.nodes) for subgraph in view.subgraphs],
+        sorted(pattern.canonical_key() for pattern in view.patterns),
+        round(view.explainability, 12),
+    )
+
+
+def bench_incremental(
+    context: BenchContext, config, batch_size: int = 32, delta_fraction: float = 0.10
+) -> dict:
+    """Incremental view maintenance vs full StreamGVEX recompute.
+
+    Builds a mutable database over ~90% of the dataset, attaches a warm
+    :class:`ViewMaintainer` (untimed — that is the steady state of a
+    long-running service), then measures
+
+    * ``incremental_seconds`` — ingesting the remaining ~10% delta through
+      the maintainer (per-graph streaming passes + view reassembly);
+    * ``recompute_seconds``   — a full ``StreamGVEX.explain_label`` over the
+      resulting database for the same labels (what a snapshot-style system
+      pays per mutation batch);
+    * ``removal_seconds``     — retracting one graph and reassembling (no
+      streaming at all), against a second full recompute on the remainder.
+
+    Both paths must produce *identical* views (node sets, pattern keys,
+    explainability) — the maintained state inherits the anytime bound with
+    zero slack; the signature comparison is returned for the guard.
+    """
+    graphs = context.database.graphs
+    labels_all = context.database.labels
+    delta_count = max(1, int(round(len(graphs) * delta_fraction)))
+    split = len(graphs) - delta_count
+    with sparse_backend(True):
+        database = GraphDatabase(f"{context.dataset}-live")
+        for graph, label in zip(graphs[:split], labels_all[:split]):
+            database.add_graph(graph, label)
+        # Warm everything (CSR snapshots + the maintainer's replay of the
+        # base) outside the timers; the delta graphs' snapshots are warmed
+        # too so both arms see steady-state probe throughput.
+        database.warm_sparse_cache()
+        for graph in graphs[split:]:
+            graph.sparse_view()
+        maintainer = ViewMaintainer(context.model, config, batch_size=batch_size).attach(
+            database
+        )
+
+        start = time.perf_counter()
+        for graph, label in zip(graphs[split:], labels_all[split:]):
+            database.add_graph(graph, label)
+        labels = maintainer.maintained_labels()
+        ingest_signatures = {
+            label: _view_signature(maintainer.view_for(label)) for label in labels
+        }
+        incremental_seconds = time.perf_counter() - start
+
+        explainer = StreamGVEX(context.model, config, batch_size=batch_size)
+        start = time.perf_counter()
+        recompute_signatures = {
+            label: _view_signature(explainer.explain_label(database.graphs, label))
+            for label in labels
+        }
+        recompute_seconds = time.perf_counter() - start
+        ingest_identical = ingest_signatures == recompute_signatures
+
+        victim = database.graphs[0].graph_id
+        start = time.perf_counter()
+        database.remove_graph(victim)
+        removal_signatures = {
+            label: _view_signature(maintainer.view_for(label))
+            for label in maintainer.maintained_labels()
+        }
+        removal_seconds = time.perf_counter() - start
+        removal_recompute = {
+            label: _view_signature(explainer.explain_label(database.graphs, label))
+            for label in maintainer.maintained_labels()
+        }
+        removal_identical = removal_signatures == removal_recompute
+
+    return {
+        "num_graphs": len(graphs),
+        "delta_graphs": delta_count,
+        "labels": labels,
+        "incremental_seconds": incremental_seconds,
+        "recompute_seconds": recompute_seconds,
+        "ingest_speedup": recompute_seconds / max(incremental_seconds, 1e-9),
+        "removal_seconds": removal_seconds,
+        "removal_speedup": recompute_seconds / max(removal_seconds, 1e-9),
+        "identical": ingest_identical and removal_identical,
+        "maintainer": maintainer.stats(),
+    }
+
+
 def run_benchmark(
     datasets=DEFAULT_DATASETS,
     reps: int = 3,
@@ -426,9 +528,31 @@ def run_benchmark(
     epochs: int = 10,
     e2e_reps: int = 1,
     e2e_num_graphs: int = 6,
+    suite: str = "full",
 ) -> dict:
-    """Produce the full benchmark payload (see module docstring)."""
+    """Produce the full benchmark payload (see module docstring).
+
+    ``suite="incremental"`` runs only the incremental-maintenance benchmark
+    (the CI ``incremental`` job's fast path); ``"full"`` runs everything.
+    """
     report: dict = {"datasets": {}, "reps": reps, "graph_size": graph_size}
+    incremental_speedups: list[float] = []
+    incremental_identical = True
+    if suite == "incremental":
+        for name in datasets:
+            context = build_context(
+                name, num_graphs=num_graphs, graph_size=graph_size, epochs=epochs
+            )
+            config = Configuration().with_default_bound(0, 8)
+            incremental = bench_incremental(context, config)
+            incremental_speedups.append(incremental["ingest_speedup"])
+            incremental_identical = incremental_identical and incremental["identical"]
+            report["datasets"][name] = {"incremental": incremental}
+        report["incremental_speedup_min"] = min(incremental_speedups)
+        report["incremental_identical"] = incremental_identical
+        return report
+    if suite != "full":
+        raise ValueError(f"unknown benchmark suite {suite!r}")
     influence_speedups: list[float] = []
     everify_speedups: list[float] = []
     matching_speedups: list[float] = []
@@ -514,7 +638,14 @@ def run_benchmark(
         service_direct_ratios.append(service["direct_ratio"])
         service_identical = service_identical and service["identical"]
 
+        # Incremental view maintenance (10% delta into a warm maintainer vs
+        # full StreamGVEX recompute, identity-checked).
+        incremental = bench_incremental(context, config)
+        incremental_speedups.append(incremental["ingest_speedup"])
+        incremental_identical = incremental_identical and incremental["identical"]
+
         report["datasets"][name] = {
+            "incremental": incremental,
             "service": service,
             "influence": {
                 "legacy_seconds": legacy_influence,
@@ -562,6 +693,8 @@ def run_benchmark(
     report["stream_explain_label_speedup_min"] = min(stream_explain_label_speedups)
     report["service_warm_speedup_min"] = min(service_warm_speedups)
     report["service_direct_ratio_min"] = min(service_direct_ratios)
+    report["incremental_speedup_min"] = min(incremental_speedups)
+    report["incremental_identical"] = incremental_identical
     report["views_identical"] = views_identical
     report["lazy_eager_identical"] = lazy_eager_identical
     report["matching_identical"] = matching_identical
@@ -579,6 +712,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--epochs", type=int, default=10)
     parser.add_argument("--e2e-reps", type=int, default=1)
     parser.add_argument("--e2e-num-graphs", type=int, default=6)
+    parser.add_argument(
+        "--suite",
+        choices=("full", "incremental"),
+        default="full",
+        help="'incremental' runs only the delta-maintenance benchmark (CI fast path)",
+    )
     parser.add_argument("--output", type=Path, default=None, help="write the JSON report here")
     args = parser.parse_args(argv)
 
@@ -590,12 +729,20 @@ def main(argv: list[str] | None = None) -> int:
         epochs=args.epochs,
         e2e_reps=args.e2e_reps,
         e2e_num_graphs=args.e2e_num_graphs,
+        suite=args.suite,
     )
     payload = json.dumps(report, indent=2, sort_keys=True)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(payload + "\n")
     print(payload)
+    print(
+        f"\nincremental ingest vs recompute:       {report['incremental_speedup_min']:.2f}x\n"
+        f"incremental views identical: {report['incremental_identical']}",
+        file=sys.stderr,
+    )
+    if args.suite == "incremental":
+        return 0
     print(
         f"\ninfluence speedup (min over datasets): {report['influence_speedup_min']:.2f}x\n"
         f"everify   speedup (min over datasets): {report['everify_speedup_min']:.2f}x\n"

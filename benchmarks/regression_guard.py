@@ -10,7 +10,9 @@ mining front-end micro-benchmarks (indexed match engine / incremental
 canonical keys vs the reference matcher and per-set re-canonicalisation),
 and the end-to-end ``explain_label`` runtimes (ApproxGVEX: lazy CELF +
 batched inference vs the eager strategy; StreamGVEX: the full fast path vs
-the full reference path).
+the full reference path), plus the incremental view-maintenance path
+(ingesting a 10% delta through a warm ``ViewMaintainer`` vs a full
+StreamGVEX recompute, with view identity asserted).
 
 Speedup ratios — not wall-clock seconds — are compared, because both the
 vectorized and the reference implementation run on the same machine in the
@@ -42,36 +44,67 @@ GUARDED_METRICS = (
     "stream_explain_label_speedup_min",
     "service_warm_speedup_min",
     "service_direct_ratio_min",
+    "incremental_speedup_min",
 )
 
+# Identity flag required alongside each guarded metric, with the failure
+# message emitted when the flag is false.  Tying flags to the metric
+# selection keeps the full-suite invocation as strict as ever (a report
+# that silently stops emitting a flag FAILS) while letting partial-suite
+# reports (`--suite incremental` + `--metrics incremental_speedup_min`)
+# guard only their own flags.
+IDENTITY_FLAGS = {
+    "influence_speedup_min": (
+        "views_identical",
+        "vectorized and reference backends no longer produce identical views",
+    ),
+    "explain_label_speedup_min": (
+        "lazy_eager_identical",
+        "lazy (CELF) and eager selection no longer produce identical node sets",
+    ),
+    "matching_speedup_min": (
+        "matching_identical",
+        "indexed match engine and reference matcher no longer produce "
+        "identical match results",
+    ),
+    "mining_speedup_min": (
+        "mining_identical",
+        "incremental pattern enumeration / batched support counting no "
+        "longer matches the reference mining path",
+    ),
+    "service_warm_speedup_min": (
+        "service_identical",
+        "service-layer explain_many no longer matches direct explain_label "
+        "node sets (or warm requests stopped hitting the view cache)",
+    ),
+    "incremental_speedup_min": (
+        "incremental_identical",
+        "incrementally maintained views no longer match a full StreamGVEX "
+        "recompute after database mutations",
+    ),
+}
 
-def check(current: dict, baseline: dict, tolerance: float = 0.25) -> list[str]:
+
+def check(
+    current: dict,
+    baseline: dict,
+    tolerance: float = 0.25,
+    metrics: tuple[str, ...] = GUARDED_METRICS,
+) -> list[str]:
     """Return a list of failure messages (empty when the guard passes)."""
     failures: list[str] = []
-    if not current.get("views_identical", False):
-        failures.append(
-            "vectorized and reference backends no longer produce identical views"
-        )
-    if "lazy_eager_identical" in current and not current["lazy_eager_identical"]:
-        failures.append(
-            "lazy (CELF) and eager selection no longer produce identical node sets"
-        )
-    if "matching_identical" in current and not current["matching_identical"]:
-        failures.append(
-            "indexed match engine and reference matcher no longer produce "
-            "identical match results"
-        )
-    if "mining_identical" in current and not current["mining_identical"]:
-        failures.append(
-            "incremental pattern enumeration / batched support counting no "
-            "longer matches the reference mining path"
-        )
-    if "service_identical" in current and not current["service_identical"]:
-        failures.append(
-            "service-layer explain_many no longer matches direct explain_label "
-            "node sets (or warm requests stopped hitting the view cache)"
-        )
-    for metric in GUARDED_METRICS:
+    for metric in metrics:
+        if metric not in IDENTITY_FLAGS:
+            continue
+        flag, message = IDENTITY_FLAGS[metric]
+        if flag not in current:
+            failures.append(
+                f"current report is missing the identity flag '{flag}' "
+                f"(required with '{metric}')"
+            )
+        elif not current[flag]:
+            failures.append(message)
+    for metric in metrics:
         reference = baseline.get(metric)
         measured = current.get(metric)
         if reference is None:
@@ -93,11 +126,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("current", type=Path, help="JSON report from bench_hot_paths.py")
     parser.add_argument("baseline", type=Path, nargs="?", default=DEFAULT_BASELINE)
     parser.add_argument("--tolerance", type=float, default=0.25)
+    parser.add_argument(
+        "--metrics",
+        nargs="+",
+        default=list(GUARDED_METRICS),
+        choices=list(GUARDED_METRICS),
+        help="restrict the guarded metrics (partial-suite reports, e.g. "
+        "`--metrics incremental_speedup_min` for the CI incremental job)",
+    )
     args = parser.parse_args(argv)
 
     current = json.loads(args.current.read_text())
     baseline = json.loads(args.baseline.read_text())
-    failures = check(current, baseline, tolerance=args.tolerance)
+    failures = check(
+        current, baseline, tolerance=args.tolerance, metrics=tuple(args.metrics)
+    )
 
     for metric in GUARDED_METRICS:
         if metric in current:

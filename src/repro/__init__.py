@@ -49,13 +49,14 @@ from repro.core import (
     ExplanationViewSet,
     GraphAnalysis,
     StreamGVEX,
+    ViewMaintainer,
     ViewQueryEngine,
     parallel_explain,
     verify_view,
 )
 from repro.datasets import available_datasets, load_dataset
 from repro.gnn import GNNClassifier, Trainer
-from repro.graphs import Graph, GraphDatabase, GraphPattern
+from repro.graphs import DatabaseDelta, Graph, GraphDatabase, GraphPattern
 
 __version__ = "1.0.0"
 
@@ -76,6 +77,8 @@ __all__ = [
     "ExplanationViewSet",
     "ApproxGVEX",
     "StreamGVEX",
+    "ViewMaintainer",
+    "DatabaseDelta",
     "parallel_explain",
     "verify_view",
     "ViewQueryEngine",

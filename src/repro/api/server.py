@@ -11,6 +11,11 @@ Endpoints
 * ``GET  /schema``              — the explanation-artifact JSON schema;
 * ``POST /explain``             — body ``{"algorithm", "label", "max_nodes",
   "limit", "graph_ids"}`` → a serialised explanation result envelope;
+* ``POST /ingest``              — live database mutations: body
+  ``{"graph": {...}, "label"}`` adds a graph (streamed through the live
+  view maintainer — no recompute), ``{"op": "remove", "graph_id"}`` removes
+  one, ``{"op": "relabel", "graph_id", "label"}`` relabels one; returns the
+  mutation summary (stable graph id, database version, refreshed labels);
 * ``GET  /views``               — provenance of every stored view;
 * ``GET  /query/summary``       — per-label view summary;
 * ``GET  /query/graph/<id>``    — stored witness subgraph for one graph;
@@ -134,6 +139,9 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
             self._send_error(f"unknown endpoint {path!r}", status=404)
 
     def _route_post(self, path: str) -> None:
+        if path == "/ingest":
+            self._route_ingest()
+            return
         if path != "/explain":
             self._send_error(f"unknown endpoint {path!r}", status=404)
             return
@@ -160,6 +168,52 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
                 "payload": result_to_dict(result),
             }
         )
+
+    def _route_ingest(self) -> None:
+        """Live database mutations over HTTP (add / remove / relabel)."""
+        from repro.graphs.graph import Graph
+
+        body = self._read_body()
+        allowed = {"op", "graph", "label", "graph_id"}
+        unknown = set(body) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown ingest parameters {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        op = body.get("op", "add")
+        # Validate the request *before* enabling live views: attaching the
+        # maintainer streams the whole database once, which a malformed
+        # request must not pay for.
+        if op not in ("add", "remove", "relabel"):
+            raise ValueError(
+                f"unknown ingest op {op!r}; expected 'add', 'remove' or 'relabel'"
+            )
+        if op == "add" and "graph" not in body:
+            raise ValueError("ingest op 'add' needs a 'graph' payload")
+        if op == "remove" and body.get("graph_id") is None:
+            raise ValueError("ingest op 'remove' needs a 'graph_id'")
+        if op == "relabel" and (body.get("graph_id") is None or body.get("label") is None):
+            raise ValueError("ingest op 'relabel' needs 'graph_id' and 'label'")
+        # Mutations repair the live maintainer instead of invalidating into
+        # recompute, so make sure one is attached before the first delta.
+        self.service.enable_live_views()
+        if op == "add":
+            graph = Graph.from_dict(body["graph"])
+            graph_id = body.get("graph_id")
+            label = body.get("label")
+            summary = self.service.ingest(
+                graph,
+                # Coerced like remove/relabel: stringly-typed values would
+                # be stored verbatim, never match later int lookups, and a
+                # mixed-type label set breaks class_labels()'s sort.
+                label=int(label) if label is not None else None,
+                graph_id=int(graph_id) if graph_id is not None else None,
+            )
+        elif op == "remove":
+            summary = self.service.remove(int(body["graph_id"]))
+        else:
+            summary = self.service.relabel(int(body["graph_id"]), int(body["label"]))
+        self._send_json(summary)
 
 
 def create_server(

@@ -21,24 +21,46 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+import warnings
+import weakref
 from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from repro.api.registry import create_explainer
+from repro.api.registry import DEFAULT_REGISTRY, create_explainer
 from repro.api.serialize import load_artifact, save_artifact
 from repro.api.types import ExplainRequest, ExplanationResult, Provenance
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationViewSet
+from repro.core.maintenance import DEFAULT_STREAM_BATCH_SIZE, ViewMaintainer
 from repro.exceptions import ExplanationError
-from repro.graphs.database import GraphDatabase
+from repro.graphs.database import DatabaseDelta, GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_enabled
 from repro.api.store import ViewStore
 
 __all__ = ["ExplanationService", "ServiceQuery"]
+
+
+class _WeakDeltaHook:
+    """Database subscription hook holding its service only weakly."""
+
+    def __init__(self, service: "ExplanationService", database: GraphDatabase) -> None:
+        self._service = weakref.ref(service)
+        self._database = weakref.ref(database)
+
+    def __call__(self, delta: DatabaseDelta) -> None:
+        service = self._service()
+        if service is not None:
+            service._on_delta(delta)
+            return
+        # Service collected without close(): prune this dead hook so the
+        # long-lived database does not accumulate no-op callbacks.
+        database = self._database()
+        if database is not None:
+            database.unsubscribe(self)
 
 
 class ExplanationService:
@@ -59,6 +81,13 @@ class ExplanationService:
     cache_size / cache_dir:
         Capacity of the in-memory result LRU and the optional spill
         directory; with a ``cache_dir``, a restarted service starts warm.
+    live_views:
+        Attach a :class:`~repro.core.maintenance.ViewMaintainer` to the
+        database at construction (see :meth:`enable_live_views`): StreamGVEX
+        views are then repaired incrementally on every
+        :meth:`ingest` / :meth:`remove` / :meth:`relabel` instead of being
+        recomputed, and the maintainer state is snapshotted into the view
+        store for warm restarts.
     epochs / seed / num_graphs / hidden_dim:
         Training knobs forwarded to the experiment context on the train
         path.
@@ -73,6 +102,7 @@ class ExplanationService:
         config: Configuration | None = None,
         cache_size: int = 64,
         cache_dir: str | Path | None = None,
+        live_views: bool = False,
         epochs: int = 40,
         seed: int = 7,
         num_graphs: int | None = None,
@@ -133,10 +163,29 @@ class ExplanationService:
         self._latest: dict[int, str] = {}
         self._lock = threading.RLock()
         # Cache keys embed the *context* identity (model weights, database
-        # size, split) next to the request fingerprint, so a persistent
-        # cache_dir can never serve views computed by a different model —
-        # e.g. after retraining with other epochs on the same dataset.
+        # size/version, split) next to the request fingerprint, so a
+        # persistent cache_dir can never serve views computed by a different
+        # model — e.g. after retraining with other epochs on the same
+        # dataset — or by the same model over different database contents.
+        # The model is fixed for the service's lifetime, so its weight
+        # digest is hashed once; mutations only re-fold the cheap database
+        # identity.
+        self._weights_digest = self._fingerprint_weights()
         self._context_fingerprint = self._fingerprint_context()
+        # Live incremental view maintenance (enable_live_views): StreamGVEX
+        # state repaired per delta instead of recomputed per request.
+        self._maintainer: ViewMaintainer | None = None
+        self._mutations_since_snapshot = 0
+        self._closed = False
+        # Delta-aware cache bookkeeping for *any* database mutation,
+        # including ones made directly on the database object.  Bound
+        # weakly: a dropped service must not be pinned alive by the
+        # database's subscriber list (databases can outlive many services,
+        # e.g. the in-process experiment-context cache).
+        self._delta_hook = _WeakDeltaHook(self, self.database)
+        self.database.subscribe(self._delta_hook)
+        if live_views:
+            self.enable_live_views()
 
     # ------------------------------------------------------------------
     # the explain surface
@@ -174,6 +223,12 @@ class ExplanationService:
             if cached is not None:
                 self._latest[cached.provenance.label] = key
                 return cached.marked_cached()
+
+        # A live maintainer serves matching stream requests without any
+        # recompute (its views are repaired per database delta).
+        maintained = self._maintained_result(request)
+        if maintained is not None:
+            return maintained
 
         # The explanation itself runs outside the lock so concurrent
         # requests for *different* jobs proceed in parallel; two concurrent
@@ -287,6 +342,146 @@ class ExplanationService:
         return [results[label] for label in labels]
 
     # ------------------------------------------------------------------
+    # the dynamic-database surface (ingest / remove / relabel)
+    # ------------------------------------------------------------------
+    def enable_live_views(
+        self,
+        *,
+        batch_size: int = DEFAULT_STREAM_BATCH_SIZE,
+        label_source: str = "predicted",
+        restore: bool = True,
+    ) -> ViewMaintainer:
+        """Attach (or return) the live StreamGVEX :class:`ViewMaintainer`.
+
+        The maintainer streams every database graph once, then repairs its
+        views per mutation delta.  With a ``cache_dir``, a snapshot of the
+        maintained state is persisted through the view store after every
+        mutation, and ``restore=True`` warm-restarts from it — graphs the
+        snapshot already covers are *not* re-streamed.
+        """
+        with self._lock:
+            self._ensure_open()
+            if self._maintainer is not None:
+                return self._maintainer
+            maintainer: ViewMaintainer | None = None
+            if restore:
+                try:
+                    payload = self.store.get_snapshot(self._maintainer_key())
+                except Exception:
+                    payload = None  # corrupt snapshot file: rebuild
+                # A snapshot taken under different maintenance parameters
+                # must not silently override the caller's: rebuild instead.
+                if payload is not None and (
+                    payload.get("batch_size") != batch_size
+                    or payload.get("label_source") != label_source
+                ):
+                    payload = None
+                if payload is not None:
+                    try:
+                        maintainer = ViewMaintainer.from_snapshot(
+                            payload, self.model, self.database, config=self.config
+                        )
+                        maintainer.label_predictor = self._memoised_prediction
+                    except Exception:
+                        # Stale, foreign, or malformed snapshot: a warm
+                        # restart is an optimisation, never a hard failure.
+                        maintainer = None
+            if maintainer is None:
+                maintainer = ViewMaintainer(
+                    self.model,
+                    self.config,
+                    batch_size=batch_size,
+                    label_source=label_source,
+                    label_predictor=self._memoised_prediction,
+                ).attach(self.database)
+            # Maintainer row state must mutate under the service lock so the
+            # locked view reads in _maintained_result can never observe a
+            # torn repair — also for mutations made directly on the
+            # database object, whose subscription hooks run unlocked.
+            maintainer.lock = self._lock
+            if (
+                maintainer.processor.batch_size != DEFAULT_STREAM_BATCH_SIZE
+                or maintainer.label_source != "predicted"
+            ):
+                warnings.warn(
+                    "live views maintained with non-default batch_size/"
+                    "label_source cannot serve explain(algorithm='stream') "
+                    "requests (those must match a fresh StreamGVEX run); "
+                    "read them via live_views()/maintainer instead",
+                    stacklevel=2,
+                )
+            self._maintainer = maintainer
+            self._persist_maintainer()
+            self._refresh_maintained()
+            return maintainer
+
+    @property
+    def maintainer(self) -> ViewMaintainer | None:
+        """The live view maintainer, when :meth:`enable_live_views` ran."""
+        return self._maintainer
+
+    def live_views(self) -> ExplanationViewSet:
+        """The incrementally maintained view per label (enables live views)."""
+        return self.enable_live_views().view_set()
+
+    def ingest(
+        self, graph: Graph, label: int | None = None, *, graph_id: int | None = None
+    ) -> dict[str, Any]:
+        """Add a graph to the live database, repairing views incrementally.
+
+        The arriving graph streams its nodes through the maintainer's swap
+        rules (one per-graph pass — independent of database size); every
+        maintained label's refreshed view is re-registered in the result
+        cache under the new database version, so subsequent ``explain``
+        requests are served without recomputation.  Returns a mutation
+        summary (stable graph id, database version, refreshed labels).
+        """
+        with self._lock:
+            self._ensure_open()
+            # Validate before touching either the database *or the caller's
+            # graph object*: a rejected ingest must leave both unchanged
+            # (the suggested remedy — retry without an id — only works if
+            # the rejected id was never written onto the graph).
+            wanted_id = graph_id if graph_id is not None else graph.graph_id
+            if wanted_id is not None and wanted_id in self._graphs_by_id:
+                raise ExplanationError(
+                    f"graph id {wanted_id} is already in the database; "
+                    "remove it first or ingest without an id to auto-assign one"
+                )
+            # Validate *before* mutating: a graph the model cannot classify
+            # (e.g. mismatched feature dimensionality) must be rejected
+            # cleanly, not crash mid-delta with the database already grown.
+            # The feature-matrix probe is the cheap structural check — no
+            # forward pass; the model's own inference runs once, in the
+            # delta hooks.
+            if graph.num_nodes() > 0:
+                try:
+                    graph.feature_matrix(getattr(self.model, "feature_dim", None))
+                except Exception as error:
+                    raise ExplanationError(
+                        f"cannot ingest graph {wanted_id!r}: the service's "
+                        f"model cannot classify it ({error})"
+                    ) from error
+            if graph_id is not None:
+                graph.graph_id = graph_id
+            self.database.add_graph(graph, label)
+            return self._mutation_summary("ingest", graph.graph_id)
+
+    def remove(self, graph_id: int) -> dict[str, Any]:
+        """Remove a graph by stable id, retracting its view contributions."""
+        with self._lock:
+            self._ensure_open()
+            self.database.remove_graph(graph_id)
+            return self._mutation_summary("remove", graph_id)
+
+    def relabel(self, graph_id: int, label: int) -> dict[str, Any]:
+        """Change a graph's ground-truth label (moves it between groups)."""
+        with self._lock:
+            self._ensure_open()
+            self.database.relabel_graph(graph_id, label)
+            return self._mutation_summary("relabel", graph_id)
+
+    # ------------------------------------------------------------------
     # stored-view access
     # ------------------------------------------------------------------
     def view_set(self) -> ExplanationViewSet:
@@ -341,6 +536,33 @@ class ExplanationService:
                 self._latest[result.provenance.label] = key
         return loaded
 
+    def close(self) -> None:
+        """Detach from the database (unsubscribe hooks, stop maintenance).
+
+        The service object stays queryable over already-stored views, but no
+        longer tracks database mutations — and refuses to make any: a
+        detached service applying ingest/remove/relabel would mutate the
+        database while serving views (and cache keys) frozen at the
+        pre-close state.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self.database.unsubscribe(self._delta_hook)
+            if self._maintainer is not None:
+                self._persist_maintainer()
+                self._maintainer.detach()
+                self._maintainer = None
+            self._closed = True
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ExplanationError(
+                "this ExplanationService is closed; it no longer tracks "
+                "database mutations, so mutating through it would serve "
+                "stale views — build a fresh service instead"
+            )
+
     def stats(self) -> dict[str, Any]:
         """Service health snapshot (dataset, model quality, cache counters)."""
         with self._lock:
@@ -348,11 +570,13 @@ class ExplanationService:
         return {
             "dataset": self.dataset,
             "num_graphs": len(self.database),
+            "database_version": self.database.version,
             "labels_explained": labels_explained,
             "train_accuracy": self.train_accuracy,
             "test_accuracy": self.test_accuracy,
             "backend": "sparse" if sparse_enabled() else "legacy",
             "cache": self.store.stats(),
+            "maintainer": self._maintainer.stats() if self._maintainer else None,
         }
 
     # ------------------------------------------------------------------
@@ -406,14 +630,177 @@ class ExplanationService:
             ][: request.limit]
         return graphs
 
-    def _fingerprint_context(self) -> str:
-        """Stable hash of the model weights + database/split identity.
+    # -- dynamic-database internals -------------------------------------
+    def _on_delta(self, delta: DatabaseDelta) -> None:
+        """Cheap bookkeeping for *every* database mutation (delta-aware).
 
-        Part of every cache key: a spill directory shared across runs must
-        never serve views computed by a different (e.g. retrained) model,
-        and the adopt path must not collide across unrelated model/database
-        pairs.
+        Runs synchronously from the database's subscription hook — also for
+        mutations made directly on the database object, not through the
+        service.  Keeps the graph index and the predicted-label memo in step
+        with the delta (O(delta), never a database-wide recompute) and moves
+        the service onto fresh cache keys; stale latest-result pointers are
+        dropped, and maintained labels are re-registered lazily from the
+        live maintainer.
         """
+        with self._lock:
+            # Cache-key bookkeeping first: it must happen even when the
+            # later model work fails (a direct database.add_graph of an
+            # unclassifiable graph), or stale pre-mutation views would keep
+            # being served for the grown database.
+            old_context = self._context_fingerprint
+            self._context_fingerprint = self._fingerprint_context()
+            # Every result computed over the previous database contents —
+            # any algorithm, limit, or graph selection, not just the latest
+            # per label — becomes unreachable (keys embed the old context
+            # fingerprint).  Discard the whole generation from both store
+            # tiers, or a long-running live-ingest service accumulates one
+            # dead artifact per request variant per mutation, forever.
+            # Maintained labels re-register under the new keys right after.
+            self.store.discard_prefix(f"{(self.dataset or 'custom').lower()}-{old_context}-")
+            self._latest.clear()
+            if delta.kind == "add" and delta.graph is not None:
+                self._graphs_by_id[delta.graph.graph_id] = delta.graph
+                if self._predicted is not None and delta.graph.num_nodes() > 0:
+                    try:
+                        self._predicted[delta.graph.graph_id] = self.model.predict(delta.graph)
+                    except Exception:
+                        # Unclassifiable graph added directly on the
+                        # database: drop the memo rather than poison it; a
+                        # later label query rebuilds (and surfaces the
+                        # error to the caller who asks).
+                        self._predicted = None
+            elif delta.kind == "remove":
+                self._graphs_by_id.pop(delta.graph_id, None)
+                if self._predicted is not None:
+                    self._predicted.pop(delta.graph_id, None)
+
+    #: Mutations between maintainer snapshot writes.  The snapshot is an
+    #: optimisation, not the source of truth: a restore streams whatever the
+    #: snapshot does not cover, so a stale-by-a-few-deltas snapshot only
+    #: costs that many per-graph passes at the next warm restart, while
+    #: writing the full O(rows) snapshot on *every* delta would make each
+    #: single-graph mutation pay O(database) disk work.
+    SNAPSHOT_EVERY = 16
+
+    def _memoised_prediction(self, graph: Graph) -> int | None:
+        """Already-computed predicted label for a graph, if any.
+
+        Handed to the maintainer as its ``label_predictor`` so each ingest
+        pays exactly one forward pass: the delta hook predicts into the
+        memo, and the maintainer reads it back instead of predicting again.
+        Never *builds* the memo (that would turn one ingest into a
+        database-wide batched pass at an arbitrary moment).
+        """
+        with self._lock:
+            if self._predicted is None:
+                return None
+            return self._predicted.get(graph.graph_id)
+
+    def _mutation_summary(self, op: str, graph_id: int | None) -> dict[str, Any]:
+        refreshed = self._refresh_maintained()
+        self._mutations_since_snapshot += 1
+        if self._mutations_since_snapshot >= self.SNAPSHOT_EVERY:
+            self._persist_maintainer()
+        return {
+            "op": op,
+            "graph_id": graph_id,
+            "database_version": self.database.version,
+            "num_graphs": len(self.database),
+            "maintained": self._maintainer is not None,
+            "refreshed_labels": refreshed,
+            "maintainer": self._maintainer.stats() if self._maintainer else None,
+        }
+
+    def _refresh_maintained(self) -> list[int]:
+        """Re-register every maintained label's view under the current keys.
+
+        This is the "refresh instead of recompute" half of delta-aware
+        invalidation: the maintainer's incrementally repaired views become
+        the cached results for the new database version, so the fingerprint
+        cache warms again without a single explainer run.
+        """
+        if self._maintainer is None:
+            return []
+        refreshed = []
+        for label in self._maintainer.maintained_labels():
+            request = ExplainRequest(algorithm="stream", label=label, config=self.config)
+            if self._maintained_result(request) is not None:
+                refreshed.append(label)
+        return refreshed
+
+    def _maintainer_key(self) -> str:
+        # Keyed by dataset + database name + model identity, but *not* the
+        # database version: a warm restart resumes from the latest snapshot
+        # and streams just the graphs the snapshot does not cover.  The
+        # database name keeps two same-model services over different
+        # databases from restoring each other's rows out of a shared
+        # cache_dir (graph ids overlap across databases); from_snapshot
+        # additionally validates restored node sets against the graphs.
+        prefix = (self.dataset or "custom").lower()
+        name = "".join(ch for ch in self.database.name.lower() if ch.isalnum())
+        return f"{prefix}-{name}-{self._weights_digest[:12]}-maintainer"
+
+    def _persist_maintainer(self) -> None:
+        if self._maintainer is None or self.store.spill_dir is None:
+            return
+        self.store.put_snapshot(self._maintainer_key(), self._maintainer.snapshot())
+        self._mutations_since_snapshot = 0
+
+    def _maintained_result(self, request: ExplainRequest) -> ExplanationResult | None:
+        """Serve a stream request straight from the live maintainer.
+
+        Only when the request matches what the maintainer maintains — the
+        ``stream`` algorithm over the whole database under the maintainer's
+        exact configuration (same fingerprint, default batch size, predicted
+        label groups) — so the served view is identical to what a fresh
+        ``StreamGVEX`` recompute would produce.  The result is registered in
+        the store under the current context key.
+        """
+        maintainer = self._maintainer
+        if maintainer is None or request.label is None:
+            return None
+        if request.graph_ids is not None or request.limit is not None:
+            return None
+        try:
+            if DEFAULT_REGISTRY.resolve(request.algorithm) != "stream":
+                return None
+        except ExplanationError:
+            return None
+        if maintainer.label_source != "predicted":
+            return None
+        if maintainer.processor.batch_size != DEFAULT_STREAM_BATCH_SIZE:
+            return None
+        if request.effective_config().fingerprint() != maintainer.config.fingerprint():
+            return None
+        # View assembly and registration run under the service lock: the
+        # HTTP server serves /explain and /ingest on different threads, and
+        # mutations (which hold this lock across the database call and its
+        # synchronous subscription hooks) must never interleave with a read
+        # of the maintainer's row state.
+        with self._lock:
+            start = time.perf_counter()
+            view = maintainer.view_for(request.label)
+            result = ExplanationResult(
+                view=view,
+                provenance=Provenance(
+                    algorithm=request.algorithm,
+                    label=request.label,
+                    config_fingerprint=request.effective_config().fingerprint(),
+                    request_fingerprint=request.fingerprint(),
+                    runtime_seconds=time.perf_counter() - start,
+                    backend="sparse" if sparse_enabled() else "legacy",
+                    num_graphs=len(self.database),
+                    dataset=self.dataset,
+                ),
+            )
+            key = self._cache_key(request)
+            self.store.put(key, result)
+            self._latest[request.label] = key
+        return result
+
+    def _fingerprint_weights(self) -> str:
+        """Stable hash of the model weights (computed once; the model is
+        fixed for the service's lifetime)."""
         digest = hashlib.sha256()
         for layer in self.model.get_weights():
             for name in sorted(layer):
@@ -421,7 +808,25 @@ class ExplanationService:
                 digest.update(name.encode("utf-8"))
                 digest.update(str(array.shape).encode("utf-8"))
                 digest.update(array.tobytes())
+        return digest.hexdigest()
+
+    def _fingerprint_context(self) -> str:
+        """Stable hash of the model weights + database/split identity.
+
+        Part of every cache key: a spill directory shared across runs must
+        never serve views computed by a different (e.g. retrained) model,
+        and the adopt path must not collide across unrelated model/database
+        pairs.  The database *version* is folded in, so every mutation moves
+        the service onto fresh cache keys — results computed over the old
+        contents become unreachable instead of being served stale (the
+        delta-aware invalidation: maintained labels are re-registered under
+        the new keys from the live maintainer, everything else recomputes on
+        demand).
+        """
+        digest = hashlib.sha256()
+        digest.update(self._weights_digest.encode("utf-8"))
         digest.update(str(len(self.database)).encode("utf-8"))
+        digest.update(str(self.database.version).encode("utf-8"))
         digest.update(str(self._test_ids).encode("utf-8"))
         return digest.hexdigest()[:12]
 

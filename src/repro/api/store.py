@@ -18,9 +18,11 @@ a view computed under different parameters *or by a different model*.
 
 from __future__ import annotations
 
+import json
 import threading
 from collections import OrderedDict
 from pathlib import Path
+from typing import Any
 
 from repro.api.serialize import load_artifact, save_artifact
 from repro.api.types import ExplanationResult
@@ -52,6 +54,10 @@ class ViewStore:
         # graph objects instead of materialising embedded copies.
         self._graphs_by_id = graphs_by_id or {}
         self._memory: OrderedDict[str, ExplanationResult] = OrderedDict()
+        # Auxiliary snapshot tier (e.g. ViewMaintainer state for warm
+        # restarts): opaque JSON payloads, one per key, kept out of the LRU
+        # (there is one live snapshot per service, not a working set).
+        self._snapshots: dict[str, dict[str, Any]] = {}
         # The HTTP server drives the store from request threads; all state
         # transitions happen under this lock.
         self._lock = threading.RLock()
@@ -106,12 +112,52 @@ class ViewStore:
         return len(self.keys())
 
     def keys(self) -> list[str]:
-        """Every stored fingerprint (memory and disk, deduplicated)."""
+        """Every stored result fingerprint (memory and disk, deduplicated)."""
         with self._lock:
             keys = set(self._memory)
         if self.spill_dir is not None:
-            keys.update(path.stem for path in self.spill_dir.glob("*.json"))
+            keys.update(
+                path.stem
+                for path in self.spill_dir.glob("*.json")
+                if not path.name.endswith(".snapshot.json")
+            )
         return sorted(keys)
+
+    # ------------------------------------------------------------------
+    # auxiliary snapshots (maintainer state for warm restarts)
+    # ------------------------------------------------------------------
+    def put_snapshot(self, key: str, payload: dict[str, Any]) -> None:
+        """Store an opaque JSON snapshot under a key (write-through to disk)."""
+        with self._lock:
+            self._snapshots[key] = payload
+            path = self._snapshot_path(key)
+            if path is not None:
+                # Atomic replace: a crash mid-write must never leave a
+                # truncated snapshot that poisons every later restart.
+                tmp = path.with_suffix(".tmp")
+                tmp.write_text(json.dumps(payload))
+                tmp.replace(path)
+
+    def get_snapshot(self, key: str) -> dict[str, Any] | None:
+        """Fetch a snapshot by key (memory first, then the spill directory)."""
+        with self._lock:
+            payload = self._snapshots.get(key)
+            if payload is not None:
+                return payload
+            path = self._snapshot_path(key)
+            if path is not None and path.is_file():
+                payload = json.loads(path.read_text())
+                self._snapshots[key] = payload
+                return payload
+            return None
+
+    def _snapshot_path(self, key: str) -> Path | None:
+        if self.spill_dir is None:
+            return None
+        safe = "".join(ch for ch in key if ch.isalnum() or ch in "-_")
+        if not safe:
+            raise ExplanationError(f"cannot derive a snapshot filename from key {key!r}")
+        return self.spill_dir / f"{safe}.snapshot.json"
 
     def results_in_memory(self) -> list[ExplanationResult]:
         """The hot tier's results, most recently used last."""
@@ -128,6 +174,43 @@ class ViewStore:
                 "spills": self.spills,
                 "disk_loads": self.disk_loads,
             }
+
+    def discard(self, key: str) -> None:
+        """Drop a result from both tiers (no-op when absent).
+
+        Used by the service when a database mutation makes a cached result
+        permanently unreachable (its key embeds the old database version):
+        without eager removal the write-through spill directory grows by
+        one dead artifact per label per mutation, forever.
+        """
+        with self._lock:
+            self._memory.pop(key, None)
+            path = self._spill_path(key)
+            if path is not None and path.is_file():
+                path.unlink()
+
+    def discard_prefix(self, prefix: str) -> int:
+        """Drop every result whose key starts with ``prefix`` (both tiers).
+
+        The service calls this per mutation with the outgoing context
+        fingerprint: *every* result variant computed for the pre-mutation
+        database (any algorithm/limit/graph selection) becomes unreachable
+        at once, not just the latest one per label.  Returns the number of
+        keys removed.
+        """
+        with self._lock:
+            victims = [key for key in self._memory if key.startswith(prefix)]
+            for key in victims:
+                del self._memory[key]
+            removed = set(victims)
+            if self.spill_dir is not None:
+                safe = "".join(ch for ch in prefix if ch.isalnum() or ch in "-_")
+                for path in self.spill_dir.glob(f"{safe}*.json"):
+                    if path.name.endswith(".snapshot.json"):
+                        continue
+                    removed.add(path.stem)
+                    path.unlink()
+            return len(removed)
 
     def clear_memory(self) -> None:
         """Drop the hot tier (spill files remain — a cold restart)."""

@@ -11,6 +11,10 @@ The CLI is a thin shell over the :mod:`repro.api` service layer:
   envelope, ``--save`` persists it for ``query``);
 * ``query --views out.json`` — answer pattern/witness queries over saved
   views without re-running an explainer;
+* ``ingest --dataset MUT --graph g.json`` — mutate the live database (add /
+  remove / relabel a graph) and repair the explanation views incrementally
+  through the view maintainer (``--cache-dir`` makes the maintained state
+  survive across invocations);
 * ``serve --dataset MUT``   — run the JSON/HTTP explanation endpoint;
 * ``schema``                — print the serialised-view JSON schema;
 * ``compare --dataset MUT`` — run the explainer comparison (Fig. 5/6 rows);
@@ -94,6 +98,25 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--summary", action="store_true", help="per-label view summary")
     query.add_argument("--graph-id", type=int, default=None, help="witness for one graph")
     query.add_argument("--label", type=int, default=None, help="patterns of one label")
+
+    ingest = subparsers.add_parser(
+        "ingest", help="mutate the live database and repair views incrementally"
+    )
+    ingest.add_argument("--dataset", default="MUT")
+    ingest.add_argument("--epochs", type=int, default=40)
+    ingest.add_argument(
+        "--graph", default=None, metavar="PATH",
+        help="JSON file with one graph (see `repro.graphs.io.write_graph_json`) to add",
+    )
+    ingest.add_argument("--label", type=int, default=None, help="ground-truth label")
+    ingest.add_argument("--graph-id", type=int, default=None, help="stable id for --graph")
+    ingest.add_argument("--remove", type=int, default=None, metavar="GRAPH_ID")
+    ingest.add_argument("--relabel", type=int, default=None, metavar="GRAPH_ID")
+    ingest.add_argument(
+        "--cache-dir", default=None,
+        help="spill directory: maintained state snapshots here and warm-restarts",
+    )
+    ingest.add_argument("--json", action="store_true", help="emit the summary as JSON")
 
     serve = subparsers.add_parser("serve", help="run the JSON/HTTP explanation endpoint")
     serve.add_argument("--dataset", default="MUT")
@@ -245,6 +268,92 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    ops = [args.graph is not None, args.remove is not None, args.relabel is not None]
+    if sum(ops) != 1:
+        print(
+            json.dumps(
+                {"error": "pass exactly one of --graph, --remove, --relabel"}
+            )
+        )
+        return 2
+    if args.relabel is not None and args.label is None:
+        print(json.dumps({"error": "--relabel needs --label"}))
+        return 2
+
+    from pathlib import Path
+
+    from repro.exceptions import ReproError
+
+    # With --cache-dir the mutated database itself is durable: it streams
+    # to <cache-dir>/<dataset>-database.jsonl after every invocation and is
+    # reloaded (adopt path, same deterministically retrained model) on the
+    # next one — so adds/removals/relabels survive across runs, alongside
+    # the maintainer snapshot.
+    db_path = (
+        Path(args.cache_dir) / f"{args.dataset.lower()}-database.jsonl"
+        if args.cache_dir
+        else None
+    )
+    if db_path is not None and db_path.is_file():
+        from repro.experiments import prepare_context
+        from repro.graphs import GraphDatabase
+
+        context = prepare_context(args.dataset, epochs=args.epochs)
+        service = ExplanationService(
+            args.dataset,
+            database=GraphDatabase.load(db_path),
+            model=context.model,
+            cache_dir=args.cache_dir,
+            live_views=True,
+        )
+    else:
+        service = ExplanationService(
+            args.dataset, epochs=args.epochs, cache_dir=args.cache_dir, live_views=True
+        )
+    try:
+        if args.graph is not None:
+            from repro.graphs.io import read_graph_json
+
+            graph = read_graph_json(args.graph)
+            summary = service.ingest(graph, label=args.label, graph_id=args.graph_id)
+        elif args.remove is not None:
+            summary = service.remove(args.remove)
+        else:
+            summary = service.relabel(args.relabel, args.label)
+    except ReproError as error:
+        print(json.dumps({"error": str(error)}))
+        return 1
+
+    views = service.live_views()
+    # Persist the final maintained state (snapshot writes are amortised
+    # across mutations; a one-shot CLI run must flush before exiting) and
+    # the mutated database itself.
+    service.close()
+    if db_path is not None:
+        service.database.save(db_path)
+    summary["views"] = {
+        str(view.label): {
+            "subgraphs": len(view.subgraphs),
+            "patterns": len(view.patterns),
+            "explainability": view.explainability,
+        }
+        for view in views
+    }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"{summary['op']} graph {summary['graph_id']}:")
+    print(f"  database      : {summary['num_graphs']} graphs (version {summary['database_version']})")
+    print(f"  refreshed     : labels {summary['refreshed_labels']} (no recompute)")
+    for label, row in sorted(summary["views"].items()):
+        print(
+            f"  view label {label}: {row['subgraphs']} subgraphs, "
+            f"{row['patterns']} patterns, explainability {row['explainability']:.3f}"
+        )
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.api.server import create_server, serve
 
@@ -318,6 +427,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_explain(args)
     if args.command == "query":
         return _command_query(args)
+    if args.command == "ingest":
+        return _command_ingest(args)
     if args.command == "serve":
         return _command_serve(args)
     if args.command == "compare":

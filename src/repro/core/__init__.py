@@ -4,6 +4,7 @@ from repro.core.approx import ApproxGVEX
 from repro.core.caching import LRUCache
 from repro.core.config import Configuration, CoverageBound
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
+from repro.core.maintenance import MaintainedExplanation, NodeStreamProcessor, ViewMaintainer
 from repro.core.parallel import merge_views, parallel_explain
 from repro.core.quality import CoverageState, GraphAnalysis, view_explainability
 from repro.core.selection import lazy_greedy_select
@@ -31,6 +32,9 @@ __all__ = [
     "pattern_weight",
     "ApproxGVEX",
     "StreamGVEX",
+    "MaintainedExplanation",
+    "NodeStreamProcessor",
+    "ViewMaintainer",
     "parallel_explain",
     "merge_views",
     "ViewQueryEngine",

@@ -1,356 +1,69 @@
 """StreamGVEX: single-pass, anytime view maintenance (section 5, Algorithm 3).
 
 The streaming algorithm consumes the nodes of each source graph as a stream
-(in batches) and incrementally maintains
+(in batches) and incrementally maintains the node cache ``Vs`` and pattern
+set ``Pc`` with the ``IncUpdateVS`` / ``IncUpdateP`` swap rules, refreshing
+the influence/diversity structures per batch (``IncEVerify``) so the
+maintained view always has an anytime quality guarantee *relative to the
+processed fraction*.
 
-* ``Vs`` — a node cache of size at most ``u_l`` holding the current
-  explanation node set, updated with the greedy *swapping* rule of
-  ``IncUpdateVS`` (a new node replaces the weakest cached node only when its
-  gain is at least twice the loss, which preserves the 1/4-approximation of
-  streaming submodular maximisation), and
-* ``Pc`` — the current pattern set, updated by ``IncUpdateP``: newly selected
-  nodes that are not yet covered trigger local pattern generation
-  (``IncPGen`` on the r-hop neighbourhood) and patterns that stopped
-  contributing coverage are swapped out.
-
-The influence/diversity structures are refreshed per batch on the seen
-fraction of the graph (``IncEVerify``), so the maintained view always has an
-anytime quality guarantee *relative to the processed fraction*.
+The per-graph machinery lives in
+:class:`~repro.core.maintenance.NodeStreamProcessor` (one shared
+implementation), and the label-level pass *is* a replay of add-deltas
+through a :class:`~repro.core.maintenance.ViewMaintainer`: each graph of the
+label group arrives as one delta, is streamed once, and the view is
+assembled from the maintainer's rows — exactly the machinery that keeps
+views live over a mutable :class:`~repro.graphs.database.GraphDatabase`.
 """
 
 from __future__ import annotations
 
-import random
 import time
 from collections.abc import Sequence
 
-from repro.core.config import Configuration
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
+from repro.core.maintenance import NodeStreamProcessor, ViewMaintainer
 from repro.core.quality import GraphAnalysis
-from repro.core.selection import lazy_greedy_select
-from repro.core.verification import EVerify, prime_vp_extend_probes
 from repro.exceptions import ExplanationError
-from repro.gnn.models import GNNClassifier
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
-from repro.graphs.pattern import GraphPattern
-from repro.graphs.sparse import sparse_enabled
-from repro.graphs.subgraph import induced_subgraph
-from repro.matching.engine import apply_config_cache_size
-from repro.matching.incremental import IncrementalMatcher
-from repro.mining.candidates import PatternGenerator
 
 __all__ = ["StreamGVEX"]
 
 
-class StreamGVEX:
-    """Streaming, anytime generation of explanation views (Algorithm 3)."""
+class StreamGVEX(NodeStreamProcessor):
+    """Streaming, anytime generation of explanation views (Algorithm 3).
 
-    def __init__(
-        self,
-        model: GNNClassifier,
-        config: Configuration | None = None,
-        pattern_generator: PatternGenerator | None = None,
-        batch_size: int = 8,
-        seed: int | None = None,
-    ) -> None:
-        if batch_size < 1:
-            raise ExplanationError("batch_size must be at least 1")
-        self.model = model
-        self.config = config or Configuration()
-        self.pattern_generator = pattern_generator or PatternGenerator(
-            max_pattern_size=self.config.max_pattern_size,
-            max_candidates=self.config.max_pattern_candidates,
-        )
-        self.batch_size = batch_size
-        # The node-arrival shuffle must be reproducible (Fig. 12 sweeps
-        # shuffled orders): default to the configuration's seed so two runs
-        # with the same Configuration see identical streams.
-        self.seed = self.config.seed if seed is None else seed
-        self.everify = EVerify(model)
-        # The match memo is process-wide; apply this configuration's cap
-        # (a REPRO_MATCH_CACHE_SIZE operator override takes precedence).
-        apply_config_cache_size(self.config.match_cache_size)
-
-    # ------------------------------------------------------------------
-    # VpExtend (same contract as in ApproxGVEX)
-    # ------------------------------------------------------------------
-    def _vp_extend(self, candidate: int, selected: set[int], graph: Graph, label: int) -> bool:
-        bound = self.config.bound_for(label)
-        extended = selected | {candidate}
-        if len(extended) > bound.upper and candidate not in selected:
-            # A full cache is handled by the swapping rule, not by rejection.
-            pass
-        if self.config.verification_mode == "none":
-            return True
-        if len(extended) < self.config.min_check_size:
-            return True
-        if not self.everify.is_consistent(graph, extended, label):
-            return False
-        if self.config.verification_mode == "strict":
-            if not self.everify.is_counterfactual(graph, extended, label):
-                return False
-        return True
-
-    def _vp_extend_many(
-        self,
-        nodes: Sequence[int],
-        selected: set[int],
-        graph: Graph,
-        label: int,
-    ) -> list[bool]:
-        """Batched ``VpExtend`` (no upper-bound filter: a full node cache is
-        handled by the swapping rule, not by rejection)."""
-        prime_vp_extend_probes(self.everify, graph, nodes, selected, label, self.config)
-        return [self._vp_extend(node, selected, graph, label) for node in nodes]
-
-    # ------------------------------------------------------------------
-    # IncUpdateVS (Procedure 4)
-    # ------------------------------------------------------------------
-    def _inc_update_vs(
-        self,
-        candidate: int,
-        selected: set[int],
-        analysis: GraphAnalysis,
-        patterns: list[GraphPattern],
-        matcher: IncrementalMatcher,
-        seen_graph: Graph,
-        upper_bound: int,
-    ) -> set[int]:
-        """Apply the greedy swapping rule; returns the (possibly new) node cache."""
-        if candidate in selected:
-            return selected
-        if len(selected) < upper_bound:
-            return selected | {candidate}
-        # Case (b): skip nodes the pattern set already summarises and nodes
-        # that would not contribute any new pattern.
-        if patterns:
-            covered = matcher.covered_by_set(patterns, seen_graph)
-            if candidate in covered:
-                new_patterns = self.pattern_generator.generate_incremental(
-                    seen_graph, candidate, patterns, hops=self.config.diversity_hops
-                )
-                if not new_patterns:
-                    return selected
-        # Case (c): swap against the weakest cached node when the gain is at
-        # least twice the loss.
-        weakest = min(selected, key=lambda node: (analysis.loss_of_removal(selected, node), node))
-        reduced = selected - {weakest}
-        gain_new = analysis.explainability(reduced | {candidate}) - analysis.explainability(reduced)
-        gain_old = analysis.explainability(selected) - analysis.explainability(reduced)
-        if gain_new >= 2.0 * gain_old:
-            return reduced | {candidate}
-        return selected
-
-    # ------------------------------------------------------------------
-    # IncUpdateP (Procedure 5)
-    # ------------------------------------------------------------------
-    def _inc_update_p(
-        self,
-        new_node: int,
-        selected: set[int],
-        patterns: list[GraphPattern],
-        graph: Graph,
-        matcher: IncrementalMatcher,
-    ) -> list[GraphPattern]:
-        """Maintain node coverage of the current explanation nodes by patterns."""
-        current = induced_subgraph(graph, selected)
-        covered = matcher.covered_by_set(patterns, current)
-        uncovered = set(current.nodes) - covered
-        updated = list(patterns)
-        if uncovered:
-            fresh = self.pattern_generator.generate_incremental(
-                current,
-                new_node if new_node in selected else next(iter(uncovered)),
-                updated,
-                hops=max(1, self.config.diversity_hops),
-            )
-            known = {pattern.canonical_key() for pattern in updated}
-            for pattern in fresh:
-                if pattern.canonical_key() not in known:
-                    updated.append(pattern)
-                    known.add(pattern.canonical_key())
-            # Guarantee coverage with singleton patterns for anything left.
-            matcher.invalidate()
-            still_uncovered = set(current.nodes) - matcher.covered_by_set(updated, current)
-            for node_type in sorted({current.node_type(node) for node in still_uncovered}):
-                singleton = GraphPattern()
-                singleton.add_node(0, node_type)
-                if singleton.canonical_key() not in known:
-                    updated.append(singleton)
-                    known.add(singleton.canonical_key())
-        # Swap out patterns that no longer contribute coverage (largest first).
-        matcher.invalidate()
-        pruned: list[GraphPattern] = []
-        covered_so_far: set[int] = set()
-        for pattern in sorted(updated, key=lambda p: -p.size()):
-            contribution = matcher.covered_nodes(pattern, current) - covered_so_far
-            if contribution:
-                pruned.append(pattern)
-                covered_so_far |= contribution
-        matcher.invalidate()
-        for index, pattern in enumerate(pruned):
-            pattern.pattern_id = index
-        return pruned
-
-    # ------------------------------------------------------------------
-    # per-graph streaming pass
-    # ------------------------------------------------------------------
-    def explain_graph(
-        self,
-        graph: Graph,
-        label: int | None = None,
-        node_order: Sequence[int] | None = None,
-        record_history: bool = False,
-    ) -> tuple[ExplanationSubgraph | None, list[GraphPattern], list[dict]]:
-        """Process one graph's node stream.
-
-        Returns the maintained explanation subgraph (or ``None`` when the
-        lower coverage bound could not be met), the maintained pattern set,
-        and — when ``record_history`` is set — one snapshot per batch with the
-        seen fraction and the current explainability (the anytime curve of
-        Fig. 9f).
-        """
-        if graph.num_nodes() == 0:
-            return None, [], []
-        if label is None:
-            label = self.model.predict(graph)
-        bound = self.config.bound_for(label)
-
-        order = list(node_order) if node_order is not None else list(graph.nodes)
-        if node_order is None:
-            # A fresh seeded generator per graph keeps per-graph streams
-            # independent of database iteration order.
-            random.Random(self.seed).shuffle(order)
-
-        selected: set[int] = set()
-        backup: set[int] = set()
-        patterns: list[GraphPattern] = []
-        matcher = IncrementalMatcher()
-        history: list[dict] = []
-        seen: list[int] = []
-        analysis: GraphAnalysis | None = None
-
-        for start in range(0, len(order), self.batch_size):
-            batch = order[start : start + self.batch_size]
-            seen.extend(batch)
-            seen_graph = induced_subgraph(graph, seen)
-            # IncEVerify: refresh influence/diversity on the seen fraction.
-            analysis = GraphAnalysis(self.model, seen_graph, self.config)
-            for node in batch:
-                backup.add(node)
-                if not self._vp_extend(node, selected, seen_graph, label):
-                    continue
-                updated = self._inc_update_vs(
-                    node, selected, analysis, patterns, matcher, seen_graph, bound.upper
-                )
-                if updated != selected:
-                    selected = updated
-                    if node in selected:
-                        patterns = self._inc_update_p(node, selected, patterns, graph, matcher)
-            if record_history:
-                history.append(
-                    {
-                        "seen_fraction": len(seen) / graph.num_nodes(),
-                        "selected_nodes": len(selected),
-                        "explainability": analysis.explainability(selected),
-                        "num_patterns": len(patterns),
-                    }
-                )
-
-        # Post-processing: meet the lower bound from the backup set.  The
-        # lazy (CELF) top-up picks node sets identical to the eager loop; the
-        # eager loop stays as the A/B efficiency baseline.
-        if analysis is not None:
-            if self.config.selection_strategy == "lazy":
-                if len(selected) < bound.lower and backup - selected:
-                    selected = lazy_greedy_select(
-                        analysis,
-                        sorted(backup - selected),
-                        selected,
-                        bound.lower,
-                        lambda nodes, current: self._vp_extend_many(nodes, current, graph, label),
-                        lambda tied, current: min(tied),
-                    )
-            else:
-                while len(selected) < bound.lower and backup - selected:
-                    usable = [
-                        node
-                        for node in backup - selected
-                        if self._vp_extend(node, selected, graph, label)
-                    ]
-                    if not usable:
-                        break
-                    gains = analysis.marginal_gains(selected, usable)
-                    best = max(
-                        range(len(usable)), key=lambda slot: (float(gains[slot]), -usable[slot])
-                    )
-                    selected.add(usable[best])
-            if selected:
-                patterns = self._inc_update_p(
-                    next(iter(selected)), selected, patterns, graph, matcher
-                )
-
-        if not selected or len(selected) < bound.lower:
-            return None, patterns, history
-
-        final_analysis = GraphAnalysis(self.model, graph, self.config)
-        subgraph = ExplanationSubgraph(
-            source_graph=graph,
-            nodes=selected,
-            label=label,
-            explainability=final_analysis.explainability(selected),
-        )
-        self.everify.annotate(subgraph)
-        return subgraph, patterns, history
+    Inherits the whole per-graph pass (``VpExtend``, ``IncUpdateVS``,
+    ``IncUpdateP``, :meth:`explain_graph`) from
+    :class:`~repro.core.maintenance.NodeStreamProcessor` and adds the
+    per-label / full-database driver surface.
+    """
 
     # ------------------------------------------------------------------
     # per-label and full drivers (same shape as ApproxGVEX)
     # ------------------------------------------------------------------
-    def _predicted_labels(self, graphs: Sequence[Graph]) -> list[int]:
-        """Predicted label per graph (batched under the lazy strategy)."""
-        if self.config.selection_strategy == "lazy" and sparse_enabled() and len(graphs) > 1:
-            return self.model.predict_batch(graphs)
-        return [self.model.predict(graph) for graph in graphs]
-
     def explain_label(
         self,
         graphs: Sequence[Graph],
         label: int,
         record_history: bool = False,
     ) -> ExplanationView:
-        """Streamed explanation view for one label group."""
+        """Streamed explanation view for one label group.
+
+        Implemented as a replay of add-deltas through a transient
+        :class:`ViewMaintainer` bound to this explainer (so a warm
+        ``EVerify`` memo and any subclass policy overrides carry through):
+        one ingest per graph, then one view assembly.
+        """
         start = time.perf_counter()
-        subgraphs: list[ExplanationSubgraph] = []
-        patterns: dict[tuple, GraphPattern] = {}
-        histories: list[list[dict]] = []
-        for graph, predicted in zip(graphs, self._predicted_labels(graphs)):
-            if predicted != label:
-                continue
-            subgraph, graph_patterns, history = self.explain_graph(
-                graph, label, record_history=record_history
-            )
-            if subgraph is not None:
-                subgraphs.append(subgraph)
-            for pattern in graph_patterns:
-                patterns.setdefault(pattern.canonical_key(), pattern)
-            if record_history:
-                histories.append(history)
-        pattern_list = list(patterns.values())
-        for index, pattern in enumerate(pattern_list):
-            pattern.pattern_id = index
-        view = ExplanationView(
-            label=label,
-            patterns=pattern_list,
-            subgraphs=subgraphs,
-            explainability=float(sum(subgraph.explainability for subgraph in subgraphs)),
-            metadata={
-                "algorithm": "StreamGVEX",
-                "batch_size": self.batch_size,
-                "runtime_seconds": time.perf_counter() - start,
-                "histories": histories,
-            },
+        maintainer = ViewMaintainer(
+            processor=self, labels=(label,), record_history=record_history
         )
+        for graph, predicted in zip(graphs, self._predicted_labels(graphs)):
+            maintainer.ingest(graph, predicted=predicted)
+        view = maintainer.view_for(label)
+        view.metadata["runtime_seconds"] = time.perf_counter() - start
         return view
 
     def explain(

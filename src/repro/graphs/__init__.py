@@ -1,6 +1,6 @@
 """Attributed graph substrate: graphs, patterns, databases, and generators."""
 
-from repro.graphs.database import GraphDatabase
+from repro.graphs.database import DatabaseDelta, GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
 from repro.graphs.sparse import (
@@ -21,6 +21,7 @@ __all__ = [
     "Graph",
     "GraphPattern",
     "GraphDatabase",
+    "DatabaseDelta",
     "BatchedGraphView",
     "SparseGraphView",
     "sparse_enabled",

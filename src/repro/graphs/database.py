@@ -1,16 +1,37 @@
 """Graph database: the collection ``G = {G1, ..., Gm}`` being classified.
 
-A :class:`GraphDatabase` stores a list of attributed graphs with optional
-ground-truth class labels, and provides the label-group views used in the
-paper (``G^l`` — the set of graphs a GNN assigns label ``l``).
+A :class:`GraphDatabase` stores attributed graphs with optional ground-truth
+class labels and provides the label-group views used in the paper (``G^l`` —
+the set of graphs a GNN assigns label ``l``).
+
+Unlike the immutable snapshot of the early reproduction, the database is a
+**versioned, mutable** collection: graphs can arrive (:meth:`add_graph`),
+leave (:meth:`remove_graph`) and be relabelled (:meth:`set_label` /
+:meth:`relabel_graph`) while the database keeps
+
+* a monotonic :attr:`version` counter bumped by every mutation,
+* a structured **delta log** of :class:`DatabaseDelta` records
+  (:meth:`deltas_since` replays the tail of the log), and
+* **subscription hooks** (:meth:`subscribe`) through which downstream view
+  maintainers (:class:`repro.core.maintenance.ViewMaintainer`) repair their
+  state in time proportional to the delta instead of the database.
+
+Graph ids are *stable under removal*: auto-assigned ids come from a
+monotonic counter (never reused), so a graph id observed by a subscriber or
+stored in a snapshot keeps denoting the same graph for the lifetime of the
+database.  Positional indices (``database[i]``, :meth:`label_group_indices`)
+remain the historical list-order surface and naturally shift on removal —
+id-based accessors (:meth:`graph_by_id`, :meth:`index_of`) are the
+mutation-safe way to address graphs.
 """
 
 from __future__ import annotations
 
 import json
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -18,33 +39,113 @@ from repro.exceptions import DatasetError
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import BatchedGraphView
 
-__all__ = ["GraphDatabase"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> graphs)
+    from repro.core.caching import LRUCache
+
+__all__ = ["DatabaseDelta", "GraphDatabase"]
+
+# Mutation kinds recorded in the delta log.
+_DELTA_KINDS = ("add", "remove", "relabel")
+
+
+@dataclass(frozen=True)
+class DatabaseDelta:
+    """One structured mutation of a :class:`GraphDatabase`.
+
+    Attributes
+    ----------
+    kind:
+        ``"add"``, ``"remove"`` or ``"relabel"``.
+    graph_id:
+        Stable id of the affected graph.
+    version:
+        Database version *after* the mutation was applied (monotonic).
+    label:
+        The graph's (new) ground-truth label — the stored label for adds and
+        relabels, ``None`` for removals.
+    old_label:
+        The previous label (removals and relabels).
+    graph:
+        The affected graph object (adds and removals), so subscribers can
+        stream its nodes or clean up per-graph state without a lookup into a
+        database that no longer holds it.
+    """
+
+    kind: str
+    graph_id: int | None
+    version: int
+    label: int | None = None
+    old_label: int | None = None
+    graph: Graph | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _DELTA_KINDS:
+            raise DatasetError(
+                f"unknown delta kind {self.kind!r}; expected one of {_DELTA_KINDS}"
+            )
 
 
 class GraphDatabase:
-    """An ordered collection of graphs with optional ground-truth labels."""
+    """An ordered, versioned, mutable collection of graphs with labels."""
+
+    #: Bound on the retained delta log; older deltas are dropped (callers
+    #: that fall behind further than this must resynchronise from scratch).
+    DELTA_LOG_CAPACITY = 1024
 
     def __init__(self, name: str = "database") -> None:
         self.name = name
         self._graphs: list[Graph] = []
         self._labels: list[int | None] = []
-        # Memo for batched_view, keyed by (indices, per-graph versions) so a
-        # mutation of any member graph invalidates the cached batch.  Bounded
-        # (insertion-ordered eviction) so long-lived databases queried with
-        # many distinct index subsets don't pin batches forever.
-        self._batch_cache: dict[tuple, BatchedGraphView] = {}
+        # Monotonic mutation counter: every add/remove/relabel bumps it, so
+        # version-keyed consumers (batched views, view maintainers, service
+        # cache keys) can detect *any* change with one integer compare.
+        self._version = 0
+        # Auto-assigned graph ids come from this counter and are never
+        # reused, keeping ids stable under removal.
+        self._next_auto_id = 0
+        # Structured mutation history + change listeners.
+        self._deltas: list[DatabaseDelta] = []
+        self._deltas_dropped = 0
+        self._subscribers: list[Callable[[DatabaseDelta], None]] = []
+        # Lazy graph-id -> position index (first occurrence wins, matching
+        # the historical linear-scan semantics for duplicate ids); rebuilt
+        # after any structural mutation so id lookups stay O(1) between
+        # mutations instead of O(n) scans per call.
+        self._positions: dict[int | None, int] | None = None
+        # Memo for batched_view (built lazily; see _batch_cache_lru).  Keyed
+        # by the selected graphs' identities + mutation counters (see
+        # batched_view), with true LRU eviction.
+        self._batch_cache: LRUCache | None = None
         self._batch_cache_size = 8
 
     # ------------------------------------------------------------------
-    # construction
+    # construction / mutation
     # ------------------------------------------------------------------
     def add_graph(self, graph: Graph, label: int | None = None) -> int:
-        """Append a graph, returning its index in the database."""
+        """Append a graph, returning its positional index in the database.
+
+        Graphs without an id receive a fresh, never-reused auto id (for a
+        database that never removes graphs this coincides with the position,
+        preserving the historical behaviour).
+        """
         index = len(self._graphs)
         if graph.graph_id is None:
-            graph.graph_id = index
+            graph.graph_id = self._next_auto_id
+        if isinstance(graph.graph_id, int):
+            self._next_auto_id = max(self._next_auto_id, graph.graph_id + 1)
         self._graphs.append(graph)
         self._labels.append(label)
+        if self._positions is not None:
+            self._positions.setdefault(graph.graph_id, index)
+        self._record(
+            DatabaseDelta(
+                kind="add",
+                graph_id=graph.graph_id,
+                version=self._bump(),
+                label=label,
+                graph=graph,
+            )
+        )
         return index
 
     def extend(self, graphs: Iterable[Graph], labels: Iterable[int] | None = None) -> None:
@@ -61,6 +162,108 @@ class GraphDatabase:
             )
         for graph, label in zip(graphs, labels):
             self.add_graph(graph, label)
+
+    def remove_graph(self, graph_id: int) -> Graph:
+        """Remove (and return) the graph with the given stable id.
+
+        Positional indices of later graphs shift down by one; graph ids are
+        never reused, so subscribers and snapshots can keep referring to the
+        removed id without ambiguity.
+        """
+        index = self._find(graph_id)
+        graph = self._graphs.pop(index)
+        old_label = self._labels.pop(index)
+        # Positions of every later graph shifted: rebuild lazily.
+        self._positions = None
+        self._record(
+            DatabaseDelta(
+                kind="remove",
+                graph_id=graph_id,
+                version=self._bump(),
+                old_label=old_label,
+                graph=graph,
+            )
+        )
+        return graph
+
+    def set_label(self, index: int, label: int) -> None:
+        """Relabel the graph at a positional index (historical surface)."""
+        old_label = self._labels[index]
+        self._labels[index] = label
+        if old_label == label:
+            return
+        self._record(
+            DatabaseDelta(
+                kind="relabel",
+                graph_id=self._graphs[index].graph_id,
+                version=self._bump(),
+                label=label,
+                old_label=old_label,
+            )
+        )
+
+    def relabel_graph(self, graph_id: int, label: int) -> None:
+        """Relabel a graph by stable id (the mutation-safe surface)."""
+        self.set_label(self._find(graph_id), label)
+
+    # ------------------------------------------------------------------
+    # versioning / delta log / subscriptions
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (0 for a fresh, empty database)."""
+        return self._version
+
+    def _bump(self) -> int:
+        self._version += 1
+        return self._version
+
+    def _record(self, delta: DatabaseDelta) -> None:
+        self._deltas.append(delta)
+        if len(self._deltas) > self.DELTA_LOG_CAPACITY:
+            drop = len(self._deltas) - self.DELTA_LOG_CAPACITY
+            del self._deltas[:drop]
+            self._deltas_dropped += drop
+        for subscriber in list(self._subscribers):
+            subscriber(delta)
+
+    def subscribe(self, callback: Callable[[DatabaseDelta], None]) -> Callable[[DatabaseDelta], None]:
+        """Register a mutation hook; returns the callback (for unsubscribe).
+
+        Callbacks run synchronously after the database state is updated, in
+        subscription order.  Exceptions propagate to the mutating caller.
+        """
+        self._subscribers.append(callback)
+        return callback
+
+    def unsubscribe(self, callback: Callable[[DatabaseDelta], None]) -> None:
+        """Remove a previously registered mutation hook (no-op if absent)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def deltas_since(self, version: int) -> list[DatabaseDelta]:
+        """Every delta applied after ``version``, oldest first.
+
+        Raises :class:`DatasetError` when the requested tail has been
+        truncated from the bounded log — the caller's state is too old to
+        repair incrementally and must resynchronise from the full database.
+        """
+        if version > self._version:
+            raise DatasetError(
+                f"requested deltas since version {version} but the database "
+                f"is at version {self._version}"
+            )
+        tail = [delta for delta in self._deltas if delta.version > version]
+        expected = self._version - version
+        if len(tail) != expected:
+            raise DatasetError(
+                f"delta log truncated: need {expected} deltas since version "
+                f"{version} but only {len(tail)} are retained; resynchronise "
+                "from the full database"
+            )
+        return tail
 
     # ------------------------------------------------------------------
     # access
@@ -85,8 +288,31 @@ class GraphDatabase:
     def label_of(self, index: int) -> int | None:
         return self._labels[index]
 
-    def set_label(self, index: int, label: int) -> None:
-        self._labels[index] = label
+    def _position_index(self) -> dict[int | None, int]:
+        if self._positions is None:
+            positions: dict[int | None, int] = {}
+            for index, graph in enumerate(self._graphs):
+                positions.setdefault(graph.graph_id, index)
+            self._positions = positions
+        return self._positions
+
+    def _find(self, graph_id: int) -> int:
+        index = self._position_index().get(graph_id)
+        if index is None:
+            raise DatasetError(f"no graph with id {graph_id!r} in database {self.name!r}")
+        return index
+
+    def index_of(self, graph_id: int) -> int:
+        """Current positional index of a graph id (shifts under removal)."""
+        return self._find(graph_id)
+
+    def graph_by_id(self, graph_id: int) -> Graph:
+        """The graph with the given stable id."""
+        return self._graphs[self._find(graph_id)]
+
+    def has_graph(self, graph_id: int) -> bool:
+        """True when a graph with this id is currently in the database."""
+        return graph_id in self._position_index()
 
     def class_labels(self) -> list[int]:
         """Sorted distinct ground-truth labels present in the database."""
@@ -125,29 +351,44 @@ class GraphDatabase:
             built += 1
         return built
 
+    def _batch_cache_lru(self) -> "LRUCache":
+        if self._batch_cache is None:
+            # Imported here, not at module scope: repro.core pulls in the
+            # explainers (which import this module) at package-init time, so
+            # a top-level import would be cyclic.
+            from repro.core.caching import LRUCache
+
+            self._batch_cache = LRUCache(self._batch_cache_size)
+        return self._batch_cache
+
     def batched_view(self, indices: Sequence[int] | None = None) -> BatchedGraphView:
         """Block-diagonal CSR batch over the selected graphs (default: all).
 
         One message-passing pass over the returned batch classifies every
         selected graph at once (``GNNClassifier.predict_batch``), which is
         how the explainers amortise inference across a whole label group.
-        The batch is memoised per (indices, graph versions) and rebuilt
-        automatically after any member graph mutates.
+        The batch is memoised in an LRU keyed by the *selected graphs'
+        object identities and mutation counters* — precise under every
+        mutation kind: a removal shifts which graphs the positions denote
+        (different objects, cache miss), a member-graph mutation bumps its
+        version (miss), while a relabel changes neither graph contents nor
+        the selection, so the content-identical batch is reused.  Cache
+        entries pin their graph objects, so a matching ``id()`` can never
+        belong to a recycled object while the entry lives.
         """
         if indices is None:
             indices = range(len(self._graphs))
         selected = [self._graphs[index] for index in indices]
-        key = (tuple(indices), tuple(graph.version for graph in selected))
-        cached = self._batch_cache.get(key)
-        if cached is None:
-            cached = BatchedGraphView.from_graphs(selected)
-            # Drop stale batches for the same index tuple (old versions).
-            for existing in [k for k in self._batch_cache if k[0] == key[0]]:
-                del self._batch_cache[existing]
-            while len(self._batch_cache) >= self._batch_cache_size:
-                del self._batch_cache[next(iter(self._batch_cache))]
-            self._batch_cache[key] = cached
-        return cached
+        cache = self._batch_cache_lru()
+        key = (
+            tuple(id(graph) for graph in selected),
+            tuple(graph.version for graph in selected),
+        )
+        entry = cache.get(key)
+        if entry is None:
+            entry = (BatchedGraphView.from_graphs(selected), tuple(selected))
+            cache.put(key, entry)
+        return entry[0]
 
     # ------------------------------------------------------------------
     # statistics (Table 3 of the paper)
@@ -198,11 +439,36 @@ class GraphDatabase:
             database.add_graph(Graph.from_dict(graph_payload), label)
         return database
 
-    def save(self, path: str | Path) -> None:
-        """Serialise the whole database to a JSON file."""
-        Path(path).write_text(json.dumps(self.to_dict()))
+    def save(self, path: str | Path, *, format: str | None = None) -> None:
+        """Serialise the database to disk.
+
+        ``format`` is ``"json"`` (the legacy single-blob layout) or
+        ``"jsonl"`` (streaming, one graph per line — the scalable layout for
+        large databases).  When omitted, a ``.jsonl`` suffix selects the
+        streaming format and anything else keeps the legacy blob.
+        """
+        fmt = format or ("jsonl" if str(path).endswith(".jsonl") else "json")
+        if fmt == "jsonl":
+            from repro.graphs.io import write_database_jsonl
+
+            write_database_jsonl(self, path)
+        elif fmt == "json":
+            Path(path).write_text(json.dumps(self.to_dict()))
+        else:
+            raise DatasetError(
+                f"unknown database format {fmt!r}; expected 'json' or 'jsonl'"
+            )
 
     @classmethod
     def load(cls, path: str | Path) -> "GraphDatabase":
-        """Load a database previously written by :meth:`save`."""
+        """Load a database written by :meth:`save` (either format).
+
+        The format is sniffed from the first line: a JSONL header record
+        streams graphs line by line; anything else is parsed as the legacy
+        whole-file JSON blob.
+        """
+        from repro.graphs.io import is_database_jsonl, read_database_jsonl
+
+        if is_database_jsonl(path):
+            return read_database_jsonl(path)
         return cls.from_dict(json.loads(Path(path).read_text()))

@@ -11,11 +11,16 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import networkx as nx
 
+from repro.exceptions import DatasetError
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
+
+if TYPE_CHECKING:  # pragma: no cover - type-only (avoids an import cycle)
+    from repro.graphs.database import GraphDatabase
 
 __all__ = [
     "graph_to_networkx",
@@ -25,7 +30,15 @@ __all__ = [
     "read_edge_list",
     "write_graph_json",
     "read_graph_json",
+    "write_database_jsonl",
+    "read_database_jsonl",
+    "iter_database_jsonl",
+    "is_database_jsonl",
 ]
+
+#: ``kind`` tag of the header record that opens a database JSONL file.
+DATABASE_JSONL_KIND = "graph_database"
+DATABASE_JSONL_SCHEMA_VERSION = 1
 
 
 def graph_to_networkx(graph: Graph) -> nx.Graph:
@@ -94,3 +107,89 @@ def write_graph_json(graph: Graph, path: str | Path) -> None:
 def read_graph_json(path: str | Path) -> Graph:
     """Read a graph written by :func:`write_graph_json`."""
     return Graph.from_dict(json.loads(Path(path).read_text()))
+
+
+# ----------------------------------------------------------------------
+# streaming database format (JSONL: one graph per line)
+# ----------------------------------------------------------------------
+def write_database_jsonl(database: "GraphDatabase", path: str | Path) -> None:
+    """Write a database as JSON Lines: a header record, then one graph/line.
+
+    The legacy ``GraphDatabase.save`` materialises the whole collection as a
+    single JSON blob — at millions of graphs that is one multi-GB string in
+    memory.  The JSONL layout serialises one graph at a time, so peak memory
+    stays at a single graph's payload regardless of database size, and
+    readers can likewise stream (:func:`iter_database_jsonl`).
+    """
+    with Path(path).open("w", encoding="utf-8") as handle:
+        header = {
+            "kind": DATABASE_JSONL_KIND,
+            "format": "jsonl",
+            "schema_version": DATABASE_JSONL_SCHEMA_VERSION,
+            "name": database.name,
+            "num_graphs": len(database),
+        }
+        handle.write(json.dumps(header) + "\n")
+        for graph, label in zip(database.graphs, database.labels):
+            handle.write(json.dumps({"graph": graph.to_dict(), "label": label}) + "\n")
+
+
+def is_database_jsonl(path: str | Path) -> bool:
+    """True when the file starts with a database JSONL header record."""
+    try:
+        with Path(path).open("r", encoding="utf-8") as handle:
+            first = handle.readline()
+    except OSError:
+        return False
+    try:
+        header = json.loads(first)
+    except (json.JSONDecodeError, ValueError):
+        return False
+    return isinstance(header, dict) and header.get("kind") == DATABASE_JSONL_KIND
+
+
+def iter_database_jsonl(path: str | Path):
+    """Yield ``(graph, label)`` pairs from a database JSONL file, streaming.
+
+    Validates the header record, then decodes one line at a time — the
+    million-graph-friendly read path (nothing but the current graph is ever
+    materialised).  Blank lines are ignored.
+    """
+    with Path(path).open("r", encoding="utf-8") as handle:
+        try:
+            header = json.loads(handle.readline())
+        except (json.JSONDecodeError, ValueError) as error:
+            raise DatasetError(f"{path} is not a database JSONL file: {error}") from error
+        if not isinstance(header, dict) or header.get("kind") != DATABASE_JSONL_KIND:
+            raise DatasetError(
+                f"{path} is not a database JSONL file (missing the "
+                f"{DATABASE_JSONL_KIND!r} header record)"
+            )
+        for number, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise DatasetError(f"{path}:{number}: invalid JSONL record: {error}") from error
+            if not isinstance(record, dict) or "graph" not in record:
+                raise DatasetError(f"{path}:{number}: JSONL record has no 'graph' field")
+            yield Graph.from_dict(record["graph"]), record.get("label")
+
+
+def read_database_jsonl(path: str | Path) -> "GraphDatabase":
+    """Read a database written by :func:`write_database_jsonl`."""
+    from repro.graphs.database import GraphDatabase
+
+    with Path(path).open("r", encoding="utf-8") as handle:
+        header = json.loads(handle.readline())
+    if not isinstance(header, dict) or header.get("kind") != DATABASE_JSONL_KIND:
+        raise DatasetError(
+            f"{path} is not a database JSONL file (missing the "
+            f"{DATABASE_JSONL_KIND!r} header record)"
+        )
+    database = GraphDatabase(name=header.get("name", "database"))
+    for graph, label in iter_database_jsonl(path):
+        database.add_graph(graph, label)
+    return database

@@ -64,6 +64,32 @@ class IncrementalMatcher:
         """Drop all cached matchings (e.g. after patterns were swapped out)."""
         self._cache.clear()
 
+    def forget_graph(self, graph_or_id: Graph | int | None) -> int:
+        """Drop every cached entry for one graph; returns how many were dropped.
+
+        Accepts either the graph object or its stable ``graph_id``, matching
+        both components of the cache key — a long-lived matcher over a
+        mutable :class:`~repro.graphs.database.GraphDatabase` calls this when
+        a graph is removed, so retracted graphs (and any temporaries that
+        carried their id) cannot pin coverage rows forever.
+        """
+        if graph_or_id is None:
+            return 0
+        if isinstance(graph_or_id, Graph):
+            matches = {id(graph_or_id), graph_or_id.graph_id}
+            # A None graph_id must not sweep up other id-less graphs' rows.
+            matches.discard(None)
+        else:
+            matches = {graph_or_id}
+        victims = [
+            key
+            for key in self._cache
+            if key[1][0] in matches or key[1][1] in matches
+        ]
+        for key in victims:
+            del self._cache[key]
+        return len(victims)
+
     def stats(self) -> dict[str, int]:
         """Cache statistics, useful in the efficiency benchmarks."""
         return {

@@ -139,3 +139,81 @@ class TestQueryEndpoints:
         payload = _get(live_server, f"/query/label/{label}")
         assert payload["label"] == label
         assert "fidelity" in payload["report"]
+
+
+@pytest.fixture()
+def mutable_server(mut_database, trained_mut_model):
+    """A live server over a *private* mutable database copy."""
+    from repro.graphs import GraphDatabase
+
+    database = GraphDatabase("live")
+    # Copies: the server mutates its database and warms sparse caches, which
+    # must never leak into the session-scoped graphs.
+    for graph, label in zip(mut_database.graphs[:8], mut_database.labels[:8]):
+        database.add_graph(graph.copy(), label)
+    service = ExplanationService(
+        "MUT",
+        database=database,
+        model=trained_mut_model,
+        config=Configuration(theta=0.08).with_default_bound(0, 6),
+    )
+    server = create_server(service, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", service, mut_database
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    service.close()
+
+
+class TestIngestEndpoint:
+    def test_add_remove_relabel_round_trip(self, mutable_server):
+        base, service, source = mutable_server
+        graph_payload = source.graphs[8].to_dict()
+        graph_payload["graph_id"] = None  # let the database assign a stable id
+
+        added = _post(base, "/ingest", {"graph": graph_payload, "label": 1})
+        assert added["op"] == "ingest"
+        assert added["num_graphs"] == 9
+        assert added["maintained"] is True
+        assert added["refreshed_labels"]
+        graph_id = added["graph_id"]
+
+        relabelled = _post(
+            base, "/ingest", {"op": "relabel", "graph_id": graph_id, "label": 0}
+        )
+        assert relabelled["op"] == "relabel"
+        assert relabelled["database_version"] == added["database_version"] + 1
+
+        removed = _post(base, "/ingest", {"op": "remove", "graph_id": graph_id})
+        assert removed["op"] == "remove"
+        assert removed["num_graphs"] == 8
+
+    def test_ingested_views_are_served_by_explain(self, mutable_server):
+        base, service, source = mutable_server
+        graph_payload = source.graphs[9].to_dict()
+        graph_payload["graph_id"] = None
+        added = _post(base, "/ingest", {"graph": graph_payload, "label": 1})
+        label = added["refreshed_labels"][0]
+        explained = _post(base, "/explain", {"algorithm": "stream", "label": label})
+        assert explained["payload"]["provenance"]["num_graphs"] == added["num_graphs"]
+
+    def test_unknown_op_rejected(self, mutable_server):
+        base, _, _ = mutable_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/ingest", {"op": "truncate"})
+        assert excinfo.value.code == 400
+
+    def test_add_without_graph_rejected(self, mutable_server):
+        base, _, _ = mutable_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/ingest", {"label": 1})
+        assert excinfo.value.code == 400
+
+    def test_unknown_parameter_rejected(self, mutable_server):
+        base, _, _ = mutable_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base, "/ingest", {"op": "remove", "graph_id": 1, "force": True})
+        assert excinfo.value.code == 400

@@ -258,3 +258,300 @@ class TestPersistence:
         assert stats["num_graphs"] == len(service.database)
         assert stats["labels_explained"]
         assert "cache" in stats
+
+
+@pytest.fixture(scope="module")
+def mut_pool(mut_database):
+    """Private graph copies: the dynamic tests warm sparse caches and mutate
+    databases, which must never touch the session-scoped graphs."""
+    return [graph.copy() for graph in mut_database.graphs]
+
+
+@pytest.fixture
+def live_service(mut_database, mut_pool, trained_mut_model):
+    """A service over a *private* mutable copy of the session database."""
+    from repro.graphs import GraphDatabase
+
+    database = GraphDatabase("live")
+    for graph, label in zip(mut_pool[:10], mut_database.labels[:10]):
+        database.add_graph(graph, label)
+    service = ExplanationService(
+        "MUT",
+        database=database,
+        model=trained_mut_model,
+        config=Configuration(theta=0.08).with_default_bound(0, 8),
+    )
+    yield service
+    service.close()
+
+
+class TestDynamicDatabase:
+    def test_stream_requests_are_served_by_the_maintainer(self, live_service):
+        live_service.enable_live_views()
+        streamed = live_service.maintainer.graphs_streamed
+        result = live_service.explain(algorithm="stream", label=1)
+        # Served straight from maintained state: no additional streaming.
+        assert live_service.maintainer.graphs_streamed == streamed
+        assert result.view.subgraphs
+        again = live_service.explain(algorithm="stream", label=1)
+        assert again.provenance.cache_hit
+
+    def test_ingest_refreshes_instead_of_recomputing(
+        self, live_service, mut_database, mut_pool, trained_mut_model
+    ):
+        from repro.core import StreamGVEX
+
+        live_service.enable_live_views()
+        streamed = live_service.maintainer.graphs_streamed
+        summary = live_service.ingest(mut_pool[10], mut_database.labels[10])
+        # One per-graph pass for the arrival; every maintained label refreshed.
+        assert live_service.maintainer.graphs_streamed == streamed + 1
+        assert summary["refreshed_labels"] == live_service.maintainer.maintained_labels()
+        assert summary["num_graphs"] == 11
+
+        result = live_service.explain(algorithm="stream", label=1)
+        assert result.provenance.cache_hit  # refreshed entry already cached
+        reference = StreamGVEX(
+            trained_mut_model, live_service.config
+        ).explain_label(live_service.database.graphs, 1)
+        assert [sorted(s.nodes) for s in result.view.subgraphs] == [
+            sorted(s.nodes) for s in reference.subgraphs
+        ]
+
+    def test_mutation_invalidates_non_stream_results(self, live_service, mut_database, mut_pool):
+        first = live_service.explain(algorithm="approx", label=1)
+        assert not first.provenance.cache_hit
+        cached = live_service.explain(algorithm="approx", label=1)
+        assert cached.provenance.cache_hit
+        live_service.ingest(mut_pool[11], mut_database.labels[11])
+        recomputed = live_service.explain(algorithm="approx", label=1)
+        assert not recomputed.provenance.cache_hit
+        assert recomputed.provenance.num_graphs == 11
+
+    def test_stale_latest_views_are_dropped_on_mutation(self, live_service, mut_database, mut_pool):
+        live_service.explain(algorithm="approx", label=1)
+        assert 1 in live_service.view_set().labels()
+        live_service.ingest(mut_pool[12], mut_database.labels[12])
+        # Without a maintainer nothing is refreshed; the stale view is gone.
+        assert live_service.view_set().labels() == []
+
+    def test_remove_and_relabel_round_trip(self, live_service):
+        live_service.enable_live_views()
+        victim = live_service.database.graphs[4].graph_id
+        summary = live_service.remove(victim)
+        assert summary["op"] == "remove"
+        assert summary["num_graphs"] == 9
+        assert victim not in [g.graph_id for g in live_service.database.graphs]
+        target = live_service.database.graphs[0].graph_id
+        summary = live_service.relabel(target, 1)
+        assert summary["op"] == "relabel"
+        assert live_service.database.label_of(0) == 1
+
+    def test_duplicate_ingest_id_rejected(self, live_service, mut_database, mut_pool):
+        existing = live_service.database.graphs[0].graph_id
+        with pytest.raises(ExplanationError, match="already in the database"):
+            live_service.ingest(mut_pool[13], graph_id=existing)
+
+    def test_predicted_labels_updated_incrementally(self, live_service, mut_database, mut_pool):
+        live_service.explain(algorithm="approx", label=1)  # builds the memo
+        graph = mut_pool[10]
+        live_service.ingest(graph, mut_database.labels[10])
+        assert graph.graph_id in live_service._predicted_labels()
+        live_service.remove(graph.graph_id)
+        assert graph.graph_id not in live_service._predicted_labels()
+
+    def test_close_stops_tracking(self, live_service, mut_database, mut_pool):
+        live_service.close()
+        version = live_service._context_fingerprint
+        live_service.database.add_graph(mut_pool[14], mut_database.labels[14])
+        assert live_service._context_fingerprint == version
+
+
+class TestMaintainerWarmRestart:
+    def test_restart_restores_without_restreaming(
+        self, tmp_path, mut_database, mut_pool, trained_mut_model
+    ):
+        from repro.graphs import GraphDatabase
+
+        config = Configuration(theta=0.08).with_default_bound(0, 8)
+        database = GraphDatabase("live")
+        for graph, label in zip(mut_pool[:8], mut_database.labels[:8]):
+            database.add_graph(graph, label)
+        first = ExplanationService(
+            "MUT",
+            database=database,
+            model=trained_mut_model,
+            config=config,
+            cache_dir=tmp_path,
+            live_views=True,
+        )
+        first.ingest(mut_pool[8], mut_database.labels[8])
+        first.close()
+
+        second = ExplanationService(
+            "MUT",
+            database=database,
+            model=trained_mut_model,
+            config=config,
+            cache_dir=tmp_path,
+        )
+        maintainer = second.enable_live_views()
+        assert maintainer.graphs_streamed == 0
+        assert maintainer.stats()["rows"] == 9
+        second.close()
+
+    def test_restart_with_other_config_rebuilds(
+        self, tmp_path, mut_database, mut_pool, trained_mut_model
+    ):
+        from repro.graphs import GraphDatabase
+
+        database = GraphDatabase("live")
+        for graph, label in zip(mut_pool[:6], mut_database.labels[:6]):
+            database.add_graph(graph, label)
+        first = ExplanationService(
+            "MUT",
+            database=database,
+            model=trained_mut_model,
+            config=Configuration(theta=0.08).with_default_bound(0, 8),
+            cache_dir=tmp_path,
+            live_views=True,
+        )
+        first.close()
+        second = ExplanationService(
+            "MUT",
+            database=database,
+            model=trained_mut_model,
+            config=Configuration(theta=0.2).with_default_bound(0, 6),
+            cache_dir=tmp_path,
+        )
+        maintainer = second.enable_live_views()
+        # Snapshot fingerprint mismatched: rebuilt by streaming afresh.
+        assert maintainer.graphs_streamed == 6
+        second.close()
+
+
+class TestIngestValidation:
+    def test_unclassifiable_graph_rejected_before_mutation(self, live_service):
+        """A graph the model cannot classify (wrong feature dim) must be
+        rejected cleanly with the database left untouched."""
+        from repro.graphs import Graph
+
+        bad = Graph()
+        bad.add_node(0, "X", [1.0, 2.0])  # model expects feature_dim=14
+        size = len(live_service.database)
+        version = live_service.database.version
+        with pytest.raises(ExplanationError, match="cannot classify"):
+            live_service.ingest(bad, label=0)
+        assert len(live_service.database) == size
+        assert live_service.database.version == version
+
+    def test_rejected_ingest_leaves_the_callers_graph_unmodified(self, live_service):
+        """Finding: a rejected ingest must not have written the rejected id
+        onto the caller's graph — the documented remedy (retry without an
+        id) has to work."""
+        from repro.graphs import Graph
+
+        graph = Graph()
+        for node in range(4):
+            graph.add_node(node, "C", [1.0] * 14)
+        graph.add_edge(0, 1)
+        existing = live_service.database.graphs[0].graph_id
+        with pytest.raises(ExplanationError, match="already in the database"):
+            live_service.ingest(graph, graph_id=existing)
+        assert graph.graph_id is None
+        summary = live_service.ingest(graph, label=0)  # remedy works
+        assert summary["graph_id"] is not None
+
+
+class TestSnapshotIdentity:
+    def test_snapshot_never_restores_across_databases(
+        self, tmp_path, mut_database, mut_pool, trained_mut_model
+    ):
+        """Two same-model services over *different* databases sharing one
+        cache_dir must not resurrect each other's maintained rows."""
+        from repro.graphs import GraphDatabase
+
+        config = Configuration(theta=0.08).with_default_bound(0, 8)
+        first_db = GraphDatabase("first")
+        for graph, label in zip(mut_pool[:6], mut_database.labels[:6]):
+            first_db.add_graph(graph, label)
+        first = ExplanationService(
+            "MUT", database=first_db, model=trained_mut_model, config=config,
+            cache_dir=tmp_path, live_views=True,
+        )
+        first.close()
+
+        second_db = GraphDatabase("second")  # overlapping graph ids 0..5
+        for graph, label in zip(mut_pool[6:12], mut_database.labels[6:12]):
+            copy = graph.copy()
+            copy.graph_id = None
+            second_db.add_graph(copy, label)
+        second = ExplanationService(
+            "MUT", database=second_db, model=trained_mut_model, config=config,
+            cache_dir=tmp_path,
+        )
+        maintainer = second.enable_live_views()
+        # Nothing restored from the first database: every graph re-streamed.
+        assert maintainer.graphs_streamed == 6
+        for label in maintainer.maintained_labels():
+            for subgraph in maintainer.view_for(label).subgraphs:
+                assert subgraph.source_graph in second_db.graphs
+        second.close()
+
+    def test_closed_service_refuses_mutations(self, live_service, mut_pool):
+        live_service.explain(algorithm="stream", label=1)
+        live_service.close()
+        with pytest.raises(ExplanationError, match="closed"):
+            live_service.ingest(mut_pool[10], 1)
+        with pytest.raises(ExplanationError, match="closed"):
+            live_service.remove(live_service.database.graphs[0].graph_id)
+        with pytest.raises(ExplanationError, match="closed"):
+            live_service.relabel(live_service.database.graphs[0].graph_id, 0)
+
+    def test_mutations_do_not_grow_the_spill_dir_unboundedly(
+        self, tmp_path, mut_database, mut_pool, trained_mut_model
+    ):
+        """Stale per-version artifacts are discarded on mutation: the spill
+        directory holds the current views + one maintainer snapshot, not
+        O(mutations x labels) dead files."""
+        from repro.graphs import GraphDatabase
+
+        database = GraphDatabase("live")
+        for graph, label in zip(mut_pool[:8], mut_database.labels[:8]):
+            database.add_graph(graph, label)
+        service = ExplanationService(
+            "MUT",
+            database=database,
+            model=trained_mut_model,
+            config=Configuration(theta=0.08).with_default_bound(0, 8),
+            cache_dir=tmp_path,
+            live_views=True,
+        )
+        for index in (8, 9, 10, 11):
+            service.ingest(mut_pool[index], mut_database.labels[index])
+        labels = len(service.maintainer.maintained_labels())
+        spill_files = list(tmp_path.glob("*.json"))
+        # current per-label views + the maintainer snapshot, nothing stale
+        assert len(spill_files) <= labels + 1
+        service.close()
+
+    def test_ingest_runs_one_forward_pass_with_warm_memo(
+        self, live_service, mut_pool, mut_database
+    ):
+        live_service.enable_live_views()
+        live_service._predicted_labels()  # warm the memo
+        calls = {"n": 0}
+        real_predict = live_service.model.predict
+
+        original = live_service.model.predict
+        def counted(graph):
+            calls["n"] += 1
+            return real_predict(graph)
+        live_service.model.predict = counted
+        try:
+            live_service.ingest(mut_pool[10], mut_database.labels[10])
+        finally:
+            live_service.model.predict = original
+        # delta hook predicts once into the memo; the maintainer reads the
+        # memo back instead of predicting again.
+        assert calls["n"] == 1

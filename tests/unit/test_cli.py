@@ -298,3 +298,90 @@ class TestServiceCommands:
         output = capsys.readouterr().out
         assert "provenance" in output
         assert "cache_hit" in output
+
+
+class TestIngestCommand:
+    def test_ingest_requires_exactly_one_operation(self, capsys):
+        assert main(["ingest", "--dataset", "MUT"]) == 2
+        assert "exactly one" in capsys.readouterr().out
+        assert main(["ingest", "--graph", "a.json", "--remove", "1"]) == 2
+        capsys.readouterr()
+
+    def test_relabel_requires_label(self, capsys):
+        assert main(["ingest", "--relabel", "3"]) == 2
+        assert "--label" in capsys.readouterr().out
+
+    def test_ingest_add_end_to_end(self, capsys, tmp_path):
+        """Full path: train, attach the maintainer, stream one arriving graph,
+        print the refreshed per-label views.  Uses a dedicated epochs value so
+        the mutated (cached) experiment context is not shared with other
+        tests."""
+        import json
+
+        from repro.datasets import make_mutagenicity
+        from repro.graphs.io import write_graph_json
+
+        extra = make_mutagenicity(num_graphs=12, seed=9).graphs[11]
+        extra.graph_id = None
+        graph_path = tmp_path / "arrival.json"
+        write_graph_json(extra, graph_path)
+
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--dataset",
+                    "MUT",
+                    "--epochs",
+                    "21",
+                    "--graph",
+                    str(graph_path),
+                    "--label",
+                    "1",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["op"] == "ingest"
+        assert summary["maintained"] is True
+        assert summary["refreshed_labels"]
+        assert summary["views"]
+        # The maintainer snapshot landed in the cache dir for warm restarts.
+        assert list((tmp_path / "cache").glob("*.snapshot.json"))
+
+    def test_mutations_survive_across_invocations(self, capsys, tmp_path):
+        """--cache-dir persists the mutated database itself (JSONL), so a
+        second invocation sees the first one's add."""
+        import json
+
+        from repro.datasets import make_mutagenicity
+        from repro.graphs.io import write_graph_json
+
+        source = make_mutagenicity(num_graphs=14, seed=9)
+        cache = str(tmp_path / "cache")
+        base = ["ingest", "--dataset", "MUT", "--epochs", "21", "--cache-dir", cache, "--json"]
+
+        graph = source.graphs[12]
+        graph.graph_id = None
+        write_graph_json(graph, tmp_path / "first.json")
+        assert main(base + ["--graph", str(tmp_path / "first.json"), "--label", "1"]) == 0
+        first = json.loads(capsys.readouterr().out)
+
+        other = source.graphs[13]
+        other.graph_id = None
+        write_graph_json(other, tmp_path / "second.json")
+        assert main(base + ["--graph", str(tmp_path / "second.json"), "--label", "0"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        # The second run loaded the first run's database (+1 graph) from
+        # disk and warm-restarted the maintainer (only the arrival streamed).
+        assert second["num_graphs"] == first["num_graphs"] + 1
+        assert second["maintainer"]["graphs_streamed"] == 1
+
+        removed_id = second["graph_id"]
+        assert main(base + ["--remove", str(removed_id)]) == 0
+        third = json.loads(capsys.readouterr().out)
+        assert third["num_graphs"] == second["num_graphs"] - 1

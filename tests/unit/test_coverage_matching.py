@@ -109,3 +109,40 @@ class TestIncrementalMatcher:
         matcher.covered_nodes(single_node_pattern("A"), graph)
         matcher.invalidate()
         assert matcher.stats()["entries"] == 0
+
+    def test_forget_graph_drops_only_that_graphs_entries(self):
+        matcher = IncrementalMatcher()
+        first = typed_graph()
+        first.graph_id = 7
+        second = typed_graph()
+        second.graph_id = 8
+        pattern = single_node_pattern("A")
+        matcher.covered_nodes(pattern, first)
+        matcher.covered_nodes(pattern, second)
+        assert matcher.forget_graph(first) == 1
+        assert matcher.stats()["entries"] == 1
+        # The survivor still hits the cache.
+        matcher.covered_nodes(pattern, second)
+        assert matcher.stats()["cache_hits"] == 1
+
+    def test_forget_graph_by_stable_id_sweeps_temporaries(self):
+        """Entries left by throwaway subgraph objects carrying the same
+        stable graph_id are swept too (removal-safety for long-lived
+        matchers over mutable databases)."""
+        matcher = IncrementalMatcher()
+        pattern = single_node_pattern("A")
+        for _ in range(3):
+            temporary = typed_graph()
+            temporary.graph_id = 42
+            matcher.covered_nodes(pattern, temporary)
+        assert matcher.stats()["entries"] == 3
+        assert matcher.forget_graph(42) == 3
+        assert matcher.stats()["entries"] == 0
+
+    def test_forget_graph_with_none_is_a_no_op(self):
+        matcher = IncrementalMatcher()
+        graph = typed_graph()
+        graph.graph_id = None
+        matcher.covered_nodes(single_node_pattern("A"), graph)
+        assert matcher.forget_graph(None) == 0
+        assert matcher.stats()["entries"] == 1

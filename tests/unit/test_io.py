@@ -58,3 +58,112 @@ class TestFileFormats:
         back = read_graph_json(path)
         assert back.nodes == triangle_graph.nodes
         assert back.num_edges() == 3
+
+
+class TestDatabaseJsonl:
+    def build(self, num=3):
+        import numpy as np
+
+        from repro.graphs import Graph, GraphDatabase
+
+        database = GraphDatabase(name="jsonl-demo")
+        for index in range(num):
+            graph = Graph(graph_id=index)
+            graph.add_node(0, "A", np.array([1.0, float(index)]))
+            graph.add_node(1, "B", np.array([0.0, 1.0]))
+            graph.add_edge(0, 1, "bond")
+            database.add_graph(graph, label=index % 2 if index < num - 1 else None)
+        return database
+
+    def test_round_trip(self, tmp_path):
+        from repro.graphs import GraphDatabase
+        from repro.graphs.io import read_database_jsonl, write_database_jsonl
+
+        database = self.build()
+        path = tmp_path / "db.jsonl"
+        write_database_jsonl(database, path)
+        back = read_database_jsonl(path)
+        assert back.name == "jsonl-demo"
+        assert back.labels == database.labels
+        assert [g.to_dict() for g in back] == [g.to_dict() for g in database]
+        # GraphDatabase.load sniffs the format itself.
+        assert GraphDatabase.load(path).labels == database.labels
+
+    def test_save_selects_format_by_suffix(self, tmp_path):
+        from repro.graphs import GraphDatabase
+
+        database = self.build()
+        jsonl_path = tmp_path / "db.jsonl"
+        json_path = tmp_path / "db.json"
+        database.save(jsonl_path)
+        database.save(json_path)
+        assert jsonl_path.read_text().count("\n") == len(database) + 1
+        assert json_path.read_text().startswith("{")
+        for path in (jsonl_path, json_path):
+            assert GraphDatabase.load(path).labels == database.labels
+
+    def test_explicit_format_overrides_suffix(self, tmp_path):
+        from repro.graphs import GraphDatabase
+        from repro.graphs.io import is_database_jsonl
+
+        database = self.build()
+        path = tmp_path / "db.json"
+        database.save(path, format="jsonl")
+        assert is_database_jsonl(path)
+        assert GraphDatabase.load(path).labels == database.labels
+
+    def test_unknown_format_rejected(self, tmp_path):
+        import pytest
+
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError):
+            self.build().save(tmp_path / "db.bin", format="parquet")
+
+    def test_iter_streams_without_building_a_database(self, tmp_path):
+        from repro.graphs.io import iter_database_jsonl, write_database_jsonl
+
+        database = self.build(num=4)
+        path = tmp_path / "db.jsonl"
+        write_database_jsonl(database, path)
+        rows = list(iter_database_jsonl(path))
+        assert len(rows) == 4
+        assert rows[0][0].node_type(1) == "B"
+        assert rows[3][1] is None
+
+    def test_legacy_json_blob_still_loads(self, tmp_path):
+        """Databases written by the pre-JSONL save() keep loading."""
+        import json
+
+        from repro.graphs import GraphDatabase
+
+        database = self.build()
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(database.to_dict()))
+        assert GraphDatabase.load(path).labels == database.labels
+
+    def test_non_jsonl_file_rejected_by_reader(self, tmp_path):
+        import pytest
+
+        from repro.exceptions import DatasetError
+        from repro.graphs.io import is_database_jsonl, read_database_jsonl
+
+        path = tmp_path / "not.jsonl"
+        path.write_text('{"name": "x", "graphs": []}\n')
+        assert not is_database_jsonl(path)
+        with pytest.raises(DatasetError):
+            read_database_jsonl(path)
+
+    def test_corrupt_record_reports_line_number(self, tmp_path):
+        import pytest
+
+        from repro.exceptions import DatasetError
+        from repro.graphs.io import iter_database_jsonl, write_database_jsonl
+
+        database = self.build()
+        path = tmp_path / "db.jsonl"
+        write_database_jsonl(database, path)
+        with path.open("a") as handle:
+            handle.write("{broken\n")
+        with pytest.raises(DatasetError, match=":5:"):
+            list(iter_database_jsonl(path))

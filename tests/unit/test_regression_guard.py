@@ -1,0 +1,63 @@
+"""Unit tests for the benchmark regression guard's checking logic."""
+
+from benchmarks.regression_guard import GUARDED_METRICS, check
+
+BASELINE = {
+    "influence_speedup_min": 3.0,
+    "incremental_speedup_min": 5.0,
+    "views_identical": True,
+    "incremental_identical": True,
+}
+
+
+def full_report(**overrides):
+    report = {
+        "influence_speedup_min": 3.5,
+        "incremental_speedup_min": 6.0,
+        "views_identical": True,
+        "lazy_eager_identical": True,
+        "matching_identical": True,
+        "mining_identical": True,
+        "service_identical": True,
+        "incremental_identical": True,
+    }
+    report.update(overrides)
+    return report
+
+
+class TestCheck:
+    def test_clean_report_passes(self):
+        assert check(full_report(), BASELINE) == []
+
+    def test_speedup_below_floor_fails(self):
+        failures = check(full_report(influence_speedup_min=2.0), BASELINE)
+        assert any("influence_speedup_min" in f for f in failures)
+
+    def test_false_identity_flag_fails(self):
+        failures = check(full_report(incremental_identical=False), BASELINE)
+        assert any("recompute" in f for f in failures)
+
+    def test_missing_identity_flag_fails_for_selected_metric(self):
+        """A report that silently stops emitting a required flag must FAIL,
+        not pass — the guard's whole point."""
+        report = full_report()
+        del report["views_identical"]
+        failures = check(report, BASELINE)
+        assert any("views_identical" in f for f in failures)
+
+    def test_partial_suite_guards_only_its_metrics(self):
+        partial = {
+            "incremental_speedup_min": 6.0,
+            "incremental_identical": True,
+        }
+        assert check(partial, BASELINE, metrics=("incremental_speedup_min",)) == []
+        # ... but the full selection still notices everything missing.
+        failures = check(partial, BASELINE, metrics=GUARDED_METRICS)
+        assert any("views_identical" in f for f in failures)
+        assert any("influence_speedup_min" in f for f in failures)
+
+    def test_missing_metric_with_baseline_fails(self):
+        report = full_report()
+        del report["incremental_speedup_min"]
+        failures = check(report, BASELINE)
+        assert any("incremental_speedup_min" in f for f in failures)

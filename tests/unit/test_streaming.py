@@ -145,3 +145,22 @@ class TestExplainLabelAndAll:
     def test_explain_instance_fallback(self, stream_explainer, mut_database):
         explanation = stream_explainer.explain_instance(mut_database[0])
         assert explanation.nodes
+
+
+class TestDuplicateGraphIds:
+    def test_explain_label_keeps_every_graph_despite_id_collisions(
+        self, trained_mut_model, mut_database
+    ):
+        """Caller-supplied graph lists may mix sources whose graph ids
+        collide (ids are only unique per database); the maintainer-replay
+        path must process every graph, like the pre-refactor loop did."""
+        config = Configuration(theta=0.08).with_default_bound(0, 8)
+        first = mut_database[1].copy()
+        second = mut_database[3].copy()
+        second.graph_id = first.graph_id  # forced collision
+        label = trained_mut_model.predict(first)
+        graphs = [g for g in (first, second) if trained_mut_model.predict(g) == label]
+        view = StreamGVEX(trained_mut_model, config, batch_size=5).explain_label(
+            graphs, label
+        )
+        assert len(view.subgraphs) == len(graphs)
