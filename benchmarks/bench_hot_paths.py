@@ -31,6 +31,12 @@ full StreamGVEX recompute on the resulting database, plus a removal
 (retraction-only) measurement — with the maintained views asserted
 *identical* to the recompute.
 
+Durability gets one too (``bench_wal``, runnable alone via ``--suite wal``):
+service-level ingest with the write-ahead log fsync'ing every mutation vs
+the same ingest kept purely in memory, reported as the ratio
+``memory_seconds / durable_seconds`` — plus a crash-recovery replay over the
+produced WAL whose views must be signature-identical to both live runs.
+
 The datasets are the repo's synthetic stand-ins (SYNTHETIC and MALNET-TINY)
 built at sizes representative of the paper's Table 3 (~100-node graphs); the
 scaled-down sizes used by the figure benchmarks are too small for matrix
@@ -520,6 +526,93 @@ def bench_incremental(
     }
 
 
+def bench_wal(context: BenchContext, config, delta_fraction: float = 0.25) -> dict:
+    """Durability tax: WAL-backed vs in-memory service ingest, identity-checked.
+
+    Two :class:`ExplanationService` instances over the same ~75% base
+    database — one plain, one with ``wal_dir`` (every mutation canonicalised,
+    CRC'd and fsync'd before acknowledgement) — ingest the remaining graphs
+    through the full service path (predict + live view maintenance + delta
+    log).  The reported ratio is ``memory_seconds / durable_seconds``
+    (≤ ~1.0; higher means cheaper durability).  A third service then opens a
+    fresh base copy over the same ``wal_dir``: its *replayed* views must be
+    signature-identical to both live runs' — the flag the regression guard
+    asserts.
+    """
+    import shutil
+    import tempfile
+
+    from repro.api.replication import view_signature
+
+    graphs = context.database.graphs
+    labels_all = context.database.labels
+    delta_count = max(2, int(round(len(graphs) * delta_fraction)))
+    split = len(graphs) - delta_count
+
+    def build_base(name: str) -> GraphDatabase:
+        database = GraphDatabase(name)
+        for graph, label in zip(graphs[:split], labels_all[:split]):
+            database.add_graph(graph, label)
+        database.warm_sparse_cache()
+        return database
+
+    def signatures(service) -> dict:
+        return {view.label: view_signature(view) for view in service.live_views()}
+
+    wal_dir = Path(tempfile.mkdtemp(prefix="repro-bench-wal-"))
+    timings: dict[str, float] = {}
+    state: dict[str, dict] = {}
+    try:
+        with sparse_backend(True):
+            for graph in graphs[split:]:
+                graph.sparse_view()
+            for mode in ("memory", "durable"):
+                service = ExplanationService(
+                    context.dataset,
+                    database=build_base(f"{context.dataset}-wal-{mode}"),
+                    model=context.model,
+                    config=config,
+                    live_views=True,
+                    wal_dir=wal_dir if mode == "durable" else None,
+                )
+                start = time.perf_counter()
+                for graph, label in zip(graphs[split:], labels_all[split:]):
+                    service.ingest(graph, label=label)
+                timings[mode] = time.perf_counter() - start
+                state[mode] = signatures(service)
+                service.close()
+
+            recovered = ExplanationService(
+                context.dataset,
+                database=build_base(f"{context.dataset}-wal-recovered"),
+                model=context.model,
+                config=config,
+                live_views=True,
+                wal_dir=wal_dir,
+            )
+            replayed = recovered.stats()["wal"]["replayed_on_open"]
+            state["recovered"] = signatures(recovered)
+            recovered.close()
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+    identical = (
+        state["memory"] == state["durable"] == state["recovered"]
+        and replayed == delta_count
+    )
+    return {
+        "delta_graphs": delta_count,
+        "memory_seconds": timings["memory"],
+        "durable_seconds": timings["durable"],
+        "wal_ingest_ratio": timings["memory"] / max(timings["durable"], 1e-9),
+        "overhead_per_mutation_seconds": (
+            max(timings["durable"] - timings["memory"], 0.0) / delta_count
+        ),
+        "replayed_on_open": replayed,
+        "identical": identical,
+    }
+
+
 def run_benchmark(
     datasets=DEFAULT_DATASETS,
     reps: int = 3,
@@ -533,11 +626,28 @@ def run_benchmark(
     """Produce the full benchmark payload (see module docstring).
 
     ``suite="incremental"`` runs only the incremental-maintenance benchmark
-    (the CI ``incremental`` job's fast path); ``"full"`` runs everything.
+    (the CI ``incremental`` job's fast path); ``suite="wal"`` runs only the
+    durability benchmark (the CI ``replication`` job's fast path); ``"full"``
+    runs everything.
     """
     report: dict = {"datasets": {}, "reps": reps, "graph_size": graph_size}
     incremental_speedups: list[float] = []
     incremental_identical = True
+    wal_ratios: list[float] = []
+    wal_identical = True
+    if suite == "wal":
+        for name in datasets:
+            context = build_context(
+                name, num_graphs=num_graphs, graph_size=graph_size, epochs=epochs
+            )
+            config = Configuration().with_default_bound(0, 8)
+            wal = bench_wal(context, config)
+            wal_ratios.append(wal["wal_ingest_ratio"])
+            wal_identical = wal_identical and wal["identical"]
+            report["datasets"][name] = {"wal": wal}
+        report["wal_ingest_ratio_min"] = min(wal_ratios)
+        report["wal_identical"] = wal_identical
+        return report
     if suite == "incremental":
         for name in datasets:
             context = build_context(
@@ -644,8 +754,14 @@ def run_benchmark(
         incremental_speedups.append(incremental["ingest_speedup"])
         incremental_identical = incremental_identical and incremental["identical"]
 
+        # Durability tax (WAL-fsync'd vs in-memory ingest, replay-identical).
+        wal = bench_wal(context, config)
+        wal_ratios.append(wal["wal_ingest_ratio"])
+        wal_identical = wal_identical and wal["identical"]
+
         report["datasets"][name] = {
             "incremental": incremental,
+            "wal": wal,
             "service": service,
             "influence": {
                 "legacy_seconds": legacy_influence,
@@ -695,6 +811,8 @@ def run_benchmark(
     report["service_direct_ratio_min"] = min(service_direct_ratios)
     report["incremental_speedup_min"] = min(incremental_speedups)
     report["incremental_identical"] = incremental_identical
+    report["wal_ingest_ratio_min"] = min(wal_ratios)
+    report["wal_identical"] = wal_identical
     report["views_identical"] = views_identical
     report["lazy_eager_identical"] = lazy_eager_identical
     report["matching_identical"] = matching_identical
@@ -714,9 +832,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--e2e-num-graphs", type=int, default=6)
     parser.add_argument(
         "--suite",
-        choices=("full", "incremental"),
+        choices=("full", "incremental", "wal"),
         default="full",
-        help="'incremental' runs only the delta-maintenance benchmark (CI fast path)",
+        help=(
+            "'incremental' runs only the delta-maintenance benchmark, 'wal' only "
+            "the durability benchmark (the CI fast paths)"
+        ),
     )
     parser.add_argument("--output", type=Path, default=None, help="write the JSON report here")
     args = parser.parse_args(argv)
@@ -736,6 +857,14 @@ def main(argv: list[str] | None = None) -> int:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(payload + "\n")
     print(payload)
+    if args.suite in ("wal", "full"):
+        print(
+            f"\nwal in-memory/durable ingest ratio:    {report['wal_ingest_ratio_min']:.2f}x\n"
+            f"wal replayed views identical: {report['wal_identical']}",
+            file=sys.stderr,
+        )
+    if args.suite == "wal":
+        return 0
     print(
         f"\nincremental ingest vs recompute:       {report['incremental_speedup_min']:.2f}x\n"
         f"incremental views identical: {report['incremental_identical']}",

@@ -12,7 +12,9 @@ and the end-to-end ``explain_label`` runtimes (ApproxGVEX: lazy CELF +
 batched inference vs the eager strategy; StreamGVEX: the full fast path vs
 the full reference path), plus the incremental view-maintenance path
 (ingesting a 10% delta through a warm ``ViewMaintainer`` vs a full
-StreamGVEX recompute, with view identity asserted).
+StreamGVEX recompute, with view identity asserted) and the durability path
+(WAL-fsync'd service ingest vs in-memory ingest, with the crash-recovery
+replay asserted signature-identical to the durable run).
 
 Speedup ratios — not wall-clock seconds — are compared, because both the
 vectorized and the reference implementation run on the same machine in the
@@ -45,6 +47,7 @@ GUARDED_METRICS = (
     "service_warm_speedup_min",
     "service_direct_ratio_min",
     "incremental_speedup_min",
+    "wal_ingest_ratio_min",
 )
 
 # Identity flag required alongside each guarded metric, with the failure
@@ -81,6 +84,11 @@ IDENTITY_FLAGS = {
         "incremental_identical",
         "incrementally maintained views no longer match a full StreamGVEX "
         "recompute after database mutations",
+    ),
+    "wal_ingest_ratio_min": (
+        "wal_identical",
+        "views replayed from the write-ahead log no longer match the views "
+        "the durable service maintained while appending it",
     ),
 }
 

@@ -45,6 +45,7 @@ _RATIO_BOUNDS = {
     "service_warm_speedup_min": 10.0,
     "service_direct_ratio_min": 0.5,
     "incremental_speedup_min": 2.0,
+    "wal_ingest_ratio_min": 0.35,
 }
 
 _BENCH_KWARGS = dict(
@@ -74,6 +75,7 @@ def test_vectorized_hot_paths(benchmark):
             "mining_identical",
             "service_identical",
             "incremental_identical",
+            "wal_identical",
         ):
             report[flag] = report[flag] and second[flag]
     RESULTS_DIR.mkdir(exist_ok=True)
@@ -98,6 +100,10 @@ def test_vectorized_hot_paths(benchmark):
     assert report["incremental_identical"], (
         "incrementally maintained views must be identical to a full "
         "StreamGVEX recompute after database mutations"
+    )
+    assert report["wal_identical"], (
+        "views replayed from the write-ahead log must be identical to the "
+        "views the durable service maintained while appending it"
     )
     for key, bound in _RATIO_BOUNDS.items():
         assert report[key] >= bound, (

@@ -26,7 +26,8 @@ import time
 from pathlib import Path
 
 from repro.api import ExplanationService
-from repro.core import Configuration, StreamGVEX
+from repro.core import Configuration
+from repro.core.streaming import StreamGVEX
 from repro.datasets import load_dataset
 from repro.gnn import GNNClassifier, Trainer
 from repro.graphs import GraphDatabase

@@ -21,7 +21,9 @@ Quick start (service API)::
     result = service.explain(algorithm="approx", label=1, max_nodes=8)
     service.query().witness(result.view.subgraphs[0].source_graph.graph_id)
 
-The direct algorithm constructors remain available as a deprecated path::
+The direct algorithm constructors remain available as a deprecated path
+(importing them from here emits :class:`DeprecationWarning`; the registry —
+``create_explainer("approx")`` — is the supported route)::
 
     from repro import load_dataset, GNNClassifier, Trainer, ApproxGVEX, Configuration
 
@@ -41,16 +43,13 @@ from repro.api import (
     save_artifact,
 )
 from repro.core import (
-    ApproxGVEX,
     Configuration,
     CoverageBound,
     ExplanationSubgraph,
     ExplanationView,
     ExplanationViewSet,
     GraphAnalysis,
-    StreamGVEX,
     ViewMaintainer,
-    ViewQueryEngine,
     parallel_explain,
     verify_view,
 )
@@ -90,3 +89,29 @@ __all__ = [
     "save_artifact",
     "load_artifact",
 ]
+
+# Deprecated top-level re-exports (PR 3's two-PR window has elapsed):
+# importable, but each access warns.  The concrete modules stay silent —
+# internal code and tests import from there.
+_DEPRECATED: dict[str, tuple[str, str]] = {
+    "ApproxGVEX": ("repro.core.approx", 'create_explainer("approx")'),
+    "StreamGVEX": ("repro.core.streaming", 'create_explainer("stream")'),
+    "ViewQueryEngine": ("repro.core.views", "ExplanationService.query()"),
+}
+
+
+def __getattr__(name: str) -> object:
+    try:
+        module, replacement = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"repro.{name} is deprecated; use {replacement} "
+        f"(or, for the raw class, import it from {module})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module), name)

@@ -11,9 +11,13 @@
   views (``save_artifact`` / ``load_artifact``) plus the published schema;
 * :class:`ExplanationService` — session object owning the model + database
   lifecycle, the fingerprint-keyed result cache, parallel fan-out, and the
-  :class:`ServiceQuery` facade;
+  :class:`ServiceQuery` facade (durable when given a ``wal_dir``);
 * :func:`create_server` / :func:`serve` — the ``repro serve`` JSON/HTTP
-  endpoint.
+  endpoint (canonical routes under ``/v1``, deprecated unversioned
+  aliases);
+* :class:`ReplicaService` / :func:`view_signature` — the replica client
+  tailing a primary's ``/v1/deltas`` stream into local read-only live
+  views, and the semantic view digest both sides compare.
 
 The algorithm classes (``ApproxGVEX``, ``StreamGVEX``, the
 ``BaseExplainer`` zoo) remain importable from their historical locations as
@@ -28,7 +32,11 @@ from repro.api.registry import (
     create_explainer,
     register_explainer,
 )
+from repro.api.replication import ReplicaService, view_signature
 from repro.api.serialize import (
+    delta_from_dict,
+    delta_schema,
+    delta_to_dict,
     explanation_schema,
     load_artifact,
     result_from_dict,
@@ -41,7 +49,7 @@ from repro.api.serialize import (
     view_to_dict,
     views_equal,
 )
-from repro.api.server import create_server, serve
+from repro.api.server import API_VERSION, create_server, serve
 from repro.api.service import ExplanationService, ServiceQuery
 from repro.api.store import ViewStore
 from repro.api.types import (
@@ -53,6 +61,7 @@ from repro.api.types import (
 )
 
 __all__ = [
+    "API_VERSION",
     "SCHEMA_VERSION",
     "Explainer",
     "ExplainRequest",
@@ -64,6 +73,9 @@ __all__ = [
     "register_explainer",
     "create_explainer",
     "available_explainers",
+    "delta_to_dict",
+    "delta_from_dict",
+    "delta_schema",
     "view_to_dict",
     "view_from_dict",
     "view_set_to_dict",
@@ -80,4 +92,6 @@ __all__ = [
     "ServiceQuery",
     "create_server",
     "serve",
+    "ReplicaService",
+    "view_signature",
 ]

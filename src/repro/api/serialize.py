@@ -33,10 +33,15 @@ from typing import Any
 from repro.api.types import SCHEMA_VERSION, ExplanationResult, Provenance
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
 from repro.exceptions import ExplanationError
+from repro.graphs.database import DatabaseDelta
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
 
 __all__ = [
+    "DELTA_KIND",
+    "delta_to_dict",
+    "delta_from_dict",
+    "delta_schema",
     "subgraph_to_dict",
     "subgraph_from_dict",
     "view_to_dict",
@@ -51,6 +56,93 @@ __all__ = [
     "validate_against_schema",
     "views_equal",
 ]
+
+
+# ----------------------------------------------------------------------
+# database deltas (the WAL / replication wire format)
+# ----------------------------------------------------------------------
+#: ``kind`` tag of a serialised :class:`~repro.graphs.database.DatabaseDelta`.
+DELTA_KIND = "database_delta"
+
+
+def delta_to_dict(delta: DatabaseDelta) -> dict[str, Any]:
+    """Lossless envelope form of one database delta.
+
+    This is the single wire/disk format shared by the write-ahead log, the
+    ``/v1/deltas`` replication endpoint, and the replica client: the same
+    ``schema_version`` + ``kind`` envelope as explanation artifacts, with the
+    affected graph embedded for adds and removals so a consumer can apply the
+    mutation with no other state at hand.
+    """
+    return _envelope(
+        DELTA_KIND,
+        {
+            "kind": delta.kind,
+            "graph_id": delta.graph_id,
+            "version": delta.version,
+            "label": delta.label,
+            "old_label": delta.old_label,
+            "graph": None if delta.graph is None else delta.graph.to_dict(),
+        },
+    )
+
+
+def delta_from_dict(envelope: dict[str, Any]) -> DatabaseDelta:
+    """Inverse of :func:`delta_to_dict` (envelope- and version-checked)."""
+    version = envelope.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ExplanationError(
+            f"unsupported delta schema version {version!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    if envelope.get("kind") != DELTA_KIND:
+        raise ExplanationError(
+            f"expected a {DELTA_KIND!r} envelope, got kind {envelope.get('kind')!r}"
+        )
+    payload = envelope.get("payload")
+    if not isinstance(payload, dict):
+        raise ExplanationError("delta envelope has no payload object")
+    graph_payload = payload.get("graph")
+    return DatabaseDelta(
+        kind=payload["kind"],
+        graph_id=payload.get("graph_id"),
+        version=payload["version"],
+        label=payload.get("label"),
+        old_label=payload.get("old_label"),
+        graph=None if graph_payload is None else Graph.from_dict(graph_payload),
+    )
+
+
+def delta_schema() -> dict[str, Any]:
+    """JSON schema of serialised database deltas (the replication format)."""
+    graph_schema = explanation_schema()["definitions"]["graph"]
+    return {
+        "$schema": "http://json-schema.org/draft-07/schema#",
+        "title": "repro database delta",
+        "description": (
+            "Envelope for one serialised GraphDatabase mutation — the record "
+            "format of the write-ahead log and the /v1/deltas replication "
+            "stream."
+        ),
+        "type": "object",
+        "required": ["schema_version", "kind", "payload"],
+        "properties": {
+            "schema_version": {"type": "integer", "enum": [SCHEMA_VERSION]},
+            "kind": {"type": "string", "enum": [DELTA_KIND]},
+            "payload": {
+                "type": "object",
+                "required": ["kind", "version"],
+                "properties": {
+                    "kind": {"type": "string", "enum": ["add", "remove", "relabel"]},
+                    "graph_id": {"type": ["integer", "null"]},
+                    "version": {"type": "integer"},
+                    "label": {"type": ["integer", "null"]},
+                    "old_label": {"type": ["integer", "null"]},
+                    "graph": {"anyOf": [graph_schema, {"type": "null"}]},
+                },
+            },
+        },
+    }
 
 
 # ----------------------------------------------------------------------

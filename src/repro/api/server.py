@@ -2,24 +2,43 @@
 
 A thin request/response shim — all real work happens in
 :class:`~repro.api.service.ExplanationService` — so the wire format is
-exactly the serialisation layer's schema (``GET /schema`` publishes it).
+exactly the serialisation layer's schema (``GET /v1/schema`` publishes it).
 
-Endpoints
----------
-* ``GET  /health``              — service stats (dataset, accuracy, cache);
-* ``GET  /algorithms``          — names accepted by ``create_explainer``;
-* ``GET  /schema``              — the explanation-artifact JSON schema;
-* ``POST /explain``             — body ``{"algorithm", "label", "max_nodes",
-  "limit", "graph_ids"}`` → a serialised explanation result envelope;
-* ``POST /ingest``              — live database mutations: body
+Endpoints (canonical, versioned under ``/v1``)
+----------------------------------------------
+* ``GET  /v1/health``              — service stats + ``api_version`` +
+  database version;
+* ``GET  /v1/algorithms``          — names accepted by ``create_explainer``;
+* ``GET  /v1/schema``              — the explanation-artifact JSON schema;
+* ``POST /v1/explain``             — body ``{"algorithm", "label",
+  "max_nodes", "limit", "graph_ids"}`` → a serialised explanation result
+  envelope;
+* ``POST /v1/ingest``              — live database mutations: body
   ``{"graph": {...}, "label"}`` adds a graph (streamed through the live
   view maintainer — no recompute), ``{"op": "remove", "graph_id"}`` removes
   one, ``{"op": "relabel", "graph_id", "label"}`` relabels one; returns the
   mutation summary (stable graph id, database version, refreshed labels);
-* ``GET  /views``               — provenance of every stored view;
-* ``GET  /query/summary``       — per-label view summary;
-* ``GET  /query/graph/<id>``    — stored witness subgraph for one graph;
-* ``GET  /query/label/<label>`` — patterns + metric report for one label.
+* ``GET  /v1/views``               — provenance of every stored view;
+* ``GET  /v1/query/summary``       — per-label view summary;
+* ``GET  /v1/query/graph/<id>``    — stored witness subgraph for one graph;
+* ``GET  /v1/query/label/<label>`` — patterns + metric report for one label;
+* ``GET  /v1/deltas?since=<v>``    — the replication stream: serialised
+  database deltas after version ``v`` (in-memory log when fresh, WAL
+  segments when the bounded log dropped entries); answers **410 Gone** with
+  ``{"resync": true}`` when neither tier covers the range — the replica
+  must re-bootstrap;
+* ``GET  /v1/replica/bootstrap``   — full snapshot (database + model
+  weights + config) for a replica's initial sync;
+* ``GET  /v1/live``                — semantic signature of every live
+  maintained view (what ``repro replicate`` diffs against its primary).
+
+Unversioned paths remain as **deprecated aliases**: they answer normally
+but carry a ``Deprecation: true`` response header and a ``Link``
+header pointing at the ``/v1`` successor.
+
+``create_server(..., read_only=True)`` builds a replica-facing server that
+rejects mutations (``POST /v1/ingest`` → 403) while keeping every read
+endpoint live.
 
 Built on :class:`http.server.ThreadingHTTPServer` (no third-party
 dependency), which is sufficient for the explanation workloads this repo
@@ -32,13 +51,17 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 from repro.api.registry import available_explainers
 from repro.api.serialize import explanation_schema, result_to_dict
 from repro.api.service import ExplanationService
-from repro.exceptions import ReproError
+from repro.exceptions import ReplicationGapError, ReproError
 
-__all__ = ["create_server", "serve"]
+__all__ = ["API_VERSION", "create_server", "serve"]
+
+#: Version tag of the canonical REST surface (the ``/v1`` route prefix).
+API_VERSION = "v1"
 
 
 class _ExplanationRequestHandler(BaseHTTPRequestHandler):
@@ -47,6 +70,7 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
     # Installed by create_server on the generated subclass.
     service: ExplanationService = None  # type: ignore[assignment]
     quiet: bool = True
+    read_only: bool = False
 
     # ------------------------------------------------------------------
     # plumbing
@@ -55,16 +79,40 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
         if not self.quiet:
             super().log_message(format, *args)
 
+    def _resolve_path(self) -> tuple[str, dict[str, list[str]]]:
+        """Split the request into a canonical path + query params.
+
+        Strips the ``/v1`` prefix to the canonical route; an unversioned
+        path marks the response as deprecated (``Deprecation`` + ``Link``
+        headers on the way out).
+        """
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/"
+        prefix = f"/{API_VERSION}"
+        if path == prefix or path.startswith(prefix + "/"):
+            self._deprecated_alias = False
+            path = path[len(prefix) :] or "/"
+        else:
+            self._deprecated_alias = True
+        self._canonical_path = path
+        return path, parse_qs(parts.query)
+
     def _send_json(self, payload: Any, status: int = 200) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if getattr(self, "_deprecated_alias", False):
+            # RFC 8594-style deprecation signalling on the legacy aliases:
+            # same behaviour, plus a pointer at the canonical /v1 route.
+            self.send_header("Deprecation", "true")
+            successor = f"/{API_VERSION}{self._canonical_path}"
+            self.send_header("Link", f'<{successor}>; rel="successor-version"')
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, message: str, status: int = 400) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error(self, message: str, status: int = 400, **extra: Any) -> None:
+        self._send_json({"error": message, **extra}, status=status)
 
     def _read_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -81,7 +129,12 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server contract)
         try:
-            self._route_get(self.path.rstrip("/") or "/")
+            path, query = self._resolve_path()
+            self._route_get(path, query)
+        except ReplicationGapError as error:
+            # 410 Gone: the requested delta range is no longer retained.
+            # The replica must fall back to a full snapshot re-sync.
+            self._send_error(str(error), status=410, resync=True)
         except ReproError as error:
             self._send_error(str(error), status=404)
         except (ValueError, TypeError) as error:
@@ -92,19 +145,46 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server contract)
         try:
-            self._route_post(self.path.rstrip("/") or "/")
+            path, _query = self._resolve_path()
+            self._route_post(path)
         except (ValueError, TypeError, ReproError) as error:
             self._send_error(str(error), status=400)
         except Exception as error:  # pragma: no cover - defensive
             self._send_error(f"internal error: {error}", status=500)
 
-    def _route_get(self, path: str) -> None:
+    def _route_get(self, path: str, query: dict[str, list[str]]) -> None:
         if path == "/health":
-            self._send_json({"status": "ok", **self.service.stats()})
+            self._send_json(
+                {
+                    "status": "ok",
+                    "api_version": API_VERSION,
+                    "read_only": self.read_only,
+                    **self.service.stats(),
+                }
+            )
         elif path == "/algorithms":
             self._send_json({"algorithms": available_explainers()})
         elif path == "/schema":
             self._send_json(explanation_schema())
+        elif path == "/deltas":
+            raw = (query.get("since") or [None])[0]
+            if raw is None:
+                raise ValueError("/deltas needs a 'since=<version>' query parameter")
+            self._send_json(self.service.delta_feed(int(raw)))
+        elif path == "/replica/bootstrap":
+            self._send_json(self.service.replication_snapshot())
+        elif path == "/live":
+            from repro.api.replication import view_signature
+
+            views = self.service.live_views()
+            self._send_json(
+                {
+                    "version": self.service.database.version,
+                    "signatures": {
+                        str(view.label): view_signature(view) for view in views
+                    },
+                }
+            )
         elif path == "/views":
             self._send_json(
                 {
@@ -127,12 +207,12 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
             self._send_json({"graph_id": graph_id, "witness": witness})
         elif path.startswith("/query/label/"):
             label = int(path.rsplit("/", 1)[1])
-            query = self.service.query()
+            query_facade = self.service.query()
             self._send_json(
                 {
                     "label": label,
-                    "patterns": [pattern.to_dict() for pattern in query.patterns(label)],
-                    "report": query.report(label),
+                    "patterns": [pattern.to_dict() for pattern in query_facade.patterns(label)],
+                    "report": query_facade.report(label),
                 }
             )
         else:
@@ -140,6 +220,13 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
 
     def _route_post(self, path: str) -> None:
         if path == "/ingest":
+            if self.read_only:
+                self._send_error(
+                    "this server is a read-only replica; mutate through the "
+                    "primary instead",
+                    status=403,
+                )
+                return
             self._route_ingest()
             return
         if path != "/explain":
@@ -222,18 +309,20 @@ def create_server(
     port: int = 8000,
     *,
     quiet: bool = True,
+    read_only: bool = False,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) an HTTP server bound to a service.
 
     ``port=0`` picks a free port — the bound address is available as
-    ``server.server_address``.  Callers own the lifecycle: run
-    ``serve_forever()`` (optionally on a thread) and ``shutdown()`` when
-    done.
+    ``server.server_address``.  ``read_only=True`` builds the replica-facing
+    variant: every read endpoint stays live, mutations are refused with 403.
+    Callers own the lifecycle: run ``serve_forever()`` (optionally on a
+    thread) and ``shutdown()`` when done.
     """
     handler = type(
         "BoundExplanationRequestHandler",
         (_ExplanationRequestHandler,),
-        {"service": service, "quiet": quiet},
+        {"service": service, "quiet": quiet, "read_only": read_only},
     )
     return ThreadingHTTPServer((host, port), handler)
 
@@ -244,11 +333,13 @@ def serve(
     port: int = 8000,
     *,
     quiet: bool = False,
+    read_only: bool = False,
 ) -> None:
     """Blocking convenience wrapper: create a server and run it until ^C."""
-    server = create_server(service, host, port, quiet=quiet)
+    server = create_server(service, host, port, quiet=quiet, read_only=read_only)
     bound_host, bound_port = server.server_address[:2]
-    print(f"repro serve: listening on http://{bound_host}:{bound_port}")
+    role = "replica (read-only)" if read_only else "primary"
+    print(f"repro serve: {role} listening on http://{bound_host}:{bound_port}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -30,12 +30,18 @@ from typing import Any
 import numpy as np
 
 from repro.api.registry import DEFAULT_REGISTRY, create_explainer
-from repro.api.serialize import load_artifact, save_artifact
-from repro.api.types import ExplainRequest, ExplanationResult, Provenance
+from repro.api.serialize import delta_from_dict, delta_to_dict, load_artifact, save_artifact
+from repro.api.types import SCHEMA_VERSION, ExplainRequest, ExplanationResult, Provenance
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationViewSet
 from repro.core.maintenance import DEFAULT_STREAM_BATCH_SIZE, ViewMaintainer
-from repro.exceptions import ExplanationError
+from repro.core.wal import WriteAheadLog
+from repro.exceptions import (
+    DatasetError,
+    ExplanationError,
+    ReplicationGapError,
+    WALError,
+)
 from repro.graphs.database import DatabaseDelta, GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_enabled
@@ -88,6 +94,14 @@ class ExplanationService:
         :meth:`ingest` / :meth:`remove` / :meth:`relabel` instead of being
         recomputed, and the maintainer state is snapshotted into the view
         store for warm restarts.
+    wal_dir / wal_sync:
+        Attach a :class:`~repro.core.wal.WriteAheadLog` in ``wal_dir``:
+        every mutation is durably appended to the log *before* the mutating
+        call returns, and at construction any log tail beyond the adopted
+        database's version is replayed into it (crash recovery — combined
+        with a ``cache_dir`` the maintainer resumes from its last snapshot
+        and streams only the replayed graphs).  ``wal_sync=False`` skips the
+        per-append fsync (benchmarks only).
     epochs / seed / num_graphs / hidden_dim:
         Training knobs forwarded to the experiment context on the train
         path.
@@ -103,6 +117,8 @@ class ExplanationService:
         cache_size: int = 64,
         cache_dir: str | Path | None = None,
         live_views: bool = False,
+        wal_dir: str | Path | None = None,
+        wal_sync: bool = True,
         epochs: int = 40,
         seed: int = 7,
         num_graphs: int | None = None,
@@ -184,8 +200,158 @@ class ExplanationService:
         # e.g. the in-process experiment-context cache).
         self._delta_hook = _WeakDeltaHook(self, self.database)
         self.database.subscribe(self._delta_hook)
+        # Durability: the WAL opens (and replays its tail into the adopted
+        # database) *after* the delta hook is subscribed — replayed deltas
+        # go through the same bookkeeping as live ones — and *before* live
+        # views attach, so a maintainer snapshot restore already sees the
+        # recovered database and streams exactly the replayed graphs.
+        self._wal: WriteAheadLog | None = None
+        self._wal_replaying = False
+        self._wal_replayed = 0
+        if wal_dir is not None:
+            self._open_wal(wal_dir, sync=wal_sync)
         if live_views:
             self.enable_live_views()
+
+    # ------------------------------------------------------------------
+    # durability (write-ahead log)
+    # ------------------------------------------------------------------
+    def _open_wal(self, wal_dir: str | Path, *, sync: bool) -> None:
+        """Open (or resume) the WAL and replay any tail beyond the database.
+
+        Three cases:
+
+        * fresh directory — the log starts at the database's current
+          version; nothing to replay;
+        * existing log whose head matches a *stale* database (the crash
+          case: the process died after acknowledging writes the snapshot
+          path never saw) — the tail is replayed through
+          :meth:`GraphDatabase.apply_delta`, firing the normal subscription
+          hooks;
+        * inconsistent pairings (database ahead of the log, or older than
+          the log's retained history) — refused loudly: silently adopting
+          either side would acknowledge-then-lose writes.
+        """
+        wal = WriteAheadLog(wal_dir, base_version=self.database.version, sync=sync)
+        if self.database.version < wal.base_version:
+            wal.close()
+            raise ExplanationError(
+                f"cannot attach WAL at {wal_dir}: the database is at version "
+                f"{self.database.version} but the log's history starts at "
+                f"{wal.base_version} — recover from a newer database snapshot"
+            )
+        if self.database.version > wal.last_version:
+            wal.close()
+            raise ExplanationError(
+                f"cannot attach WAL at {wal_dir}: the database is at version "
+                f"{self.database.version} but the log ends at "
+                f"{wal.last_version} — this log belongs to an older state of "
+                "the database (acknowledged writes would be missing from it)"
+            )
+        self._wal = wal
+        if wal.last_version > self.database.version:
+            self._wal_replaying = True
+            try:
+                for payload in wal.payloads_since(self.database.version):
+                    self.database.apply_delta(delta_from_dict(payload))
+                    self._wal_replayed += 1
+            finally:
+                self._wal_replaying = False
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log, when the service is durable."""
+        return self._wal
+
+    # ------------------------------------------------------------------
+    # replication (primary side)
+    # ------------------------------------------------------------------
+    def delta_feed(self, since: int) -> dict[str, Any]:
+        """Serialised deltas after ``since`` — the ``/v1/deltas`` payload.
+
+        Served from the database's in-memory log when it still covers the
+        range, falling back to the WAL's segments when the bounded log has
+        dropped entries.  Raises
+        :class:`~repro.exceptions.ReplicationGapError` when neither can
+        cover it — the replica must re-sync from a full snapshot.
+        """
+        with self._lock:
+            version = self.database.version
+            if since > version:
+                raise ReplicationGapError(
+                    f"replica claims version {since} but the primary is at "
+                    f"{version}; the replica followed a different history and "
+                    "must re-sync from a snapshot"
+                )
+            try:
+                deltas = self.database.deltas_since(since)
+                return {
+                    "since": since,
+                    "version": version,
+                    "source": "memory",
+                    "deltas": [delta_to_dict(delta) for delta in deltas],
+                }
+            except DatasetError:
+                pass  # bounded log truncated — try the durable tier
+            if self._wal is not None:
+                try:
+                    payloads = self._wal.payloads_since(since)
+                except WALError as error:
+                    raise ReplicationGapError(
+                        f"cannot serve deltas since version {since}: {error}"
+                    ) from error
+                return {
+                    "since": since,
+                    "version": version,
+                    "source": "wal",
+                    "deltas": payloads,
+                }
+            raise ReplicationGapError(
+                f"cannot serve deltas since version {since}: the in-memory "
+                f"log has dropped that range and no write-ahead log is "
+                "attached; re-sync from a snapshot"
+            )
+
+    def replication_snapshot(self) -> dict[str, Any]:
+        """Full bootstrap payload for a replica (database + model + config).
+
+        Everything a :class:`~repro.api.replication.ReplicaService` needs to
+        reconstruct an identical service: the database contents, the trained
+        model's architecture and exact weights (JSON round-trips doubles
+        losslessly), the configuration, and the maintainer parameters when
+        live views are enabled.
+        """
+        with self._lock:
+            model = self.model
+            maintainer = None
+            if self._maintainer is not None:
+                maintainer = {
+                    "batch_size": self._maintainer.processor.batch_size,
+                    "label_source": self._maintainer.label_source,
+                }
+            return {
+                "schema_version": SCHEMA_VERSION,
+                "kind": "replica_bootstrap",
+                "version": self.database.version,
+                "dataset": self.dataset,
+                "database": self.database.to_dict(),
+                "model": {
+                    "spec": {
+                        "feature_dim": model.feature_dim,
+                        "num_classes": model.num_classes,
+                        "hidden_dim": model.hidden_dim,
+                        "num_layers": model.num_layers,
+                        "conv": model.conv,
+                        "pooling": model.pooling_name,
+                    },
+                    "weights": [
+                        {name: array.tolist() for name, array in layer.items()}
+                        for layer in model.get_weights()
+                    ],
+                },
+                "config": self.config.canonical_dict(),
+                "maintainer": maintainer,
+            }
 
     # ------------------------------------------------------------------
     # the explain surface
@@ -553,6 +719,9 @@ class ExplanationService:
                 self._persist_maintainer()
                 self._maintainer.detach()
                 self._maintainer = None
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
             self._closed = True
 
     def _ensure_open(self) -> None:
@@ -577,6 +746,16 @@ class ExplanationService:
             "backend": "sparse" if sparse_enabled() else "legacy",
             "cache": self.store.stats(),
             "maintainer": self._maintainer.stats() if self._maintainer else None,
+            "wal": (
+                {
+                    "base_version": self._wal.base_version,
+                    "last_version": self._wal.last_version,
+                    "segments": self._wal.num_segments,
+                    "replayed_on_open": self._wal_replayed,
+                }
+                if self._wal is not None
+                else None
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -643,7 +822,15 @@ class ExplanationService:
         live maintainer.
         """
         with self._lock:
-            # Cache-key bookkeeping first: it must happen even when the
+            # Durability first: the delta reaches the fsync'd log before any
+            # in-process bookkeeping consumes it.  An append failure
+            # propagates to the mutating caller with the in-memory state one
+            # mutation ahead of the log — the service refuses to limp along
+            # half-durable, matching the loud-failure contract of _open_wal.
+            # Replayed deltas are already in the log and skip the append.
+            if self._wal is not None and not self._wal_replaying:
+                self._wal.append(delta_to_dict(delta), delta.version)
+            # Cache-key bookkeeping next: it must happen even when the
             # later model work fails (a direct database.add_graph of an
             # unclassifiable graph), or stale pre-mutation views would keep
             # being served for the grown database.

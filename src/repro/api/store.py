@@ -19,6 +19,7 @@ a view computed under different parameters *or by a different model*.
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from pathlib import Path
@@ -28,6 +29,7 @@ from repro.api.serialize import load_artifact, save_artifact
 from repro.api.types import ExplanationResult
 from repro.exceptions import ExplanationError
 from repro.graphs.graph import Graph
+from repro.graphs.io import fsync_directory
 
 __all__ = ["ViewStore"]
 
@@ -132,11 +134,18 @@ class ViewStore:
             self._snapshots[key] = payload
             path = self._snapshot_path(key)
             if path is not None:
-                # Atomic replace: a crash mid-write must never leave a
-                # truncated snapshot that poisons every later restart.
+                # Atomic + durable replace: a crash mid-write must never
+                # leave a truncated snapshot that poisons every later
+                # restart, and a published snapshot must survive power loss
+                # (WAL recovery replays on top of whatever snapshot the
+                # directory durably holds).
                 tmp = path.with_suffix(".tmp")
-                tmp.write_text(json.dumps(payload))
+                with tmp.open("w", encoding="utf-8") as handle:
+                    handle.write(json.dumps(payload))
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 tmp.replace(path)
+                fsync_directory(path.parent)
 
     def get_snapshot(self, key: str) -> dict[str, Any] | None:
         """Fetch a snapshot by key (memory first, then the spill directory)."""

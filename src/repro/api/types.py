@@ -17,6 +17,13 @@ one request → result contract:
   satisfies.  ``ApproxGVEX`` and ``StreamGVEX`` conform natively; the
   instance-level baselines conform through
   :class:`~repro.api.registry.InstanceViewExplainer`.
+
+``SCHEMA_VERSION`` stamps every wire envelope ``repro.api.serialize``
+emits — view/result artifacts *and* the durability formats that reuse the
+same versioning: the ``database_delta`` envelope shared by the write-ahead
+log and ``GET /v1/deltas``, and the ``replica_bootstrap`` snapshot.  Bump
+it whenever any of those payload shapes changes incompatibly; the golden
+files under ``tests/data/`` pin the current shapes.
 """
 
 from __future__ import annotations

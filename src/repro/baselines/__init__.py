@@ -1,12 +1,33 @@
-"""Competitor explainers (Table 1 of the paper) and GVEX adapters."""
+"""Competitor explainers (Table 1 of the paper) and GVEX adapters.
 
-from repro.baselines.base import BaseExplainer
-from repro.baselines.gcfexplainer import GCFExplainerBaseline, GlobalCounterfactualSummary
-from repro.baselines.gnnexplainer import GNNExplainerBaseline
-from repro.baselines.gstarx import GStarXBaseline
-from repro.baselines.gvex_adapter import ApproxGVEXAdapter, StreamGVEXAdapter
-from repro.baselines.random_explainer import RandomExplainer
-from repro.baselines.subgraphx import SubgraphXBaseline
+Importing the explainer classes from this package is deprecated — each
+access emits :class:`DeprecationWarning`.  New code obtains every baseline
+through the registry (``repro.api.create_explainer("gnnexplainer")`` …),
+which wraps them in the uniform :class:`~repro.api.types.Explainer`
+surface; code that genuinely needs the raw classes imports them from the
+concrete modules (``repro.baselines.gnnexplainer`` …), which stay silent.
+
+Importing this package still registers every baseline with the default
+registry (the ``BaseExplainer.__init_subclass__`` hook fires on module
+import), so ``create_explainer`` keeps working unchanged.
+"""
+
+# The underscore aliases keep the submodule imports (and with them the
+# registry-registration side effect) eager while leaving the public class
+# names to the deprecating __getattr__ below.
+from repro.baselines.base import BaseExplainer as _BaseExplainer
+from repro.baselines.gcfexplainer import (
+    GCFExplainerBaseline as _GCFExplainerBaseline,
+    GlobalCounterfactualSummary as _GlobalCounterfactualSummary,
+)
+from repro.baselines.gnnexplainer import GNNExplainerBaseline as _GNNExplainerBaseline
+from repro.baselines.gstarx import GStarXBaseline as _GStarXBaseline
+from repro.baselines.gvex_adapter import (
+    ApproxGVEXAdapter as _ApproxGVEXAdapter,
+    StreamGVEXAdapter as _StreamGVEXAdapter,
+)
+from repro.baselines.random_explainer import RandomExplainer as _RandomExplainer
+from repro.baselines.subgraphx import SubgraphXBaseline as _SubgraphXBaseline
 
 __all__ = [
     "BaseExplainer",
@@ -19,6 +40,35 @@ __all__ = [
     "ApproxGVEXAdapter",
     "StreamGVEXAdapter",
 ]
+
+_DEPRECATED: dict[str, tuple[object, str]] = {
+    "BaseExplainer": (_BaseExplainer, "repro.baselines.base"),
+    "GNNExplainerBaseline": (_GNNExplainerBaseline, "repro.baselines.gnnexplainer"),
+    "SubgraphXBaseline": (_SubgraphXBaseline, "repro.baselines.subgraphx"),
+    "GStarXBaseline": (_GStarXBaseline, "repro.baselines.gstarx"),
+    "GCFExplainerBaseline": (_GCFExplainerBaseline, "repro.baselines.gcfexplainer"),
+    "GlobalCounterfactualSummary": (_GlobalCounterfactualSummary, "repro.baselines.gcfexplainer"),
+    "RandomExplainer": (_RandomExplainer, "repro.baselines.random_explainer"),
+    "ApproxGVEXAdapter": (_ApproxGVEXAdapter, "repro.baselines.gvex_adapter"),
+    "StreamGVEXAdapter": (_StreamGVEXAdapter, "repro.baselines.gvex_adapter"),
+}
+
+
+def __getattr__(name: str) -> object:
+    try:
+        obj, module = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import warnings
+
+    warnings.warn(
+        f"repro.baselines.{name} is deprecated; use repro.api.create_explainer(...) "
+        f"(or, for the raw class, import it from {module})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return obj
+
 
 # Capability matrix reproduced from Table 1 of the paper, used by the
 # table-1 benchmark and the documentation.

@@ -14,8 +14,12 @@ The CLI is a thin shell over the :mod:`repro.api` service layer:
 * ``ingest --dataset MUT --graph g.json`` — mutate the live database (add /
   remove / relabel a graph) and repair the explanation views incrementally
   through the view maintainer (``--cache-dir`` makes the maintained state
-  survive across invocations);
-* ``serve --dataset MUT``   — run the JSON/HTTP explanation endpoint;
+  survive across invocations; ``--wal-dir`` makes the mutations themselves
+  durable through the write-ahead log);
+* ``serve --dataset MUT``   — run the JSON/HTTP explanation endpoint
+  (canonical routes under ``/v1``; ``--wal-dir`` serves a durable primary);
+* ``replicate --primary URL`` — tail a primary's ``/v1/deltas`` stream into
+  local read-only live views (optionally re-served with ``--serve``);
 * ``schema``                — print the serialised-view JSON schema;
 * ``compare --dataset MUT`` — run the explainer comparison (Fig. 5/6 rows);
 * ``table1`` / ``table3``   — print the paper's tables.
@@ -116,6 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None,
         help="spill directory: maintained state snapshots here and warm-restarts",
     )
+    ingest.add_argument(
+        "--wal-dir", default=None,
+        help="write-ahead log directory: mutations are durably logged and "
+        "replayed on the next invocation (replaces the JSONL database dump)",
+    )
     ingest.add_argument("--json", action="store_true", help="emit the summary as JSON")
 
     serve = subparsers.add_parser("serve", help="run the JSON/HTTP explanation endpoint")
@@ -125,10 +134,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--epochs", type=int, default=40)
     serve.add_argument("--cache-dir", default=None, help="spill directory for the view cache")
     serve.add_argument(
+        "--wal-dir", default=None,
+        help="write-ahead log directory: every /v1/ingest mutation is durable "
+        "and replayed on restart (the primary of a primary/replica pair)",
+    )
+    serve.add_argument(
         "--smoke",
         action="store_true",
         help="start, run one explain round-trip against the live server, exit",
     )
+
+    replicate = subparsers.add_parser(
+        "replicate", help="tail a primary's /v1/deltas stream into local live views"
+    )
+    replicate.add_argument(
+        "--primary", required=True, metavar="URL",
+        help="base URL of the primary, e.g. http://127.0.0.1:8000",
+    )
+    replicate.add_argument(
+        "--once", action="store_true",
+        help="bootstrap, apply one round of deltas, print the state, exit",
+    )
+    replicate.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between polling rounds (default: 1.0)",
+    )
+    replicate.add_argument(
+        "--serve", action="store_true",
+        help="also serve the mirrored views over a read-only HTTP endpoint",
+    )
+    replicate.add_argument("--host", default="127.0.0.1")
+    replicate.add_argument("--port", type=int, default=8001)
+    replicate.add_argument("--json", action="store_true", help="emit the state as JSON")
 
     compare = subparsers.add_parser("compare", help="compare explainers (Fig. 5/6 rows)")
     compare.add_argument("--dataset", default="MUT")
@@ -268,6 +305,36 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _durable_service(
+    dataset: str,
+    *,
+    epochs: int,
+    cache_dir: str | None,
+    wal_dir: str,
+    live_views: bool,
+) -> ExplanationService:
+    """A WAL-backed service over the deterministically prepared context.
+
+    The context database is copied before adoption: ``prepare_context``
+    memoises its result in-process, and WAL replay mutates the database it
+    is handed — replaying into the shared cached instance would corrupt
+    every later consumer of the same context.
+    """
+    from repro.experiments import prepare_context
+    from repro.graphs import GraphDatabase
+
+    context = prepare_context(dataset, epochs=epochs)
+    database = GraphDatabase.from_dict(context.database.to_dict())
+    return ExplanationService(
+        dataset,
+        database=database,
+        model=context.model,
+        cache_dir=cache_dir,
+        live_views=live_views,
+        wal_dir=wal_dir,
+    )
+
+
 def _command_ingest(args: argparse.Namespace) -> int:
     ops = [args.graph is not None, args.remove is not None, args.relabel is not None]
     if sum(ops) != 1:
@@ -285,17 +352,25 @@ def _command_ingest(args: argparse.Namespace) -> int:
 
     from repro.exceptions import ReproError
 
-    # With --cache-dir the mutated database itself is durable: it streams
-    # to <cache-dir>/<dataset>-database.jsonl after every invocation and is
+    # Two durability modes.  With --wal-dir every mutation is appended to
+    # the write-ahead log before it is acknowledged and replayed on the
+    # next invocation — the JSONL database dump below is skipped (keeping
+    # both would apply every mutation twice on restart).  With only
+    # --cache-dir the mutated database streams to
+    # <cache-dir>/<dataset>-database.jsonl after every invocation and is
     # reloaded (adopt path, same deterministically retrained model) on the
-    # next one — so adds/removals/relabels survive across runs, alongside
-    # the maintainer snapshot.
+    # next one.  Both modes persist the maintainer snapshot via --cache-dir.
     db_path = (
         Path(args.cache_dir) / f"{args.dataset.lower()}-database.jsonl"
-        if args.cache_dir
+        if args.cache_dir and not args.wal_dir
         else None
     )
-    if db_path is not None and db_path.is_file():
+    if args.wal_dir:
+        service = _durable_service(
+            args.dataset, epochs=args.epochs, cache_dir=args.cache_dir,
+            wal_dir=args.wal_dir, live_views=True,
+        )
+    elif db_path is not None and db_path.is_file():
         from repro.experiments import prepare_context
         from repro.graphs import GraphDatabase
 
@@ -357,9 +432,15 @@ def _command_ingest(args: argparse.Namespace) -> int:
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.api.server import create_server, serve
 
-    service = ExplanationService(
-        args.dataset, epochs=args.epochs, cache_dir=args.cache_dir
-    )
+    if args.wal_dir:
+        service = _durable_service(
+            args.dataset, epochs=args.epochs, cache_dir=args.cache_dir,
+            wal_dir=args.wal_dir, live_views=False,
+        )
+    else:
+        service = ExplanationService(
+            args.dataset, epochs=args.epochs, cache_dir=args.cache_dir
+        )
     if not args.smoke:
         serve(service, host=args.host, port=args.port)
         return 0
@@ -375,7 +456,7 @@ def _command_serve(args: argparse.Namespace) -> int:
     thread.start()
     try:
         request = urllib.request.Request(
-            f"http://{host}:{port}/explain",
+            f"http://{host}:{port}/v1/explain",
             data=json.dumps({"algorithm": "approx", "max_nodes": 6, "limit": 3}).encode(),
             headers={"Content-Type": "application/json"},
         )
@@ -387,6 +468,65 @@ def _command_serve(args: argparse.Namespace) -> int:
         server.server_close()
         thread.join(timeout=5)
     return 0
+
+
+def _command_replicate(args: argparse.Namespace) -> int:
+    from repro.api.replication import ReplicaService
+    from repro.api.server import create_server
+    from repro.exceptions import ReplicationError
+
+    try:
+        replica = ReplicaService(args.primary, poll_interval=args.interval)
+    except ReplicationError as error:
+        print(json.dumps({"error": str(error)}))
+        return 1
+
+    server = thread = None
+    if args.serve:
+        import threading
+
+        server = create_server(
+            replica.service, host=args.host, port=args.port, read_only=True
+        )
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        if not args.json:
+            print(f"replica (read-only) on http://{host}:{port}/v1/  — Ctrl-C stops")
+    try:
+        if args.once:
+            summary = replica.sync_once()
+            state = {
+                "sync": summary,
+                "stats": replica.stats(),
+                "signatures": {
+                    str(label): digest
+                    for label, digest in replica.view_signatures().items()
+                },
+            }
+            if args.json:
+                print(json.dumps(state, indent=2, sort_keys=True))
+            else:
+                print(f"replica at version {replica.version} "
+                      f"({state['stats']['num_graphs']} graphs, "
+                      f"{summary['applied']} deltas this round)")
+                for label, digest in sorted(state["signatures"].items()):
+                    print(f"  view label {label}: {digest}")
+            return 0
+        replica.run()
+        return 0
+    except KeyboardInterrupt:
+        return 0
+    except ReplicationError as error:
+        print(json.dumps({"error": str(error)}))
+        return 1
+    finally:
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+            if thread is not None:
+                thread.join(timeout=5)
+        replica.close()
 
 
 def _command_compare(args: argparse.Namespace) -> int:
@@ -431,6 +571,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_ingest(args)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "replicate":
+        return _command_replicate(args)
     if args.command == "compare":
         return _command_compare(args)
     raise SystemExit(f"unknown command {args.command!r}")

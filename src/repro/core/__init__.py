@@ -1,6 +1,14 @@
-"""GVEX core: configuration, quality measures, view generation algorithms."""
+"""GVEX core: configuration, quality measures, view generation algorithms.
 
-from repro.core.approx import ApproxGVEX
+The algorithm classes (``ApproxGVEX``, ``StreamGVEX``) and the standalone
+``ViewQueryEngine`` are deprecated as *package-level* re-exports — accessing
+them from here emits :class:`DeprecationWarning`.  New code goes through
+:mod:`repro.api` (``create_explainer`` / ``ExplanationService.query()``);
+code that genuinely needs the classes imports them from their concrete
+modules (:mod:`repro.core.approx`, :mod:`repro.core.streaming`,
+:mod:`repro.core.views`), which stay warning-free.
+"""
+
 from repro.core.caching import LRUCache
 from repro.core.config import Configuration, CoverageBound
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
@@ -8,10 +16,9 @@ from repro.core.maintenance import MaintainedExplanation, NodeStreamProcessor, V
 from repro.core.parallel import merge_views, parallel_explain
 from repro.core.quality import CoverageState, GraphAnalysis, view_explainability
 from repro.core.selection import lazy_greedy_select
-from repro.core.streaming import StreamGVEX
 from repro.core.summarize import SummarizeResult, pattern_weight, summarize_subgraphs
 from repro.core.verification import EVerify, VerificationReport, verify_view
-from repro.core.views import PatternOccurrence, ViewQueryEngine
+from repro.core.views import PatternOccurrence
 
 __all__ = [
     "Configuration",
@@ -40,3 +47,27 @@ __all__ = [
     "ViewQueryEngine",
     "PatternOccurrence",
 ]
+
+# Deprecated package-level re-exports; see the module docstring.
+_DEPRECATED: dict[str, tuple[str, str]] = {
+    "ApproxGVEX": ("repro.core.approx", 'repro.api.create_explainer("approx")'),
+    "StreamGVEX": ("repro.core.streaming", 'repro.api.create_explainer("stream")'),
+    "ViewQueryEngine": ("repro.core.views", "ExplanationService.query()"),
+}
+
+
+def __getattr__(name: str) -> object:
+    try:
+        module, replacement = _DEPRECATED[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"repro.core.{name} is deprecated; use {replacement} "
+        f"(or, for the raw class, import it from {module})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module), name)

@@ -29,6 +29,16 @@ would produce on the resulting database — the incremental path inherits the
 algorithm's 1/4-approximation anytime bound with zero slack.  The A/B
 equivalence is asserted in the tier-1 tests and benchmarked (with a
 regression-guard floor on the speedup) in ``benchmarks/bench_hot_paths.py``.
+
+The same determinism is what makes the maintainer recoverable: replaying a
+delta history — whether from a :class:`~repro.graphs.GraphDatabase` delta
+log, a :class:`~repro.core.wal.WriteAheadLog` tail after a crash, or a
+primary's ``/v1/deltas`` feed on a replica — drives these exact repair
+paths and lands on the same views, which is how
+``ExplanationService(wal_dir=...)`` and ``repro.api.replication`` get their
+identity guarantees.  ``ViewMaintainer.from_snapshot`` restores the row
+state without re-streaming; a WAL replay then only covers the mutations the
+snapshot had not yet absorbed.
 """
 
 from __future__ import annotations

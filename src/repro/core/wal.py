@@ -1,0 +1,414 @@
+"""Durable write-ahead log for :class:`~repro.graphs.database.GraphDatabase` deltas.
+
+PR 5 gave the database a bounded *in-memory* delta log — enough for live view
+maintenance inside one process, but every mutation still dies with the
+process.  This module persists that log: each delta is appended, as one JSONL
+record, to an fsync'd segment file before the caller acknowledges the
+mutation.  Crash recovery then replays the tail of the log on top of the last
+snapshot and arrives at exactly the pre-crash state.
+
+Layout
+------
+A WAL is a directory of segment files::
+
+    wal-000000000000.jsonl
+    wal-000000001024.jsonl
+    ...
+
+The number in the file name is the segment's *base version*: the database
+version immediately before the segment's first record.  A segment opens with
+a header record and then holds one record per delta::
+
+    {"kind": "wal_segment", "schema_version": 1, "base_version": 0}
+    {"kind": "wal_record", "version": 1, "crc": 123456, "delta": {...}}
+    {"kind": "wal_record", "version": 2, "crc": 789012, "delta": {...}}
+
+``delta`` is an opaque payload dict (the ``database_delta`` envelope produced
+by :func:`repro.api.serialize.delta_to_dict` — the WAL itself is
+codec-agnostic and never looks inside).  ``crc`` is the CRC-32 of the
+canonical JSON encoding of the payload, so recovery can tell a torn write
+from a clean record.
+
+Durability rules
+----------------
+* Every append is flushed and ``fsync``'d before :meth:`WriteAheadLog.append`
+  returns (disable per-append fsync with ``sync=False`` when benchmarking).
+* New segments are *published atomically*: the header is written to a
+  ``.tmp`` file, fsync'd, and ``os.replace``'d into place, followed by a
+  directory fsync — a reader never observes a half-written header.
+* On open, a torn record at the very tail of the *last* segment (the
+  signature of a crash mid-append) is tolerated and physically truncated
+  away.  Corruption anywhere else is a hard :class:`~repro.exceptions.WALError`:
+  the log is the source of truth and silently skipping interior records
+  would desynchronise every replica.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import WALError
+from repro.graphs.io import fsync_directory
+
+__all__ = [
+    "WAL_SEGMENT_KIND",
+    "WAL_RECORD_KIND",
+    "WAL_SCHEMA_VERSION",
+    "DEFAULT_SEGMENT_MAX_RECORDS",
+    "payload_crc",
+    "WriteAheadLog",
+]
+
+WAL_SEGMENT_KIND = "wal_segment"
+WAL_RECORD_KIND = "wal_record"
+WAL_SCHEMA_VERSION = 1
+
+#: Records per segment before rotation; small enough that ``payloads_since``
+#: can skip whole files when serving a replica that is nearly caught up.
+DEFAULT_SEGMENT_MAX_RECORDS = 1024
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".jsonl"
+_SEGMENT_DIGITS = 12
+
+
+def payload_crc(payload: dict[str, Any]) -> int:
+    """CRC-32 of the canonical JSON encoding of ``payload``."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _segment_name(base_version: int) -> str:
+    return f"{_SEGMENT_PREFIX}{base_version:0{_SEGMENT_DIGITS}d}{_SEGMENT_SUFFIX}"
+
+
+class _Segment:
+    """Bookkeeping for one on-disk segment file."""
+
+    __slots__ = ("path", "base_version", "num_records")
+
+    def __init__(self, path: Path, base_version: int, num_records: int) -> None:
+        self.path = path
+        self.base_version = base_version
+        self.num_records = num_records
+
+    @property
+    def last_version(self) -> int:
+        return self.base_version + self.num_records
+
+
+class WriteAheadLog:
+    """Append-only, fsync'd, CRC-checked delta log over a directory of segments.
+
+    Parameters
+    ----------
+    directory:
+        WAL directory; created if missing.  If it already holds segments the
+        log resumes from them (``base_version`` is then read from disk and
+        the argument is ignored).
+    base_version:
+        Database version the log starts at when the directory is empty.
+    segment_max_records:
+        Records per segment before rotating to a new file.
+    sync:
+        fsync after every append (the durability guarantee).  ``False``
+        trades crash-safety for speed — useful only for benchmarks/tests.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        base_version: int = 0,
+        segment_max_records: int = DEFAULT_SEGMENT_MAX_RECORDS,
+        sync: bool = True,
+    ) -> None:
+        if segment_max_records < 1:
+            raise WALError("segment_max_records must be >= 1")
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._segment_max_records = int(segment_max_records)
+        self._sync = bool(sync)
+        self._handle = None  # lazily opened append handle for the last segment
+        self._closed = False
+
+        # A crash between writing a .tmp header and the os.replace leaves a
+        # stray temp file; it was never published, so it is safe to drop.
+        for stray in self._directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}.tmp"):
+            stray.unlink()
+
+        self._segments: list[_Segment] = []
+        paths = sorted(self._directory.glob(f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"))
+        for index, path in enumerate(paths):
+            self._segments.append(self._open_segment(path, final=index == len(paths) - 1))
+        for previous, current in zip(self._segments, self._segments[1:]):
+            if current.base_version != previous.last_version:
+                raise WALError(
+                    f"{current.path.name}: segment starts at version "
+                    f"{current.base_version} but {previous.path.name} ends at "
+                    f"{previous.last_version} — the log has a hole"
+                )
+        if not self._segments:
+            self._base_version = int(base_version)
+        else:
+            self._base_version = self._segments[0].base_version
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def base_version(self) -> int:
+        """Version immediately before the first record the log retains."""
+        return self._base_version
+
+    @property
+    def last_version(self) -> int:
+        """Version of the newest record (== ``base_version`` when empty)."""
+        if not self._segments:
+            return self._base_version
+        return self._segments[-1].last_version
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    # ------------------------------------------------------------------
+    # recovery scan
+    # ------------------------------------------------------------------
+    def _open_segment(self, path: Path, *, final: bool) -> _Segment:
+        """Validate one segment, truncating a torn tail on the final one."""
+        name = path.name
+        try:
+            base_version = int(name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)])
+        except ValueError as error:
+            raise WALError(f"{name}: unparseable segment file name") from error
+        data = path.read_bytes()
+
+        offset = 0
+        header_line, header_end = self._next_line(data, 0)
+        if header_line is None:
+            raise WALError(f"{name}: segment has no header record")
+        header = self._decode(header_line, name, "header")
+        if header.get("kind") != WAL_SEGMENT_KIND:
+            raise WALError(f"{name}: first record is not a {WAL_SEGMENT_KIND!r} header")
+        if header.get("schema_version") != WAL_SCHEMA_VERSION:
+            raise WALError(
+                f"{name}: unsupported WAL schema version {header.get('schema_version')!r} "
+                f"(supported: {WAL_SCHEMA_VERSION})"
+            )
+        if header.get("base_version") != base_version:
+            raise WALError(
+                f"{name}: header base_version {header.get('base_version')!r} "
+                f"does not match the file name"
+            )
+        offset = header_end
+
+        num_records = 0
+        while True:
+            line, line_end = self._next_line(data, offset)
+            if line is None:
+                break
+            try:
+                record = self._decode(line, name, f"record {num_records + 1}")
+                self._check_record(record, name, base_version + num_records + 1)
+            except WALError:
+                # Torn tail: a crash mid-append leaves exactly one bad record
+                # at the very end of the last segment.  Anything else —
+                # corruption in an interior record or an older segment — is
+                # unrecoverable without losing acknowledged writes.
+                if final and not self._has_content(data, line_end):
+                    with path.open("r+b") as handle:
+                        handle.truncate(offset)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    break
+                raise
+            num_records += 1
+            offset = line_end
+        return _Segment(path, base_version, num_records)
+
+    @staticmethod
+    def _next_line(data: bytes, offset: int) -> tuple[bytes | None, int]:
+        """Next non-blank line and the offset just past it (None at EOF)."""
+        while offset < len(data):
+            end = data.find(b"\n", offset)
+            if end == -1:
+                line, end = data[offset:], len(data)
+            else:
+                line, end = data[offset:end], end + 1
+            if line.strip():
+                return line, end
+            offset = end
+        return None, offset
+
+    @staticmethod
+    def _has_content(data: bytes, offset: int) -> bool:
+        return bool(data[offset:].strip())
+
+    @staticmethod
+    def _decode(line: bytes, name: str, what: str) -> dict[str, Any]:
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WALError(f"{name}: {what} is not valid JSON: {error}") from error
+        if not isinstance(record, dict):
+            raise WALError(f"{name}: {what} is not a JSON object")
+        return record
+
+    @staticmethod
+    def _check_record(record: dict[str, Any], name: str, expected_version: int) -> None:
+        if record.get("kind") != WAL_RECORD_KIND:
+            raise WALError(f"{name}: expected a {WAL_RECORD_KIND!r} record")
+        version = record.get("version")
+        if version != expected_version:
+            raise WALError(
+                f"{name}: record version {version!r} breaks contiguity "
+                f"(expected {expected_version})"
+            )
+        payload = record.get("delta")
+        if not isinstance(payload, dict):
+            raise WALError(f"{name}: record {version} has no delta payload")
+        if record.get("crc") != payload_crc(payload):
+            raise WALError(f"{name}: record {version} fails its CRC check")
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, payload: dict[str, Any], version: int) -> None:
+        """Durably append one delta payload as the record for ``version``.
+
+        ``version`` must be exactly ``last_version + 1`` — the WAL refuses
+        holes so that replay is always a contiguous prefix-to-tail walk.
+        """
+        if self._closed:
+            raise WALError("write-ahead log is closed")
+        expected = self.last_version + 1
+        if version != expected:
+            raise WALError(
+                f"cannot append version {version}: the log is at "
+                f"{self.last_version} (expected {expected})"
+            )
+        if self._handle is None or self._segments[-1].num_records >= self._segment_max_records:
+            self._rotate(base_version=version - 1)
+        record = {
+            "kind": WAL_RECORD_KIND,
+            "version": version,
+            "crc": payload_crc(payload),
+            "delta": payload,
+        }
+        self._handle.write(json.dumps(record) + "\n")
+        self._handle.flush()
+        if self._sync:
+            os.fsync(self._handle.fileno())
+        self._segments[-1].num_records += 1
+
+    def _rotate(self, *, base_version: int) -> None:
+        """Open a fresh segment (or re-open the existing tail for appending)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        tail = self._segments[-1] if self._segments else None
+        if tail is not None and tail.num_records < self._segment_max_records:
+            # Reopening an existing WAL: keep filling the last segment.
+            self._handle = tail.path.open("a", encoding="utf-8")
+            return
+        path = self._directory / _segment_name(base_version)
+        if path.exists():
+            raise WALError(f"segment {path.name} already exists")
+        tmp = path.with_name(path.name + ".tmp")
+        header = {
+            "kind": WAL_SEGMENT_KIND,
+            "schema_version": WAL_SCHEMA_VERSION,
+            "base_version": base_version,
+        }
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        fsync_directory(self._directory)
+        self._segments.append(_Segment(path, base_version, 0))
+        self._handle = path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def payloads_since(self, version: int) -> list[dict[str, Any]]:
+        """Delta payloads for versions ``version + 1 .. last_version``, in order.
+
+        Raises :class:`WALError` when the log cannot cover the range — the
+        caller asked for history older than ``base_version`` or newer than
+        ``last_version``.
+        """
+        return [payload for _, payload in self.records_since(version)]
+
+    def records_since(self, version: int) -> Iterator[tuple[int, dict[str, Any]]]:
+        """Yield ``(version, payload)`` pairs after ``version``, CRC-checked."""
+        if version < self._base_version:
+            raise WALError(
+                f"cannot serve deltas since version {version}: the log starts "
+                f"at {self._base_version}"
+            )
+        if version > self.last_version:
+            raise WALError(
+                f"cannot serve deltas since version {version}: the log ends "
+                f"at {self.last_version}"
+            )
+        for segment in self._segments:
+            if segment.last_version <= version:
+                continue
+            yield from self._read_segment(segment, version)
+
+    def _read_segment(
+        self, segment: _Segment, since: int
+    ) -> Iterator[tuple[int, dict[str, Any]]]:
+        name = segment.path.name
+        data = segment.path.read_bytes()
+        header_line, offset = self._next_line(data, 0)
+        if header_line is None:  # pragma: no cover - validated on open
+            raise WALError(f"{name}: segment has no header record")
+        expected = segment.base_version + 1
+        emitted = 0
+        while emitted < segment.num_records:
+            line, offset = self._next_line(data, offset)
+            if line is None:
+                raise WALError(
+                    f"{name}: segment lost records since open "
+                    f"(expected {segment.num_records}, found {emitted})"
+                )
+            record = self._decode(line, name, f"record for version {expected}")
+            self._check_record(record, name, expected)
+            if expected > since:
+                yield expected, record["delta"]
+            expected += 1
+            emitted += 1
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog({str(self._directory)!r}, "
+            f"base_version={self._base_version}, last_version={self.last_version}, "
+            f"segments={len(self._segments)})"
+        )

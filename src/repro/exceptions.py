@@ -61,5 +61,22 @@ class MatchingError(ReproError):
     """Raised for invalid pattern matching requests."""
 
 
+class WALError(ReproError):
+    """Raised when the write-ahead log is corrupt or used inconsistently."""
+
+
+class ReplicationError(ReproError):
+    """Raised when a replica cannot follow its primary."""
+
+
+class ReplicationGapError(ReplicationError):
+    """Raised when the delta stream cannot cover the requested range.
+
+    A replica receiving this must fall back to a full snapshot re-sync:
+    neither the primary's bounded in-memory log nor its WAL retains the
+    deltas between the replica's version and the primary's head.
+    """
+
+
 class MiningError(ReproError):
     """Raised for invalid pattern mining requests."""

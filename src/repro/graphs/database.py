@@ -206,6 +206,41 @@ class GraphDatabase:
         """Relabel a graph by stable id (the mutation-safe surface)."""
         self.set_label(self._find(graph_id), label)
 
+    def apply_delta(self, delta: DatabaseDelta) -> None:
+        """Re-apply a recorded mutation (WAL replay / replica tailing).
+
+        ``delta.version`` must be exactly ``version + 1`` — replay is a
+        contiguous walk, and a hole means the caller skipped history it
+        cannot reconstruct.  The mutation goes through the normal
+        :meth:`add_graph` / :meth:`remove_graph` / :meth:`relabel_graph`
+        surface, so the version bumps, the delta log records it, and
+        subscribers (view maintainers, the service's bookkeeping hook) fire
+        exactly as they would have for the original mutation.
+        """
+        if delta.version != self._version + 1:
+            raise DatasetError(
+                f"cannot apply delta for version {delta.version}: the "
+                f"database is at version {self._version} (replay must be "
+                "contiguous)"
+            )
+        if delta.kind == "add":
+            if delta.graph is None:
+                raise DatasetError("'add' delta carries no graph to apply")
+            self.add_graph(delta.graph, delta.label)
+        elif delta.kind == "remove":
+            if delta.graph_id is None:
+                raise DatasetError("'remove' delta carries no graph id")
+            self.remove_graph(delta.graph_id)
+        else:  # relabel — recorded relabels always change the label
+            if delta.graph_id is None or delta.label is None:
+                raise DatasetError("'relabel' delta needs a graph id and a label")
+            self.relabel_graph(delta.graph_id, delta.label)
+        if self._version != delta.version:  # pragma: no cover - defensive
+            raise DatasetError(
+                f"delta replay desynchronised: expected version {delta.version}, "
+                f"database is at {self._version}"
+            )
+
     # ------------------------------------------------------------------
     # versioning / delta log / subscriptions
     # ------------------------------------------------------------------

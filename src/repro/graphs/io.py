@@ -10,6 +10,7 @@ plain-text formats.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -34,6 +35,7 @@ __all__ = [
     "read_database_jsonl",
     "iter_database_jsonl",
     "is_database_jsonl",
+    "fsync_directory",
 ]
 
 #: ``kind`` tag of the header record that opens a database JSONL file.
@@ -112,7 +114,29 @@ def read_graph_json(path: str | Path) -> Graph:
 # ----------------------------------------------------------------------
 # streaming database format (JSONL: one graph per line)
 # ----------------------------------------------------------------------
-def write_database_jsonl(database: "GraphDatabase", path: str | Path) -> None:
+def fsync_directory(path: str | Path) -> None:
+    """fsync a directory so a rename/create inside it survives a crash.
+
+    POSIX only guarantees that a freshly created or renamed file is durable
+    once its *parent directory* has been synced; callers that rely on
+    ``os.replace`` for atomic publication (the WAL's segment rotation) must
+    follow up with this.  Platforms whose directory handles reject fsync
+    (notably Windows) are silently tolerated — the rename is still atomic,
+    just not durable against power loss.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-specific
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-specific
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_database_jsonl(database: "GraphDatabase", path: str | Path, *, sync: bool = False) -> None:
     """Write a database as JSON Lines: a header record, then one graph/line.
 
     The legacy ``GraphDatabase.save`` materialises the whole collection as a
@@ -132,6 +156,11 @@ def write_database_jsonl(database: "GraphDatabase", path: str | Path) -> None:
         handle.write(json.dumps(header) + "\n")
         for graph, label in zip(database.graphs, database.labels):
             handle.write(json.dumps({"graph": graph.to_dict(), "label": label}) + "\n")
+        if sync:
+            handle.flush()
+            os.fsync(handle.fileno())
+    if sync:
+        fsync_directory(Path(path).resolve().parent)
 
 
 def is_database_jsonl(path: str | Path) -> bool:

@@ -11,6 +11,8 @@ incremental subgraph matching systems the paper cites.
 
 from __future__ import annotations
 
+import weakref
+
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
 from repro.matching.coverage import covered_nodes
@@ -23,8 +25,8 @@ class IncrementalMatcher:
 
     def __init__(self, max_matchings: int | None = None) -> None:
         self.max_matchings = max_matchings
-        # (pattern key, graph key) -> (graph size when computed, covered node set)
-        self._cache: dict[tuple, tuple[int, frozenset[int]]] = {}
+        # (pattern key, graph key) -> (graph version, covered node set, graph ref)
+        self._cache: dict[tuple, tuple[int, frozenset[int], weakref.ref]] = {}
         self.recomputations = 0
         self.cache_hits = 0
 
@@ -36,15 +38,20 @@ class IncrementalMatcher:
         """Nodes of ``graph`` covered by ``pattern``, reusing cached results."""
         key = (pattern.canonical_key(), self._graph_key(graph))
         # The mutation counter invalidates on *any* change, unlike the old
-        # node+edge count which a swap mutation could leave unchanged.
+        # node+edge count which a swap mutation could leave unchanged.  The
+        # weakref guard covers what the counter cannot: the streaming path
+        # feeds this matcher short-lived induced subgraphs that all share
+        # their source's ``graph_id`` and construction-time version, so a
+        # dead temporary whose ``id()`` the allocator hands to a *different*
+        # temporary must never serve its coverage set.
         version = graph.version
         cached = self._cache.get(key)
-        if cached is not None and cached[0] == version:
+        if cached is not None and cached[0] == version and cached[2]() is graph:
             self.cache_hits += 1
             return set(cached[1])
         self.recomputations += 1
         covered = covered_nodes(pattern, graph, max_matchings=self.max_matchings)
-        self._cache[key] = (version, frozenset(covered))
+        self._cache[key] = (version, frozenset(covered), weakref.ref(graph))
         return covered
 
     def covered_by_set(self, patterns: list[GraphPattern], graph: Graph) -> set[int]:

@@ -1,0 +1,294 @@
+"""Crash recovery: SIGKILL mid-burst and torn WAL records on tier-1 MUT.
+
+The durability contract: every mutation the service *acknowledged* (the WAL
+append returned) survives `kill -9`, and a service restarted over the same
+base database + ``wal_dir`` + ``cache_dir`` reaches maintained views
+semantically identical to a process that never died.  The worker subprocess
+re-derives the exact tier-1 fixtures (same dataset seed, same training
+recipe — everything is deterministic NumPy), applies a scripted mutation
+burst shorter than the snapshot amortisation window, and SIGKILLs itself —
+so the on-disk maintainer snapshot is guaranteed stale and recovery *must*
+replay the WAL tail.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.api import ExplanationService
+from repro.api.replication import view_signature
+from repro.core import Configuration
+from repro.datasets import make_mutagenicity
+from repro.graphs import Graph, GraphDatabase
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: The scripted burst (op, graph_index_in_extras, graph_id, label).  Six
+#: mutations — fewer than the service's snapshot amortisation window, so a
+#: crash mid-burst always leaves the snapshot behind the WAL.
+MUTATIONS = [
+    ("ingest", 0, 800, 1),
+    ("ingest", 1, 801, 0),
+    ("relabel", None, 800, 0),
+    ("ingest", 2, 802, 1),
+    ("remove", None, 801, None),
+    ("ingest", 3, 803, 0),
+]
+
+#: Mutations applied before the worker SIGKILLs itself.
+CRASH_AFTER = 5
+
+
+def make_extras():
+    """Deterministic extra graphs, disjoint from the tier-1 base by seed."""
+    return list(make_mutagenicity(num_graphs=6, seed=11))
+
+
+def reattribute(graph, graph_id) -> Graph:
+    payload = graph.to_dict()
+    payload["graph_id"] = graph_id
+    return Graph.from_dict(payload)
+
+
+def apply_mutations(service, extras, count) -> None:
+    for op, index, graph_id, label in MUTATIONS[:count]:
+        if op == "ingest":
+            service.ingest(reattribute(extras[index], graph_id), label=label)
+        elif op == "remove":
+            service.remove(graph_id)
+        else:
+            service.relabel(graph_id, label)
+
+
+def build_config() -> Configuration:
+    return Configuration(theta=0.08).with_default_bound(0, 6)
+
+
+def copy_base(mut_database) -> GraphDatabase:
+    return GraphDatabase.from_dict(mut_database.to_dict())
+
+
+def signatures(service) -> dict[int, str]:
+    return {view.label: view_signature(view) for view in service.live_views()}
+
+
+WORKER_SCRIPT = textwrap.dedent(
+    """
+    import os, signal, sys
+
+    from repro.api import ExplanationService
+    from repro.core import Configuration
+    from repro.datasets import make_mutagenicity
+    from repro.gnn import GNNClassifier, Trainer
+    from repro.graphs import Graph
+
+    wal_dir, cache_dir, crash_after = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+    # The exact tier-1 recipe (tests/conftest.py): same dataset seed, same
+    # architecture, same trainer — deterministic, so this process's state
+    # matches the parent's session fixtures bit-for-bit.
+    base = make_mutagenicity(num_graphs=16, seed=3)
+    model = GNNClassifier(feature_dim=14, num_classes=2, hidden_dim=16, num_layers=3, seed=5)
+    Trainer(model, learning_rate=0.01, epochs=40, seed=5).fit(
+        base, train_indices=list(range(len(base)))
+    )
+    extras = list(make_mutagenicity(num_graphs=6, seed=11))
+
+    service = ExplanationService(
+        "MUT",
+        database=base,
+        model=model,
+        config=Configuration(theta=0.08).with_default_bound(0, 6),
+        cache_dir=cache_dir,
+        live_views=True,
+        wal_dir=wal_dir,
+    )
+
+    MUTATIONS = {mutations!r}
+
+    def reattribute(graph, graph_id):
+        payload = graph.to_dict()
+        payload["graph_id"] = graph_id
+        return Graph.from_dict(payload)
+
+    for applied, (op, index, graph_id, label) in enumerate(MUTATIONS, start=1):
+        if op == "ingest":
+            service.ingest(reattribute(extras[index], graph_id), label=label)
+        elif op == "remove":
+            service.remove(graph_id)
+        else:
+            service.relabel(graph_id, label)
+        if applied == crash_after:
+            # Acknowledged writes are on disk; die without close(), without
+            # a snapshot flush, without a database save.
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    raise SystemExit("worker was supposed to crash")
+    """
+).format(mutations=MUTATIONS)
+
+
+@pytest.fixture(scope="module")
+def control_state(mut_database, trained_mut_model):
+    """The never-crashed reference: CRASH_AFTER mutations, in-process."""
+    service = ExplanationService(
+        "MUT",
+        database=copy_base(mut_database),
+        model=trained_mut_model,
+        config=build_config(),
+        live_views=True,
+    )
+    apply_mutations(service, make_extras(), CRASH_AFTER)
+    state = {
+        "version": service.database.version,
+        "graph_ids": [graph.graph_id for graph in service.database],
+        "signatures": signatures(service),
+    }
+    service.close()
+    return state
+
+
+@pytest.fixture(scope="module")
+def crashed_dirs(tmp_path_factory):
+    """Run the worker to its SIGKILL; return its wal/cache directories."""
+    root = tmp_path_factory.mktemp("crash")
+    wal_dir, cache_dir = root / "wal", root / "cache"
+    result = subprocess.run(
+        [sys.executable, "-c", WORKER_SCRIPT, str(wal_dir), str(cache_dir), str(CRASH_AFTER)],
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == -signal.SIGKILL, (
+        f"worker should die by SIGKILL, got rc={result.returncode}\n{result.stderr}"
+    )
+    return wal_dir, cache_dir
+
+
+class TestSigkillRecovery:
+    def test_recovered_service_matches_the_uninterrupted_run(
+        self, crashed_dirs, control_state, mut_database, trained_mut_model
+    ):
+        wal_dir, cache_dir = crashed_dirs
+        recovered = ExplanationService(
+            "MUT",
+            database=copy_base(mut_database),
+            model=trained_mut_model,
+            config=build_config(),
+            cache_dir=str(cache_dir),
+            live_views=True,
+            wal_dir=wal_dir,
+        )
+        try:
+            assert recovered.database.version == control_state["version"]
+            assert [g.graph_id for g in recovered.database] == control_state["graph_ids"]
+            assert signatures(recovered) == control_state["signatures"]
+        finally:
+            recovered.close()
+
+    def test_wal_tail_was_actually_replayed(
+        self, crashed_dirs, mut_database, trained_mut_model
+    ):
+        wal_dir, _ = crashed_dirs
+        # Recover *without* the snapshot cache: state still converges, and
+        # the stats prove the WAL (not the snapshot) carried the history.
+        recovered = ExplanationService(
+            "MUT",
+            database=copy_base(mut_database),
+            model=trained_mut_model,
+            config=build_config(),
+            live_views=True,
+            wal_dir=wal_dir,
+        )
+        try:
+            stats = recovered.stats()["wal"]
+            assert stats["replayed_on_open"] == CRASH_AFTER
+            assert stats["last_version"] == mut_database.version + CRASH_AFTER
+        finally:
+            recovered.close()
+
+    def test_recovered_service_keeps_accepting_durable_writes(
+        self, crashed_dirs, mut_database, trained_mut_model
+    ):
+        wal_dir, cache_dir = crashed_dirs
+        recovered = ExplanationService(
+            "MUT",
+            database=copy_base(mut_database),
+            model=trained_mut_model,
+            config=build_config(),
+            cache_dir=str(cache_dir),
+            live_views=True,
+            wal_dir=wal_dir,
+        )
+        try:
+            before = recovered.database.version
+            extras = make_extras()
+            for op, index, graph_id, label in MUTATIONS[CRASH_AFTER:]:
+                if op == "ingest":
+                    recovered.ingest(reattribute(extras[index], graph_id), label=label)
+                elif op == "remove":
+                    recovered.remove(graph_id)
+                else:
+                    recovered.relabel(graph_id, label)
+            # the burst's tail appends beyond the crash point
+            assert recovered.stats()["wal"]["last_version"] == before + (
+                len(MUTATIONS) - CRASH_AFTER
+            )
+        finally:
+            recovered.close()
+
+
+class TestTornRecordRecovery:
+    def test_torn_final_record_rolls_back_exactly_one_mutation(
+        self, mut_database, trained_mut_model, tmp_path
+    ):
+        wal_dir = tmp_path / "wal"
+        durable = ExplanationService(
+            "MUT",
+            database=copy_base(mut_database),
+            model=trained_mut_model,
+            config=build_config(),
+            live_views=True,
+            wal_dir=wal_dir,
+        )
+        apply_mutations(durable, make_extras(), len(MUTATIONS))
+        durable._wal.close()  # crash: no service close, WAL handle released
+
+        # Tear the final record in half — the fsync never completed.
+        [segment] = sorted(wal_dir.glob("wal-*.jsonl"))
+        lines = segment.read_bytes().splitlines(keepends=True)
+        segment.write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+
+        control = ExplanationService(
+            "MUT",
+            database=copy_base(mut_database),
+            model=trained_mut_model,
+            config=build_config(),
+            live_views=True,
+        )
+        apply_mutations(control, make_extras(), len(MUTATIONS) - 1)
+
+        recovered = ExplanationService(
+            "MUT",
+            database=copy_base(mut_database),
+            model=trained_mut_model,
+            config=build_config(),
+            live_views=True,
+            wal_dir=wal_dir,
+        )
+        try:
+            assert recovered.database.version == control.database.version
+            assert [g.graph_id for g in recovered.database] == [
+                g.graph_id for g in control.database
+            ]
+            assert signatures(recovered) == signatures(control)
+        finally:
+            recovered.close()
+            control.close()

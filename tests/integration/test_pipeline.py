@@ -7,16 +7,16 @@ benchmark harness do, on small instances so the suite stays fast.
 import pytest
 
 from repro import (
-    ApproxGVEX,
     Configuration,
     GNNClassifier,
-    StreamGVEX,
     Trainer,
-    ViewQueryEngine,
     load_dataset,
     verify_view,
 )
-from repro.baselines import GNNExplainerBaseline
+from repro.core.approx import ApproxGVEX
+from repro.core.streaming import StreamGVEX
+from repro.core.views import ViewQueryEngine
+from repro.baselines.gnnexplainer import GNNExplainerBaseline
 from repro.experiments.case_studies import nitro_group_pattern
 from repro.metrics import fidelity_report, sparsity
 

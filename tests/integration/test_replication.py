@@ -1,0 +1,177 @@
+"""Primary/replica convergence over real HTTP (`repro.api.replication`).
+
+A replica that bootstraps from ``/v1/replica/bootstrap`` and tails
+``/v1/deltas`` must end up with *semantically identical* maintained views —
+the :func:`view_signature` digests on both sides agree after every round,
+whether the deltas came from the primary's in-memory log, from its WAL
+fallback, or from a full snapshot re-sync after a 410 gap.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import ExplanationService, create_server
+from repro.api.replication import ReplicaService, view_signature
+from repro.core import Configuration
+from repro.graphs import Graph, GraphDatabase
+
+
+def copy_graph(graph, graph_id) -> Graph:
+    payload = graph.to_dict()
+    payload["graph_id"] = graph_id
+    return Graph.from_dict(payload)
+
+
+def primary_signatures(service) -> dict[int, str]:
+    with service._lock:
+        return {view.label: view_signature(view) for view in service.live_views()}
+
+
+@pytest.fixture()
+def primary(mut_database, trained_mut_model, tmp_path):
+    """A live durable primary over a private copy of the tier-1 database."""
+    database = GraphDatabase("primary")
+    for graph, label in zip(mut_database.graphs[:10], mut_database.labels[:10]):
+        database.add_graph(graph.copy(), label)
+    service = ExplanationService(
+        "MUT",
+        database=database,
+        model=trained_mut_model,
+        config=Configuration(theta=0.08).with_default_bound(0, 6),
+        live_views=True,
+        wal_dir=tmp_path / "wal",
+    )
+    server = create_server(service, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", service, mut_database
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    service.close()
+
+
+class TestReplicaConvergence:
+    def test_bootstrap_mirrors_the_primary(self, primary):
+        base, service, _ = primary
+        replica = ReplicaService(base)
+        try:
+            assert replica.version == service.database.version
+            assert len(replica.service.database) == len(service.database)
+            assert replica.view_signatures() == primary_signatures(service)
+            assert replica.lag() == 0
+        finally:
+            replica.close()
+
+    def test_tailing_applies_every_mutation_kind(self, primary):
+        base, service, source = primary
+        replica = ReplicaService(base)
+        try:
+            service.ingest(copy_graph(source.graphs[10], 700), label=1)
+            service.ingest(copy_graph(source.graphs[11], 701), label=0)
+            service.relabel(700, 0)
+            service.remove(701)
+
+            round_summary = replica.sync_once()
+            assert round_summary["applied"] == 4
+            assert round_summary["resynced"] is False
+            assert round_summary["source"] == "memory"
+            assert replica.version == service.database.version
+            assert replica.service.database.has_graph(700)
+            assert not replica.service.database.has_graph(701)
+            assert replica.view_signatures() == primary_signatures(service)
+        finally:
+            replica.close()
+
+    def test_wal_fallback_keeps_the_replica_convergent(self, primary):
+        base, service, source = primary
+        replica = ReplicaService(base)
+        try:
+            service.database.DELTA_LOG_CAPACITY = 1  # memory log now useless
+            service.ingest(copy_graph(source.graphs[12], 702), label=1)
+            service.ingest(copy_graph(source.graphs[13], 703), label=0)
+
+            round_summary = replica.sync_once()
+            assert round_summary["applied"] == 2
+            assert round_summary["source"] == "wal"
+            assert replica.view_signatures() == primary_signatures(service)
+        finally:
+            replica.close()
+
+    def test_idle_round_applies_nothing(self, primary):
+        base, service, _ = primary
+        replica = ReplicaService(base)
+        try:
+            assert replica.sync_once()["applied"] == 0
+            assert replica.deltas_applied == 0
+        finally:
+            replica.close()
+
+
+@pytest.fixture()
+def forgetful_primary(mut_database, trained_mut_model):
+    """A primary with *no* WAL and a tiny delta log — gaps are guaranteed."""
+    database = GraphDatabase("forgetful")
+    for graph, label in zip(mut_database.graphs[:8], mut_database.labels[:8]):
+        database.add_graph(graph.copy(), label)
+    service = ExplanationService(
+        "MUT",
+        database=database,
+        model=trained_mut_model,
+        config=Configuration(theta=0.08).with_default_bound(0, 6),
+        live_views=True,
+    )
+    service.database.DELTA_LOG_CAPACITY = 1
+    server = create_server(service, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", service, mut_database
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    service.close()
+
+
+class TestGapResync:
+    def test_gap_triggers_a_snapshot_resync(self, forgetful_primary):
+        base, service, source = forgetful_primary
+        replica = ReplicaService(base)
+        try:
+            service.ingest(copy_graph(source.graphs[8], 710), label=1)
+            service.ingest(copy_graph(source.graphs[9], 711), label=0)
+
+            round_summary = replica.sync_once()
+            assert round_summary["resynced"] is True
+            assert round_summary["source"] == "bootstrap"
+            assert replica.resyncs == 1
+            assert replica.version == service.database.version
+            assert replica.view_signatures() == primary_signatures(service)
+        finally:
+            replica.close()
+
+
+class TestReplicateCLI:
+    def test_replicate_once_emits_matching_signatures(self, primary, capsys):
+        import json
+
+        from repro.cli import main
+
+        base, service, _ = primary
+        assert main(["replicate", "--primary", base, "--once", "--json"]) == 0
+        state = json.loads(capsys.readouterr().out)
+        assert state["stats"]["version"] == service.database.version
+        expected = {
+            str(label): digest for label, digest in primary_signatures(service).items()
+        }
+        assert state["signatures"] == expected
+
+    def test_replicate_against_a_dead_primary_fails_cleanly(self, capsys):
+        from repro.cli import main
+
+        assert main(["replicate", "--primary", "http://127.0.0.1:9", "--once"]) == 1
+        assert "error" in capsys.readouterr().out

@@ -11,8 +11,10 @@ from repro.api import (
     available_explainers,
     create_explainer,
 )
-from repro.baselines import BaseExplainer
-from repro.core import ApproxGVEX, Configuration, StreamGVEX
+from repro.baselines.base import BaseExplainer
+from repro.core import Configuration
+from repro.core.approx import ApproxGVEX
+from repro.core.streaming import StreamGVEX
 from repro.exceptions import ExplanationError
 
 ALL_NAMES = [

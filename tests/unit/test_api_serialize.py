@@ -245,3 +245,117 @@ class TestGoldenFile:
         assert isinstance(loaded, ExplanationResult)
         assert sorted(loaded.view.subgraphs[0].nodes) == [1, 2]
         assert loaded.view.explainability == 0.625
+
+
+GOLDEN_DELTA_PATH = Path(__file__).parent.parent / "data" / "golden_delta.json"
+
+
+def build_reference_delta():
+    """A deterministic, hand-built add-delta (same source graph as the view)."""
+    from repro.graphs.database import DatabaseDelta
+
+    source = Graph(graph_id=7)
+    source.add_node(0, "C", [1.0, 0.0])
+    source.add_node(1, "N", [0.0, 1.0])
+    source.add_node(2, "O", [0.5, 0.5])
+    source.add_node(3, "C", [1.0, 0.0])
+    source.add_edge(0, 1, "single")
+    source.add_edge(1, 2, "double")
+    source.add_edge(2, 3, "single")
+    return DatabaseDelta(
+        kind="add", graph_id=7, version=1, label=1, old_label=None, graph=source
+    )
+
+
+class TestDeltaCodec:
+    """Lossless round-trips for the `database_delta` envelope (WAL + /v1/deltas)."""
+
+    def test_add_delta_round_trips_losslessly(self):
+        from repro.api import delta_from_dict, delta_to_dict
+
+        delta = build_reference_delta()
+        restored = delta_from_dict(json.loads(json.dumps(delta_to_dict(delta))))
+        assert restored.kind == "add"
+        assert restored.graph_id == 7
+        assert restored.version == 1
+        assert restored.label == 1
+        assert restored.old_label is None
+        assert restored.graph.to_dict() == delta.graph.to_dict()
+
+    def test_remove_and_relabel_round_trip_without_a_graph(self):
+        from repro.api import delta_from_dict, delta_to_dict
+        from repro.graphs.database import DatabaseDelta
+
+        for delta in (
+            DatabaseDelta(kind="remove", graph_id=3, version=9, label=None, old_label=0),
+            DatabaseDelta(kind="relabel", graph_id=3, version=10, label=1, old_label=0),
+        ):
+            restored = delta_from_dict(delta_to_dict(delta))
+            assert restored.kind == delta.kind
+            assert restored.graph_id == delta.graph_id
+            assert restored.version == delta.version
+            assert restored.label == delta.label
+            assert restored.old_label == delta.old_label
+            assert restored.graph is None
+
+    def test_live_database_deltas_serialise(self, mut_database):
+        from repro.api import delta_from_dict, delta_to_dict, delta_schema
+        from repro.graphs import GraphDatabase
+
+        database = GraphDatabase.from_dict(mut_database.to_dict())
+        graph = Graph.from_dict(list(database)[0].to_dict())
+        graph.graph_id = 900
+        database.add_graph(graph, label=1)
+        database.relabel_graph(900, 0)
+        database.remove_graph(900)
+        for delta in database.deltas_since(mut_database.version):
+            envelope = delta_to_dict(delta)
+            assert validate_against_schema(envelope, delta_schema()) == []
+            restored = delta_from_dict(envelope)
+            assert restored.version == delta.version
+
+    def test_wrong_kind_is_refused(self):
+        from repro.api import delta_from_dict, delta_to_dict
+
+        envelope = delta_to_dict(build_reference_delta())
+        envelope["kind"] = "explanation_view"
+        with pytest.raises(ExplanationError, match="database_delta"):
+            delta_from_dict(envelope)
+
+    def test_wrong_schema_version_is_refused(self):
+        from repro.api import delta_from_dict, delta_to_dict
+
+        envelope = delta_to_dict(build_reference_delta())
+        envelope["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ExplanationError, match="schema"):
+            delta_from_dict(envelope)
+
+
+class TestGoldenDeltaFile:
+    """Stability of the delta envelope: the committed golden file never drifts."""
+
+    def test_golden_delta_matches_the_current_serialiser(self):
+        from repro.api import delta_to_dict
+
+        envelope = delta_to_dict(build_reference_delta())
+        committed = json.loads(GOLDEN_DELTA_PATH.read_text())
+        assert envelope == committed, (
+            "delta layout drifted from tests/data/golden_delta.json; the WAL and "
+            "the /v1/deltas replication stream both persist this envelope — if "
+            "the change is intentional, bump SCHEMA_VERSION, keep a loader for "
+            "the old version, and regenerate the golden file"
+        )
+
+    def test_golden_delta_validates_against_the_published_schema(self):
+        from repro.api import delta_schema
+
+        committed = json.loads(GOLDEN_DELTA_PATH.read_text())
+        assert validate_against_schema(committed, delta_schema()) == []
+
+    def test_golden_delta_still_loads(self):
+        from repro.api import delta_from_dict
+
+        restored = delta_from_dict(json.loads(GOLDEN_DELTA_PATH.read_text()))
+        assert restored.kind == "add"
+        assert len(restored.graph.nodes) == 4
+        assert restored.graph.graph_id == 7

@@ -217,3 +217,160 @@ class TestIngestEndpoint:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             _post(base, "/ingest", {"op": "remove", "graph_id": 1, "force": True})
         assert excinfo.value.code == 400
+
+
+def _get_with_headers(base: str, path: str):
+    with urllib.request.urlopen(f"{base}{path}", timeout=120) as response:
+        return json.loads(response.read()), dict(response.headers)
+
+
+class TestVersionedSurface:
+    """The /v1 prefix is canonical; unversioned paths are deprecated aliases."""
+
+    def test_v1_health_reports_the_api_version(self, live_server):
+        payload, headers = _get_with_headers(live_server, "/v1/health")
+        assert payload["status"] == "ok"
+        assert payload["api_version"] == "v1"
+        assert payload["read_only"] is False
+        assert "database_version" in payload
+        assert "Deprecation" not in headers
+
+    def test_unversioned_alias_answers_with_a_deprecation_header(self, live_server):
+        payload, headers = _get_with_headers(live_server, "/health")
+        assert payload["status"] == "ok"  # same response body ...
+        assert headers.get("Deprecation") == "true"  # ... but marked deprecated
+        assert headers.get("Link") == '</v1/health>; rel="successor-version"'
+
+    def test_every_get_route_exists_under_v1(self, live_server):
+        for path in ("/v1/algorithms", "/v1/schema", "/v1/views", "/v1/query/summary"):
+            payload, headers = _get_with_headers(live_server, path)
+            assert "Deprecation" not in headers, path
+            assert payload, path
+
+    def test_v1_explain_round_trip(self, live_server):
+        payload = _post(live_server, "/v1/explain", {"algorithm": "approx", "max_nodes": 5, "limit": 3})
+        assert payload["kind"] == "explanation_result"
+
+    def test_unversioned_post_alias_still_works(self, live_server):
+        request = urllib.request.Request(
+            f"{live_server}/explain",
+            data=json.dumps({"algorithm": "approx", "max_nodes": 5, "limit": 3}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=300) as response:
+            assert response.headers.get("Deprecation") == "true"
+            assert json.loads(response.read())["kind"] == "explanation_result"
+
+    def test_unknown_v1_endpoint_is_404(self, live_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(live_server, "/v1/nope")
+        assert excinfo.value.code == 404
+
+
+class TestReplicationSurface:
+    def test_deltas_requires_since(self, mutable_server):
+        base, _, _ = mutable_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base, "/v1/deltas")
+        assert excinfo.value.code == 400
+        assert "since" in json.loads(excinfo.value.read())["error"]
+
+    def test_deltas_streams_the_mutations(self, mutable_server):
+        base, service, source = mutable_server
+        before = service.database.version
+        graph_payload = source.graphs[10].to_dict()
+        graph_payload["graph_id"] = None
+        added = _post(base, "/v1/ingest", {"graph": graph_payload, "label": 1})
+        feed = _get(base, f"/v1/deltas?since={before}")
+        assert feed["since"] == before
+        assert feed["version"] == added["database_version"]
+        assert feed["source"] == "memory"
+        assert [d["payload"]["kind"] for d in feed["deltas"]] == ["add"]
+        assert feed["deltas"][0]["kind"] == "database_delta"
+
+    def test_deltas_at_head_is_an_empty_feed(self, mutable_server):
+        base, service, _ = mutable_server
+        feed = _get(base, f"/v1/deltas?since={service.database.version}")
+        assert feed["deltas"] == []
+
+    def test_future_since_is_410_gone_with_resync(self, mutable_server):
+        base, _, _ = mutable_server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base, "/v1/deltas?since=999999")
+        assert excinfo.value.code == 410
+        body = json.loads(excinfo.value.read())
+        assert body["resync"] is True
+
+    def test_dropped_range_without_wal_is_410(self, mutable_server):
+        base, service, source = mutable_server
+        before = service.database.version
+        service.database.DELTA_LOG_CAPACITY = 1  # instance-level shrink
+        for offset in (11, 12):
+            graph_payload = source.graphs[offset].to_dict()
+            graph_payload["graph_id"] = None
+            _post(base, "/v1/ingest", {"graph": graph_payload, "label": 1})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base, f"/v1/deltas?since={before}")
+        assert excinfo.value.code == 410
+
+    def test_replica_bootstrap_payload_shape(self, mutable_server):
+        base, service, _ = mutable_server
+        payload = _get(base, "/v1/replica/bootstrap")
+        assert payload["kind"] == "replica_bootstrap"
+        assert payload["version"] == service.database.version
+        assert payload["database"]["graphs"]
+        assert payload["model"]["spec"]["feature_dim"] == 14
+        assert len(payload["model"]["weights"]) >= 1
+        assert "theta" in payload["config"]
+
+    def test_live_signatures_endpoint(self, mutable_server):
+        base, service, source = mutable_server
+        graph_payload = source.graphs[13].to_dict()
+        graph_payload["graph_id"] = None
+        _post(base, "/v1/ingest", {"graph": graph_payload, "label": 0})
+        payload = _get(base, "/v1/live")
+        assert payload["version"] == service.database.version
+        assert payload["signatures"]
+        from repro.api.replication import view_signature
+
+        with service._lock:
+            expected = {str(v.label): view_signature(v) for v in service.live_views()}
+        assert payload["signatures"] == expected
+
+
+@pytest.fixture()
+def read_only_server(mut_database, trained_mut_model):
+    """A read-only (replica-style) server over a private database copy."""
+    from repro.graphs import GraphDatabase
+
+    database = GraphDatabase("replica")
+    for graph, label in zip(mut_database.graphs[:6], mut_database.labels[:6]):
+        database.add_graph(graph.copy(), label)
+    service = ExplanationService(
+        "MUT",
+        database=database,
+        model=trained_mut_model,
+        config=Configuration(theta=0.08).with_default_bound(0, 6),
+    )
+    server = create_server(service, port=0, read_only=True)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    service.close()
+
+
+class TestReadOnlyServer:
+    def test_health_reports_read_only(self, read_only_server):
+        assert _get(read_only_server, "/v1/health")["read_only"] is True
+
+    def test_ingest_is_403(self, read_only_server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(read_only_server, "/v1/ingest", {"op": "remove", "graph_id": 1})
+        assert excinfo.value.code == 403
+
+    def test_reads_still_work(self, read_only_server):
+        assert "approx" in _get(read_only_server, "/v1/algorithms")["algorithms"]

@@ -299,7 +299,7 @@ class TestDynamicDatabase:
     def test_ingest_refreshes_instead_of_recomputing(
         self, live_service, mut_database, mut_pool, trained_mut_model
     ):
-        from repro.core import StreamGVEX
+        from repro.core.streaming import StreamGVEX
 
         live_service.enable_live_views()
         streamed = live_service.maintainer.graphs_streamed

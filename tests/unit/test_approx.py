@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import ApproxGVEX, Configuration, verify_view
+from repro.core import Configuration, verify_view
+from repro.core.approx import ApproxGVEX
 from repro.exceptions import ExplanationError
 from repro.graphs import Graph
 

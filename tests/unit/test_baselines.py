@@ -2,16 +2,13 @@
 
 import pytest
 
-from repro.baselines import (
-    CAPABILITY_MATRIX,
-    ApproxGVEXAdapter,
-    GCFExplainerBaseline,
-    GNNExplainerBaseline,
-    GStarXBaseline,
-    RandomExplainer,
-    StreamGVEXAdapter,
-    SubgraphXBaseline,
-)
+from repro.baselines import CAPABILITY_MATRIX
+from repro.baselines.gcfexplainer import GCFExplainerBaseline
+from repro.baselines.gnnexplainer import GNNExplainerBaseline
+from repro.baselines.gstarx import GStarXBaseline
+from repro.baselines.gvex_adapter import ApproxGVEXAdapter, StreamGVEXAdapter
+from repro.baselines.random_explainer import RandomExplainer
+from repro.baselines.subgraphx import SubgraphXBaseline
 from repro.exceptions import ExplanationError
 from repro.graphs import Graph
 from repro.graphs.subgraph import induced_subgraph

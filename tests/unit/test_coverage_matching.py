@@ -139,6 +139,37 @@ class TestIncrementalMatcher:
         assert matcher.forget_graph(42) == 3
         assert matcher.stats()["entries"] == 0
 
+    def test_recycled_temporary_id_never_serves_stale_coverage(self):
+        """The streaming path feeds the matcher short-lived induced
+        subgraphs that all share their source's ``graph_id`` and
+        construction-time version, so the mutation counter cannot tell two
+        of them apart.  When the allocator hands a dead temporary's
+        ``id()`` to a structurally different one, the matcher must
+        recompute — serving the dead object's coverage set silently
+        corrupts pattern selection (and primary/replica convergence)."""
+        matcher = IncrementalMatcher()
+        pattern = single_node_pattern("A")
+
+        def temporary(node_type):
+            graph = Graph()
+            graph.add_node(0, node_type)
+            graph.add_node(1, node_type)
+            graph.add_edge(0, 1)
+            graph.graph_id = 42
+            return graph
+
+        for _ in range(64):
+            stale = temporary("A")
+            assert matcher.covered_nodes(pattern, stale) == {0, 1}
+            address = id(stale)
+            del stale
+            fresh = temporary("B")  # same graph_id + version, no "A" nodes
+            recycled = id(fresh) == address
+            assert matcher.covered_nodes(pattern, fresh) == set()
+            del fresh
+            if recycled:
+                break
+
     def test_forget_graph_with_none_is_a_no_op(self):
         matcher = IncrementalMatcher()
         graph = typed_graph()

@@ -15,7 +15,9 @@ from functools import lru_cache
 import numpy as np
 import pytest
 
-from repro.core import ApproxGVEX, Configuration, GraphAnalysis, LRUCache, StreamGVEX
+from repro.core import Configuration, GraphAnalysis, LRUCache
+from repro.core.approx import ApproxGVEX
+from repro.core.streaming import StreamGVEX
 from repro.core.selection import lazy_greedy_select
 from repro.datasets import load_dataset
 from repro.gnn import GNNClassifier, Trainer

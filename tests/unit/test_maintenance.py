@@ -10,7 +10,8 @@ inherits the anytime quality bound with zero slack.
 import pytest
 
 from repro.api import ViewStore
-from repro.core import Configuration, StreamGVEX, ViewMaintainer
+from repro.core import Configuration, ViewMaintainer
+from repro.core.streaming import StreamGVEX
 from repro.exceptions import ExplanationError
 from repro.gnn import GNNClassifier
 from repro.graphs import GraphDatabase

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import ApproxGVEX, Configuration, ExplanationSubgraph, ExplanationView
+from repro.core import Configuration, ExplanationSubgraph, ExplanationView
+from repro.core.approx import ApproxGVEX
 from repro.graphs import GraphPattern
 from repro.metrics import (
     Stopwatch,

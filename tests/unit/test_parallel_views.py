@@ -3,13 +3,13 @@
 import pytest
 
 from repro.core import (
-    ApproxGVEX,
     Configuration,
     ExplanationView,
-    ViewQueryEngine,
     merge_views,
     parallel_explain,
 )
+from repro.core.approx import ApproxGVEX
+from repro.core.views import ViewQueryEngine
 from repro.exceptions import ExplanationError
 from repro.graphs import GraphPattern
 

@@ -5,8 +5,10 @@ from benchmarks.regression_guard import GUARDED_METRICS, check
 BASELINE = {
     "influence_speedup_min": 3.0,
     "incremental_speedup_min": 5.0,
+    "wal_ingest_ratio_min": 0.5,
     "views_identical": True,
     "incremental_identical": True,
+    "wal_identical": True,
 }
 
 
@@ -14,12 +16,14 @@ def full_report(**overrides):
     report = {
         "influence_speedup_min": 3.5,
         "incremental_speedup_min": 6.0,
+        "wal_ingest_ratio_min": 1.0,
         "views_identical": True,
         "lazy_eager_identical": True,
         "matching_identical": True,
         "mining_identical": True,
         "service_identical": True,
         "incremental_identical": True,
+        "wal_identical": True,
     }
     report.update(overrides)
     return report
@@ -36,6 +40,14 @@ class TestCheck:
     def test_false_identity_flag_fails(self):
         failures = check(full_report(incremental_identical=False), BASELINE)
         assert any("recompute" in f for f in failures)
+
+    def test_broken_wal_replay_identity_fails(self):
+        failures = check(full_report(wal_identical=False), BASELINE)
+        assert any("write-ahead log" in f for f in failures)
+
+    def test_wal_ratio_below_floor_fails(self):
+        failures = check(full_report(wal_ingest_ratio_min=0.2), BASELINE)
+        assert any("wal_ingest_ratio_min" in f for f in failures)
 
     def test_missing_identity_flag_fails_for_selected_metric(self):
         """A report that silently stops emitting a required flag must FAIL,

@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.core import ApproxGVEX, Configuration, StreamGVEX
+from repro.core import Configuration
+from repro.core.approx import ApproxGVEX
+from repro.core.streaming import StreamGVEX
 from repro.exceptions import ExplanationError
 from repro.graphs import Graph
 from repro.matching import pattern_set_covers_nodes

@@ -1,0 +1,254 @@
+"""Unit tests for the write-ahead log (`repro.core.wal`).
+
+The WAL's contract: every acknowledged append survives process death
+(fsync'd before return), reopening a directory yields exactly the
+acknowledged record sequence, a torn final record (the crash window) is
+silently repaired, and any *other* corruption — interior damage, gaps,
+tampered CRCs — fails loudly instead of replaying a wrong history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api.serialize import delta_from_dict, delta_to_dict
+from repro.core.wal import (
+    DEFAULT_SEGMENT_MAX_RECORDS,
+    WriteAheadLog,
+    payload_crc,
+)
+from repro.exceptions import WALError
+from repro.graphs import Graph, GraphDatabase
+
+
+def make_graph(graph_id: int) -> Graph:
+    graph = Graph(graph_id=graph_id)
+    graph.add_node(0, "C", [1.0, 0.0])
+    graph.add_node(1, "N", [0.0, 1.0])
+    graph.add_edge(0, 1, "single")
+    return graph
+
+
+def fill(wal: WriteAheadLog, versions) -> None:
+    for version in versions:
+        wal.append({"n": version}, version)
+
+
+class TestAppendAndReplay:
+    def test_round_trip_through_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, range(1, 6))
+            assert wal.last_version == 5
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.last_version == 5
+            assert wal.payloads_since(0) == [{"n": v} for v in range(1, 6)]
+            assert wal.payloads_since(3) == [{"n": 4}, {"n": 5}]
+            assert wal.payloads_since(5) == []
+
+    def test_records_since_pairs_versions_with_payloads(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, range(1, 4))
+            assert list(wal.records_since(1)) == [(2, {"n": 2}), (3, {"n": 3})]
+
+    def test_non_contiguous_append_is_refused(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append({"n": 1}, 1)
+            with pytest.raises(WALError, match="expected 2"):
+                wal.append({"n": 3}, 3)
+            # version 1 acknowledged, the bad append left no trace
+            assert wal.last_version == 1
+
+    def test_reads_outside_the_covered_range_are_refused(self, tmp_path):
+        with WriteAheadLog(tmp_path, base_version=10) as wal:
+            fill(wal, range(11, 14))
+            with pytest.raises(WALError):
+                wal.payloads_since(5)
+            with pytest.raises(WALError):
+                wal.payloads_since(14)
+            assert wal.payloads_since(10) == [{"n": v} for v in range(11, 14)]
+
+    def test_base_version_survives_reopen(self, tmp_path):
+        with WriteAheadLog(tmp_path, base_version=40) as wal:
+            fill(wal, [41, 42])
+        with WriteAheadLog(tmp_path) as wal:  # base comes from the segment header
+            assert wal.base_version == 40
+            assert wal.last_version == 42
+
+    def test_empty_directory_is_a_valid_empty_log(self, tmp_path):
+        with WriteAheadLog(tmp_path, base_version=7) as wal:
+            assert wal.base_version == 7
+            assert wal.last_version == 7
+            assert wal.num_segments == 0
+            assert wal.payloads_since(7) == []
+
+
+class TestRotation:
+    def test_segments_rotate_at_the_record_cap(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_records=2) as wal:
+            fill(wal, range(1, 6))
+            assert wal.num_segments == 3
+        names = sorted(p.name for p in tmp_path.glob("wal-*.jsonl"))
+        assert names == [
+            "wal-000000000000.jsonl",
+            "wal-000000000002.jsonl",
+            "wal-000000000004.jsonl",
+        ]
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.payloads_since(0) == [{"n": v} for v in range(1, 6)]
+
+    def test_reopen_appends_into_the_tail_segment(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_records=4) as wal:
+            fill(wal, [1, 2])
+        with WriteAheadLog(tmp_path, segment_max_records=4) as wal:
+            fill(wal, [3, 4])
+            assert wal.num_segments == 1
+            assert wal.payloads_since(0) == [{"n": v} for v in range(1, 5)]
+
+    def test_default_cap_is_generous(self):
+        assert DEFAULT_SEGMENT_MAX_RECORDS >= 256
+
+    def test_stray_tmp_files_are_cleaned_on_open(self, tmp_path):
+        (tmp_path / "wal-000000000000.jsonl.tmp").write_text("half-rotated")
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, [1])
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestCorruption:
+    def _segment(self, tmp_path):
+        [path] = tmp_path.glob("wal-*.jsonl")
+        return path
+
+    def test_torn_final_record_is_truncated_and_replay_continues(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, [1, 2, 3])
+        path = self._segment(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.last_version == 2  # the torn record was never acknowledged-safe
+            assert wal.payloads_since(0) == [{"n": 1}, {"n": 2}]
+            wal.append({"n": 3}, 3)  # the log heals and accepts new appends
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.payloads_since(0) == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+    def test_torn_record_is_physically_removed(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, [1, 2])
+        path = self._segment(tmp_path)
+        path.write_bytes(path.read_bytes() + b'{"kind": "wal_record", "torn-tail')
+        with WriteAheadLog(tmp_path):
+            pass
+        assert b"torn-tail" not in path.read_bytes()
+
+    def test_interior_corruption_is_loud(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, [1, 2, 3])
+        path = self._segment(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[2] = lines[2][: len(lines[2]) // 2] + b"\n"  # damage record 2 of 3
+        path.write_bytes(b"".join(lines))
+        with pytest.raises(WALError):
+            WriteAheadLog(tmp_path)
+
+    def test_tampered_payload_fails_the_crc_check(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            fill(wal, [1, 2])
+        path = self._segment(tmp_path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["delta"]["n"] = 999  # flip the payload, keep the old CRC
+        lines[1] = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WALError, match="CRC"):
+            WriteAheadLog(tmp_path)
+
+    def test_torn_tail_in_a_non_final_segment_is_loud(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_records=2) as wal:
+            fill(wal, [1, 2, 3])
+        first = sorted(tmp_path.glob("wal-*.jsonl"))[0]
+        data = first.read_bytes()
+        first.write_bytes(data[: len(data) - 10])
+        with pytest.raises(WALError):
+            WriteAheadLog(tmp_path)
+
+    def test_version_gap_between_segments_is_loud(self, tmp_path):
+        with WriteAheadLog(tmp_path, segment_max_records=2) as wal:
+            fill(wal, [1, 2, 3, 4, 5, 6])
+        segments = sorted(tmp_path.glob("wal-*.jsonl"))
+        assert len(segments) == 3
+        segments[1].unlink()  # versions 3-4 vanish from the middle
+        with pytest.raises(WALError):
+            WriteAheadLog(tmp_path)
+
+    def test_missing_leading_segments_shift_the_base(self, tmp_path):
+        # Dropping whole *leading* segments is legal compaction: the log
+        # simply covers a later contiguous suffix of history.
+        with WriteAheadLog(tmp_path, segment_max_records=2) as wal:
+            fill(wal, [1, 2, 3, 4])
+        sorted(tmp_path.glob("wal-*.jsonl"))[0].unlink()
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.base_version == 2
+            assert wal.payloads_since(2) == [{"n": 3}, {"n": 4}]
+
+    def test_payload_crc_is_order_insensitive(self):
+        assert payload_crc({"a": 1, "b": 2}) == payload_crc({"b": 2, "a": 1})
+        assert payload_crc({"a": 1}) != payload_crc({"a": 2})
+
+
+class TestDeltaReplay:
+    """The WAL + delta codec replays a database history exactly."""
+
+    def test_full_history_replay_rebuilds_the_database(self, tmp_path):
+        database = GraphDatabase(name="wal-replay")
+        wal = WriteAheadLog(tmp_path, base_version=0)
+        database.subscribe(lambda delta: wal.append(delta_to_dict(delta), delta.version))
+        database.add_graph(make_graph(1), label=0)
+        database.add_graph(make_graph(2), label=1)
+        database.relabel_graph(1, 1)
+        database.remove_graph(2)
+        database.add_graph(make_graph(3), label=0)
+        wal.close()
+
+        replayed = GraphDatabase(name="wal-replay")
+        with WriteAheadLog(tmp_path) as wal:
+            for payload in wal.payloads_since(0):
+                replayed.apply_delta(delta_from_dict(payload))
+        assert replayed.version == database.version
+        assert [g.graph_id for g in replayed] == [g.graph_id for g in database]
+        assert {
+            g.graph_id: replayed.label_of(replayed.index_of(g.graph_id)) for g in replayed
+        } == {
+            g.graph_id: database.label_of(database.index_of(g.graph_id)) for g in database
+        }
+
+    def test_replay_is_refused_out_of_order(self, tmp_path):
+        database = GraphDatabase()
+        wal = WriteAheadLog(tmp_path)
+        database.subscribe(lambda delta: wal.append(delta_to_dict(delta), delta.version))
+        database.add_graph(make_graph(1), label=0)
+        database.add_graph(make_graph(2), label=1)
+        wal.close()
+
+        fresh = GraphDatabase()
+        with WriteAheadLog(tmp_path) as wal:
+            payloads = wal.payloads_since(0)
+        from repro.exceptions import DatasetError
+
+        with pytest.raises(DatasetError, match="contiguous"):
+            fresh.apply_delta(delta_from_dict(payloads[1]))
+
+    def test_fsync_can_be_disabled_for_tests(self, tmp_path):
+        with WriteAheadLog(tmp_path, sync=False) as wal:
+            fill(wal, range(1, 4))
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.last_version == 3
+
+    def test_directory_is_created_if_missing(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        with WriteAheadLog(nested) as wal:
+            fill(wal, [1])
+        assert os.path.isdir(nested)
