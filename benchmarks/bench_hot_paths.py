@@ -627,8 +627,10 @@ def run_benchmark(
 
     ``suite="incremental"`` runs only the incremental-maintenance benchmark
     (the CI ``incremental`` job's fast path); ``suite="wal"`` runs only the
-    durability benchmark (the CI ``replication`` job's fast path); ``"full"``
-    runs everything.
+    durability benchmark (the CI ``replication`` job's fast path);
+    ``suite="stream"`` runs only the StreamGVEX end-to-end A/B (the CI
+    ``perf-kernels`` job's fast path, also what the numba matrix leg times);
+    ``"full"`` runs everything.
     """
     report: dict = {"datasets": {}, "reps": reps, "graph_size": graph_size}
     incremental_speedups: list[float] = []
@@ -661,6 +663,42 @@ def run_benchmark(
         report["incremental_speedup_min"] = min(incremental_speedups)
         report["incremental_identical"] = incremental_identical
         return report
+    if suite == "stream":
+        stream_speedups: list[float] = []
+        stream_identical = True
+        for name in datasets:
+            context = build_context(
+                name, num_graphs=num_graphs, graph_size=graph_size, epochs=epochs
+            )
+            config = Configuration().with_default_bound(0, 8)
+            eager_config = replace(config, selection_strategy="eager")
+            # Same two arms as the full suite's stream measurement: the fast
+            # path is the defaults (sparse backend -> packed coverage,
+            # batched swaps, indexed/compiled matcher, lazy selection), the
+            # reference path the legacy backend with the per-node stream
+            # loop (stream_batching="auto" resolves to "off" there).
+            with sparse_backend(True):
+                fast_seconds, fast_sets = bench_explain_label(
+                    context, config, "stream", e2e_reps, e2e_num_graphs
+                )
+            with sparse_backend(False):
+                reference_seconds, reference_sets = bench_explain_label(
+                    context, eager_config, "stream", e2e_reps, e2e_num_graphs
+                )
+            speedup = reference_seconds / max(fast_seconds, 1e-9)
+            stream_speedups.append(speedup)
+            stream_identical = stream_identical and fast_sets == reference_sets
+            report["datasets"][name] = {
+                "stream_explain_label": {
+                    "reference_seconds": reference_seconds,
+                    "fast_seconds": fast_seconds,
+                    "speedup": speedup,
+                },
+                "stream_identical": fast_sets == reference_sets,
+            }
+        report["stream_explain_label_speedup_min"] = min(stream_speedups)
+        report["stream_identical"] = stream_identical
+        return report
     if suite != "full":
         raise ValueError(f"unknown benchmark suite {suite!r}")
     influence_speedups: list[float] = []
@@ -673,6 +711,7 @@ def run_benchmark(
     service_direct_ratios: list[float] = []
     views_identical = True
     lazy_eager_identical = True
+    stream_identical = True
     matching_identical = True
     mining_identical = True
     service_identical = True
@@ -735,11 +774,8 @@ def run_benchmark(
         stream_speedup = stream_reference_seconds / max(stream_fast_seconds, 1e-9)
         explain_label_speedups.append(explain_label_speedup)
         stream_explain_label_speedups.append(stream_speedup)
-        lazy_eager_identical = (
-            lazy_eager_identical
-            and lazy_sets == eager_sets
-            and stream_fast_sets == stream_reference_sets
-        )
+        lazy_eager_identical = lazy_eager_identical and lazy_sets == eager_sets
+        stream_identical = stream_identical and stream_fast_sets == stream_reference_sets
 
         # Service-level throughput (explain_many via the service vs direct
         # per-label calls, warm vs cold view cache).
@@ -795,8 +831,8 @@ def run_benchmark(
                 "speedup": stream_speedup,
             },
             "views_identical": views["identical"],
-            "lazy_eager_identical": lazy_sets == eager_sets
-            and stream_fast_sets == stream_reference_sets,
+            "lazy_eager_identical": lazy_sets == eager_sets,
+            "stream_identical": stream_fast_sets == stream_reference_sets,
             "matching_identical": legacy_matching_sig == sparse_matching_sig,
             "mining_identical": legacy_mining_sig == sparse_mining_sig,
             "fidelity": views["sparse"],
@@ -815,6 +851,7 @@ def run_benchmark(
     report["wal_identical"] = wal_identical
     report["views_identical"] = views_identical
     report["lazy_eager_identical"] = lazy_eager_identical
+    report["stream_identical"] = stream_identical
     report["matching_identical"] = matching_identical
     report["mining_identical"] = mining_identical
     report["service_identical"] = service_identical
@@ -832,16 +869,32 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--e2e-num-graphs", type=int, default=6)
     parser.add_argument(
         "--suite",
-        choices=("full", "incremental", "wal"),
+        choices=("full", "incremental", "wal", "stream"),
         default="full",
         help=(
             "'incremental' runs only the delta-maintenance benchmark, 'wal' only "
-            "the durability benchmark (the CI fast paths)"
+            "the durability benchmark, 'stream' only the StreamGVEX end-to-end "
+            "A/B (the CI fast paths)"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the selected suite under cProfile and dump a cumulative-time "
+            "table to stderr (timings in the JSON report include profiler "
+            "overhead — do not feed a profiled run to the regression guard)"
         ),
     )
     parser.add_argument("--output", type=Path, default=None, help="write the JSON report here")
     args = parser.parse_args(argv)
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     report = run_benchmark(
         datasets=args.datasets,
         reps=args.reps,
@@ -852,6 +905,16 @@ def main(argv: list[str] | None = None) -> int:
         e2e_num_graphs=args.e2e_num_graphs,
         suite=args.suite,
     )
+    if profiler is not None:
+        import io
+        import pstats
+
+        profiler.disable()
+        table = io.StringIO()
+        stats = pstats.Stats(profiler, stream=table)
+        stats.sort_stats("cumulative").print_stats(40)
+        print(f"--- cProfile ({args.suite} suite, top 40 by cumulative) ---", file=sys.stderr)
+        print(table.getvalue(), file=sys.stderr)
     payload = json.dumps(report, indent=2, sort_keys=True)
     if args.output is not None:
         args.output.parent.mkdir(parents=True, exist_ok=True)
@@ -864,6 +927,14 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
     if args.suite == "wal":
+        return 0
+    if args.suite == "stream":
+        print(
+            f"\nstream explain_label (fast vs reference): "
+            f"{report['stream_explain_label_speedup_min']:.2f}x\n"
+            f"stream node sets identical: {report['stream_identical']}",
+            file=sys.stderr,
+        )
         return 0
     print(
         f"\nincremental ingest vs recompute:       {report['incremental_speedup_min']:.2f}x\n"
@@ -883,6 +954,7 @@ def main(argv: list[str] | None = None) -> int:
         f"service direct/cold ratio:             {report['service_direct_ratio_min']:.2f}x\n"
         f"views identical across backends: {report['views_identical']}\n"
         f"lazy and eager node sets identical: {report['lazy_eager_identical']}\n"
+        f"stream node sets identical: {report['stream_identical']}\n"
         f"matching results identical across backends: {report['matching_identical']}\n"
         f"mining results identical across backends: {report['mining_identical']}\n"
         f"service and direct node sets identical: {report['service_identical']}",

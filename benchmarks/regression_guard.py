@@ -65,6 +65,11 @@ IDENTITY_FLAGS = {
         "lazy_eager_identical",
         "lazy (CELF) and eager selection no longer produce identical node sets",
     ),
+    "stream_explain_label_speedup_min": (
+        "stream_identical",
+        "StreamGVEX's fast path (packed coverage + batched swaps + optional "
+        "compiled matcher) no longer produces the reference path's node sets",
+    ),
     "matching_speedup_min": (
         "matching_identical",
         "indexed match engine and reference matcher no longer produce "

@@ -734,6 +734,9 @@ class ExplanationService:
 
     def stats(self) -> dict[str, Any]:
         """Service health snapshot (dataset, model quality, cache counters)."""
+        from repro.core.caching import cache_aggregate, with_hit_rate
+        from repro.matching.engine import compiled_available, get_engine
+
         with self._lock:
             labels_explained = sorted(self._latest)
         return {
@@ -744,7 +747,10 @@ class ExplanationService:
             "train_accuracy": self.train_accuracy,
             "test_accuracy": self.test_accuracy,
             "backend": "sparse" if sparse_enabled() else "legacy",
-            "cache": self.store.stats(),
+            "compiled_matcher": compiled_available(),
+            "cache": with_hit_rate(self.store.stats()),
+            "match_engine_cache": with_hit_rate(get_engine().stats()),
+            "label_probability_cache": cache_aggregate("label_probability"),
             "maintainer": self._maintainer.stats() if self._maintainer else None,
             "wal": (
                 {

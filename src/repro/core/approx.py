@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from collections.abc import Sequence
 
-from repro.core.caching import LRUCache
+from repro.core.caching import LRUCache, accumulate_cache_stats
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
 from repro.core.quality import GraphAnalysis
@@ -271,6 +271,7 @@ class ApproxGVEX:
                 selected.add(usable[best])
 
         if len(selected) < bound.lower or not selected:
+            accumulate_cache_stats("label_probability", label_probability_cache)
             return None
 
         # Counterfactual completion.  The definition of an explanation
@@ -338,6 +339,8 @@ class ApproxGVEX:
             label=label,
             explainability=analysis.explainability(selected),
         )
+        # The memo dies with this call; bank its counters for stats().
+        accumulate_cache_stats("label_probability", label_probability_cache)
         return self.everify.annotate(subgraph)
 
     # ------------------------------------------------------------------

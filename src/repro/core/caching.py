@@ -10,11 +10,18 @@ is a plain LRU with a configurable capacity
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from collections.abc import Hashable
 from typing import Generic, TypeVar
 
-__all__ = ["LRUCache"]
+__all__ = [
+    "LRUCache",
+    "accumulate_cache_stats",
+    "cache_aggregate",
+    "reset_cache_aggregates",
+    "with_hit_rate",
+]
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -83,3 +90,47 @@ class LRUCache(Generic[K, V]):
 
     def stats(self) -> dict[str, int]:
         return {"size": len(self._data), "hits": self.hits, "misses": self.misses}
+
+
+# ----------------------------------------------------------------------
+# process-wide counter aggregation
+# ----------------------------------------------------------------------
+# Some hot caches are deliberately short-lived (the label-probability memo
+# exists for one ``explain_graph`` call), so their counters vanish with the
+# object.  Call sites fold them into this registry on the way out, and the
+# service health endpoint reads the running totals.
+_AGGREGATES: dict[str, dict[str, int]] = {}
+_AGGREGATES_LOCK = threading.Lock()
+
+
+def accumulate_cache_stats(name: str, cache: "LRUCache") -> None:
+    """Fold a cache's hit/miss counters into the aggregate under ``name``."""
+    with _AGGREGATES_LOCK:
+        bucket = _AGGREGATES.setdefault(name, {"hits": 0, "misses": 0})
+        bucket["hits"] += cache.hits
+        bucket["misses"] += cache.misses
+
+
+def cache_aggregate(name: str) -> dict[str, object]:
+    """Running totals (plus hit rate) accumulated under ``name``."""
+    with _AGGREGATES_LOCK:
+        bucket = dict(_AGGREGATES.get(name, {"hits": 0, "misses": 0}))
+    return with_hit_rate(bucket)
+
+
+def reset_cache_aggregates() -> None:
+    """Zero every aggregate (test isolation)."""
+    with _AGGREGATES_LOCK:
+        _AGGREGATES.clear()
+
+
+def with_hit_rate(stats: dict) -> dict[str, object]:
+    """Copy of a ``{hits, misses, ...}`` dict plus a ``hit_rate`` field.
+
+    ``hit_rate`` is ``None`` when the cache has never been consulted —
+    reporting 0.0 there would read as "everything missed".
+    """
+    result: dict[str, object] = dict(stats)
+    total = int(stats.get("hits", 0)) + int(stats.get("misses", 0))
+    result["hit_rate"] = round(int(stats.get("hits", 0)) / total, 4) if total else None
+    return result

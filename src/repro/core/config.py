@@ -24,6 +24,7 @@ __all__ = ["CoverageBound", "Configuration"]
 _VERIFICATION_MODES = ("strict", "consistent", "none")
 _INFLUENCE_METHODS = ("auto", "propagation", "exact")
 _SELECTION_STRATEGIES = ("lazy", "eager")
+_STREAM_BATCHING = ("auto", "on", "off")
 
 
 @dataclass(frozen=True)
@@ -106,6 +107,17 @@ class Configuration:
         * ``eager`` — the reference loop: every unselected node is re-verified
           and re-scored on every iteration.  Kept as the A/B baseline for the
           end-to-end efficiency benchmarks.
+    stream_batching:
+        How ``StreamGVEX`` processes a batch of arriving nodes:
+
+        * ``auto`` (default) — use the batched swap path (packed-mask
+          coverage deltas, cached subset scores, short-circuit novelty
+          probes) whenever the sparse backend is enabled, and the per-node
+          reference loop otherwise — so the A/B benchmark arms exercise
+          both implementations with no extra wiring.
+        * ``on`` / ``off`` — force the batched or the per-node path
+          regardless of backend.  Both paths produce identical views;
+          ``off`` is the oracle the identity tests compare against.
     label_probability_cache_size:
         LRU capacity of the per-graph memo of subgraph label probabilities
         used by the greedy tie-breakers and the counterfactual swap loop
@@ -136,6 +148,7 @@ class Configuration:
     max_pattern_candidates: int = 32
     diversity_hops: int = 1
     selection_strategy: str = "lazy"
+    stream_batching: str = "auto"
     label_probability_cache_size: int = 8192
     match_cache_size: int = 4096
     seed: int = 0
@@ -177,6 +190,10 @@ class Configuration:
         if self.selection_strategy not in _SELECTION_STRATEGIES:
             raise ConfigurationError(
                 f"selection_strategy must be one of {_SELECTION_STRATEGIES}"
+            )
+        if self.stream_batching not in _STREAM_BATCHING:
+            raise ConfigurationError(
+                f"stream_batching must be one of {_STREAM_BATCHING}"
             )
         if self.label_probability_cache_size < 0:
             raise ConfigurationError("label_probability_cache_size must be non-negative")
@@ -248,6 +265,7 @@ class Configuration:
             "influence_method": self.influence_method,
             "verification_mode": self.verification_mode,
             "selection_strategy": self.selection_strategy,
+            "stream_batching": self.stream_batching,
             "label_probability_cache_size": self.label_probability_cache_size,
             "match_cache_size": self.match_cache_size,
             "seed": self.seed,

@@ -160,6 +160,20 @@ class NodeStreamProcessor:
         prime_vp_extend_probes(self.everify, graph, nodes, selected, label, self.config)
         return [self._vp_extend(node, selected, graph, label) for node in nodes]
 
+    def _stream_batched(self) -> bool:
+        """Whether the batched stream path is active (``stream_batching``).
+
+        ``auto`` follows the sparse-backend toggle, so the A/B benchmark's
+        reference arm (legacy backend) automatically runs the per-node
+        oracle loop with no extra wiring.
+        """
+        mode = self.config.stream_batching
+        if mode == "on":
+            return True
+        if mode == "off":
+            return False
+        return sparse_enabled()
+
     # ------------------------------------------------------------------
     # IncUpdateVS (Procedure 4)
     # ------------------------------------------------------------------
@@ -178,6 +192,31 @@ class NodeStreamProcessor:
             return selected
         if len(selected) < upper_bound:
             return selected | {candidate}
+        if self._stream_batched():
+            # Swap-first evaluation, provably outcome-identical to the
+            # oracle's case-(b)-then-(c) order: when the swap rule rejects,
+            # the answer is ``selected`` whichever branch fires first, so
+            # the case-(b) novelty question only needs answering for the
+            # rare *accepted* swaps.  The objective calls below run on the
+            # packed popcount kernels with memoised subset scores, and the
+            # novelty answer comes from the short-circuiting key probe —
+            # no patterns are mined here (IncUpdateP mines them later,
+            # only for accepted candidates).
+            weakest = min(
+                selected, key=lambda node: (analysis.loss_of_removal(selected, node), node)
+            )
+            reduced = selected - {weakest}
+            gain_new = analysis.explainability(reduced | {candidate}) - analysis.explainability(reduced)
+            gain_old = analysis.explainability(selected) - analysis.explainability(reduced)
+            if gain_new < 2.0 * gain_old:
+                return selected
+            if patterns:
+                covered = matcher.covered_by_set(patterns, seen_graph)
+                if candidate in covered and not self.pattern_generator.has_novel_pattern(
+                    seen_graph, candidate, patterns, hops=self.config.diversity_hops
+                ):
+                    return selected
+            return reduced | {candidate}
         # Case (b): skip nodes the pattern set already summarises and nodes
         # that would not contribute any new pattern.
         if patterns:
@@ -249,6 +288,50 @@ class NodeStreamProcessor:
             pattern.pattern_id = index
         return pruned
 
+    def _process_batch(
+        self,
+        batch: Sequence[int],
+        selected: set[int],
+        backup: set[int],
+        patterns: list[GraphPattern],
+        analysis: GraphAnalysis,
+        matcher: IncrementalMatcher,
+        seen_graph: Graph,
+        graph: Graph,
+        label: int,
+        upper_bound: int,
+    ) -> tuple[set[int], list[GraphPattern]]:
+        """Batched per-arrival work: one block of the node stream.
+
+        ``VpExtend`` verdicts for the whole block are primed with one batched
+        model probe against the current node cache; the swap rule then runs
+        per node against the packed coverage kernels.  The node cache changes
+        rarely (a swap needs gain >= 2x loss), so whenever it *does* change
+        the not-yet-processed suffix is re-verified against the new cache —
+        keeping the outcome identical to the per-node oracle loop.
+        """
+        pending = list(batch)
+        while pending:
+            verdicts = self._vp_extend_many(pending, selected, seen_graph, label)
+            restart_at: int | None = None
+            for index, node in enumerate(pending):
+                backup.add(node)
+                if not verdicts[index]:
+                    continue
+                updated = self._inc_update_vs(
+                    node, selected, analysis, patterns, matcher, seen_graph, upper_bound
+                )
+                if updated != selected:
+                    selected = updated
+                    if node in selected:
+                        patterns = self._inc_update_p(node, selected, patterns, graph, matcher)
+                    restart_at = index + 1
+                    break
+            if restart_at is None:
+                break
+            pending = pending[restart_at:]
+        return selected, patterns
+
     # ------------------------------------------------------------------
     # per-graph streaming pass
     # ------------------------------------------------------------------
@@ -293,17 +376,23 @@ class NodeStreamProcessor:
             seen_graph = induced_subgraph(graph, seen)
             # IncEVerify: refresh influence/diversity on the seen fraction.
             analysis = GraphAnalysis(self.model, seen_graph, self.config)
-            for node in batch:
-                backup.add(node)
-                if not self._vp_extend(node, selected, seen_graph, label):
-                    continue
-                updated = self._inc_update_vs(
-                    node, selected, analysis, patterns, matcher, seen_graph, bound.upper
+            if self._stream_batched():
+                selected, patterns = self._process_batch(
+                    batch, selected, backup, patterns, analysis, matcher,
+                    seen_graph, graph, label, bound.upper,
                 )
-                if updated != selected:
-                    selected = updated
-                    if node in selected:
-                        patterns = self._inc_update_p(node, selected, patterns, graph, matcher)
+            else:
+                for node in batch:
+                    backup.add(node)
+                    if not self._vp_extend(node, selected, seen_graph, label):
+                        continue
+                    updated = self._inc_update_vs(
+                        node, selected, analysis, patterns, matcher, seen_graph, bound.upper
+                    )
+                    if updated != selected:
+                        selected = updated
+                        if node in selected:
+                            patterns = self._inc_update_p(node, selected, patterns, graph, matcher)
             if record_history:
                 history.append(
                     {

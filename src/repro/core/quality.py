@@ -20,7 +20,64 @@ from repro.gnn.models import GNNClassifier
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_enabled
 
-__all__ = ["CoverageState", "GraphAnalysis", "view_explainability"]
+__all__ = ["CoverageState", "GraphAnalysis", "pack_rows", "unpack_bits", "word_popcounts", "view_explainability"]
+
+# ----------------------------------------------------------------------
+# bit-packed mask kernels
+# ----------------------------------------------------------------------
+# Boolean coverage masks are (also) stored as uint64 word matrices so the
+# hot set-coverage counts become vectorized popcounts over packed AND/ANDN
+# words.  Packing uses ``np.packbits(..., bitorder="little")`` and a raw
+# byte reinterpretation, so pack/unpack are exact inverses and every count
+# equals the boolean oracle's ``.sum()`` by construction — the float score
+# expressions downstream therefore stay bit-for-bit identical.
+
+_WORD_BITS = 64
+
+if hasattr(np, "bitwise_count"):
+
+    def word_popcounts(words: np.ndarray) -> np.ndarray:
+        """Per-word popcounts of a uint64 array (any shape)."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - numpy < 2.0 fallback
+    _BYTE_POPCOUNTS = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
+
+    def word_popcounts(words: np.ndarray) -> np.ndarray:
+        """Per-word popcounts of a uint64 array (any shape)."""
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        return _BYTE_POPCOUNTS[as_bytes].reshape(words.shape + (8,)).sum(axis=-1)
+
+
+def pack_rows(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(rows, n)`` matrix into ``(rows, ceil(n/64))`` words."""
+    rows, width = mask.shape
+    words = (width + _WORD_BITS - 1) // _WORD_BITS
+    if width == 0:
+        return np.zeros((rows, 0), dtype=np.uint64)
+    packed_bytes = np.packbits(mask, axis=1, bitorder="little")
+    pad = words * 8 - packed_bytes.shape[1]
+    if pad:
+        packed_bytes = np.concatenate(
+            [packed_bytes, np.zeros((rows, pad), dtype=np.uint8)], axis=1
+        )
+    return np.ascontiguousarray(packed_bytes).view(np.uint64)
+
+
+def unpack_bits(words: np.ndarray, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows` for one word row: boolean vector of ``count``."""
+    if count == 0:
+        return np.zeros(0, dtype=bool)
+    return np.unpackbits(np.ascontiguousarray(words).view(np.uint8), count=count, bitorder="little").astype(bool)
+
+
+def _popcount(words: np.ndarray) -> int:
+    return int(word_popcounts(words).sum())
+
+
+def _or_reduce_rows(packed: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """OR of the selected packed rows (``rows`` must be non-empty)."""
+    return np.bitwise_or.reduce(packed[rows], axis=0)
 
 
 class CoverageState:
@@ -41,22 +98,39 @@ class CoverageState:
     the property the CELF selection engine relies on for identical output.
     """
 
-    __slots__ = ("_analysis", "_covered", "_neigh_covered", "_influence", "_diversity", "_bounds")
+    __slots__ = ("_analysis", "_packed", "_covered", "_neigh_covered", "_influence", "_diversity", "_bounds")
 
     def __init__(self, analysis: "GraphAnalysis", selected: Iterable[int] = ()) -> None:
         self._analysis = analysis
         total = len(analysis.node_list)
         positions = analysis._positions(selected)
-        if positions:
-            self._covered = analysis._influence_mask[positions].any(axis=0)
+        # Under the sparse backend the covered masks live as uint64 words and
+        # every count is a popcount; the boolean path below is the oracle.
+        self._packed = sparse_enabled() and total > 0
+        if self._packed:
+            influence_words = analysis._packed_influence()
+            if positions:
+                self._covered = _or_reduce_rows(influence_words, np.asarray(positions))
+            else:
+                self._covered = np.zeros(influence_words.shape[1], dtype=np.uint64)
+            self._influence = _popcount(self._covered)
+            if self._influence:
+                rows = np.flatnonzero(unpack_bits(self._covered, total))
+                self._neigh_covered = _or_reduce_rows(analysis._packed_neighbourhood(), rows)
+            else:
+                self._neigh_covered = np.zeros(influence_words.shape[1], dtype=np.uint64)
+            self._diversity = _popcount(self._neigh_covered)
         else:
-            self._covered = np.zeros(total, dtype=bool)
-        if self._covered.any():
-            self._neigh_covered = analysis._neighbourhood_mask[self._covered].any(axis=0)
-        else:
-            self._neigh_covered = np.zeros(total, dtype=bool)
-        self._influence = int(self._covered.sum())
-        self._diversity = int(self._neigh_covered.sum())
+            if positions:
+                self._covered = analysis._influence_mask[positions].any(axis=0)
+            else:
+                self._covered = np.zeros(total, dtype=bool)
+            if self._covered.any():
+                self._neigh_covered = analysis._neighbourhood_mask[self._covered].any(axis=0)
+            else:
+                self._neigh_covered = np.zeros(total, dtype=bool)
+            self._influence = int(self._covered.sum())
+            self._diversity = int(self._neigh_covered.sum())
         # Last exact gain computed per node — a valid stale upper bound on the
         # node's current gain because coverage gains only shrink as the
         # committed set grows (submodularity).
@@ -77,6 +151,17 @@ class CoverageState:
 
     def _delta_counts(self, position: int) -> tuple[int, int, np.ndarray]:
         analysis = self._analysis
+        if self._packed:
+            newly = analysis._packed_influence()[position] & ~self._covered
+            added = _popcount(newly)
+            new_influence = self._influence + added
+            if added:
+                rows = np.flatnonzero(unpack_bits(newly, len(analysis.node_list)))
+                neigh = _or_reduce_rows(analysis._packed_neighbourhood(), rows)
+                new_diversity = self._diversity + _popcount(neigh & ~self._neigh_covered)
+            else:
+                new_diversity = self._diversity
+            return new_influence, new_diversity, newly
         newly = analysis._influence_mask[position] & ~self._covered
         new_influence = self._influence + int(newly.sum())
         if newly.any():
@@ -121,14 +206,33 @@ class CoverageState:
             for slot, candidate in enumerate(candidates)
             if candidate in analysis._index
         ]
-        if known:
-            slots = np.array([slot for slot, _ in known])
-            positions = np.array([position for _, position in known])
-            influenced = self._covered[None, :] | analysis._influence_mask[positions]
-            influence_counts = influenced.sum(axis=1)
-            diversity_counts = (influenced @ analysis._neighbourhood_float > 0).sum(axis=1)
+        if not known:
+            return gains
+        slots = np.array([slot for slot, _ in known])
+        positions = np.array([position for _, position in known])
+        if self._packed:
+            # Newly-covered words per candidate (ANDN), influence counts as
+            # popcounts; the diversity delta only needs the neighbourhood
+            # rows of the *newly* influenced nodes OR'd against the covered
+            # union, so candidates that add nothing are free.
+            new_words = analysis._packed_influence()[positions] & ~self._covered[None, :]
+            influence_counts = self._influence + word_popcounts(new_words).sum(axis=1)
+            neighbourhood = analysis._packed_neighbourhood()
+            diversity_counts = np.full(len(known), self._diversity, dtype=np.int64)
+            for row in range(len(known)):
+                words = new_words[row]
+                if words.any():
+                    rows = np.flatnonzero(unpack_bits(words, total))
+                    union = _or_reduce_rows(neighbourhood, rows)
+                    diversity_counts[row] = self._diversity + _popcount(union & ~self._neigh_covered)
             scores = (influence_counts + analysis.config.gamma * diversity_counts) / total
             gains[slots] = scores - self.explainability()
+            return gains
+        influenced = self._covered[None, :] | analysis._influence_mask[positions]
+        influence_counts = influenced.sum(axis=1)
+        diversity_counts = (influenced @ analysis._neighbourhood_float > 0).sum(axis=1)
+        scores = (influence_counts + analysis.config.gamma * diversity_counts) / total
+        gains[slots] = scores - self.explainability()
         return gains
 
     def gain_upper_bound(self, node: int) -> float:
@@ -156,7 +260,12 @@ class CoverageState:
             return 0.0
         before = self.explainability()
         new_influence, new_diversity, newly = self._delta_counts(position)
-        if newly.any():
+        if self._packed:
+            if new_influence != self._influence:
+                rows = np.flatnonzero(unpack_bits(newly, len(self._analysis.node_list)))
+                self._covered |= newly
+                self._neigh_covered |= _or_reduce_rows(self._analysis._packed_neighbourhood(), rows)
+        elif newly.any():
             self._covered |= newly
             self._neigh_covered |= self._analysis._neighbourhood_mask[newly].any(axis=0)
         self._influence = new_influence
@@ -182,10 +291,23 @@ class GraphAnalysis:
         self._index = {node: position for position, node in enumerate(self.node_list)}
         num_nodes = len(self.node_list)
 
+        # Lazily built views of the boolean masks: a float copy (batched
+        # diversity via one matrix product) and uint64 word-packed copies
+        # (popcount kernels).  None until first use — most analyses in the
+        # streaming path only ever exercise one of the two.
+        self._neighbourhood_float_cache: np.ndarray | None = None
+        self._packed_influence_cache: np.ndarray | None = None
+        self._packed_neighbourhood_cache: np.ndarray | None = None
+        # Memo of Eq.-2 scores per queried seed set (packed path only): the
+        # streaming swap loop re-evaluates the same selected/reduced subsets
+        # for every arriving node, so this turns most of IncUpdateVS's
+        # objective calls into dict hits.
+        self._subset_scores: dict[frozenset[int], float] = {}
+
         if num_nodes == 0:
             self._influence_mask = np.zeros((0, 0), dtype=bool)
             self._neighbourhood_mask = np.zeros((0, 0), dtype=bool)
-            self._neighbourhood_float = np.zeros((0, 0))
+            self._neighbourhood_float_cache = np.zeros((0, 0))
             self._exerted_influence = np.zeros(0)
             self._coverage = None
             return
@@ -207,13 +329,39 @@ class GraphAnalysis:
         if max_distance > 0:
             distances = distances / max_distance
         self._neighbourhood_mask = distances <= config.radius
-        # Float copy used to batch-evaluate diversity via one matrix product.
-        self._neighbourhood_float = self._neighbourhood_mask.astype(float)
         self._coverage: CoverageState | None = None
 
     # ------------------------------------------------------------------
     # low-level accessors
     # ------------------------------------------------------------------
+    @property
+    def _neighbourhood_float(self) -> np.ndarray:
+        """Float copy used to batch-evaluate diversity via one matrix product."""
+        if self._neighbourhood_float_cache is None:
+            self._neighbourhood_float_cache = self._neighbourhood_mask.astype(float)
+        return self._neighbourhood_float_cache
+
+    def _packed_influence(self) -> np.ndarray:
+        """uint64 word-packed copy of the influenced-by mask."""
+        if self._packed_influence_cache is None:
+            self._packed_influence_cache = pack_rows(self._influence_mask)
+        return self._packed_influence_cache
+
+    def _packed_neighbourhood(self) -> np.ndarray:
+        """uint64 word-packed copy of the embedding-neighbourhood mask."""
+        if self._packed_neighbourhood_cache is None:
+            self._packed_neighbourhood_cache = pack_rows(self._neighbourhood_mask)
+        return self._packed_neighbourhood_cache
+
+    def _packed_counts(self, positions: Sequence[int]) -> tuple[int, int]:
+        """``(I, D)`` integer counts of a non-empty seed position set."""
+        influenced = _or_reduce_rows(self._packed_influence(), np.asarray(positions))
+        influence = _popcount(influenced)
+        if influence == 0:
+            return 0, 0
+        rows = np.flatnonzero(unpack_bits(influenced, len(self.node_list)))
+        neighbourhood = _or_reduce_rows(self._packed_neighbourhood(), rows)
+        return influence, _popcount(neighbourhood)
     def _positions(self, nodes: Iterable[int]) -> list[int]:
         return [self._index[node] for node in nodes if node in self._index]
 
@@ -230,6 +378,8 @@ class GraphAnalysis:
         positions = self._positions(seed_nodes)
         if not positions:
             return 0
+        if sparse_enabled():
+            return self._packed_counts(positions)[0]
         return int(self._influence_mask[positions].any(axis=0).sum())
 
     def diversity_score(self, seed_nodes: Iterable[int]) -> int:
@@ -238,6 +388,8 @@ class GraphAnalysis:
         positions = self._positions(seed_nodes)
         if not positions:
             return 0
+        if sparse_enabled():
+            return self._packed_counts(positions)[1]
         influenced = self._influence_mask[positions].any(axis=0)
         if not influenced.any():
             return 0
@@ -253,6 +405,20 @@ class GraphAnalysis:
         if total_nodes == 0:
             return 0.0
         seeds = list(seed_nodes)
+        if sparse_enabled():
+            key = frozenset(seeds)
+            cached = self._subset_scores.get(key)
+            if cached is None:
+                positions = self._positions(seeds)
+                if positions:
+                    influence, diversity = self._packed_counts(positions)
+                else:
+                    influence = diversity = 0
+                cached = (influence + self.config.gamma * diversity) / total_nodes
+                if len(self._subset_scores) >= 8192:
+                    self._subset_scores.clear()
+                self._subset_scores[key] = cached
+            return cached
         influence = self.influence_score(seeds)
         diversity = self.diversity_score(seeds)
         return (influence + self.config.gamma * diversity) / total_nodes

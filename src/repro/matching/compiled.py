@@ -1,0 +1,164 @@
+"""Optional numba-compiled backtracking kernel for the match engine.
+
+The interpreted masked search in :mod:`repro.matching.engine`
+(``_iter_row_mappings``) spends its time in Python-level set lookups and
+dict churn.  For *order-insensitive counting* queries — existence probes and
+(capped) matching counts — the whole search collapses to a tight iterative
+backtracker over three flat arrays:
+
+* ``masks`` — ``(k, n)`` candidate mask per pattern position in VF2++ search
+  order (type / degree / neighbour-signature prefilters already applied),
+* ``pattern_adj`` — ``(k, k)`` edge-type codes between ordered pattern
+  positions, ``-1`` where non-adjacent,
+* ``adj_codes`` — ``(n, n)`` edge-type codes between graph rows, ``-1``
+  where non-adjacent (``SparseGraphView.adjacency_code_matrix``).
+
+That shape is exactly what ``numba.njit`` compiles well: no objects, no
+allocation in the inner loop, plain int64/bool arrays.  numba is an
+*optional* dependency (the ``[perf]`` extra): when it is missing, or the JIT
+fails to compile on this platform, :func:`compiled_available` reports
+``False`` and the engine keeps using the interpreted search — the kernel
+below still runs as plain Python, which is how the identity tests exercise
+it without numba installed.
+
+Correctness containment: the kernel enumerates the same *set* of complete
+mappings as the reference matcher (it is a plain VF2 over exact
+compatibility checks; the masks only remove rows that cannot occur in any
+complete matching), so any query that depends only on that set — existence,
+and counts where a cap means ``min(total, cap)`` — is safe to route here.
+Enumeration-*order*-sensitive queries (capped set-valued results) never
+reach this module; the engine replays the reference order for those.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["compiled_available", "compiled_count", "match_count_kernel"]
+
+try:  # pragma: no cover - exercised only with the [perf] extra installed
+    import numba as _numba
+
+    _NUMBA_IMPORTED = True
+except ImportError:
+    _numba = None
+    _NUMBA_IMPORTED = False
+
+
+def _match_count_impl(masks, pattern_adj, adj_codes, max_matchings):
+    """Count complete mappings via iterative backtracking (njit-compatible).
+
+    ``max_matchings < 0`` means uncapped.  Positions are visited in the
+    order of ``masks``' rows; a candidate row must pass its mask, be unused,
+    and agree with every already-assigned position on both adjacency and
+    edge-type code — the same exact compatibility predicate the reference
+    matcher applies, so the set of complete mappings (and hence the count)
+    is identical.
+    """
+    num_pattern, num_rows = masks.shape
+    if num_pattern == 0 or max_matchings == 0:
+        return 0
+    assignment = np.full(num_pattern, -1, dtype=np.int64)
+    used = np.zeros(num_rows, dtype=np.bool_)
+    cursor = np.zeros(num_pattern, dtype=np.int64)
+    count = 0
+    depth = 0
+    while True:
+        advanced = False
+        row = cursor[depth]
+        while row < num_rows:
+            if masks[depth, row] and not used[row]:
+                ok = True
+                for position in range(depth):
+                    graph_code = adj_codes[row, assignment[position]]
+                    pattern_code = pattern_adj[depth, position]
+                    if (pattern_code >= 0) != (graph_code >= 0):
+                        ok = False
+                        break
+                    if pattern_code >= 0 and pattern_code != graph_code:
+                        ok = False
+                        break
+                if ok:
+                    cursor[depth] = row + 1
+                    assignment[depth] = row
+                    used[row] = True
+                    advanced = True
+                    break
+            row += 1
+        if advanced:
+            if depth == num_pattern - 1:
+                count += 1
+                used[assignment[depth]] = False
+                assignment[depth] = -1
+                if max_matchings >= 0 and count >= max_matchings:
+                    return count
+            else:
+                depth += 1
+                cursor[depth] = 0
+        else:
+            cursor[depth] = 0
+            depth -= 1
+            if depth < 0:
+                return count
+            used[assignment[depth]] = False
+            assignment[depth] = -1
+
+
+def match_count_kernel(masks, pattern_adj, adj_codes, max_matchings=-1):
+    """The kernel as plain interpreted Python (always available).
+
+    Exists so the identity tests can compare kernel semantics against the
+    reference matcher on any machine; the engine itself only routes here
+    *compiled* (see :func:`compiled_count`).
+    """
+    return _match_count_impl(
+        np.ascontiguousarray(masks, dtype=np.bool_),
+        np.ascontiguousarray(pattern_adj, dtype=np.int64),
+        np.ascontiguousarray(adj_codes, dtype=np.int64),
+        int(max_matchings),
+    )
+
+
+_compiled_kernel = None
+_compiled_state: bool | None = None
+
+
+def compiled_available() -> bool:
+    """True when the numba-compiled kernel is importable *and* compiles.
+
+    The first call attempts the JIT compilation on a one-node warmup problem
+    and verifies its answer; any failure (numba missing, unsupported
+    platform, LLVM error) latches ``False`` so the engine never retries a
+    broken toolchain in a hot loop.
+    """
+    global _compiled_kernel, _compiled_state
+    if _compiled_state is None:
+        if not _NUMBA_IMPORTED:
+            _compiled_state = False
+        else:  # pragma: no cover - requires the [perf] extra
+            try:
+                jitted = _numba.njit(cache=False, nogil=True)(_match_count_impl)
+                warm_masks = np.ones((1, 1), dtype=np.bool_)
+                warm_codes = np.full((1, 1), -1, dtype=np.int64)
+                if jitted(warm_masks, warm_codes, warm_codes, -1) != 1:
+                    raise RuntimeError("compiled matcher warmup mismatch")
+                _compiled_kernel = jitted
+                _compiled_state = True
+            except Exception:
+                _compiled_kernel = None
+                _compiled_state = False
+    return _compiled_state
+
+
+def compiled_count(masks, pattern_adj, adj_codes, max_matchings=-1) -> int:
+    """Run the *compiled* kernel; call only after :func:`compiled_available`."""
+    if not compiled_available():  # defensive: keeps misuse loud, not wrong
+        return match_count_kernel(masks, pattern_adj, adj_codes, max_matchings)
+    return int(  # pragma: no cover - requires the [perf] extra
+        _compiled_kernel(
+            np.ascontiguousarray(masks, dtype=np.bool_),
+            np.ascontiguousarray(pattern_adj, dtype=np.int64),
+            np.ascontiguousarray(adj_codes, dtype=np.int64),
+            int(max_matchings),
+        )
+    )

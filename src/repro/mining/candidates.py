@@ -15,7 +15,7 @@ from collections.abc import Sequence
 from repro.graphs.graph import Graph
 from repro.graphs.pattern import GraphPattern
 from repro.graphs.subgraph import khop_subgraph
-from repro.mining.frequent import enumerate_connected_patterns
+from repro.mining.frequent import enumerate_connected_patterns, iter_connected_pattern_keys
 from repro.mining.mdl import mdl_rank
 
 __all__ = ["PatternGenerator"]
@@ -96,3 +96,33 @@ class PatternGenerator:
                 fresh.setdefault(key, pattern)
         ranked = mdl_rank(list(fresh.values()), [local])
         return ranked[: self.max_candidates]
+
+    def has_novel_pattern(
+        self,
+        subgraph: Graph,
+        new_node: int,
+        existing_patterns: Sequence[GraphPattern],
+        hops: int = 1,
+    ) -> bool:
+        """Whether :meth:`generate_incremental` would return any pattern.
+
+        Short-circuiting membership probe: walks the same neighbourhood
+        enumeration (same order, same truncation cap) but stops at the first
+        canonical key not already in ``existing_patterns`` — no pattern is
+        materialised and no MDL ranking runs.  ``max_candidates`` is >= 1,
+        and dedup/ranking/truncation preserve emptiness, so the answer is
+        exactly ``bool(self.generate_incremental(...))``.  The streaming
+        swap loop (``IncUpdateVS`` case b) only needs this boolean.
+        """
+        if subgraph.num_nodes() == 0 or not subgraph.has_node(new_node):
+            return False
+        local = khop_subgraph(subgraph, new_node, hops)
+        known_keys = {pattern.canonical_key() for pattern in existing_patterns}
+        return any(
+            key not in known_keys
+            for key in iter_connected_pattern_keys(
+                local,
+                self.max_pattern_size,
+                max_patterns_per_graph=self.max_patterns_per_graph,
+            )
+        )

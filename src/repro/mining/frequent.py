@@ -34,7 +34,12 @@ from repro.graphs.sparse import sparse_enabled
 from repro.graphs.subgraph import induced_subgraph
 from repro.matching.engine import match_many
 
-__all__ = ["FrequentPattern", "enumerate_connected_patterns", "frequent_patterns"]
+__all__ = [
+    "FrequentPattern",
+    "enumerate_connected_patterns",
+    "frequent_patterns",
+    "iter_connected_pattern_keys",
+]
 
 
 @dataclass
@@ -121,6 +126,101 @@ def _enumerate_incremental(
                 new_edges.append((graph.edge_type(neighbour, other), type_pair))
             frontier.append((extended, new_degrees, new_edges))
     return list(patterns.values())
+
+
+def _iter_keys_reference(
+    graph: Graph, max_pattern_size: int, max_patterns_per_graph: int
+):
+    """Distinct canonical keys of :func:`_enumerate_reference`, lazily."""
+    seen: set[tuple] = set()
+    visited_sets: set[frozenset[int]] = set()
+    frontier: deque[frozenset[int]] = deque(frozenset({node}) for node in graph.nodes)
+    visited_sets.update(frontier)
+    while frontier and len(seen) < max_patterns_per_graph:
+        node_set = frontier.popleft()
+        key = GraphPattern.from_graph(induced_subgraph(graph, node_set)).canonical_key()
+        if key not in seen:
+            seen.add(key)
+            yield key
+        if len(node_set) >= max_pattern_size:
+            continue
+        boundary: set[int] = set()
+        for node in node_set:
+            boundary |= graph.neighbors(node)
+        for neighbour in sorted(boundary - node_set):
+            extended = node_set | {neighbour}
+            if extended not in visited_sets:
+                visited_sets.add(extended)
+                frontier.append(extended)
+
+
+def _iter_keys_incremental(
+    graph: Graph, max_pattern_size: int, max_patterns_per_graph: int
+):
+    """Distinct canonical keys of :func:`_enumerate_incremental`, lazily.
+
+    Exactly the fast path's traversal and incrementally-maintained keys, but
+    no :class:`GraphPattern` is ever materialised — the incremental key tuple
+    *is* :meth:`Graph.structural_signature` (same sorted ``(type, degree)``
+    node part, same sorted edge-descriptor part), so the yielded keys compare
+    equal to ``GraphPattern.canonical_key()`` values.
+    """
+    adjacency = {node: graph.neighbors(node) for node in graph.nodes}
+    node_type = graph.node_types()
+    seen: set[tuple] = set()
+    visited_sets: set[frozenset[int]] = set()
+    frontier: deque[tuple[frozenset[int], dict[int, int], list[tuple]]] = deque(
+        (frozenset({node}), {node: 0}, []) for node in graph.nodes
+    )
+    visited_sets.update(entry[0] for entry in frontier)
+    while frontier and len(seen) < max_patterns_per_graph:
+        node_set, degrees, edge_descriptors = frontier.popleft()
+        key = (
+            tuple(sorted((node_type[node], degrees[node]) for node in node_set)),
+            tuple(sorted(edge_descriptors)),
+        )
+        if key not in seen:
+            seen.add(key)
+            yield key
+        if len(node_set) >= max_pattern_size:
+            continue
+        boundary: set[int] = set()
+        for node in node_set:
+            boundary |= adjacency[node]
+        for neighbour in sorted(boundary - node_set):
+            extended = node_set | {neighbour}
+            if extended in visited_sets:
+                continue
+            visited_sets.add(extended)
+            new_links = adjacency[neighbour] & node_set
+            new_degrees = dict(degrees)
+            new_degrees[neighbour] = len(new_links)
+            new_edges = list(edge_descriptors)
+            for other in new_links:
+                new_degrees[other] += 1
+                type_pair = tuple(sorted((node_type[neighbour], node_type[other])))
+                new_edges.append((graph.edge_type(neighbour, other), type_pair))
+            frontier.append((extended, new_degrees, new_edges))
+
+
+def iter_connected_pattern_keys(
+    graph: Graph,
+    max_pattern_size: int,
+    max_patterns_per_graph: int = 256,
+):
+    """Lazily yield the distinct canonical keys :func:`enumerate_connected_patterns`
+    would produce, in the same order and under the same truncation cap.
+
+    Lets callers that only need a *membership* answer ("does this graph
+    contain any pattern whose key is not already known?") short-circuit the
+    enumeration without materialising patterns — the streaming novelty probe
+    (``PatternGenerator.has_novel_pattern``) is the hot consumer.
+    """
+    if max_pattern_size < 1:
+        raise MiningError("max_pattern_size must be at least 1")
+    if sparse_enabled():
+        return _iter_keys_incremental(graph, max_pattern_size, max_patterns_per_graph)
+    return _iter_keys_reference(graph, max_pattern_size, max_patterns_per_graph)
 
 
 def enumerate_connected_patterns(

@@ -1,0 +1,109 @@
+"""Identity tests for the optional compiled matching kernel.
+
+numba is an optional ``[perf]`` extra and is typically absent in CI, so the
+kernel is exercised here *interpreted* — :func:`match_count_kernel` runs the
+exact function numba would compile, which pins the semantics the JIT'd
+variant inherits.  The engine-level tests additionally flip
+``MatchEngine.use_compiled`` both ways: with numba absent both routes take
+the interpreted search, and with it present the compiled route must agree —
+either way the assertions are against the reference matcher.
+"""
+
+import random
+
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.pattern import GraphPattern
+from repro.matching.compiled import compiled_available, compiled_count, match_count_kernel
+from repro.matching.engine import MatchEngine, _kernel_inputs, _PatternIndex
+from repro.matching.isomorphism import count_matchings as reference_count
+from repro.matching.isomorphism import has_matching as reference_has
+
+_TYPES = ["A", "B", "C"]
+_EDGE_TYPES = ["x", "y"]
+
+
+def _random_graph(rng: random.Random, num_nodes: int, edge_probability: float) -> Graph:
+    graph = Graph()
+    for node in range(num_nodes):
+        graph.add_node(node, node_type=rng.choice(_TYPES))
+    for u in range(num_nodes):
+        for v in range(u + 1, num_nodes):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v, edge_type=rng.choice(_EDGE_TYPES))
+    return graph
+
+
+def _kernel_count(pattern: GraphPattern, graph: Graph, cap: int = -1) -> int:
+    view = graph.sparse_view()
+    index = _PatternIndex(pattern, view)
+    if not index.feasible:
+        return 0
+    return match_count_kernel(*_kernel_inputs(index, view), cap)
+
+
+class TestKernelIdentity:
+    def test_counts_match_reference_on_random_graphs(self):
+        rng = random.Random(0)
+        feasible = 0
+        for _ in range(60):
+            # Above SMALL_GRAPH_NODES so these sizes really take the
+            # indexed/compiled route inside the engine.
+            graph = _random_graph(rng, rng.randint(26, 36), rng.uniform(0.05, 0.2))
+            pattern = GraphPattern.from_graph(_random_graph(rng, rng.randint(1, 4), 0.6))
+            expected = reference_count(pattern, graph)
+            assert _kernel_count(pattern, graph) == expected
+            cap = rng.randint(1, 5)
+            assert _kernel_count(pattern, graph, cap) == min(expected, cap)
+            assert (_kernel_count(pattern, graph, 1) > 0) == reference_has(pattern, graph)
+            feasible += expected > 0
+        assert feasible > 0  # the fuzz must exercise non-trivial matches
+
+    def test_cap_zero_counts_nothing(self):
+        rng = random.Random(1)
+        graph = _random_graph(rng, 26, 0.3)
+        pattern = GraphPattern.from_graph(_random_graph(rng, 2, 1.0))
+        assert _kernel_count(pattern, graph, 0) == 0
+
+    def test_disconnected_pattern(self):
+        rng = random.Random(2)
+        graph = _random_graph(rng, 28, 0.15)
+        isolated = Graph()
+        isolated.add_node(0, node_type="A")
+        isolated.add_node(1, node_type="B")  # no edge: disconnected pattern
+        pattern = GraphPattern.from_graph(isolated)
+        assert _kernel_count(pattern, graph) == reference_count(pattern, graph)
+
+
+class TestEngineRouting:
+    @pytest.mark.parametrize("use_compiled", [True, False])
+    def test_engine_matches_reference_either_route(self, use_compiled):
+        rng = random.Random(3)
+        engine = MatchEngine()
+        engine.use_compiled = use_compiled
+        for _ in range(15):
+            graph = _random_graph(rng, rng.randint(26, 34), 0.12)
+            pattern = GraphPattern.from_graph(_random_graph(rng, rng.randint(1, 4), 0.6))
+            assert engine.has_matching(pattern, graph) == reference_has(pattern, graph)
+            assert engine.count_matchings(pattern, graph) == reference_count(pattern, graph)
+            assert engine.count_matchings(pattern, graph, limit=3) == reference_count(
+                pattern, graph, limit=3
+            )
+
+    def test_compiled_available_is_stable_bool(self):
+        first = compiled_available()
+        assert isinstance(first, bool)
+        assert compiled_available() is first  # latched, never re-probes
+
+    def test_compiled_count_falls_back_when_not_compiled(self):
+        # Without numba the defensive fallback must still answer correctly.
+        rng = random.Random(4)
+        graph = _random_graph(rng, 26, 0.2)
+        pattern = GraphPattern.from_graph(_random_graph(rng, 2, 1.0))
+        view = graph.sparse_view()
+        index = _PatternIndex(pattern, view)
+        if not index.feasible:
+            pytest.skip("prefilters certified emptiness for this draw")
+        arrays = _kernel_inputs(index, view)
+        assert compiled_count(*arrays, -1) == match_count_kernel(*arrays, -1)

@@ -97,6 +97,10 @@ class TestValidationMessages:
         with pytest.raises(ConfigurationError, match="radius.*non-negative"):
             Configuration(radius=-1.0)
 
+    def test_stream_batching_validated(self):
+        with pytest.raises(ConfigurationError, match="stream_batching"):
+            Configuration(stream_batching="sometimes")
+
     def test_default_bound_type_checked(self):
         with pytest.raises(ConfigurationError, match="default_bound.*CoverageBound"):
             Configuration(default_bound=(0, 5))  # type: ignore[arg-type]
@@ -132,6 +136,7 @@ class TestFingerprint:
             Configuration(max_pattern_size=3),
             Configuration(diversity_hops=2),
             Configuration(selection_strategy="eager"),
+            Configuration(stream_batching="off"),
             Configuration(match_cache_size=64),
             Configuration().with_default_bound(0, 9),
             Configuration().with_bound(1, 0, 5),

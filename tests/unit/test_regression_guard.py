@@ -19,6 +19,7 @@ def full_report(**overrides):
         "wal_ingest_ratio_min": 1.0,
         "views_identical": True,
         "lazy_eager_identical": True,
+        "stream_identical": True,
         "matching_identical": True,
         "mining_identical": True,
         "service_identical": True,
@@ -40,6 +41,24 @@ class TestCheck:
     def test_false_identity_flag_fails(self):
         failures = check(full_report(incremental_identical=False), BASELINE)
         assert any("recompute" in f for f in failures)
+
+    def test_broken_stream_identity_fails(self):
+        failures = check(full_report(stream_identical=False), BASELINE)
+        assert any("StreamGVEX" in f for f in failures)
+
+    def test_stream_suite_report_guards_its_own_flag(self):
+        """`--suite stream` + `--metrics stream_explain_label_speedup_min`
+        must validate stream_identical and nothing else."""
+        baseline = {**BASELINE, "stream_explain_label_speedup_min": 3.0}
+        partial = {
+            "stream_explain_label_speedup_min": 3.4,
+            "stream_identical": True,
+        }
+        metrics = ("stream_explain_label_speedup_min",)
+        assert check(partial, baseline, metrics=metrics) == []
+        del partial["stream_identical"]
+        failures = check(partial, baseline, metrics=metrics)
+        assert any("stream_identical" in f for f in failures)
 
     def test_broken_wal_replay_identity_fails(self):
         failures = check(full_report(wal_identical=False), BASELINE)

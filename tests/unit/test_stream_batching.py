@@ -1,0 +1,95 @@
+"""Batched stream swaps vs the per-node oracle (PR 7 tentpole identity).
+
+``Configuration.stream_batching`` selects between ``StreamGVEX``'s batched
+per-arriving-batch path (primed VpExtend verdicts, swap-first IncUpdateVS,
+short-circuit novelty probes) and the paper-literal per-node loop.  The two
+must produce *identical* views — same node sets, same patterns, same
+explainability — on every input; these tests pin that across datasets,
+stream seeds, backends and both ``ViewMaintainer`` label sources.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import Configuration
+from repro.core.maintenance import ViewMaintainer
+from repro.core.streaming import StreamGVEX
+from repro.graphs.database import GraphDatabase
+from repro.graphs.sparse import sparse_backend
+
+
+def _view_signature(view) -> tuple:
+    return (
+        view.label,
+        [sorted(subgraph.nodes) for subgraph in view.subgraphs],
+        sorted(pattern.canonical_key() for pattern in view.patterns),
+        round(view.explainability, 12),
+    )
+
+
+def _stream_signatures(model, database, config, seed) -> list[tuple]:
+    explainer = StreamGVEX(model, config, batch_size=5, seed=seed)
+    labels = sorted({model.predict(graph) for graph in database.graphs})
+    return [
+        _view_signature(explainer.explain_label(database.graphs, label))
+        for label in labels
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_batched_equals_per_node_stream(trained_mut_model, mut_database, seed):
+    base = Configuration(theta=0.08).with_default_bound(0, 8)
+    signatures = {
+        mode: _stream_signatures(
+            trained_mut_model,
+            mut_database,
+            replace(base, stream_batching=mode),
+            seed,
+        )
+        for mode in ("on", "off")
+    }
+    assert signatures["on"] == signatures["off"]
+
+
+def test_auto_matches_forced_modes_on_both_backends(trained_mut_model, mut_database):
+    """``auto`` resolves to the batched path iff the sparse backend is on —
+    and whichever path it resolves to, the views are the same."""
+    base = Configuration(theta=0.08).with_default_bound(0, 8)
+    results = {}
+    for backend in (True, False):
+        with sparse_backend(backend):
+            for mode in ("auto", "off"):
+                config = replace(base, stream_batching=mode)
+                results[(backend, mode)] = _stream_signatures(
+                    trained_mut_model, mut_database, config, seed=0
+                )
+    reference = results[(True, "auto")]
+    assert all(value == reference for value in results.values())
+
+
+@pytest.mark.parametrize("label_source", ["predicted", "stored"])
+def test_maintainer_views_identical_across_batching(
+    trained_mut_model, mut_database, label_source
+):
+    base = Configuration(theta=0.08).with_default_bound(0, 8)
+    graphs = mut_database.graphs
+    labels = mut_database.labels
+    split = len(graphs) - 4
+    state = {}
+    for mode in ("on", "off"):
+        config = replace(base, stream_batching=mode)
+        database = GraphDatabase(f"mut-{mode}")
+        for graph, label in zip(graphs[:split], labels[:split]):
+            database.add_graph(graph.copy(), label)
+        maintainer = ViewMaintainer(
+            trained_mut_model, config, batch_size=5, label_source=label_source
+        ).attach(database)
+        for graph, label in zip(graphs[split:], labels[split:]):
+            database.add_graph(graph.copy(), label)
+        state[mode] = {
+            label: _view_signature(maintainer.view_for(label))
+            for label in maintainer.maintained_labels()
+        }
+        maintainer.detach()
+    assert state["on"] == state["off"]
