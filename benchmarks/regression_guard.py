@@ -14,7 +14,11 @@ the full reference path), plus the incremental view-maintenance path
 (ingesting a 10% delta through a warm ``ViewMaintainer`` vs a full
 StreamGVEX recompute, with view identity asserted) and the durability path
 (WAL-fsync'd service ingest vs in-memory ingest, with the crash-recovery
-replay asserted signature-identical to the durable run).
+replay asserted signature-identical to the durable run).  The sharded
+serving tier is guarded through ``load_scaling_min`` — a ratio produced by
+``bench_load.py`` (largest-shard-count QPS over the 1-shard arm, same
+machine, same request schedule) rather than ``bench_hot_paths.py``; pass
+that report with ``--metrics load_scaling_min``.
 
 Speedup ratios — not wall-clock seconds — are compared, because both the
 vectorized and the reference implementation run on the same machine in the
@@ -48,6 +52,7 @@ GUARDED_METRICS = (
     "service_direct_ratio_min",
     "incremental_speedup_min",
     "wal_ingest_ratio_min",
+    "load_scaling_min",
 )
 
 # Identity flag required alongside each guarded metric, with the failure
@@ -94,6 +99,11 @@ IDENTITY_FLAGS = {
         "wal_identical",
         "views replayed from the write-ahead log no longer match the views "
         "the durable service maintained while appending it",
+    ),
+    "load_scaling_min": (
+        "sharded_identical",
+        "sharded serving no longer answers identically to the single-process "
+        "service (stream at every shard count / everything at 1 shard)",
     ),
 }
 

@@ -17,7 +17,11 @@
   aliases);
 * :class:`ReplicaService` / :func:`view_signature` — the replica client
   tailing a primary's ``/v1/deltas`` stream into local read-only live
-  views, and the semantic view digest both sides compare.
+  views, and the semantic view digest both sides compare;
+* :class:`ShardRouter` / :class:`ShardPlan` — the sharded multi-process
+  serving tier (``repro serve --shards N``): deterministic hash placement,
+  per-shard worker processes with their own WAL streams, shared-memory CSR
+  snapshots, and router-side cross-shard view assembly.
 
 The algorithm classes (``ApproxGVEX``, ``StreamGVEX``, the
 ``BaseExplainer`` zoo) remain importable from their historical locations as
@@ -51,6 +55,7 @@ from repro.api.serialize import (
 )
 from repro.api.server import API_VERSION, create_server, serve
 from repro.api.service import ExplanationService, ServiceQuery
+from repro.api.sharding import ShardPlan, ShardRouter
 from repro.api.store import ViewStore
 from repro.api.types import (
     SCHEMA_VERSION,
@@ -94,4 +99,6 @@ __all__ = [
     "serve",
     "ReplicaService",
     "view_signature",
+    "ShardPlan",
+    "ShardRouter",
 ]

@@ -50,10 +50,64 @@ from repro.exceptions import ReplicationError, ReplicationGapError
 from repro.gnn.models import GNNClassifier
 from repro.graphs.database import GraphDatabase
 
-__all__ = ["BOOTSTRAP_KIND", "ReplicaService", "view_signature", "config_from_canonical"]
+__all__ = [
+    "BOOTSTRAP_KIND",
+    "ReplicaService",
+    "view_signature",
+    "config_from_canonical",
+    "model_to_payload",
+    "model_from_payload",
+]
 
 #: ``kind`` tag of the bootstrap payload served by ``/v1/replica/bootstrap``.
 BOOTSTRAP_KIND = "replica_bootstrap"
+
+
+def model_to_payload(model: GNNClassifier) -> dict[str, Any]:
+    """JSON-safe architecture + exact weights of a trained classifier.
+
+    The wire form every trained-model hand-off shares: replica bootstraps
+    (``/v1/replica/bootstrap``) and shard-worker bootstraps both ship it.
+    JSON carries doubles losslessly, so a model rebuilt from this payload
+    makes bit-identical forward passes.
+    """
+    return {
+        "spec": {
+            "feature_dim": model.feature_dim,
+            "num_classes": model.num_classes,
+            "hidden_dim": model.hidden_dim,
+            "num_layers": model.num_layers,
+            "conv": model.conv,
+            "pooling": model.pooling_name,
+        },
+        "weights": [
+            {name: array.tolist() for name, array in layer.items()}
+            for layer in model.get_weights()
+        ],
+    }
+
+
+def model_from_payload(payload: dict[str, Any]) -> GNNClassifier:
+    """Rebuild a trained classifier from :func:`model_to_payload` output."""
+    spec = payload["spec"]
+    model = GNNClassifier(
+        feature_dim=spec["feature_dim"],
+        num_classes=spec["num_classes"],
+        hidden_dim=spec["hidden_dim"],
+        num_layers=spec["num_layers"],
+        conv=spec["conv"],
+        pooling=spec["pooling"],
+    )
+    model.set_weights(
+        [
+            {name: np.asarray(array, dtype=float) for name, array in layer.items()}
+            for layer in payload["weights"]
+        ]
+    )
+    # set_weights installs parameters but deliberately does not mark the
+    # model trained; the adopter received weights that *were* trained.
+    model.is_trained = True
+    return model
 
 
 def view_signature(view: ExplanationView) -> str:
@@ -189,24 +243,7 @@ class ReplicaService:
                 f"expected a {BOOTSTRAP_KIND!r} payload, got {payload.get('kind')!r}"
             )
         database = GraphDatabase.from_dict(payload["database"])
-        spec = payload["model"]["spec"]
-        model = GNNClassifier(
-            feature_dim=spec["feature_dim"],
-            num_classes=spec["num_classes"],
-            hidden_dim=spec["hidden_dim"],
-            num_layers=spec["num_layers"],
-            conv=spec["conv"],
-            pooling=spec["pooling"],
-        )
-        model.set_weights(
-            [
-                {name: np.asarray(array, dtype=float) for name, array in layer.items()}
-                for layer in payload["model"]["weights"]
-            ]
-        )
-        # set_weights installs parameters but deliberately does not mark the
-        # model trained; the replica adopted weights that *were* trained.
-        model.is_trained = True
+        model = model_from_payload(payload["model"])
         config = config_from_canonical(payload["config"])
         if self.service is not None:
             self.service.close()

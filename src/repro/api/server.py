@@ -40,6 +40,13 @@ header pointing at the ``/v1`` successor.
 rejects mutations (``POST /v1/ingest`` → 403) while keeping every read
 endpoint live.
 
+``create_server`` binds to anything exposing the service surface — the
+single-process :class:`~repro.api.service.ExplanationService` or the
+sharded :class:`~repro.api.sharding.ShardRouter` (``repro serve --shards
+N``).  In sharded mode the replication endpoints (``/v1/deltas``,
+``/v1/replica/bootstrap``) answer 404: durability is per-shard WAL
+streams, not a global delta feed.
+
 Built on :class:`http.server.ThreadingHTTPServer` (no third-party
 dependency), which is sufficient for the explanation workloads this repo
 targets: views are cached after first computation, so steady-state requests
@@ -67,7 +74,8 @@ API_VERSION = "v1"
 class _ExplanationRequestHandler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto the bound :class:`ExplanationService`."""
 
-    # Installed by create_server on the generated subclass.
+    # Installed by create_server on the generated subclass.  Annotated as
+    # the single-process service; a ShardRouter duck-types the same surface.
     service: ExplanationService = None  # type: ignore[assignment]
     quiet: bool = True
     read_only: bool = False
@@ -317,7 +325,9 @@ def create_server(
     ``server.server_address``.  ``read_only=True`` builds the replica-facing
     variant: every read endpoint stays live, mutations are refused with 403.
     Callers own the lifecycle: run ``serve_forever()`` (optionally on a
-    thread) and ``shutdown()`` when done.
+    thread) and ``shutdown()`` when done.  ``service`` may equally be a
+    :class:`~repro.api.sharding.ShardRouter` — the handler only touches the
+    shared service surface.
     """
     handler = type(
         "BoundExplanationRequestHandler",

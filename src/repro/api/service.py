@@ -321,8 +321,9 @@ class ExplanationService:
         losslessly), the configuration, and the maintainer parameters when
         live views are enabled.
         """
+        from repro.api.replication import model_to_payload
+
         with self._lock:
-            model = self.model
             maintainer = None
             if self._maintainer is not None:
                 maintainer = {
@@ -335,20 +336,7 @@ class ExplanationService:
                 "version": self.database.version,
                 "dataset": self.dataset,
                 "database": self.database.to_dict(),
-                "model": {
-                    "spec": {
-                        "feature_dim": model.feature_dim,
-                        "num_classes": model.num_classes,
-                        "hidden_dim": model.hidden_dim,
-                        "num_layers": model.num_layers,
-                        "conv": model.conv,
-                        "pooling": model.pooling_name,
-                    },
-                    "weights": [
-                        {name: array.tolist() for name, array in layer.items()}
-                        for layer in model.get_weights()
-                    ],
-                },
+                "model": model_to_payload(self.model),
                 "config": self.config.canonical_dict(),
                 "maintainer": maintainer,
             }

@@ -1,0 +1,26 @@
+"""Sharded multi-process serving tier.
+
+A :class:`ShardRouter` front-end over N long-lived worker processes, each
+hosting one shard's :class:`~repro.api.service.ExplanationService` (live
+view maintainer + per-shard WAL stream), with the seed graphs' CSR views
+shared zero-copy through one ``multiprocessing.shared_memory`` arena.
+
+>>> router = ShardRouter("MUT", database=db, model=model, num_shards=4)
+>>> result = router.explain(algorithm="stream", label=1)   # == 1-process run
+>>> router.close()
+"""
+
+from repro.api.sharding.plan import ShardPlan
+from repro.api.sharding.router import ShardRouter
+from repro.api.sharding.shm import SharedViewArena, attach_arena, create_arena
+from repro.api.sharding.worker import ShardHost, shard_worker_main
+
+__all__ = [
+    "ShardPlan",
+    "ShardRouter",
+    "SharedViewArena",
+    "ShardHost",
+    "create_arena",
+    "attach_arena",
+    "shard_worker_main",
+]

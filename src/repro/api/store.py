@@ -138,8 +138,11 @@ class ViewStore:
                 # leave a truncated snapshot that poisons every later
                 # restart, and a published snapshot must survive power loss
                 # (WAL recovery replays on top of whatever snapshot the
-                # directory durably holds).
-                tmp = path.with_suffix(".tmp")
+                # directory durably holds).  The tmp name is unique per
+                # writer: shard workers share spill directories across
+                # processes, and two writers interleaving into one tmp file
+                # would publish a torn snapshot through the rename.
+                tmp = self._tmp_path(path)
                 with tmp.open("w", encoding="utf-8") as handle:
                     handle.write(json.dumps(payload))
                     handle.flush()
@@ -248,10 +251,36 @@ class ViewStore:
             raise ExplanationError(f"cannot derive a spill filename from key {key!r}")
         return self.spill_dir / f"{safe}.json"
 
+    @staticmethod
+    def _tmp_path(path: Path) -> Path:
+        """A writer-unique sibling for tmp→rename publication.
+
+        pid + thread id make the name unique across the processes *and*
+        request threads that may share one spill directory; a fixed
+        ``.tmp`` suffix would let two concurrent writers interleave into
+        the same file and atomically publish garbage.
+        """
+        return path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+
     def _spill(self, key: str, result: ExplanationResult) -> None:
         path = self._spill_path(key)
         if path is None:
             return
         if not path.is_file():
-            save_artifact(result, path)
+            # Atomic publication (write the envelope aside, rename into
+            # place): concurrent writers — shard workers spilling into a
+            # shared directory, or a reader racing a writer — only ever see
+            # a complete file or none.  The existence check is advisory
+            # (first writer usually wins); a concurrent double-write is
+            # harmless because both sides publish identical content for the
+            # same fingerprint key.  No fsync: the spill tier is a cache,
+            # durability lives in the WAL and the snapshot tier.
+            tmp = self._tmp_path(path)
+            try:
+                save_artifact(result, tmp)
+                tmp.replace(path)
+            finally:
+                tmp.unlink(missing_ok=True)
             self.spills += 1

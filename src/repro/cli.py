@@ -132,6 +132,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000)
     serve.add_argument("--epochs", type=int, default=40)
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="serve through the sharded multi-process tier with this many "
+        "shard workers (each owning its own WAL stream and live views)",
+    )
     serve.add_argument("--cache-dir", default=None, help="spill directory for the view cache")
     serve.add_argument(
         "--wal-dir", default=None,
@@ -429,10 +434,50 @@ def _command_ingest(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sharded_router(
+    dataset: str,
+    *,
+    epochs: int,
+    num_shards: int,
+    cache_dir: str | None,
+    wal_dir: str | None,
+):
+    """The sharded serving tier over the deterministically prepared context.
+
+    Same adoption discipline as :func:`_durable_service` (copy the memoised
+    context database before the workers' WAL replay can mutate it), plus
+    the test split so limited selections rank identically to the
+    single-process service.
+    """
+    from repro.api.sharding import ShardRouter
+    from repro.experiments import prepare_context
+    from repro.graphs import GraphDatabase
+
+    context = prepare_context(dataset, epochs=epochs)
+    database = GraphDatabase.from_dict(context.database.to_dict())
+    router = ShardRouter(
+        dataset,
+        database=database,
+        model=context.model,
+        num_shards=num_shards,
+        cache_dir=cache_dir,
+        wal_dir=wal_dir,
+        test_ids=[database[index].graph_id for index in context.test_indices],
+    )
+    router.train_accuracy = context.train_accuracy
+    router.test_accuracy = context.test_accuracy
+    return router
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.api.server import create_server, serve
 
-    if args.wal_dir:
+    if args.shards is not None:
+        service = _sharded_router(
+            args.dataset, epochs=args.epochs, num_shards=args.shards,
+            cache_dir=args.cache_dir, wal_dir=args.wal_dir or None,
+        )
+    elif args.wal_dir:
         service = _durable_service(
             args.dataset, epochs=args.epochs, cache_dir=args.cache_dir,
             wal_dir=args.wal_dir, live_views=False,
@@ -442,7 +487,12 @@ def _command_serve(args: argparse.Namespace) -> int:
             args.dataset, epochs=args.epochs, cache_dir=args.cache_dir
         )
     if not args.smoke:
-        serve(service, host=args.host, port=args.port)
+        try:
+            serve(service, host=args.host, port=args.port)
+        finally:
+            # Graceful drain: in sharded mode this asks every worker to
+            # persist its maintainer snapshot and close its WAL stream.
+            service.close()
         return 0
 
     # Smoke mode: bring the server up for real, run one explain round-trip
@@ -463,10 +513,22 @@ def _command_serve(args: argparse.Namespace) -> int:
         with urllib.request.urlopen(request, timeout=600) as response:
             payload = json.loads(response.read())
         print(json.dumps(payload, indent=2, sort_keys=True))
+        if args.shards is not None:
+            # Sharded smoke additionally proves the tier's health surface:
+            # every worker must answer with its pid and shard stats.
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/v1/health", timeout=60
+            ) as response:
+                health = json.loads(response.read())
+            alive = [shard.get("alive") for shard in health.get("shards", [])]
+            print(json.dumps({"shards_alive": alive}, sort_keys=True))
+            if not alive or not all(alive):
+                return 1
     finally:
         server.shutdown()
         server.server_close()
         thread.join(timeout=5)
+        service.close()
     return 0
 
 

@@ -66,7 +66,12 @@ from repro.matching.engine import apply_config_cache_size
 from repro.matching.incremental import IncrementalMatcher
 from repro.mining.candidates import PatternGenerator
 
-__all__ = ["MaintainedExplanation", "NodeStreamProcessor", "ViewMaintainer"]
+__all__ = [
+    "MaintainedExplanation",
+    "NodeStreamProcessor",
+    "ViewMaintainer",
+    "assemble_view_from_rows",
+]
 
 SNAPSHOT_KIND = "view_maintainer_snapshot"
 SNAPSHOT_SCHEMA_VERSION = 1
@@ -915,26 +920,44 @@ class ViewMaintainer:
             "record_history": self.record_history,
             "labels": sorted(self.labels) if self.labels is not None else None,
             "database_version": self.database.version if self.database is not None else None,
-            "rows": [
-                {
-                    "graph_id": row.graph_id,
-                    "label": row.label,
-                    "stored_label": row.stored_label,
-                    "nodes": sorted(row.subgraph.nodes) if row.subgraph is not None else None,
-                    "explainability": (
-                        row.subgraph.explainability if row.subgraph is not None else None
-                    ),
-                    "consistent": row.subgraph.consistent if row.subgraph is not None else None,
-                    "counterfactual": (
-                        row.subgraph.counterfactual if row.subgraph is not None else None
-                    ),
-                    "patterns": [pattern.to_dict() for pattern in row.patterns],
-                    "history": row.history,
-                    "runtime_seconds": row.runtime_seconds,
-                }
-                for row in self._rows.values()
-            ],
+            "rows": [self._row_payload(row) for row in self._rows.values()],
         }
+
+    @staticmethod
+    def _row_payload(row: MaintainedExplanation) -> dict[str, Any]:
+        """One row's JSON-safe wire form (shared by snapshots and sharding)."""
+        return {
+            "graph_id": row.graph_id,
+            "label": row.label,
+            "stored_label": row.stored_label,
+            "nodes": sorted(row.subgraph.nodes) if row.subgraph is not None else None,
+            "explainability": (
+                row.subgraph.explainability if row.subgraph is not None else None
+            ),
+            "consistent": row.subgraph.consistent if row.subgraph is not None else None,
+            "counterfactual": (
+                row.subgraph.counterfactual if row.subgraph is not None else None
+            ),
+            "patterns": [pattern.to_dict() for pattern in row.patterns],
+            "history": row.history,
+            "runtime_seconds": row.runtime_seconds,
+        }
+
+    def row_payloads(self, label: int | None = None) -> list[dict[str, Any]]:
+        """Per-row wire payloads in database order (the sharded-assembly feed).
+
+        Each entry is exactly one :meth:`snapshot` row.  Because the
+        per-graph streaming pass shuffles every graph's node stream with a
+        *fresh* seeded generator, rows are independent of database iteration
+        order — a front-end holding rows from several maintainers (one per
+        database shard) can reorder them by its own global database order
+        and hand them to :func:`assemble_view_from_rows`, reproducing
+        :meth:`view_for`'s assembly bit-for-bit.
+        """
+        rows = self._ordered_rows()
+        if label is not None:
+            rows = [row for row in rows if row.label == label]
+        return [self._row_payload(row) for row in rows]
 
     @classmethod
     def from_snapshot(
@@ -1062,3 +1085,78 @@ class ViewMaintainer:
             "attached": self.database is not None,
             "label_source": self.label_source,
         }
+
+
+# ----------------------------------------------------------------------
+# cross-process view assembly (the sharded serving tier's identity lever)
+# ----------------------------------------------------------------------
+def assemble_view_from_rows(
+    rows: Sequence[dict[str, Any]],
+    label: int,
+    graphs_by_id: dict[int | None, Graph],
+    *,
+    batch_size: int = DEFAULT_STREAM_BATCH_SIZE,
+) -> ExplanationView:
+    """Assemble one label's two-tier view from maintainer row payloads.
+
+    The cross-process half of :meth:`ViewMaintainer.view_for`: a shard
+    router collects :meth:`ViewMaintainer.row_payloads` from per-shard
+    maintainers, orders them by its *global* database order, and this
+    function applies the exact assembly law of ``_build_view`` — subgraphs
+    in row order, patterns deduplicated by canonical key in first-seen
+    order with reassigned ids, explainability summed in row order.  Since
+    each row is computed independently of database iteration order (fresh
+    seeded node-stream shuffle per graph), the result is bit-identical to
+    a single maintainer (and hence a full ``StreamGVEX`` recompute) over
+    the unsharded database.
+
+    ``rows`` entries whose label differs are skipped, so callers may hand
+    over unfiltered row lists.  Raises when a row references a graph the
+    assembling database does not hold — shard routing and assembly must
+    agree on membership, silently dropping a witness would corrupt the
+    view.
+    """
+    subgraphs: list[ExplanationSubgraph] = []
+    patterns: dict[tuple, GraphPattern] = {}
+    runtime = 0.0
+    for entry in rows:
+        if entry.get("label") != label:
+            continue
+        runtime += float(entry.get("runtime_seconds", 0.0))
+        nodes = entry.get("nodes")
+        if nodes is not None:
+            graph = graphs_by_id.get(entry.get("graph_id"))
+            if graph is None:
+                raise ExplanationError(
+                    f"cannot assemble the view for label {label}: row graph "
+                    f"{entry.get('graph_id')!r} is not in the assembling "
+                    "database"
+                )
+            subgraphs.append(
+                ExplanationSubgraph(
+                    source_graph=graph,
+                    nodes=set(nodes),
+                    label=entry["label"],
+                    explainability=float(entry.get("explainability") or 0.0),
+                    consistent=entry.get("consistent"),
+                    counterfactual=entry.get("counterfactual"),
+                )
+            )
+        for payload in entry.get("patterns", []):
+            pattern = GraphPattern.from_dict(payload)
+            patterns.setdefault(pattern.canonical_key(), pattern)
+    pattern_list = list(patterns.values())
+    for index, pattern in enumerate(pattern_list):
+        pattern.pattern_id = index
+    return ExplanationView(
+        label=label,
+        patterns=pattern_list,
+        subgraphs=subgraphs,
+        explainability=float(sum(subgraph.explainability for subgraph in subgraphs)),
+        metadata={
+            "algorithm": "StreamGVEX",
+            "batch_size": batch_size,
+            "runtime_seconds": float(runtime),
+            "histories": [],
+        },
+    )

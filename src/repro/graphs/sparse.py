@@ -194,6 +194,65 @@ class SparseGraphView:
         self._edge_code_map: dict[int, int] | None = None
         self._adjacency_codes: np.ndarray | None = None
 
+    @classmethod
+    def from_parts(
+        cls,
+        *,
+        version: int,
+        node_ids: list[int],
+        num_edges: int,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        edge_u: np.ndarray,
+        edge_v: np.ndarray,
+        node_type_codes: np.ndarray,
+        node_type_vocab: list[str],
+        edge_type_codes: np.ndarray,
+        edge_type_vocab: list[str],
+        feature_rows: np.ndarray,
+        feature_dims: list[int],
+        feature_block: np.ndarray | None,
+    ) -> "SparseGraphView":
+        """Assemble a view around prebuilt arrays (shared-memory attachment).
+
+        The arrays are installed as-is — typically zero-copy ``numpy`` views
+        over a ``multiprocessing.shared_memory`` buffer, so N shard workers
+        serve the same read-mostly CSR snapshot without paying N× memory.
+        The caller owns keeping the backing buffer alive for the view's
+        lifetime; the per-view lazy caches (dense adjacency, propagation
+        operator, …) stay process-local, exactly as after ``__init__``.
+        """
+        view = object.__new__(cls)
+        view.version = int(version)
+        view.node_ids = list(node_ids)
+        view.index = {node: row for row, node in enumerate(view.node_ids)}
+        view.num_nodes = len(view.node_ids)
+        view.num_edges = int(num_edges)
+        view.indptr = indptr
+        view.indices = indices
+        view.edge_u = edge_u
+        view.edge_v = edge_v
+        view.node_type_codes = node_type_codes
+        view.node_type_vocab = list(node_type_vocab)
+        view.edge_type_codes = edge_type_codes
+        view.edge_type_vocab = list(edge_type_vocab)
+        view._feature_rows = feature_rows
+        view._feature_dims = [int(dim) for dim in feature_dims]
+        view._feature_block = feature_block
+        view._dense_adjacency = None
+        view._dense_adjacency_self_loops = None
+        view._scipy_adjacency = None
+        view._propagation = {}
+        view._feature_cache = {}
+        view._rows_by_type = None
+        view._type_counts = None
+        view._degrees = None
+        view._neighbour_type_counts = None
+        view._row_neighbour_sets = None
+        view._edge_code_map = None
+        view._adjacency_codes = None
+        return view
+
     # ------------------------------------------------------------------
     # row lookups
     # ------------------------------------------------------------------

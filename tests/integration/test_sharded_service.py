@@ -1,0 +1,236 @@
+"""End-to-end sharded serving on the real process backend.
+
+The unit suite pins the router's semantics on the inline backend; this
+module re-runs the load-bearing contracts across an actual process
+boundary — fork workers, pipes, shared-memory arenas, SIGKILL — plus the
+HTTP front (`create_server` over a :class:`ShardRouter`):
+
+* whole-database stream answers are bit-identical to the single-process
+  service at shard counts 1, 2 and 4;
+* a SIGKILLed worker is respawned from its bootstrap + WAL and **no
+  request fails** (one internal retry absorbs the crash);
+* ``/v1/ingest`` routes to the owning shard over HTTP and the ingested
+  graph shows up in subsequent explains;
+* ``/v1/health`` reports per-shard worker stats (pid, size, WAL position).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api import ExplanationService, create_server
+from repro.api.replication import view_signature
+from repro.api.sharding import ShardRouter
+from repro.core import Configuration
+from repro.graphs import Graph, GraphDatabase
+
+
+@pytest.fixture(scope="module")
+def shard_config():
+    return Configuration(theta=0.08).with_default_bound(0, 8)
+
+
+@pytest.fixture(scope="module")
+def seed_payload(mut_database):
+    database = GraphDatabase("seed")
+    for graph, label in zip(mut_database.graphs[:10], mut_database.labels[:10]):
+        database.add_graph(graph.copy(), label)
+    return database.to_dict()
+
+
+@pytest.fixture(scope="module")
+def reference(seed_payload, trained_mut_model, shard_config):
+    service = ExplanationService(
+        "MUT",
+        database=GraphDatabase.from_dict(seed_payload),
+        model=trained_mut_model,
+        config=shard_config,
+        live_views=True,
+    )
+    yield service
+    service.close()
+
+
+def make_router(seed_payload, model, config, num_shards, **kwargs) -> ShardRouter:
+    return ShardRouter(
+        "MUT",
+        database=GraphDatabase.from_dict(seed_payload),
+        model=model,
+        num_shards=num_shards,
+        config=config,
+        backend="process",
+        **kwargs,
+    )
+
+
+class TestProcessBackendIdentity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_stream_identity_across_real_workers(
+        self, seed_payload, trained_mut_model, shard_config, reference, num_shards
+    ):
+        with make_router(
+            seed_payload, trained_mut_model, shard_config, num_shards
+        ) as router:
+            pids = router.worker_pids()
+            assert len(pids) == num_shards
+            assert os.getpid() not in pids  # real child processes
+            for label in (0, 1):
+                assert view_signature(
+                    router.explain(algorithm="stream", label=label).view
+                ) == view_signature(
+                    reference.explain(algorithm="stream", label=label).view
+                )
+
+    def test_shared_memory_arena_is_advertised(
+        self, seed_payload, trained_mut_model, shard_config
+    ):
+        with make_router(seed_payload, trained_mut_model, shard_config, 2) as router:
+            stats = router.stats()
+            assert stats["shard_backend"] == "process"
+            shared = stats.get("shared_memory")
+            assert shared and shared["num_graphs"] == 10 and shared["nbytes"] > 0
+            for entry in stats["shards"]:
+                assert entry["alive"] is True
+                assert entry["shared_views"] is True
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_recovers_with_no_failed_requests(
+        self, seed_payload, trained_mut_model, shard_config, reference, tmp_path
+    ):
+        router = make_router(
+            seed_payload, trained_mut_model, shard_config, 2,
+            cache_dir=tmp_path / "cache", wal_dir=tmp_path / "wal",
+        )
+        try:
+            expected = view_signature(reference.explain(algorithm="stream", label=1).view)
+            assert view_signature(router.explain(algorithm="stream", label=1).view) == expected
+            victims = router.worker_pids()
+            router.kill_worker(0)  # SIGKILL the real child
+            router.kill_worker(1)
+            router.store.clear_memory()
+            router.store.discard_prefix("")  # force the recompute through workers
+            # The very next request must succeed — respawn + retry is internal.
+            assert view_signature(router.explain(algorithm="stream", label=1).view) == expected
+            stats = router.stats()
+            assert stats["respawns"] == 2
+            assert all(entry["alive"] for entry in stats["shards"])
+            assert set(router.worker_pids()) != set(victims)
+        finally:
+            router.close()
+
+    def test_mutations_survive_a_sigkill_via_the_shard_wal(
+        self, seed_payload, trained_mut_model, shard_config, mut_database, tmp_path
+    ):
+        router = make_router(
+            seed_payload, trained_mut_model, shard_config, 2,
+            cache_dir=tmp_path / "cache", wal_dir=tmp_path / "wal",
+        )
+        try:
+            payload = mut_database.graphs[12].to_dict()
+            payload["graph_id"] = None
+            summary = router.ingest(Graph.from_dict(payload), 1)
+            shard = summary["shard"]
+            wal_files = list((tmp_path / "wal" / f"shard-{shard:02d}").glob("wal-*.jsonl"))
+            assert wal_files, "the owning shard must have logged the ingest"
+            router.kill_worker(shard)
+            rows = router._call(shard, "stream_rows", {"label": None})["rows"]
+            assert summary["graph_id"] in {row["graph_id"] for row in rows}
+        finally:
+            router.close()
+
+
+@pytest.fixture(scope="module")
+def sharded_server(seed_payload, trained_mut_model, shard_config, tmp_path_factory):
+    root = tmp_path_factory.mktemp("sharded-server")
+    router = make_router(
+        seed_payload, trained_mut_model, shard_config, 2,
+        cache_dir=root / "cache", wal_dir=root / "wal",
+    )
+    server = create_server(router, port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}", router
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        router.close()
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(f"{base}{path}", timeout=300) as response:
+        return json.loads(response.read())
+
+
+def _post(base: str, path: str, body: dict):
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=300) as response:
+        return json.loads(response.read())
+
+
+class TestShardedHTTP:
+    def test_health_reports_per_shard_workers(self, sharded_server):
+        base, router = sharded_server
+        health = _get(base, "/v1/health")
+        assert health["role"] == "shard-router"
+        assert health["num_shards"] == 2
+        assert sum(health["shard_sizes"]) == len(router.database)
+        shard_entries = health["shards"]
+        assert len(shard_entries) == 2
+        pids = {entry["pid"] for entry in shard_entries}
+        assert pids == set(router.worker_pids())
+        for entry in shard_entries:
+            assert entry["alive"] is True
+            assert entry["shard_size"] >= 0
+            assert "wal" in entry and "cache" in entry
+
+    def test_ingest_routes_to_the_owning_shard_over_http(
+        self, sharded_server, mut_database
+    ):
+        base, router = sharded_server
+        payload = mut_database.graphs[13].to_dict()
+        payload["graph_id"] = None
+        before = len(router.database)
+        added = _post(base, "/v1/ingest", {"graph": payload, "label": 1})
+        assert added["op"] == "ingest"
+        assert added["num_graphs"] == before + 1
+        assert added["shard"] == router.plan.shard_of(added["graph_id"])
+        # The owning worker holds it; the view served next reflects it.
+        rows = router._call(added["shard"], "stream_rows", {"label": None})["rows"]
+        assert added["graph_id"] in {row["graph_id"] for row in rows}
+        explained = _post(base, "/v1/explain", {"algorithm": "stream", "label": 1})
+        assert explained["payload"]["provenance"]["num_graphs"] == added["num_graphs"]
+        removed = _post(base, "/v1/ingest", {"op": "remove", "graph_id": added["graph_id"]})
+        assert removed["num_graphs"] == before
+
+    def test_query_endpoints_fan_across_shards(self, sharded_server):
+        base, _ = sharded_server
+        _post(base, "/v1/explain", {"algorithm": "stream", "label": 0})
+        summary = _get(base, "/v1/query/summary")["summary"]
+        assert "0" in summary
+        per_label = _get(base, "/v1/query/label/0")
+        assert per_label["label"] == 0
+
+    def test_replication_endpoints_answer_404_in_sharded_mode(self, sharded_server):
+        base, _ = sharded_server
+        import urllib.error
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base, "/v1/deltas?since=0")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base, "/v1/replica/bootstrap")
+        assert excinfo.value.code == 404

@@ -25,6 +25,7 @@ def full_report(**overrides):
         "service_identical": True,
         "incremental_identical": True,
         "wal_identical": True,
+        "sharded_identical": True,
     }
     report.update(overrides)
     return report

@@ -1,0 +1,90 @@
+"""Deterministic placement (`repro.api.sharding.plan`).
+
+The whole sharded tier hangs off placement being a pure function of the
+stable graph id: the router, every worker, and every respawn must re-derive
+the same graph→shard mapping with zero coordination.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.sharding import ShardPlan
+from repro.exceptions import ExplanationError
+from repro.graphs import GraphDatabase
+
+
+class TestShardPlan:
+    def test_rejects_non_positive_shard_counts(self):
+        for bad in (0, -1):
+            with pytest.raises(ExplanationError):
+                ShardPlan(bad)
+
+    def test_placement_is_deterministic_and_total(self):
+        plan = ShardPlan(4)
+        first = [plan.shard_of(graph_id) for graph_id in range(200)]
+        second = [plan.shard_of(graph_id) for graph_id in range(200)]
+        assert first == second
+        assert set(first) == {0, 1, 2, 3}  # every shard receives graphs
+
+    def test_single_shard_owns_everything(self):
+        plan = ShardPlan(1)
+        assert {plan.shard_of(graph_id) for graph_id in range(50)} == {0}
+
+    def test_unplaceable_without_an_id(self):
+        with pytest.raises(ExplanationError, match="without a stable id"):
+            ShardPlan(2).shard_of(None)
+
+    def test_plans_compare_by_shard_count(self):
+        assert ShardPlan(3) == ShardPlan(3)
+        assert ShardPlan(3) != ShardPlan(4)
+        assert hash(ShardPlan(3)) == hash(ShardPlan(3))
+
+    def test_shard_name_is_stable_and_range_checked(self):
+        plan = ShardPlan(3)
+        assert plan.shard_name("mut", 2) == "mut-shard02"
+        with pytest.raises(ExplanationError):
+            plan.shard_name("mut", 3)
+
+    def test_split_preserves_global_order_within_each_shard(self, mut_database):
+        plan = ShardPlan(3)
+        shards = plan.split(mut_database)
+        assert len(shards) == 3
+        positions = {
+            graph.graph_id: index for index, graph in enumerate(mut_database.graphs)
+        }
+        for shard_database in shards:
+            ranks = [positions[graph.graph_id] for graph in shard_database.graphs]
+            assert ranks == sorted(ranks)
+        # Partition: every graph lands on exactly one shard, labels aligned.
+        seen = {}
+        for shard_database in shards:
+            for graph, label in zip(shard_database.graphs, shard_database.labels):
+                assert graph.graph_id not in seen
+                seen[graph.graph_id] = label
+        assert seen == {
+            graph.graph_id: label
+            for graph, label in zip(mut_database.graphs, mut_database.labels)
+        }
+
+    def test_split_shares_graph_objects(self, mut_database):
+        shards = ShardPlan(2).split(mut_database)
+        originals = {id(graph) for graph in mut_database.graphs}
+        for shard_database in shards:
+            for graph in shard_database.graphs:
+                assert id(graph) in originals
+
+    def test_assignments_and_sizes_agree(self, mut_database):
+        plan = ShardPlan(4)
+        assignments = plan.assignments(mut_database)
+        sizes = plan.shard_sizes(mut_database)
+        assert sum(sizes) == len(mut_database)
+        for shard in range(4):
+            assert sizes[shard] == sum(
+                1 for owner in assignments.values() if owner == shard
+            )
+
+    def test_split_names_embed_the_database_name(self):
+        database = GraphDatabase("seed")
+        shards = ShardPlan(2).split(database)
+        assert [shard.name for shard in shards] == ["seed-shard00", "seed-shard01"]

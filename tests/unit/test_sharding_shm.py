@@ -1,0 +1,107 @@
+"""Shared-memory CSR arenas (`repro.api.sharding.shm`).
+
+The arena is a zero-copy transport for :class:`SparseGraphView` snapshots:
+attached views must be *contentwise identical* to locally built ones, must
+refuse writes, and must degrade gracefully (a graph missing from the
+manifest just builds its own private view).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.sharding.shm import attach_arena, create_arena
+
+
+@pytest.fixture()
+def arena_and_graphs(mut_database):
+    graphs = [graph.copy() for graph in mut_database.graphs[:6]]
+    arena = create_arena(graphs)
+    yield arena, graphs
+    arena.close()
+
+
+class TestArenaRoundTrip:
+    def test_manifest_covers_every_graph(self, arena_and_graphs):
+        arena, graphs = arena_and_graphs
+        assert arena.num_graphs == len(graphs)
+        assert arena.nbytes > 0
+        ids = {entry["graph_id"] for entry in arena.manifest["graphs"]}
+        assert ids == {graph.graph_id for graph in graphs}
+
+    def test_attached_views_match_local_builds(self, arena_and_graphs):
+        arena, graphs = arena_and_graphs
+        attached = attach_arena(arena.name, arena.manifest)
+        try:
+            by_id = {graph.graph_id: graph for graph in graphs}
+            for entry in attached.manifest["graphs"]:
+                local = by_id[entry["graph_id"]].sparse_view()
+                shared = attached.view_for(entry)
+                assert shared.node_ids == local.node_ids
+                assert shared.num_edges == local.num_edges
+                np.testing.assert_array_equal(shared.indptr, local.indptr)
+                np.testing.assert_array_equal(shared.indices, local.indices)
+                np.testing.assert_array_equal(shared.edge_u, local.edge_u)
+                np.testing.assert_array_equal(shared.edge_v, local.edge_v)
+                np.testing.assert_array_equal(
+                    shared.node_type_codes, local.node_type_codes
+                )
+                assert shared.node_type_vocab == local.node_type_vocab
+                assert shared.edge_type_vocab == local.edge_type_vocab
+                if local._feature_block is not None:
+                    np.testing.assert_array_equal(
+                        shared._feature_block, local._feature_block
+                    )
+        finally:
+            attached.close()
+
+    def test_attached_arrays_are_read_only(self, arena_and_graphs):
+        arena, _ = arena_and_graphs
+        attached = attach_arena(arena.name, arena.manifest)
+        try:
+            view = attached.view_for(attached.manifest["graphs"][0])
+            with pytest.raises(ValueError):
+                view.indptr[0] = 99
+        finally:
+            attached.close()
+
+    def test_install_adopts_the_local_graph_version(self, arena_and_graphs, mut_database):
+        arena, _ = arena_and_graphs
+        # A freshly deserialised copy has different mutation counters but
+        # identical content — install must take and pin the local version.
+        clones = [
+            graph.copy() for graph in mut_database.graphs[:6]
+        ]
+        attached = attach_arena(arena.name, arena.manifest)
+        try:
+            installed = attached.install(clones)
+            assert installed == len(clones)
+            for graph in clones:
+                shared_view = graph._sparse_view
+                assert shared_view is not None
+                assert shared_view.version == graph.version
+                # Current version → sparse_view serves it instead of rebuilding.
+                assert graph.sparse_view() is shared_view
+        finally:
+            attached.close()
+
+    def test_install_skips_unknown_graphs(self, arena_and_graphs, mut_database):
+        arena, _ = arena_and_graphs
+        stranger = mut_database.graphs[7].copy()  # not among the packed six
+        attached = attach_arena(arena.name, arena.manifest)
+        try:
+            assert attached.install([stranger]) == 0
+        finally:
+            attached.close()
+
+    def test_close_is_idempotent_and_unlinks(self, mut_database):
+        graphs = [graph.copy() for graph in mut_database.graphs[:2]]
+        arena = create_arena(graphs)
+        name = arena.name
+        arena.close()
+        arena.close()  # second close must be a no-op
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)

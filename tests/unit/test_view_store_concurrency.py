@@ -1,0 +1,139 @@
+"""Multi-writer safety of the :class:`ViewStore` spill directory.
+
+Shard workers and the router all spill into per-role directories, but the
+store must also survive the hostile case: several stores (standing in for
+several processes) hammering *one* directory concurrently.  The invariants
+are publication-atomicity ones —
+
+* a reader never observes a torn/partial spill file (every published file
+  parses and round-trips);
+* no ``.tmp`` debris is left behind, even when writers race on one key;
+* snapshots (the maintainer warm-restart tier) obey the same discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.api.store import ViewStore
+from repro.api.types import ExplanationResult, Provenance
+from repro.core.explanation import ExplanationView
+
+
+def make_result(label: int, tag: str) -> ExplanationResult:
+    view = ExplanationView(label=label, metadata={"tag": tag})
+    provenance = Provenance(
+        algorithm="approx",
+        label=label,
+        config_fingerprint="cfg",
+        request_fingerprint=f"req-{tag}",
+        runtime_seconds=0.0,
+        backend="test",
+        num_graphs=0,
+    )
+    return ExplanationResult(view=view, provenance=provenance)
+
+
+def run_threads(workers):
+    errors = []
+
+    def wrap(target):
+        def inner():
+            try:
+                target()
+            except Exception as error:  # noqa: BLE001 - collected for the assert
+                errors.append(error)
+
+        return inner
+
+    threads = [threading.Thread(target=wrap(worker)) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+
+
+class TestConcurrentSpill:
+    def test_two_stores_racing_on_shared_keys_leave_clean_files(self, tmp_path):
+        stores = [ViewStore(capacity=2, spill_dir=tmp_path) for _ in range(2)]
+        keys = [f"mut-ctx-key{i:02d}" for i in range(12)]
+
+        def writer(store: ViewStore):
+            def work():
+                for round_index in range(5):
+                    for index, key in enumerate(keys):
+                        store.put(key, make_result(index % 2, key))
+                        store.get(keys[(index + round_index) % len(keys)])
+
+            return work
+
+        run_threads([writer(store) for store in stores for _ in range(3)])
+
+        assert not list(tmp_path.glob("*.tmp")), "tmp debris left behind"
+        published = sorted(path.name for path in tmp_path.glob("*.json"))
+        assert published == sorted(f"{key}.json" for key in keys)
+        # Every published file is complete and loadable by a fresh store.
+        fresh = ViewStore(capacity=32, spill_dir=tmp_path)
+        for index, key in enumerate(keys):
+            result = fresh.get(key)
+            assert result is not None
+            assert result.view.metadata["tag"] == key
+            assert result.label == index % 2
+
+    def test_writers_and_discard_prefix_can_interleave(self, tmp_path):
+        store_a = ViewStore(capacity=2, spill_dir=tmp_path)
+        store_b = ViewStore(capacity=2, spill_dir=tmp_path)
+        stop = threading.Event()
+
+        def churn():
+            index = 0
+            while not stop.is_set():
+                store_a.put(f"mut-gen-{index % 6}", make_result(1, "churn"))
+                index += 1
+
+        def discard():
+            for _ in range(40):
+                store_b.discard_prefix("mut-gen-")
+            stop.set()
+
+        run_threads([churn, discard])
+        assert not list(tmp_path.glob("*.tmp"))
+        for path in tmp_path.glob("*.json"):
+            json.loads(path.read_text())  # must never be torn
+
+    def test_snapshot_tier_shares_the_atomic_publication_path(self, tmp_path):
+        stores = [ViewStore(capacity=2, spill_dir=tmp_path) for _ in range(2)]
+        payloads = [{"shard": index, "rows": list(range(200))} for index in range(2)]
+
+        def writer(store: ViewStore, payload: dict):
+            def work():
+                for _ in range(30):
+                    store.put_snapshot("maintainer", payload)
+
+            return work
+
+        run_threads([writer(store, payload) for store, payload in zip(stores, payloads)])
+        assert not list(tmp_path.glob("*.tmp"))
+        loaded = ViewStore(capacity=2, spill_dir=tmp_path).get_snapshot("maintainer")
+        # Last publication wins atomically: the payload is one writer's,
+        # never an interleaving of both.
+        assert loaded in payloads
+
+    def test_tmp_names_are_writer_unique(self, tmp_path):
+        path = tmp_path / "spill.json"
+        names = set()
+        # Hold all threads alive together: idents are only unique among
+        # *live* threads, which is exactly the window the tmp name protects.
+        barrier = threading.Barrier(4)
+
+        def record():
+            barrier.wait(timeout=10)
+            names.add(ViewStore._tmp_path(path).name)
+            barrier.wait(timeout=10)
+
+        run_threads([record for _ in range(4)])
+        assert len(names) == 4  # one per thread ident
+        for name in names:
+            assert name.startswith("spill.json.") and name.endswith(".tmp")
