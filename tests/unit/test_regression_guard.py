@@ -1,6 +1,6 @@
 """Unit tests for the benchmark regression guard's checking logic."""
 
-from benchmarks.regression_guard import GUARDED_METRICS, check
+from benchmarks.regression_guard import GUARDED_METRICS, HOT_PATH_METRICS, check
 
 BASELINE = {
     "influence_speedup_min": 3.0,
@@ -93,3 +93,19 @@ class TestCheck:
         del report["incremental_speedup_min"]
         failures = check(report, BASELINE)
         assert any("incremental_speedup_min" in f for f in failures)
+
+    def test_hot_paths_report_passes_default_cli_selection(self):
+        """The CLI default (HOT_PATH_METRICS) must not demand bench_load.py's
+        metric/flag from a bench_hot_paths.py report, even though the
+        committed baseline records load_scaling_min for the load job."""
+        baseline = {**BASELINE, "load_scaling_min": 0.6}
+        report = full_report()  # bench_hot_paths.py never emits these two:
+        del report["sharded_identical"]
+        assert check(report, baseline, metrics=HOT_PATH_METRICS) == []
+        # ... while the full selection still insists on them.
+        failures = check(report, baseline, metrics=GUARDED_METRICS)
+        assert any("sharded_identical" in f for f in failures)
+        assert any("load_scaling_min" in f for f in failures)
+
+    def test_hot_path_metrics_is_guarded_minus_load(self):
+        assert set(HOT_PATH_METRICS) == set(GUARDED_METRICS) - {"load_scaling_min"}
