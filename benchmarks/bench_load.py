@@ -24,10 +24,18 @@ the throughput numbers: whole-database stream explains are
 signature-identical to the single-process service at every shard count,
 and a 1-shard router is identical for approx requests too.
 
+``--chaos`` adds a failure-injection arm: a supervised router serves live
+load while worker 0 is SIGKILLed; the report gains recovery time, the
+failure-window success-side p99, and ``chaos_recovery_ok`` — true iff the
+tier respawned the worker within the deadline and post-recovery stream
+views are signature-identical to the pre-kill ones.  The latencies are
+informational; only the flag gates CI (via ``regression_guard.py
+--metrics chaos_recovery``).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_load.py --output load.json
-    PYTHONPATH=src python benchmarks/bench_load.py --smoke
+    PYTHONPATH=src python benchmarks/bench_load.py --smoke --chaos
 """
 
 from __future__ import annotations
@@ -166,6 +174,117 @@ def run_arm(router: ShardRouter, schedule, num_threads: int) -> dict:
     return report
 
 
+def run_chaos(database, model, config, num_shards: int, num_threads: int) -> dict:
+    """Kill a shard worker under live load; measure the recovery.
+
+    A supervised router serves a continuous stream of cache-missing
+    explain requests from ``num_threads`` clients while worker 0 is
+    SIGKILLed mid-run.  Reported: ``recovery_seconds`` (kill until a full
+    fan-out explain succeeds again), the request counts and success-side
+    p99 inside the failure window, and ``recovery_ok`` — the identity-style
+    verdict the regression guard keys on: the tier recovered within the
+    deadline, at least one respawn happened, and post-recovery stream
+    views are signature-identical to the pre-kill ones.  Latencies are
+    informational; only the verdict gates CI.
+    """
+    router = ShardRouter(
+        "MUT",
+        database=GraphDatabase.from_dict(database.to_dict()),
+        model=model,
+        num_shards=num_shards,
+        config=config,
+        cache_size=1,  # alternating request keys below keep every fan-out real
+        supervise=True,
+        heartbeat_interval=0.25,
+    )
+    try:
+        labels = sorted(set(database.labels))
+        expected = {
+            label: view_signature(router.explain(algorithm="stream", label=label).view)
+            for label in labels
+        }
+        stop = threading.Event()
+        lock = threading.Lock()
+        samples: list[tuple[float, float, bool]] = []  # (finished_at, latency, ok)
+        keys = itertools.cycle(
+            (label, 4 + offset) for offset in range(8) for label in labels
+        )
+
+        def hammer():
+            while not stop.is_set():
+                label, max_nodes = next(keys)
+                started = time.perf_counter()
+                try:
+                    router.explain(algorithm="stream", label=label, max_nodes=max_nodes)
+                    ok = True
+                except Exception:  # noqa: BLE001 - structured errors expected mid-kill
+                    ok = False
+                finished = time.perf_counter()
+                with lock:
+                    samples.append((finished, finished - started, ok))
+
+        threads = [threading.Thread(target=hammer) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)  # reach steady state before the fault
+
+        victim_pid = router.worker_pids()[0]
+        killed_at = time.perf_counter()
+        router.kill_worker(0)
+
+        # Recovery probe: the tier has recovered when a full fan-out
+        # explain (every shard answering) succeeds again.
+        recovery_seconds = None
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            try:
+                router.explain(
+                    algorithm="stream", label=labels[-1], max_nodes=12
+                )
+            except Exception:  # noqa: BLE001 - shard still down, keep polling
+                time.sleep(0.05)
+                continue
+            recovery_seconds = time.perf_counter() - killed_at
+            break
+        stop.set()
+        for thread in threads:
+            thread.join()
+
+        recovered_at = killed_at + (recovery_seconds or float("inf"))
+        window = [s for s in samples if killed_at <= s[0] <= recovered_at]
+        ok_latencies = [latency for _, latency, ok in window if ok]
+        failed = sum(1 for _, _, ok in window if not ok)
+        stats = router.stats()
+        post_identical = recovery_seconds is not None and all(
+            view_signature(router.explain(algorithm="stream", label=label).view)
+            == expected[label]
+            for label in labels
+        )
+        recovery_ok = (
+            recovery_seconds is not None
+            and stats["respawns"] >= 1
+            and post_identical
+        )
+        return {
+            "num_shards": num_shards,
+            "victim_pid": victim_pid,
+            "recovery_seconds": (
+                round(recovery_seconds, 3) if recovery_seconds is not None else None
+            ),
+            "requests_failed_during_window": failed,
+            "requests_ok_during_window": len(ok_latencies),
+            "p99_during_failure_ms": round(percentile(ok_latencies, 0.99) * 1e3, 3),
+            "respawns": stats["respawns"],
+            "supervisor_recoveries": (stats.get("supervisor") or {}).get(
+                "recoveries", 0
+            ),
+            "post_recovery_identical": post_identical,
+            "recovery_ok": recovery_ok,
+        }
+    finally:
+        router.close()
+
+
 def check_identity(database, model, config, shard_counts) -> bool:
     """The tier's correctness contract, asserted before any timing."""
     reference = ExplanationService(
@@ -223,6 +342,12 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="tiny fast pass for CI: fewer graphs, requests and threads",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="after the load arms, kill a shard worker under live load and "
+        "report recovery time, failure-window p99 and chaos_recovery_ok",
     )
     args = parser.parse_args(argv)
 
@@ -284,11 +409,29 @@ def main(argv: list[str] | None = None) -> int:
         "load_scaling_min": scaling,
         "sharded_identical": identical,
     }
+
+    if args.chaos:
+        chaos_shards = max(2, *args.shards)
+        print(f"chaos: killing worker 0 of {chaos_shards} under load ...", flush=True)
+        chaos = run_chaos(
+            database, model, config, chaos_shards, min(args.threads, 4)
+        )
+        report["chaos"] = chaos
+        report["chaos_recovery_ok"] = chaos["recovery_ok"]
+        print(
+            f"chaos: recovered in {chaos['recovery_seconds']}s "
+            f"({chaos['requests_failed_during_window']} failed / "
+            f"{chaos['requests_ok_during_window']} ok during the window, "
+            f"p99 {chaos['p99_during_failure_ms']} ms) "
+            f"recovery_ok={chaos['recovery_ok']}",
+            flush=True,
+        )
+
     payload = json.dumps(report, indent=2, sort_keys=True)
     print(payload)
     if args.output is not None:
         args.output.write_text(payload + "\n")
-    return 0 if identical else 1
+    return 0 if identical and report.get("chaos_recovery_ok", True) else 1
 
 
 if __name__ == "__main__":

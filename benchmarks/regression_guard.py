@@ -18,7 +18,12 @@ replay asserted signature-identical to the durable run).  The sharded
 serving tier is guarded through ``load_scaling_min`` — a ratio produced by
 ``bench_load.py`` (largest-shard-count QPS over the 1-shard arm, same
 machine, same request schedule) rather than ``bench_hot_paths.py``; pass
-that report with ``--metrics load_scaling_min``.
+that report with ``--metrics load_scaling_min``.  Its chaos arm
+(``bench_load.py --chaos``) is guarded through the flag-only
+``chaos_recovery`` metric: the report's ``chaos_recovery_ok`` verdict must
+be true (worker respawned under load within the deadline, post-recovery
+views signature-identical), while the recovery latencies themselves stay
+informational.
 
 Speedup ratios — not wall-clock seconds — are compared, because both the
 vectorized and the reference implementation run on the same machine in the
@@ -53,14 +58,18 @@ GUARDED_METRICS = (
     "incremental_speedup_min",
     "wal_ingest_ratio_min",
     "load_scaling_min",
+    "chaos_recovery",
 )
 
-# Metrics a ``bench_hot_paths.py`` report can actually emit.  ``load_scaling_min``
-# is produced by ``bench_load.py`` and guarded by its own scoped invocation
-# (``--metrics load_scaling_min``); including it in the default selection would
-# fail every unscoped run on a hot-paths report for a metric that report can
-# never contain.
-HOT_PATH_METRICS = tuple(m for m in GUARDED_METRICS if m != "load_scaling_min")
+# Metrics a ``bench_hot_paths.py`` report can actually emit.
+# ``load_scaling_min`` and ``chaos_recovery`` are produced by
+# ``bench_load.py`` (the latter only under ``--chaos``) and guarded by their
+# own scoped invocation (``--metrics load_scaling_min chaos_recovery``);
+# including them in the default selection would fail every unscoped run on a
+# hot-paths report for metrics that report can never contain.
+HOT_PATH_METRICS = tuple(
+    m for m in GUARDED_METRICS if m not in ("load_scaling_min", "chaos_recovery")
+)
 
 # Identity flag required alongside each guarded metric, with the failure
 # message emitted when the flag is false.  Tying flags to the metric
@@ -111,6 +120,15 @@ IDENTITY_FLAGS = {
         "sharded_identical",
         "sharded serving no longer answers identically to the single-process "
         "service (stream at every shard count / everything at 1 shard)",
+    ),
+    # ``chaos_recovery`` is flag-only: bench_load.py --chaos emits no numeric
+    # ratio for it (recovery latency is informational, machine-dependent),
+    # so the guard enforces only the identity-style verdict.
+    "chaos_recovery": (
+        "chaos_recovery_ok",
+        "the sharded tier no longer recovers from a killed worker under load "
+        "(no respawn within the deadline, or post-recovery views diverged "
+        "from the pre-kill signatures)",
     ),
 }
 

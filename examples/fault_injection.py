@@ -1,0 +1,233 @@
+"""Walkthrough of the deterministic fault-injection framework.
+
+Chaos testing usually means flaky scripts and root-only tools. Here the
+failure surfaces themselves are instrumented: `repro.core.faults` threads
+named injection points through the WAL, the view store, the shared-memory
+arena, the shard workers' pipes and the replication fetcher. A
+:class:`FaultPlan` is a *seeded* schedule — the same plan against the same
+workload fires at the same hits, every run — so a failure found once can
+be replayed forever. The example drives the big ones:
+
+1. schedules — Nth-hit, seeded probability, glob points, fire caps — and
+   the per-rule hit/fire counters,
+2. a WAL fsync failure mid-ingest: the service raises *before* acking,
+   and recovery proves the acked prefix survives while the failed
+   mutation never appears (no silent data loss),
+3. a poison request against the sharded tier: a request that reliably
+   kills its worker is quarantined after two strikes while the shard
+   keeps serving everyone else,
+4. degraded reads — the one explicitly-opted-in departure from
+   fail-loud: partial answers flagged with ``degraded``/``missing_shards``,
+5. activating a plan from the environment (``REPRO_FAULT_PLAN``) for
+   chaos runs against a live ``repro serve`` with zero code changes.
+
+Run with::
+
+    PYTHONPATH=src python examples/fault_injection.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tempfile
+from pathlib import Path
+
+from repro.api import ExplanationService
+from repro.api.replication import view_signature
+from repro.api.sharding import ShardRouter
+from repro.core import Configuration, faults
+from repro.core.faults import FaultPlan, FaultRule
+from repro.datasets import load_dataset
+from repro.exceptions import FaultInjected, PoisonRequestError, WALError
+from repro.gnn import GNNClassifier, Trainer
+from repro.graphs import Graph, GraphDatabase
+
+
+def build_context(num_graphs: int = 16, epochs: int = 20, seed: int = 7):
+    database = load_dataset("MUT", num_graphs=num_graphs, seed=seed)
+    stats = database.statistics()
+    model = GNNClassifier(
+        feature_dim=max(1, int(stats["feature_dim"])),
+        num_classes=max(2, len(database.class_labels())),
+        hidden_dim=16,
+        num_layers=3,
+        seed=0,
+    )
+    Trainer(model, epochs=epochs, seed=seed).fit(database)
+    return database, model
+
+
+def demo_schedules() -> None:
+    print("--- 1. deterministic schedules ---")
+    # Fire on the 3rd hit of one point, and with p=0.3 on a glob family.
+    plan = FaultPlan(
+        [
+            FaultRule(point="wal.fsync", action="raise", nth=3),
+            FaultRule(point="worker.*", action="raise", probability=0.3, times=2),
+        ],
+        seed=11,
+    )
+    faults.activate(plan)
+    fired = []
+    for hit in range(1, 7):
+        try:
+            faults.fault_point("wal.fsync")
+        except FaultInjected:
+            fired.append(hit)
+    print("wal.fsync nth=3 fired at hits:", fired)
+
+    fired = []
+    for hit in range(1, 21):
+        try:
+            faults.fault_point("worker.send")
+        except FaultInjected:
+            fired.append(hit)
+    print("worker.* p=0.3 seed=11 fired at hits:", fired, "(identical every run)")
+    print("per-rule counters:", json.dumps(faults.active_plan().stats()))
+    faults.deactivate()
+
+
+def demo_wal_fsync_failure(database, model, config, root: Path) -> None:
+    print("\n--- 2. WAL fsync failure: acked mutations survive, failed ones vanish ---")
+    seed_payload = database.to_dict()
+
+    def build():
+        return ExplanationService(
+            "MUT",
+            database=GraphDatabase.from_dict(seed_payload),
+            model=model,
+            config=config,
+            live_views=True,
+            wal_dir=root / "wal",
+        )
+
+    donor = database.graphs[0].to_dict()
+    service = build()
+    donor["graph_id"] = 900
+    service.ingest(Graph.from_dict(donor), label=1)  # acked: fsync succeeded
+
+    faults.activate(FaultPlan([FaultRule(point="wal.fsync", action="raise", nth=1)]))
+    donor["graph_id"] = 901
+    try:
+        service.ingest(Graph.from_dict(donor), label=1)
+    except WALError as error:
+        print("second ingest raised before the ack:", error)
+    faults.deactivate()
+    service.close()
+
+    # Recovery replays the WAL: the acked graph is there, the failed one is not.
+    recovered = build()
+    ids = {graph.graph_id for graph in recovered.database.graphs}
+    assert 900 in ids and 901 not in ids
+    print("after WAL replay: graph 900 present, graph 901 absent — the log",
+          "never contains an unacknowledged mutation")
+    recovered.close()
+
+
+def demo_poison_request(database, model, config) -> None:
+    print("\n--- 3. poison-request quarantine on the sharded tier ---")
+    label = sorted(set(database.labels))[0]
+    victim_graph = database.graphs[3].graph_id
+    # Ship a plan to every worker via the configuration: kill the worker
+    # process whenever it handles a request naming the victim graph.
+    armed = dataclasses.replace(
+        config,
+        fault_plan={
+            "rules": [
+                {
+                    "point": "worker.handle",
+                    "action": "kill",
+                    "match": f'"graph_ids": [{victim_graph}]',
+                    "times": 1000,
+                }
+            ]
+        },
+    )
+    router = ShardRouter(
+        "MUT",
+        database=GraphDatabase.from_dict(database.to_dict()),
+        model=model,
+        num_shards=2,
+        config=armed,
+        supervise=False,
+    )
+    try:
+        try:
+            router.explain(algorithm="approx", label=label,
+                           graph_ids=[victim_graph], max_nodes=4)
+        except PoisonRequestError as error:
+            print("after two worker kills:", error)
+        stats = router.stats()
+        print(f"respawns: {stats['respawns']}, "
+              f"poisoned: {stats['poisoned_requests']}, "
+              f"shards alive: {[entry['alive'] for entry in stats['shards']]}")
+        # Everyone else is unaffected.
+        other = router.explain(algorithm="stream", label=label)
+        print("other requests still answered:",
+              view_signature(other.view)[:16], "...")
+    finally:
+        router.close()
+        faults.deactivate()  # fork workers shared our process-global plan
+
+
+def demo_degraded_reads(database, model, config) -> None:
+    print("\n--- 4. degraded reads (explicit opt-in; default is fail-loud) ---")
+    degraded_config = dataclasses.replace(config, degraded_reads=True)
+    router = ShardRouter(
+        "MUT",
+        database=GraphDatabase.from_dict(database.to_dict()),
+        model=model,
+        num_shards=2,
+        config=degraded_config,
+        supervise=False,  # keep the corpse dead for the demo
+    )
+    try:
+        label = sorted(set(database.labels))[-1]
+        router.kill_worker(1)
+        # Make the breaker consider shard 1 down right now (the demo
+        # shortcut for "respawn kept failing"): quarantine it directly.
+        import time
+        with router._health_lock:
+            router._death_noted[1] = True
+            router._fast_deaths[1] = router._breaker_threshold
+            router._breaker_open_until[1] = time.monotonic() + 60.0
+        partial = router.explain(algorithm="stream", label=label)
+        print(f"degraded={partial.degraded}, missing_shards={partial.missing_shards}")
+        # Heal the shard: close the breaker so the next request respawns
+        # the worker and fans out fully. Degraded answers are never
+        # cached, so the full answer below is freshly assembled.
+        with router._health_lock:
+            router._fast_deaths[1] = 0
+            router._breaker_open_until[1] = 0.0
+        full = router.explain(algorithm="stream", label=label)
+        print("partial answer differs from the healed full one:",
+              view_signature(partial.view) != view_signature(full.view))
+        print("mutations still fail loud: acked writes are never best-effort")
+    finally:
+        router.close()
+
+
+def demo_env_activation() -> None:
+    print("\n--- 5. environment activation for live processes ---")
+    plan = {"seed": 3, "rules": [{"point": "server.request", "action": "delay",
+                                  "probability": 0.1, "delay_seconds": 0.2}]}
+    print("REPRO_FAULT_PLAN='" + json.dumps(plan) + "' repro serve ...")
+    print("(inline JSON or @plan.json; the plan rides into every shard worker)")
+
+
+def main() -> None:
+    database, model = build_context()
+    config = Configuration(theta=0.08).with_default_bound(0, 8)
+    root = Path(tempfile.mkdtemp(prefix="repro-faults-"))
+
+    demo_schedules()
+    demo_wal_fsync_failure(database, model, config, root)
+    demo_poison_request(database, model, config)
+    demo_degraded_reads(database, model, config)
+    demo_env_activation()
+    print("\ndone; scratch dir:", root)
+
+
+if __name__ == "__main__":
+    main()

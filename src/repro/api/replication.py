@@ -45,8 +45,9 @@ from repro.api.service import ExplanationService
 from repro.api.types import SCHEMA_VERSION
 from repro.core.config import Configuration, CoverageBound
 from repro.core.explanation import ExplanationView
+from repro.core.faults import fault_point
 from repro.core.maintenance import DEFAULT_STREAM_BATCH_SIZE
-from repro.exceptions import ReplicationError, ReplicationGapError
+from repro.exceptions import FaultInjected, ReplicationError, ReplicationGapError
 from repro.gnn.models import GNNClassifier
 from repro.graphs.database import GraphDatabase
 
@@ -196,6 +197,12 @@ class ReplicaService:
         self.version = 0
         self.resyncs = 0
         self.deltas_applied = 0
+        #: Transient-outage bookkeeping for :meth:`run`: total retried
+        #: failures, the current consecutive-failure streak (drives the
+        #: backoff, reset on success), and the last failure message.
+        self.retries = 0
+        self._failure_streak = 0
+        self.last_error: str | None = None
         if bootstrap:
             self.bootstrap()
 
@@ -205,8 +212,15 @@ class ReplicaService:
     def _get_json(self, path: str) -> dict[str, Any]:
         url = f"{self.primary_url}{path}"
         try:
+            fault_point("replication.fetch", context=path)
             with urllib.request.urlopen(url, timeout=self.timeout) as response:
                 return json.loads(response.read().decode("utf-8"))
+        except FaultInjected as error:
+            # An injected fetch fault models an outage: surface it exactly
+            # like an unreachable primary so the retry loop owns it.
+            raise ReplicationError(
+                f"cannot reach primary at {self.primary_url}: {error}"
+            ) from error
         except urllib.error.HTTPError as error:
             try:
                 body = json.loads(error.read().decode("utf-8"))
@@ -309,15 +323,42 @@ class ReplicaService:
         else:
             service.relabel(delta.graph_id, delta.label)
 
-    def run(self, *, max_rounds: int | None = None) -> None:
-        """Poll the primary forever (or for ``max_rounds`` rounds)."""
+    def run(
+        self,
+        *,
+        max_rounds: int | None = None,
+        max_retry_backoff: float = 30.0,
+    ) -> None:
+        """Poll the primary forever (or for ``max_rounds`` rounds).
+
+        A :class:`ReplicationError` from a round — the primary restarting,
+        a dropped connection, a mid-deploy 5xx — no longer kills the loop:
+        the round counts as a retry (visible in :meth:`stats`) and the next
+        poll backs off exponentially from ``poll_interval`` up to
+        ``max_retry_backoff``, resetting as soon as a round succeeds.  A
+        replication *gap* is already handled inside :meth:`sync_once` (full
+        resync), so whatever reaches this handler is transient by
+        construction.
+        """
         rounds = 0
         while max_rounds is None or rounds < max_rounds:
-            self.sync_once()
+            try:
+                self.sync_once()
+            except ReplicationError as error:
+                self.retries += 1
+                self._failure_streak += 1
+                self.last_error = str(error)
+                delay = min(
+                    max_retry_backoff,
+                    self.poll_interval * (2.0 ** min(self._failure_streak - 1, 16)),
+                )
+            else:
+                self._failure_streak = 0
+                delay = self.poll_interval
             rounds += 1
             if max_rounds is not None and rounds >= max_rounds:
                 break
-            time.sleep(self.poll_interval)
+            time.sleep(delay)
 
     # ------------------------------------------------------------------
     # inspection
@@ -342,6 +383,8 @@ class ReplicaService:
             "version": self.version,
             "deltas_applied": self.deltas_applied,
             "resyncs": self.resyncs,
+            "retries": self.retries,
+            "last_error": self.last_error,
             "num_graphs": len(self.service.database) if self.service else 0,
         }
 

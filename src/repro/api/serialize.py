@@ -250,11 +250,20 @@ def view_set_from_dict(
 # results (view + provenance)
 # ----------------------------------------------------------------------
 def result_to_dict(result: ExplanationResult, *, include_source: bool = True) -> dict[str, Any]:
-    """JSON-safe form of a service result (view + provenance)."""
-    return {
+    """JSON-safe form of a service result (view + provenance).
+
+    The degradation flags are serialized *additively* — only when set — so
+    healthy results keep the exact golden-file shape of earlier schema
+    revisions.
+    """
+    payload = {
         "provenance": result.provenance.to_dict(),
         "view": view_to_dict(result.view, include_source=include_source),
     }
+    if result.degraded:
+        payload["degraded"] = True
+        payload["missing_shards"] = list(result.missing_shards)
+    return payload
 
 
 def result_from_dict(
@@ -266,6 +275,8 @@ def result_from_dict(
     return ExplanationResult(
         view=view_from_dict(payload["view"], graphs_by_id=graphs_by_id),
         provenance=Provenance.from_dict(payload["provenance"]),
+        degraded=bool(payload.get("degraded", False)),
+        missing_shards=tuple(payload.get("missing_shards", ())),
     )
 
 

@@ -56,6 +56,9 @@ are dictionary lookups + JSON dumps.
 from __future__ import annotations
 
 import json
+import math
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
@@ -63,7 +66,13 @@ from urllib.parse import parse_qs, urlsplit
 from repro.api.registry import available_explainers
 from repro.api.serialize import explanation_schema, result_to_dict
 from repro.api.service import ExplanationService
-from repro.exceptions import ReplicationGapError, ReproError
+from repro.core.faults import fault_point
+from repro.exceptions import (
+    FaultInjected,
+    ReplicationGapError,
+    ReproError,
+    ShardDownError,
+)
 
 __all__ = ["API_VERSION", "create_server", "serve"]
 
@@ -105,11 +114,18 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
         self._canonical_path = path
         return path, parse_qs(parts.query)
 
-    def _send_json(self, payload: Any, status: int = 200) -> None:
+    def _send_json(
+        self,
+        payload: Any,
+        status: int = 200,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         if getattr(self, "_deprecated_alias", False):
             # RFC 8594-style deprecation signalling on the legacy aliases:
             # same behaviour, plus a pointer at the canonical /v1 route.
@@ -121,6 +137,19 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
 
     def _send_error(self, message: str, status: int = 400, **extra: Any) -> None:
         self._send_json({"error": message, **extra}, status=status)
+
+    def _send_shard_down(self, error: ShardDownError) -> None:
+        """503 + ``Retry-After``: the shard is recovering, come back later."""
+        retry_after = max(1, math.ceil(error.retry_after or 1.0))
+        self._send_json(
+            {
+                "error": str(error),
+                "shard": error.shard,
+                "retry_after": retry_after,
+            },
+            status=503,
+            headers={"Retry-After": str(retry_after)},
+        )
 
     def _read_body(self) -> dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
@@ -137,12 +166,19 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server contract)
         try:
+            fault_point("server.request", context=lambda: f"GET {self.path}")
             path, query = self._resolve_path()
             self._route_get(path, query)
         except ReplicationGapError as error:
             # 410 Gone: the requested delta range is no longer retained.
             # The replica must fall back to a full snapshot re-sync.
             self._send_error(str(error), status=410, resync=True)
+        except ShardDownError as error:
+            self._send_shard_down(error)
+        except FaultInjected as error:
+            # An armed fault plan fired in this handler: a server fault, not
+            # a lookup miss — do not disguise it as 404.
+            self._send_error(str(error), status=500)
         except ReproError as error:
             self._send_error(str(error), status=404)
         except (ValueError, TypeError) as error:
@@ -153,8 +189,13 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 (http.server contract)
         try:
+            fault_point("server.request", context=lambda: f"POST {self.path}")
             path, _query = self._resolve_path()
             self._route_post(path)
+        except ShardDownError as error:
+            self._send_shard_down(error)
+        except FaultInjected as error:
+            self._send_error(str(error), status=500)
         except (ValueError, TypeError, ReproError) as error:
             self._send_error(str(error), status=400)
         except Exception as error:  # pragma: no cover - defensive
@@ -256,13 +297,17 @@ class _ExplanationRequestHandler(BaseHTTPRequestHandler):
         )
         # The wire format is the exact persistence envelope, so a client can
         # pipe the response straight into `repro query --views -`.
-        self._send_json(
-            {
-                "schema_version": result.provenance.schema_version,
-                "kind": "explanation_result",
-                "payload": result_to_dict(result),
-            }
-        )
+        envelope: dict[str, Any] = {
+            "schema_version": result.provenance.schema_version,
+            "kind": "explanation_result",
+            "payload": result_to_dict(result),
+        }
+        if result.degraded:
+            # Surfaced at the top level too so clients checking availability
+            # need not dig into the artifact payload.
+            envelope["degraded"] = True
+            envelope["missing_shards"] = list(result.missing_shards)
+        self._send_json(envelope)
 
     def _route_ingest(self) -> None:
         """Live database mutations over HTTP (add / remove / relabel)."""
@@ -345,14 +390,47 @@ def serve(
     quiet: bool = False,
     read_only: bool = False,
 ) -> None:
-    """Blocking convenience wrapper: create a server and run it until ^C."""
+    """Blocking wrapper: create a server and run it until ^C or SIGTERM.
+
+    SIGTERM and SIGINT trigger a graceful drain: the listener stops
+    accepting, every in-flight request thread is joined
+    (``ThreadingHTTPServer`` with ``block_on_close``), and the function
+    returns normally so the caller can close the service/router (persisting
+    maintainer snapshots and WALs) and exit 0.  The handlers are installed
+    only on the main thread (the ``signal`` contract) and the previous
+    handlers are restored on the way out.
+    """
     server = create_server(service, host, port, quiet=quiet, read_only=read_only)
+    # ThreadingHTTPServer defaults to daemon request threads, which
+    # server_close() would abandon mid-request; non-daemon threads are
+    # tracked and joined (block_on_close), which is the "finish in-flight
+    # requests" half of the drain contract.
+    server.daemon_threads = False
     bound_host, bound_port = server.server_address[:2]
     role = "replica (read-only)" if read_only else "primary"
-    print(f"repro serve: {role} listening on http://{bound_host}:{bound_port}")
+    print(f"repro serve: {role} listening on http://{bound_host}:{bound_port}", flush=True)
+
+    def _drain(signum: int, frame: Any) -> None:
+        # serve_forever() runs on *this* (main) thread, so shutdown() must be
+        # issued from another one — calling it inline would deadlock waiting
+        # for the serve loop the handler interrupted.
+        threading.Thread(
+            target=server.shutdown, name="repro-serve-drain", daemon=True
+        ).start()
+
+    previous: dict[int, Any] = {}
+    on_main_thread = threading.current_thread() is threading.main_thread()
+    if on_main_thread:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, _drain)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        # block_on_close joins the in-flight request threads: the drain is
+        # complete once this returns.
         server.server_close()
+        print("repro serve: drained in-flight requests, shut down cleanly", flush=True)

@@ -34,6 +34,7 @@ from repro.api.serialize import delta_from_dict, delta_to_dict, load_artifact, s
 from repro.api.types import SCHEMA_VERSION, ExplainRequest, ExplanationResult, Provenance
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationViewSet
+from repro.core.faults import activate_from_config
 from repro.core.maintenance import DEFAULT_STREAM_BATCH_SIZE, ViewMaintainer
 from repro.core.wal import WriteAheadLog
 from repro.exceptions import (
@@ -164,6 +165,10 @@ class ExplanationService:
             self.test_accuracy = None
             self._test_ids = []
         self.config = config or Configuration()
+        # Operational knob: a fault plan riding on the configuration arms
+        # the process-global injection registry before any instrumented
+        # path (WAL, store spill, HTTP) runs under this service.
+        activate_from_config(self.config)
         self._graphs_by_id: dict[int | None, Graph] = {
             graph.graph_id: graph for graph in self.database.graphs
         }

@@ -22,13 +22,32 @@ from its frozen bootstrap payload — the rebuilt service replays the shard's
 WAL tail natively — and the request retried exactly once.  Mutation ops
 are idempotent on the worker side, which is what makes that retry safe
 when the first attempt died after applying but before acknowledging.
+
+On top of that per-request recovery sits supervision (:class:`ShardSupervisor`):
+
+* a background heartbeat thread pings idle workers and respawns dead or
+  hung ones *before* a request has to pay for the recovery;
+* a per-shard **crash-loop breaker** — several rapid worker deaths open the
+  breaker and requests fail fast with :class:`ShardDownError` (503 +
+  ``Retry-After`` at the HTTP layer) while respawns back off exponentially
+  with seeded jitter, instead of burning CPU re-booting a doomed shard;
+* **poison quarantine** — a request that kills its worker twice is
+  remembered by fingerprint and answered with
+  :class:`PoisonRequestError` from then on, so one bad request cannot
+  crash-loop a shard;
+* optional **graceful degradation** (``Configuration(degraded_reads=True)``)
+  — reads that fan past a down shard return partial results flagged
+  ``degraded``/``missing_shards`` (and are never cached); mutations always
+  fail loudly with the structured 503.  The default stays fail-loud.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import multiprocessing
 import os
+import random
 import signal
 import threading
 import time
@@ -50,14 +69,15 @@ from repro.api.store import ViewStore
 from repro.api.types import ExplainRequest, ExplanationResult, Provenance
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationViewSet
+from repro.core.faults import activate_from_config, fault_point
 from repro.core.maintenance import assemble_view_from_rows
 from repro.core.parallel import merge_views
-from repro.exceptions import ExplanationError
+from repro.exceptions import ExplanationError, PoisonRequestError, ShardDownError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import sparse_enabled
 
-__all__ = ["ShardRouter"]
+__all__ = ["ShardRouter", "ShardSupervisor"]
 
 #: Environment override for the worker start method ("fork" / "spawn" /
 #: "forkserver").  Fork is the default where available: workers inherit the
@@ -68,6 +88,11 @@ _START_METHOD_ENV = "REPRO_SHARD_START_METHOD"
 
 class _WorkerDown(Exception):
     """A worker stopped answering (timeout, dead process, broken pipe)."""
+
+
+#: Sentinel distinguishing "shard was down" from any real response value
+#: in degraded fan-outs.
+_SHARD_MISSING = object()
 
 
 class _InlineWorker:
@@ -168,13 +193,19 @@ class _ProcessWorker:
 
     def close(self, timeout: float | None = None) -> None:
         """Graceful drain: ask the worker to persist and exit, then reap."""
+        wedged = False
         try:
             self.request("shutdown", {}, timeout=timeout)
         except (_WorkerDown, ExplanationError):
-            pass  # already dead or wedged — reap below either way
+            wedged = True  # already dead or hung — escalate below
+        if wedged and self.process.is_alive():
+            # A worker that ignored (or never received) the shutdown op is
+            # hung; don't wait a graceful join out on it — a supervisor
+            # respawning a stuck shard needs this path to be fast.
+            self.process.terminate()
         self.process.join(timeout=5)
         if self.process.is_alive():  # pragma: no cover - wedged worker
-            self.process.terminate()
+            self.process.kill()
             self.process.join(timeout=5)
         try:
             self.conn.close()
@@ -215,6 +246,13 @@ class ShardRouter:
         request_timeout: float = 120.0,
         boot_timeout: float = 600.0,
         shared_memory: bool = True,
+        supervise: bool = True,
+        heartbeat_interval: float = 2.0,
+        heartbeat_timeout: float = 10.0,
+        breaker_threshold: int = 3,
+        breaker_base_backoff: float = 0.5,
+        breaker_max_backoff: float = 30.0,
+        crash_loop_window: float = 5.0,
     ) -> None:
         if backend not in ("auto", "process", "inline"):
             raise ExplanationError(
@@ -224,6 +262,8 @@ class ShardRouter:
         self.database = database
         self.model = model
         self.config = config or Configuration()
+        activate_from_config(self.config)
+        self.degraded_reads = bool(getattr(self.config, "degraded_reads", False))
         self.plan = ShardPlan(num_shards)
         self.num_shards = self.plan.num_shards
         self.train_accuracy: float | None = None
@@ -238,6 +278,29 @@ class ShardRouter:
         self._positions_cache: tuple[int, dict[int | None, int]] | None = None
         self._respawns = 0
         self._closed = False
+
+        # Supervision state: crash-loop breaker + poison quarantine.  The
+        # health lock guards only these counters (never held across a worker
+        # request); per-shard worker locks still serialize worker access.
+        self._health_lock = threading.Lock()
+        self._breaker_threshold = max(1, int(breaker_threshold))
+        self._breaker_base_backoff = float(breaker_base_backoff)
+        self._breaker_max_backoff = float(breaker_max_backoff)
+        self._crash_loop_window = float(crash_loop_window)
+        self._breaker_rng = random.Random(self.config.seed ^ 0x5AFE)
+        self._boot_times = [0.0] * self.num_shards
+        self._fast_deaths = [0] * self.num_shards
+        # One death is counted per worker *incarnation*: once a corpse's
+        # death is noted, later probes of the same corpse (supervisor pings,
+        # requests arriving after the breaker cools) must not re-count it —
+        # re-counting would re-open the breaker before every respawn attempt
+        # and the shard could never recover.
+        self._death_noted = [False] * self.num_shards
+        self._breaker_open_until = [0.0] * self.num_shards
+        self._breaker_trips = 0
+        self._poison_counts: dict[str, int] = {}
+        self._poisoned: dict[str, str] = {}
+        self._supervisor: ShardSupervisor | None = None
 
         cache_root = Path(cache_dir) if cache_dir is not None else None
         wal_root = Path(wal_dir) if wal_dir is not None else None
@@ -286,6 +349,10 @@ class ShardRouter:
                     "wal_dir": shard_wal,
                     "wal_sync": wal_sync,
                     "live_views": True,
+                    # The canonical config deliberately excludes the fault
+                    # plan (it must not split caches/fingerprints), so it is
+                    # forwarded explicitly for workers to arm.
+                    "fault_plan": self.config.fault_plan,
                     "shm": (
                         {"name": self._arena.name, "manifest": self._arena.manifest}
                         if self._arena is not None
@@ -304,8 +371,9 @@ class ShardRouter:
         self.backend = backend
         self._workers: list[Any] = []
         try:
-            for bootstrap in self._bootstraps:
+            for shard_index, bootstrap in enumerate(self._bootstraps):
                 self._workers.append(self._make_worker(bootstrap))
+                self._boot_times[shard_index] = time.monotonic()
         except Exception:
             for worker in self._workers:
                 try:
@@ -327,6 +395,14 @@ class ShardRouter:
         self.store._graphs_by_id = self._graphs_by_id
         self._weights_digest = self._fingerprint_weights()
         self._context_fingerprint = self._fingerprint_context()
+
+        if supervise:
+            self._supervisor = ShardSupervisor(
+                self,
+                interval=heartbeat_interval,
+                ping_timeout=heartbeat_timeout,
+            )
+            self._supervisor.start()
 
     # ------------------------------------------------------------------
     # worker lifecycle
@@ -366,27 +442,170 @@ class ShardRouter:
             old.close(timeout=1)
         except Exception:
             pass
+        # The incarnation being replaced is history; whatever happens to the
+        # new worker (including dying while booting) is a fresh death.
+        with self._health_lock:
+            self._death_noted[shard] = False
         self._workers[shard] = self._make_worker(self._bootstraps[shard])
+        self._boot_times[shard] = time.monotonic()
         self._respawns += 1
 
+    # ------------------------------------------------------------------
+    # crash-loop breaker + poison quarantine
+    # ------------------------------------------------------------------
+    def _breaker_remaining(self, shard: int) -> float | None:
+        """Seconds until the shard's breaker closes, or None when closed."""
+        with self._health_lock:
+            remaining = self._breaker_open_until[shard] - time.monotonic()
+        return remaining if remaining > 0 else None
+
+    def _note_death(self, shard: int) -> None:
+        """Record one worker death; open the breaker on a rapid streak.
+
+        Deaths within ``crash_loop_window`` of the worker's boot count as a
+        crash loop; at ``breaker_threshold`` the breaker opens for a capped
+        exponential backoff with seeded jitter (so a respawn stampede across
+        shards never synchronises).
+        """
+        with self._health_lock:
+            if self._death_noted[shard]:
+                return  # same corpse, already counted
+            self._death_noted[shard] = True
+            now = time.monotonic()
+            if now - self._boot_times[shard] <= self._crash_loop_window:
+                self._fast_deaths[shard] += 1
+            else:
+                self._fast_deaths[shard] = 1
+            if self._fast_deaths[shard] >= self._breaker_threshold:
+                exponent = self._fast_deaths[shard] - self._breaker_threshold
+                backoff = min(
+                    self._breaker_max_backoff,
+                    self._breaker_base_backoff * (2.0 ** exponent),
+                )
+                backoff *= 1.0 + 0.25 * self._breaker_rng.random()
+                self._breaker_open_until[shard] = now + backoff
+                self._breaker_trips += 1
+
+    def _note_stable(self, shard: int) -> None:
+        """Clear the crash streak once a worker outlives the loop window."""
+        if not self._fast_deaths[shard]:
+            return
+        with self._health_lock:
+            if time.monotonic() - self._boot_times[shard] > self._crash_loop_window:
+                self._fast_deaths[shard] = 0
+                self._breaker_open_until[shard] = 0.0
+
+    def _try_respawn_locked(self, shard: int) -> bool:
+        """Respawn unless the breaker is open; False when it stays down.
+
+        A worker that dies *while booting* counts as another death (the
+        breaker keeps escalating) instead of propagating, so a crash-looping
+        shard converges to fast structured failures rather than an
+        exception storm.  A clean bootstrap error (bad payload) still
+        propagates — that is a configuration problem, not a crash.
+        """
+        if self._breaker_remaining(shard) is not None:
+            return False
+        try:
+            self._respawn_locked(shard)
+            return True
+        except _WorkerDown:
+            self._note_death(shard)
+            return False
+
+    def _request_fingerprint(self, op: str, payload: dict[str, Any]) -> str:
+        canonical = json.dumps(
+            {"op": op, "payload": payload}, sort_keys=True, default=str
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+    def _shard_down(self, shard: int, detail: str) -> ShardDownError:
+        retry_after = self._breaker_remaining(shard) or self._breaker_base_backoff
+        return ShardDownError(
+            f"shard {shard} is unavailable ({detail}); retry in "
+            f"{retry_after:.1f}s",
+            shard=shard,
+            retry_after=retry_after,
+        )
+
     def _call(self, shard: int, op: str, payload: dict[str, Any]) -> Any:
-        """One op against one shard: timeout → respawn → single retry."""
+        """One op against one shard: breaker check → quarantine check →
+        request, and on a worker death respawn + retry exactly once."""
+        fault_point("router.request", context=lambda: f"{shard}:{op}")
+        fingerprint: str | None = None
         with self._worker_locks[shard]:
+            remaining = self._breaker_remaining(shard)
+            if remaining is not None:
+                raise ShardDownError(
+                    f"shard {shard} is quarantined by its crash-loop breaker "
+                    f"({self._fast_deaths[shard]} rapid worker deaths); retry "
+                    f"in {remaining:.1f}s",
+                    shard=shard,
+                    retry_after=remaining,
+                )
+            if self._poisoned:
+                fingerprint = self._request_fingerprint(op, payload)
+                quarantined = self._poisoned.get(fingerprint)
+                if quarantined is not None:
+                    raise PoisonRequestError(
+                        f"request {fingerprint} is quarantined as poison "
+                        f"({quarantined}); it is answered with this structured "
+                        "error instead of being retried against the shard",
+                        fingerprint=fingerprint,
+                    )
             try:
-                return self._workers[shard].request(
+                result = self._workers[shard].request(
                     op, payload, timeout=self.request_timeout
                 )
             except _WorkerDown:
-                self._respawn_locked(shard)
+                self._note_death(shard)
+                fingerprint = fingerprint or self._request_fingerprint(op, payload)
+                with self._health_lock:
+                    self._poison_counts[fingerprint] = (
+                        self._poison_counts.get(fingerprint, 0) + 1
+                    )
+                if not self._try_respawn_locked(shard):
+                    raise self._shard_down(
+                        shard, "its worker died and could not be respawned"
+                    )
                 try:
-                    return self._workers[shard].request(
+                    result = self._workers[shard].request(
                         op, payload, timeout=self.request_timeout
                     )
                 except _WorkerDown as error:
-                    raise ExplanationError(
+                    self._note_death(shard)
+                    with self._health_lock:
+                        self._poison_counts[fingerprint] = (
+                            self._poison_counts.get(fingerprint, 0) + 1
+                        )
+                        poisoned = self._poison_counts[fingerprint] >= 2
+                        if poisoned:
+                            self._poisoned[fingerprint] = (
+                                f"killed shard {shard}'s worker twice "
+                                f"(op {op!r})"
+                            )
+                    self._try_respawn_locked(shard)
+                    if poisoned:
+                        raise PoisonRequestError(
+                            f"request {fingerprint} quarantined as poison: it "
+                            f"killed shard {shard}'s worker twice (op {op!r})",
+                            fingerprint=fingerprint,
+                        ) from error
+                    raise ShardDownError(
                         f"shard {shard} failed twice (original worker died, "
-                        f"respawned worker also failed: {error})"
+                        f"respawned worker also failed: {error})",
+                        shard=shard,
+                        retry_after=self._breaker_remaining(shard)
+                        or self._breaker_base_backoff,
                     ) from error
+            # Success: forgive this request's death count (it survived a
+            # retry, so it was collateral of a crash, not the cause) and
+            # clear the shard's crash streak once the worker proves stable.
+            if fingerprint is not None:
+                with self._health_lock:
+                    self._poison_counts.pop(fingerprint, None)
+            self._note_stable(shard)
+            return result
 
     def _fan(self, calls: list[tuple[int, str, dict[str, Any]]]) -> list[Any]:
         """Run several shard ops concurrently, results in call order."""
@@ -398,6 +617,41 @@ class ShardRouter:
                 for shard, op, payload in calls
             ]
             return [future.result() for future in futures]
+
+    def _fan_partial(
+        self, calls: list[tuple[int, str, dict[str, Any]]]
+    ) -> tuple[list[Any], list[int]]:
+        """Degraded-read fan-out: swallow :class:`ShardDownError` per call.
+
+        Returns the successful responses (in call order) and the sorted
+        shard indices that were down.  Any *other* failure — a poison
+        quarantine, a validation error — still propagates: degradation
+        covers unavailable shards, never wrong answers.
+        """
+        responses: list[Any] = []
+        missing: list[int] = []
+
+        def _one(shard: int, op: str, payload: dict[str, Any]) -> Any:
+            try:
+                return self._call(shard, op, payload)
+            except ShardDownError:
+                return _SHARD_MISSING
+
+        if len(calls) <= 1:
+            raw = [_one(shard, op, payload) for shard, op, payload in calls]
+        else:
+            with ThreadPoolExecutor(max_workers=len(calls)) as pool:
+                futures = [
+                    pool.submit(_one, shard, op, payload)
+                    for shard, op, payload in calls
+                ]
+                raw = [future.result() for future in futures]
+        for (shard, _op, _payload), result in zip(calls, raw):
+            if result is _SHARD_MISSING:
+                missing.append(shard)
+            else:
+                responses.append(result)
+        return responses, sorted(missing)
 
     def kill_worker(self, shard: int) -> None:
         """Hard-kill one shard's worker (test/chaos hook; no cleanup runs).
@@ -470,10 +724,10 @@ class ShardRouter:
 
         start = time.perf_counter()
         if self._is_maintained_stream(request):
-            view = self._stream_view(request)
+            view, missing_shards = self._stream_view(request)
             num_graphs = len(self.database)
         else:
-            view, num_graphs = self._fanout_view(request)
+            view, num_graphs, missing_shards = self._fanout_view(request)
         runtime = time.perf_counter() - start
         result = ExplanationResult(
             view=view,
@@ -487,7 +741,13 @@ class ShardRouter:
                 num_graphs=num_graphs,
                 dataset=self.dataset,
             ),
+            degraded=bool(missing_shards),
+            missing_shards=tuple(missing_shards),
         )
+        if missing_shards:
+            # A partial answer must never be served from (or poison) the
+            # cache: the next request re-fans and heals as shards return.
+            return result
         with self._lock:
             self.store.put(key, result)
             self._latest[request.label] = key
@@ -509,12 +769,14 @@ class ShardRouter:
         )
 
     def _stream_view(self, request: ExplainRequest):
-        responses = self._fan(
-            [
-                (shard, "stream_rows", {"label": request.label})
-                for shard in range(self.num_shards)
-            ]
-        )
+        calls = [
+            (shard, "stream_rows", {"label": request.label})
+            for shard in range(self.num_shards)
+        ]
+        if self.degraded_reads:
+            responses, missing_shards = self._fan_partial(calls)
+        else:
+            responses, missing_shards = self._fan(calls), []
         rows = [row for response in responses for row in response["rows"]]
         positions = self._positions()
         missing = [row["graph_id"] for row in rows if row["graph_id"] not in positions]
@@ -524,7 +786,10 @@ class ShardRouter:
                 "router; the shards and the router database have diverged"
             )
         rows.sort(key=lambda row: positions[row["graph_id"]])
-        return assemble_view_from_rows(rows, request.label, self._graphs_by_id)
+        return (
+            assemble_view_from_rows(rows, request.label, self._graphs_by_id),
+            missing_shards,
+        )
 
     def _fanout_view(self, request: ExplainRequest):
         base = {
@@ -547,7 +812,7 @@ class ShardRouter:
                 explainer = create_explainer(
                     request.algorithm, self.model, config=request.effective_config()
                 )
-                return explainer.explain_label([], request.label), 0
+                return explainer.explain_label([], request.label), 0, []
             calls = [
                 (shard, "explain_ordered", base | {"graph_ids": ids})
                 for shard, ids in sorted(groups.items())
@@ -558,14 +823,24 @@ class ShardRouter:
             involved = [shard for shard, size in enumerate(sizes) if size > 0] or [0]
             calls = [(shard, "explain", dict(base)) for shard in involved]
             num_graphs = len(self.database)
-        responses = self._fan(calls)
+        if self.degraded_reads:
+            responses, missing_shards = self._fan_partial(calls)
+        else:
+            responses, missing_shards = self._fan(calls), []
         views = [
             view_from_dict(response["view"], graphs_by_id=self._graphs_by_id)
             for response in responses
         ]
+        if not views:
+            # Every involved shard was down: a degraded answer degenerates
+            # to an empty (but well-formed, correctly flagged) view.
+            explainer = create_explainer(
+                request.algorithm, self.model, config=request.effective_config()
+            )
+            return explainer.explain_label([], request.label), num_graphs, missing_shards
         if len(views) == 1:
-            return views[0], num_graphs
-        return merge_views(views, request.label), num_graphs
+            return views[0], num_graphs, missing_shards
+        return merge_views(views, request.label), num_graphs, missing_shards
 
     # ------------------------------------------------------------------
     # mutations (routed to the owning shard, then mirrored globally)
@@ -696,9 +971,13 @@ class ShardRouter:
         with self._lock:
             if self._live_cache is not None and self._live_cache[0] == version:
                 return self._live_cache[1]
-        responses = self._fan(
-            [(shard, "stream_rows", {"label": None}) for shard in range(self.num_shards)]
-        )
+        calls = [
+            (shard, "stream_rows", {"label": None}) for shard in range(self.num_shards)
+        ]
+        if self.degraded_reads:
+            responses, missing_shards = self._fan_partial(calls)
+        else:
+            responses, missing_shards = self._fan(calls), []
         rows = [row for response in responses for row in response["rows"]]
         positions = self._positions()
         rows.sort(key=lambda row: positions.get(row["graph_id"], len(positions)))
@@ -706,6 +985,8 @@ class ShardRouter:
         views = ExplanationViewSet()
         for label in labels:
             views.add(assemble_view_from_rows(rows, label, self._graphs_by_id))
+        if missing_shards:
+            return views  # partial: never cached, heals on the next call
         with self._lock:
             self._live_cache = (version, views)
         return views
@@ -787,6 +1068,20 @@ class ShardRouter:
             "num_shards": self.num_shards,
             "shard_sizes": self.plan.shard_sizes(self.database),
             "respawns": self._respawns,
+            "degraded_reads": self.degraded_reads,
+            "supervisor": (
+                self._supervisor.stats() if self._supervisor is not None else None
+            ),
+            "breakers": [
+                {
+                    "shard": shard,
+                    "rapid_deaths": self._fast_deaths[shard],
+                    "open_for": round(self._breaker_remaining(shard) or 0.0, 3),
+                }
+                for shard in range(self.num_shards)
+            ],
+            "breaker_trips": self._breaker_trips,
+            "poisoned_requests": len(self._poisoned),
             "shared_memory": (
                 {"nbytes": self._arena.nbytes, "num_graphs": self._arena.num_graphs}
                 if self._arena is not None
@@ -809,6 +1104,9 @@ class ShardRouter:
             if self._closed:
                 return
             self._closed = True
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
         for shard in range(self.num_shards):
             with self._worker_locks[shard]:
                 try:
@@ -929,3 +1227,79 @@ class ShardRouter:
     def _cache_key(self, request: ExplainRequest) -> str:
         prefix = (self.dataset or "custom").lower()
         return f"{prefix}-{self._context_fingerprint}-{request.fingerprint()}"
+
+
+class ShardSupervisor:
+    """Background heartbeats: detect dead/hung workers before requests do.
+
+    Every ``interval`` seconds each shard whose worker mutex is free gets a
+    short-deadline ping; a worker that is dead (SIGKILLed, crashed) or hung
+    (not answering within ``ping_timeout``) is respawned immediately — so
+    by the time the next request routes to the shard, a healthy worker is
+    already up.  Shards whose breaker is open are skipped until the
+    cooldown elapses, at which point the supervisor performs the half-open
+    probe (respawn + ping) itself instead of making a user request pay for
+    it.  Busy shards are never touched: a held worker mutex means a request
+    is in flight, and the router's own death handling covers that path.
+    """
+
+    def __init__(
+        self, router: ShardRouter, *, interval: float = 2.0, ping_timeout: float = 10.0
+    ) -> None:
+        self._router = router
+        self.interval = float(interval)
+        self.ping_timeout = float(ping_timeout)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-shard-supervisor", daemon=True
+        )
+        self.sweeps = 0
+        self.recoveries = 0
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join(timeout=self.ping_timeout + 5)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "interval": self.interval,
+            "sweeps": self.sweeps,
+            "recoveries": self.recoveries,
+        }
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self._sweep()
+            except Exception:  # pragma: no cover - supervision is best-effort
+                pass
+
+    def _sweep(self) -> None:
+        router = self._router
+        self.sweeps += 1
+        for shard in range(router.num_shards):
+            if self._stop.is_set() or router._closed:
+                return
+            lock = router._worker_locks[shard]
+            if not lock.acquire(blocking=False):
+                continue  # a request is in flight; its own recovery applies
+            try:
+                if router._breaker_remaining(shard) is not None:
+                    continue  # cooling down — honour the backoff
+                try:
+                    router._workers[shard].request(
+                        "ping", {}, timeout=self.ping_timeout
+                    )
+                    router._note_stable(shard)
+                except _WorkerDown:
+                    router._note_death(shard)
+                    if router._try_respawn_locked(shard):
+                        self.recoveries += 1
+                except Exception:  # pragma: no cover - op errors are not deaths
+                    pass
+            finally:
+                lock.release()

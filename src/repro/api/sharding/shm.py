@@ -28,6 +28,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.core.faults import fault_point
 from repro.exceptions import ExplanationError
 from repro.graphs.graph import Graph
 from repro.graphs.sparse import SparseGraphView
@@ -240,6 +241,7 @@ def attach_arena(name: str, manifest: dict[str, Any]) -> SharedViewArena:
         raise ExplanationError(
             "multiprocessing.shared_memory is unavailable on this platform"
         )
+    fault_point("shm.attach", context=name)
     shm = _shared_memory.SharedMemory(name=name, create=False)
     # Attaching re-registers the block with a resource tracker; a worker
     # with its *own* tracker (spawn start method) would then unlink the

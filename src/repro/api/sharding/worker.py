@@ -19,6 +19,7 @@ died before or after applying (and WAL-logging) the mutation.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import Any
@@ -29,6 +30,7 @@ from repro.api.serialize import view_to_dict
 from repro.api.service import ExplanationService
 from repro.api.sharding.shm import attach_arena
 from repro.api.types import ExplainRequest
+from repro.core.faults import FaultPlan, activate, fault_point
 from repro.exceptions import ExplanationError, ReproError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
@@ -77,6 +79,12 @@ class ShardHost:
         — whose base version was recorded at first boot from that same
         payload — replays exactly the acknowledged post-seed mutations.
         """
+        fault_payload = bootstrap.get("fault_plan")
+        if fault_payload is not None:
+            # The router forwards its fault plan explicitly (the canonical
+            # config deliberately excludes it); arm it before any
+            # instrumented path runs in this worker.
+            activate(FaultPlan.from_dict(fault_payload))
         database = GraphDatabase.from_dict(bootstrap["database"])
         shm_spec = bootstrap.get("shm")
         arena = None
@@ -107,6 +115,10 @@ class ShardHost:
         """Run one op and return its JSON-safe result."""
         if op not in self.OPS:
             raise ExplanationError(f"shard worker does not understand op {op!r}")
+        fault_point(
+            "worker.handle",
+            context=lambda: f"{op}:{json.dumps(payload, sort_keys=True, default=str)}",
+        )
         return getattr(self, f"_op_{op}")(payload)
 
     def close(self) -> None:
@@ -297,6 +309,7 @@ def shard_worker_main(conn: Any, bootstrap: dict[str, Any]) -> None:
         while True:
             try:
                 op, payload = conn.recv()
+                fault_point("worker.recv", context=lambda: str(op))
             except (EOFError, OSError):
                 break  # router side closed: drain and exit
             try:
@@ -307,6 +320,7 @@ def shard_worker_main(conn: Any, bootstrap: dict[str, Any]) -> None:
             except Exception as error:  # pragma: no cover - defensive
                 conn.send(("error", {"type": type(error).__name__, "message": str(error)}))
                 continue
+            fault_point("worker.send", context=lambda: str(op))
             conn.send(("ok", result))
             if op == "shutdown":
                 break

@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.api.serialize import load_artifact, save_artifact
 from repro.api.types import ExplanationResult
+from repro.core.faults import fault_point
 from repro.exceptions import ExplanationError
 from repro.graphs.graph import Graph
 from repro.graphs.io import fsync_directory
@@ -279,6 +280,7 @@ class ViewStore:
             # durability lives in the WAL and the snapshot tier.
             tmp = self._tmp_path(path)
             try:
+                fault_point("store.spill", context=key)
                 save_artifact(result, tmp)
                 tmp.replace(path)
             finally:

@@ -211,6 +211,15 @@ class ExplanationResult:
 
     view: ExplanationView
     provenance: Provenance
+    #: Degradation flags set by the sharded tier under
+    #: ``Configuration(degraded_reads=True)``: a degraded result covers only
+    #: the shards that answered, with the down ones listed.  Always
+    #: ``False``/empty on the single-process service, on healthy fan-outs,
+    #: and on anything served from cache (degraded results are never
+    #: cached).  Serialized additively (only when set), so the golden
+    #: artifact shapes are unchanged.
+    degraded: bool = False
+    missing_shards: tuple[int, ...] = ()
 
     @property
     def label(self) -> int:

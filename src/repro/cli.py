@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import warnings
 from collections.abc import Sequence
 
 from repro.api import (
@@ -602,9 +603,32 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Legacy experiment-runner commands kept from the seed CLI.  The service
+#: surface (``stats``/``train``/``explain``/``query``/``serve``) replaced
+#: them as the supported interface; like the package-level import shims,
+#: they now warn ahead of removal at the next re-anchor.
+_DEPRECATED_COMMANDS = {
+    "table1": "repro explain / the experiment runners in repro.experiments",
+    "table3": "repro stats",
+    "compare": "repro explain --algorithm <name> per explainer",
+}
+
+
+def _warn_deprecated_command(command: str) -> None:
+    replacement = _DEPRECATED_COMMANDS[command]
+    warnings.warn(
+        f"repro.cli {command!r} is deprecated and will be removed; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     args = build_parser().parse_args(argv)
+    if args.command in _DEPRECATED_COMMANDS:
+        _warn_deprecated_command(args.command)
     if args.command == "datasets":
         return _command_datasets()
     if args.command == "algorithms":

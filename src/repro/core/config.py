@@ -134,6 +134,21 @@ class Configuration:
         Seed for every randomised choice made under this configuration —
         most importantly the shuffled node arrival order of ``StreamGVEX``
         (Fig. 12), which would otherwise differ between runs.
+    degraded_reads:
+        Operational knob for the sharded tier: when on, reads against a
+        down shard return *partial* results flagged with
+        ``degraded``/``missing_shards`` instead of failing loudly (mutations
+        still answer 503 + Retry-After).  Excluded from
+        :meth:`canonical_dict` — it changes availability semantics, never
+        the explanations a healthy system produces, and degraded results
+        are never cached.
+    fault_plan:
+        Operational knob: a :class:`repro.core.faults.FaultPlan` payload
+        (``FaultPlan.to_dict()`` shape) activated process-globally when a
+        service or router is built with this configuration.  Excluded from
+        :meth:`canonical_dict` for the same reason — fault plans only
+        inject failures; they never alter the explanation outputs of the
+        code paths that survive them.
     """
 
     theta: float = 0.1
@@ -152,6 +167,8 @@ class Configuration:
     label_probability_cache_size: int = 8192
     match_cache_size: int = 4096
     seed: int = 0
+    degraded_reads: bool = False
+    fault_plan: dict | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.theta <= 1.0:
@@ -204,6 +221,13 @@ class Configuration:
             )
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise ConfigurationError("seed must be an integer")
+        if not isinstance(self.degraded_reads, bool):
+            raise ConfigurationError("degraded_reads must be a boolean")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, dict):
+            raise ConfigurationError(
+                f"fault_plan must be a FaultPlan.to_dict() payload (a dict) or "
+                f"None, got {type(self.fault_plan).__name__}"
+            )
         if not isinstance(self.default_bound, CoverageBound):
             raise ConfigurationError(
                 f"default_bound must be a CoverageBound, got "
@@ -276,7 +300,10 @@ class Configuration:
 
         Unlike :meth:`describe` (a human-oriented log summary), this includes
         *all* fields so that two configurations hash equal exactly when every
-        explainer-visible parameter matches.
+        explainer-visible parameter matches.  The operational knobs
+        (``degraded_reads``, ``fault_plan``) are deliberately excluded: they
+        never change what a healthy explainer computes, so they must not
+        split the result cache or the cross-process fingerprint.
         """
         return self.describe() | {
             "min_check_size": self.min_check_size,

@@ -1,0 +1,405 @@
+"""Deterministic fault injection for the serving tier.
+
+The production code is instrumented with *named injection points* — cheap
+calls to :func:`fault_point` at every real failure surface (WAL append /
+fsync / rotate, view-store disk spill, shared-memory arena attach, worker
+pipe traffic and request handling, replication fetches, HTTP handlers).
+With no plan active a point is a single module-global ``None`` check, so
+the instrumented paths stay at production speed.
+
+A :class:`FaultPlan` arms a set of :class:`FaultRule` entries against those
+points.  Every schedule is **deterministic under a fixed seed**: a rule
+fires on the Nth hit of its point, with probability ``p`` drawn from a
+per-rule seeded RNG, or for a wall-clock window after activation — never
+from ambient randomness.  Replaying the same plan against the same request
+schedule reproduces the same failures, which is what makes the chaos suite
+(``tests/integration/test_chaos.py``) able to assert exact invariants.
+
+Actions:
+
+``raise``
+    Raise :class:`~repro.exceptions.FaultInjected` at the point.
+``hang``
+    Sleep long enough to trip the caller's timeout (default 3600 s,
+    configurable via ``delay_seconds``) — models a stuck worker or disk.
+``delay``
+    Sleep ``delay_seconds`` (default 0.05) and continue — models slow I/O.
+``corrupt``
+    Deterministically flip bytes in the data flowing through the point
+    (points that carry data pass it to :func:`fault_point`) — models
+    torn/bit-rotted writes.
+``kill``
+    ``SIGKILL`` the current process — models an OOM kill or hard crash.
+    Only meaningful inside shard worker processes.
+
+Activation is process-global: :func:`activate` installs a plan,
+:func:`deactivate` removes it.  Plans also travel through configuration
+(``Configuration(fault_plan={...})``) and the ``REPRO_FAULT_PLAN``
+environment variable (inline JSON, or ``@/path/to/plan.json``), which is
+how spawned shard workers inherit the plan of the process that launched
+them.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import random
+import signal
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import ConfigurationError, FaultInjected
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FaultPlan",
+    "FaultRule",
+    "activate",
+    "activate_from_config",
+    "active_plan",
+    "deactivate",
+    "fault_point",
+    "reset",
+]
+
+FAULT_ACTIONS = ("raise", "hang", "delay", "corrupt", "kill")
+
+#: Environment variable carrying a plan: inline JSON or ``@path``.
+PLAN_ENV = "REPRO_FAULT_PLAN"
+
+_HANG_DEFAULT_SECONDS = 3600.0
+_DELAY_DEFAULT_SECONDS = 0.05
+
+
+@dataclass
+class FaultRule:
+    """One deterministic failure schedule bound to an injection point.
+
+    Parameters
+    ----------
+    point:
+        Injection point name, or an ``fnmatch`` glob (``"wal.*"``).
+    action:
+        One of :data:`FAULT_ACTIONS`.
+    nth:
+        Fire exactly on the Nth matching hit (1-based).
+    probability:
+        Fire each hit with this probability, drawn from a per-rule RNG
+        seeded by the plan seed — deterministic across replays.
+    duration:
+        Fire only within the first ``duration`` seconds after activation.
+    times:
+        Cap on total fires (default: 1 when ``nth`` is set, unlimited
+        otherwise).
+    match:
+        Only consider hits whose context string contains this substring
+        (points pass a lazily-built context, e.g. the worker op + payload),
+        which lets a plan target one specific request.
+    delay_seconds:
+        Sleep length for ``delay``/``hang`` actions (``hang`` defaults to
+        3600 s when unset).
+    message:
+        Free-form note included in the raised error.
+    """
+
+    point: str
+    action: str
+    nth: int | None = None
+    probability: float | None = None
+    duration: float | None = None
+    times: int | None = None
+    match: str | None = None
+    delay_seconds: float | None = None
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in FAULT_ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; expected one of {FAULT_ACTIONS}"
+            )
+        if not self.point:
+            raise ConfigurationError("fault rule needs a non-empty point name")
+        if self.nth is not None and self.nth < 1:
+            raise ConfigurationError("fault rule 'nth' is 1-based and must be >= 1")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("fault rule 'probability' must be in [0, 1]")
+        if self.duration is not None and self.duration < 0:
+            raise ConfigurationError("fault rule 'duration' must be >= 0")
+        if self.times is not None and self.times < 1:
+            raise ConfigurationError("fault rule 'times' must be >= 1")
+
+    def matches_point(self, name: str) -> bool:
+        return self.point == name or fnmatch.fnmatchcase(name, self.point)
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"point": self.point, "action": self.action}
+        for key in ("nth", "probability", "duration", "times", "match", "delay_seconds"):
+            value = getattr(self, key)
+            if value is not None:
+                payload[key] = value
+        if self.message:
+            payload["message"] = self.message
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultRule":
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"fault rule must be a dict, got {type(payload).__name__}")
+        known = {
+            "point", "action", "nth", "probability", "duration",
+            "times", "match", "delay_seconds", "message",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigurationError(f"unknown fault rule keys: {sorted(unknown)}")
+        missing = {"point", "action"} - set(payload)
+        if missing:
+            raise ConfigurationError(f"fault rule missing keys: {sorted(missing)}")
+        return cls(**payload)
+
+
+@dataclass
+class _RuleState:
+    """Mutable per-rule counters, kept outside the (shareable) rule."""
+
+    hits: int = 0
+    fires: int = 0
+    rng: random.Random = field(default_factory=random.Random)
+
+
+class FaultPlan:
+    """A seeded set of fault rules, activatable process-globally."""
+
+    def __init__(self, rules: list[FaultRule] | tuple[FaultRule, ...], *, seed: int = 0) -> None:
+        self.rules = tuple(rules)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        self._states = [
+            _RuleState(rng=random.Random((self.seed << 16) ^ zlib.crc32(rule.point.encode())))
+            for rule in self.rules
+        ]
+        self._activated_at: float | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise ConfigurationError(f"fault plan must be a dict, got {type(payload).__name__}")
+        unknown = set(payload) - {"rules", "seed"}
+        if unknown:
+            raise ConfigurationError(f"unknown fault plan keys: {sorted(unknown)}")
+        rules = [FaultRule.from_dict(rule) for rule in payload.get("rules", [])]
+        return cls(rules, seed=payload.get("seed", 0))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ConfigurationError(f"fault plan is not valid JSON: {error}") from error
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_env(cls, value: str) -> "FaultPlan":
+        """Parse the ``REPRO_FAULT_PLAN`` value: inline JSON or ``@path``."""
+        value = value.strip()
+        if value.startswith("@"):
+            path = value[1:]
+            try:
+                text = open(path, encoding="utf-8").read()
+            except OSError as error:
+                raise ConfigurationError(
+                    f"cannot read fault plan file {path!r}: {error}"
+                ) from error
+            return cls.from_json(text)
+        return cls.from_json(value)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+
+    # -- runtime ----------------------------------------------------------
+
+    def _on_activate(self) -> None:
+        with self._lock:
+            self._activated_at = time.monotonic()
+            for index, rule in enumerate(self.rules):
+                self._states[index] = _RuleState(
+                    rng=random.Random((self.seed << 16) ^ zlib.crc32(rule.point.encode()))
+                )
+
+    def _should_fire(
+        self, name: str, context: str | Callable[[], str] | None
+    ) -> FaultRule | None:
+        """Return the first rule that fires for this hit, updating counters."""
+        context_value: str | None = None
+        context_built = context is None
+        with self._lock:
+            now = time.monotonic()
+            for rule, state in zip(self.rules, self._states):
+                if not rule.matches_point(name):
+                    continue
+                if rule.match is not None:
+                    if not context_built:
+                        context_value = context() if callable(context) else context
+                        context_built = True
+                    if context_value is None or rule.match not in context_value:
+                        continue
+                state.hits += 1
+                times_cap = rule.times if rule.times is not None else (
+                    1 if rule.nth is not None else None
+                )
+                if times_cap is not None and state.fires >= times_cap:
+                    continue
+                if rule.nth is not None and state.hits != rule.nth:
+                    continue
+                if rule.duration is not None and self._activated_at is not None:
+                    if now - self._activated_at > rule.duration:
+                        continue
+                if rule.probability is not None and state.rng.random() >= rule.probability:
+                    continue
+                state.fires += 1
+                return rule
+        return None
+
+    def stats(self) -> list[dict[str, Any]]:
+        """Hit/fire counters per rule — chaos tests assert on these."""
+        with self._lock:
+            return [
+                {"point": rule.point, "action": rule.action,
+                 "hits": state.hits, "fires": state.fires}
+                for rule, state in zip(self.rules, self._states)
+            ]
+
+
+# -- process-global activation -------------------------------------------
+
+_PLAN: FaultPlan | None = None
+_ENV_CHECKED = False
+_ACTIVATION_LOCK = threading.Lock()
+
+
+def activate(plan: FaultPlan) -> FaultPlan:
+    """Install *plan* as the process-global fault plan (resets counters)."""
+    global _PLAN, _ENV_CHECKED
+    with _ACTIVATION_LOCK:
+        plan._on_activate()
+        _PLAN = plan
+        _ENV_CHECKED = True
+    return plan
+
+
+def activate_from_config(config: Any) -> FaultPlan | None:
+    """Activate ``config.fault_plan`` when one is set (no-op otherwise)."""
+    payload = getattr(config, "fault_plan", None)
+    if payload is None:
+        return None
+    return activate(FaultPlan.from_dict(payload))
+
+
+def deactivate() -> None:
+    """Remove the active plan (and stop consulting the environment)."""
+    global _PLAN, _ENV_CHECKED
+    with _ACTIVATION_LOCK:
+        _PLAN = None
+        _ENV_CHECKED = True
+
+
+def reset() -> None:
+    """Forget the plan *and* re-arm environment loading (test helper)."""
+    global _PLAN, _ENV_CHECKED
+    with _ACTIVATION_LOCK:
+        _PLAN = None
+        _ENV_CHECKED = False
+
+
+def active_plan() -> FaultPlan | None:
+    return _PLAN
+
+
+def _load_env_plan() -> None:
+    global _PLAN, _ENV_CHECKED
+    with _ACTIVATION_LOCK:
+        if _ENV_CHECKED:
+            return
+        _ENV_CHECKED = True
+        value = os.environ.get(PLAN_ENV)
+        if not value:
+            return
+        plan = FaultPlan.from_env(value)
+        plan._on_activate()
+        _PLAN = plan
+
+
+def _execute(rule: FaultRule, name: str, data: Any) -> Any:
+    note = f" ({rule.message})" if rule.message else ""
+    if rule.action == "raise":
+        raise FaultInjected(f"injected fault at {name}{note}", point=name)
+    if rule.action == "delay":
+        time.sleep(rule.delay_seconds if rule.delay_seconds is not None
+                   else _DELAY_DEFAULT_SECONDS)
+        return data
+    if rule.action == "hang":
+        time.sleep(rule.delay_seconds if rule.delay_seconds is not None
+                   else _HANG_DEFAULT_SECONDS)
+        return data
+    if rule.action == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+        raise FaultInjected(f"kill injected at {name} did not terminate", point=name)
+    # corrupt: flip a deterministic byte pattern in the data flowing through.
+    if data is None:
+        raise FaultInjected(
+            f"corrupt injected at {name}, which carries no data{note}", point=name
+        )
+    if isinstance(data, str):
+        raw = bytearray(data.encode("utf-8"))
+        corrupted = _flip(raw)
+        return corrupted.decode("utf-8", errors="replace")
+    if isinstance(data, (bytes, bytearray)):
+        return bytes(_flip(bytearray(data)))
+    raise FaultInjected(
+        f"corrupt injected at {name} on unsupported payload type "
+        f"{type(data).__name__}", point=name
+    )
+
+
+def _flip(raw: bytearray) -> bytearray:
+    if not raw:
+        return raw
+    # Flip low bits at three deterministic offsets — enough to break any
+    # CRC while keeping the payload printable for debugging.
+    for offset in (len(raw) // 3, len(raw) // 2, (2 * len(raw)) // 3):
+        raw[offset] ^= 0x01
+    return raw
+
+
+def fault_point(
+    name: str,
+    data: Any = None,
+    context: str | Callable[[], str] | None = None,
+) -> Any:
+    """Consult the active plan at injection point *name*; returns *data*.
+
+    The hot-path cost with no plan active is one global read and a branch.
+    ``data`` (when the point carries any) is returned unchanged unless a
+    ``corrupt`` rule fires, in which case the corrupted copy is returned.
+    ``context`` — a string or a zero-argument callable built only when a
+    rule needs it — lets rules target specific requests via ``match``.
+    """
+    plan = _PLAN
+    if plan is None:
+        if _ENV_CHECKED:
+            return data
+        _load_env_plan()
+        plan = _PLAN
+        if plan is None:
+            return data
+    rule = plan._should_fire(name, context)
+    if rule is None:
+        return data
+    return _execute(rule, name, data)

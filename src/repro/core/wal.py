@@ -51,7 +51,8 @@ import zlib
 from pathlib import Path
 from typing import Any, Iterator
 
-from repro.exceptions import WALError
+from repro.core.faults import fault_point
+from repro.exceptions import FaultInjected, WALError
 from repro.graphs.io import fsync_directory
 
 __all__ = [
@@ -304,14 +305,32 @@ class WriteAheadLog:
             "crc": payload_crc(payload),
             "delta": payload,
         }
-        self._handle.write(json.dumps(record) + "\n")
-        self._handle.flush()
-        if self._sync:
-            os.fsync(self._handle.fileno())
+        line = fault_point("wal.append", json.dumps(record) + "\n")
+        offset = self._handle.tell()
+        try:
+            self._handle.write(line)
+            self._handle.flush()
+            fault_point("wal.fsync")
+            if self._sync:
+                os.fsync(self._handle.fileno())
+        except (OSError, FaultInjected) as error:
+            # The record was never acknowledged: roll the file back to the
+            # pre-write offset so it cannot resurface on replay, then fail
+            # loudly.  A record is in the log iff its append returned.
+            try:
+                self._handle.seek(offset)
+                self._handle.truncate()
+            except OSError:
+                pass
+            raise WALError(
+                f"append of version {version} failed before it was durable: "
+                f"{error}"
+            ) from error
         self._segments[-1].num_records += 1
 
     def _rotate(self, *, base_version: int) -> None:
         """Open a fresh segment (or re-open the existing tail for appending)."""
+        fault_point("wal.rotate")
         if self._handle is not None:
             self._handle.close()
             self._handle = None

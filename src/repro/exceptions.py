@@ -80,3 +80,44 @@ class ReplicationGapError(ReplicationError):
 
 class MiningError(ReproError):
     """Raised for invalid pattern mining requests."""
+
+
+class FaultInjected(ReproError):
+    """Raised by an armed fault-injection point (:mod:`repro.core.faults`).
+
+    Never raised in production operation: a :class:`FaultInjected` in a
+    traceback always means a fault plan was activated (via
+    ``Configuration(fault_plan=...)`` or ``REPRO_FAULT_PLAN``) and one of
+    its rules fired.
+    """
+
+    def __init__(self, message: str, *, point: str = "") -> None:
+        super().__init__(message)
+        self.point = point
+
+
+class ShardDownError(ExplanationError):
+    """Raised when a shard cannot serve a request right now.
+
+    Carries the shard index and a ``retry_after`` hint (seconds) so the
+    HTTP layer can answer ``503`` with a ``Retry-After`` header.  Subclasses
+    :class:`ExplanationError` so existing fail-loud handling keeps working.
+    """
+
+    def __init__(self, message: str, *, shard: int, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.retry_after = retry_after
+
+
+class PoisonRequestError(ExplanationError):
+    """Raised for a request quarantined after repeatedly killing its worker.
+
+    The router answers it as a structured error instead of letting the same
+    request crash-loop a shard; ``fingerprint`` identifies the quarantined
+    request shape.
+    """
+
+    def __init__(self, message: str, *, fingerprint: str = "") -> None:
+        super().__init__(message)
+        self.fingerprint = fingerprint

@@ -1,0 +1,555 @@
+"""Chaos suite: seeded fault schedules replayed against hard invariants.
+
+Every scenario arms a deterministic :class:`~repro.core.faults.FaultPlan`
+(or kills real worker processes) and asserts the serving tier's contract
+under failure:
+
+* every **acknowledged** mutation survives recovery; no **unacknowledged**
+  mutation ever appears after recovery;
+* recovered views are signature-identical to an unfaulted control;
+* the router answers every request with correct data, a structured error
+  (:class:`ShardDownError` / :class:`PoisonRequestError` / ``WALError``),
+  or a degraded-flagged partial answer — never silently corrupted data;
+* the supervisor respawns dead workers before requests hit them, the
+  crash-loop breaker converges a flapping shard to fast structured
+  failures, and a cleared fault lets the shard recover;
+* a replica rides out a primary outage with counted retries and
+  reconverges.
+
+The process backend is required for kill-based scenarios (SIGKILL needs a
+real process); hang/raise scenarios run on it too so the timings are real.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.api import ExplanationService
+from repro.api.replication import view_signature
+from repro.api.sharding import ShardRouter
+from repro.core import Configuration
+from repro.core import faults
+from repro.exceptions import (
+    ExplanationError,
+    PoisonRequestError,
+    ShardDownError,
+    WALError,
+)
+from repro.graphs import Graph, GraphDatabase
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    """No chaos test may leak an armed plan into the rest of the suite."""
+    faults.reset()
+    yield
+    faults.reset()
+
+
+@pytest.fixture(scope="module")
+def chaos_config():
+    return Configuration(theta=0.08).with_default_bound(0, 8)
+
+
+@pytest.fixture(scope="module")
+def seed_payload(mut_database):
+    database = GraphDatabase("seed")
+    for graph, label in zip(mut_database.graphs[:10], mut_database.labels[:10]):
+        database.add_graph(graph.copy(), label)
+    return database.to_dict()
+
+
+@pytest.fixture(scope="module")
+def reference(seed_payload, trained_mut_model, chaos_config):
+    service = ExplanationService(
+        "MUT",
+        database=GraphDatabase.from_dict(seed_payload),
+        model=trained_mut_model,
+        config=chaos_config,
+        live_views=True,
+    )
+    yield service
+    service.close()
+
+
+def make_router(seed_payload, model, config, num_shards, **kwargs) -> ShardRouter:
+    kwargs.setdefault("supervise", False)
+    return ShardRouter(
+        "MUT",
+        database=GraphDatabase.from_dict(seed_payload),
+        model=model,
+        num_shards=num_shards,
+        config=config,
+        backend="process",
+        **kwargs,
+    )
+
+
+def fresh_graph(mut_database, index: int, graph_id: int) -> Graph:
+    payload = mut_database.graphs[index].to_dict()
+    payload["graph_id"] = graph_id
+    return Graph.from_dict(payload)
+
+
+def signature_of(service_like, label: int) -> str:
+    return view_signature(
+        service_like.explain(algorithm="stream", label=label).view
+    )
+
+
+class TestWALFaults:
+    """Durability invariants under injected WAL write/fsync failures."""
+
+    def test_acked_mutations_survive_and_unacked_never_appear(
+        self, seed_payload, trained_mut_model, chaos_config, mut_database, tmp_path
+    ):
+        def build(wal_name):
+            return ExplanationService(
+                "MUT",
+                database=GraphDatabase.from_dict(seed_payload),
+                model=trained_mut_model,
+                config=chaos_config,
+                live_views=True,
+                wal_dir=tmp_path / wal_name,
+            )
+
+        # Control: only the mutation that will be acknowledged.
+        control = build("control")
+        control.ingest(fresh_graph(mut_database, 10, 800), label=1)
+        control_sig = {label: signature_of(control, label) for label in (0, 1)}
+        control.close()
+
+        # Faulted run: first ingest acks, then the fsync of the second
+        # ingest's WAL record fails — the append must raise (the caller
+        # never gets an ack) and the record must not survive replay.
+        faulted = build("faulted")
+        acked = faulted.ingest(fresh_graph(mut_database, 10, 800), label=1)
+        assert acked["graph_id"] == 800
+
+        faults.activate(
+            faults.FaultPlan(
+                [faults.FaultRule(point="wal.fsync", action="raise", nth=1)],
+                seed=7,
+            )
+        )
+        with pytest.raises(WALError, match="failed before it was durable"):
+            faulted.ingest(fresh_graph(mut_database, 11, 801), label=0)
+        faults.deactivate()
+        # The service and its log have diverged — model the crash that
+        # follows and recover from the WAL alone.
+        faulted.close()
+
+        recovered = build("faulted")
+        recovered_ids = {graph.graph_id for graph in recovered.database.graphs}
+        assert 800 in recovered_ids  # acked: survived
+        assert 801 not in recovered_ids  # unacked: never appears
+        # Signature-identical to the unfaulted control, and still writable.
+        for label in (0, 1):
+            assert signature_of(recovered, label) == control_sig[label]
+        recovered.ingest(fresh_graph(mut_database, 11, 801), label=0)
+        recovered.close()
+
+    def test_corrupted_wal_record_fails_loudly_on_recovery(
+        self, seed_payload, trained_mut_model, chaos_config, mut_database, tmp_path
+    ):
+        """A bit-rotted *interior* WAL record (injected at the append
+        point) must surface as a WALError at recovery — never as silent
+        data loss.  (A corrupt record at the very tail is the torn-write
+        case the WAL truncates by design; interior damage means an
+        acknowledged write would be lost, so recovery refuses.)"""
+        service = ExplanationService(
+            "MUT",
+            database=GraphDatabase.from_dict(seed_payload),
+            model=trained_mut_model,
+            config=chaos_config,
+            live_views=True,
+            wal_dir=tmp_path / "wal",
+        )
+        faults.activate(
+            faults.FaultPlan(
+                [faults.FaultRule(point="wal.append", action="corrupt", nth=1)]
+            )
+        )
+        # Corrupted on disk (but acked); a later clean record makes the
+        # damage interior, so the loss is detected at replay.
+        service.ingest(fresh_graph(mut_database, 10, 810), label=1)
+        faults.deactivate()
+        service.ingest(fresh_graph(mut_database, 11, 811), label=0)
+        service.close()
+
+        with pytest.raises(WALError):
+            ExplanationService(
+                "MUT",
+                database=GraphDatabase.from_dict(seed_payload),
+                model=trained_mut_model,
+                config=chaos_config,
+                live_views=True,
+                wal_dir=tmp_path / "wal",
+            )
+
+
+class TestSupervisor:
+    def test_supervisor_respawns_a_dead_worker_before_any_request(
+        self, seed_payload, trained_mut_model, chaos_config
+    ):
+        router = make_router(
+            seed_payload, trained_mut_model, chaos_config, 2,
+            supervise=True, heartbeat_interval=0.2, heartbeat_timeout=10.0,
+        )
+        try:
+            victim = router.worker_pids()[0]
+            router.kill_worker(0)
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                if router.worker_pids()[0] != victim:
+                    break
+                time.sleep(0.1)
+            # No request was issued: the supervisor alone recovered it.
+            assert router.worker_pids()[0] != victim
+            stats = router.stats()
+            assert stats["respawns"] >= 1
+            assert stats["supervisor"]["recoveries"] >= 1
+            assert all(entry["alive"] for entry in stats["shards"])
+        finally:
+            router.close()
+
+
+class TestHungWorker:
+    def test_hung_worker_is_respawned_and_repeat_offender_quarantined(
+        self, seed_payload, trained_mut_model, chaos_config, reference
+    ):
+        """A request that hangs its worker is detected via the request
+        timeout, the worker is respawned, and when the retry hangs the
+        respawned worker too the request is quarantined as poison — while
+        every other request keeps being served correctly."""
+        config = dataclasses.replace(
+            chaos_config,
+            fault_plan={
+                "rules": [
+                    {
+                        "point": "worker.handle",
+                        "action": "hang",
+                        "match": 'stream_rows:{"label": 1}',
+                        "delay_seconds": 60.0,
+                    }
+                ]
+            }
+        )
+        router = make_router(
+            seed_payload, trained_mut_model, config, 1, request_timeout=3.0
+        )
+        try:
+            with pytest.raises(PoisonRequestError, match="quarantined as poison"):
+                router.explain(algorithm="stream", label=1)
+            stats = router.stats()
+            assert stats["respawns"] == 2
+            assert stats["poisoned_requests"] == 1
+            # Other requests are unaffected — and still byte-correct.
+            assert signature_of(router, 0) == signature_of(reference, 0)
+            # The quarantined request is answered instantly from the poison
+            # list (a structured error, not another 2×3 s of timeouts).
+            start = time.monotonic()
+            with pytest.raises(PoisonRequestError):
+                router.explain(algorithm="stream", label=1)
+            assert time.monotonic() - start < 2.0
+        finally:
+            faults.deactivate()  # forked respawns must not re-arm
+            router.close()
+
+
+class TestCrashLoopBreaker:
+    def test_breaker_opens_then_supervisor_recovers_after_fault_clears(
+        self, seed_payload, trained_mut_model, chaos_config, reference
+    ):
+        """A worker SIGKILLed by every stream request crash-loops: the
+        breaker opens and requests get fast structured ShardDownErrors.
+        Once the fault plan is cleared, the supervisor's half-open probe
+        respawns the shard and service resumes, signature-identical."""
+        config = dataclasses.replace(
+            chaos_config,
+            fault_plan={
+                "rules": [
+                    {"point": "worker.handle", "action": "kill",
+                     "match": "stream_rows", "times": 1000}
+                ]
+            }
+        )
+        router = make_router(
+            seed_payload, trained_mut_model, config, 1,
+            supervise=True, heartbeat_interval=0.25, heartbeat_timeout=10.0,
+            breaker_threshold=3, breaker_base_backoff=1.5,
+            breaker_max_backoff=2.0, crash_loop_window=30.0,
+        )
+        try:
+            # Deaths 1+2: the first request kills the worker, the retry
+            # kills the respawn — quarantined as poison.
+            with pytest.raises(PoisonRequestError):
+                router.explain(algorithm="stream", label=1)
+            # Death 3 (a different request): the breaker opens; the answer
+            # is a structured shard-down error carrying a retry hint.
+            with pytest.raises(ShardDownError) as excinfo:
+                router.explain(algorithm="stream", label=0)
+            assert excinfo.value.shard == 0
+            assert excinfo.value.retry_after > 0
+            # While open, the breaker answers instantly — no worker touched.
+            start = time.monotonic()
+            with pytest.raises(ShardDownError, match="crash-loop breaker"):
+                router.explain(algorithm="stream", label=0)
+            assert time.monotonic() - start < 0.5
+            stats = router.stats()
+            assert stats["breaker_trips"] >= 1
+            assert stats["breakers"][0]["rapid_deaths"] >= 3
+
+            # Clear the fault everywhere a future worker could inherit it:
+            # the process-global plan (forked respawns) and the bootstrap
+            # payload (spawned respawns).
+            faults.deactivate()
+            router._bootstraps[0]["fault_plan"] = None
+
+            deadline = time.monotonic() + 45.0
+            recovered_sig = None
+            while time.monotonic() < deadline:
+                try:
+                    recovered_sig = signature_of(router, 0)
+                    break
+                except ShardDownError:
+                    time.sleep(0.25)
+            assert recovered_sig is not None, "shard never recovered"
+            assert recovered_sig == signature_of(reference, 0)
+            # The poisoned request stays quarantined even after recovery —
+            # it killed two workers; replaying it is never the router's call.
+            with pytest.raises(PoisonRequestError):
+                router.explain(algorithm="stream", label=1)
+        finally:
+            faults.deactivate()
+            router.close()
+
+
+class TestPoisonRequest:
+    def test_poison_request_quarantined_others_unaffected(
+        self, seed_payload, trained_mut_model, chaos_config, reference
+    ):
+        """A request whose handling SIGKILLs the worker twice is fenced
+        with a structured error; the shard stays healthy for everyone else
+        and the breaker does NOT open (two deaths < threshold)."""
+        config = dataclasses.replace(
+            chaos_config,
+            fault_plan={
+                "rules": [
+                    # Target exactly one request: the ordered explain of
+                    # graph 3 (its payload is in the worker.handle context).
+                    {"point": "worker.handle", "action": "kill",
+                     "match": '"graph_ids": [3]', "times": 1000}
+                ]
+            }
+        )
+        router = make_router(seed_payload, trained_mut_model, config, 1)
+        try:
+            with pytest.raises(PoisonRequestError) as excinfo:
+                router.explain(algorithm="stream", label=1, graph_ids=[3])
+            assert excinfo.value.fingerprint
+            stats = router.stats()
+            assert stats["poisoned_requests"] == 1
+            assert stats["breaker_trips"] == 0  # two deaths, threshold is 3
+            assert all(entry["alive"] for entry in stats["shards"])
+            # Non-poison requests — including other ordered explains — work.
+            other = router.explain(algorithm="stream", label=1, graph_ids=[5])
+            assert other.view is not None
+            assert signature_of(router, 1) == signature_of(reference, 1)
+        finally:
+            faults.deactivate()
+            router.close()
+
+
+class TestDegradedReads:
+    def _down_shard(self, router, shard: int) -> None:
+        """Force one shard unavailable: kill its worker and open its
+        breaker so the next request cannot simply respawn it."""
+        router.kill_worker(shard)
+        with router._health_lock:
+            router._death_noted[shard] = True
+            router._fast_deaths[shard] = router._breaker_threshold
+            router._breaker_open_until[shard] = time.monotonic() + 60.0
+
+    def test_fail_loud_is_the_default(
+        self, seed_payload, trained_mut_model, chaos_config
+    ):
+        router = make_router(seed_payload, trained_mut_model, chaos_config, 2)
+        try:
+            self._down_shard(router, 1)
+            with pytest.raises(ShardDownError):
+                router.explain(algorithm="stream", label=1)
+        finally:
+            router.close()
+
+    def test_degraded_reads_return_partial_flagged_results(
+        self, seed_payload, trained_mut_model, chaos_config, reference
+    ):
+        config = dataclasses.replace(
+            chaos_config,
+            degraded_reads=True)
+        router = make_router(seed_payload, trained_mut_model, config, 2)
+        try:
+            # Pick a label the downed shard actually holds graphs of, so
+            # the partial view provably misses data.
+            target_label = next(
+                label
+                for graph, label in zip(
+                    router.database.graphs, router.database.labels
+                )
+                if router.plan.shard_of(graph.graph_id) == 1
+            )
+            full_sig = signature_of(reference, target_label)
+            self._down_shard(router, 1)
+            partial = router.explain(algorithm="stream", label=target_label)
+            assert partial.degraded is True
+            assert partial.missing_shards == (1,)
+            # The partial answer is well-formed but not the full view.
+            assert view_signature(partial.view) != full_sig
+            # Mutations routed to the down shard still fail loudly —
+            # degradation never silently drops a write.
+            owned_by_down = next(
+                graph.graph_id
+                for graph in router.database.graphs
+                if router.plan.shard_of(graph.graph_id) == 1
+            )
+            with pytest.raises(ShardDownError):
+                router.remove(owned_by_down)
+
+            # Heal the shard: the degraded result was never cached, so the
+            # very next read re-fans and returns the full, unflagged view.
+            with router._health_lock:
+                router._breaker_open_until[1] = 0.0
+                router._fast_deaths[1] = 0
+            healed = router.explain(algorithm="stream", label=target_label)
+            assert healed.degraded is False
+            assert healed.missing_shards == ()
+            assert view_signature(healed.view) == full_sig
+        finally:
+            router.close()
+
+
+class TestShmAttachFailure:
+    def test_shm_attach_fault_falls_back_without_deadlocking_boot(
+        self, seed_payload, trained_mut_model, chaos_config, reference
+    ):
+        """Workers that cannot map the shared arena (injected attach
+        failure) build private views; the router boots normally and the
+        answers are identical."""
+        config = dataclasses.replace(
+            chaos_config,
+            fault_plan={
+                "rules": [{"point": "shm.attach", "action": "raise", "times": 1000}]
+            }
+        )
+        router = make_router(seed_payload, trained_mut_model, config, 2)
+        try:
+            stats = router.stats()
+            for entry in stats["shards"]:
+                assert entry["alive"] is True
+                assert entry["shared_views"] is False  # fell back cleanly
+            assert signature_of(router, 1) == signature_of(reference, 1)
+        finally:
+            faults.deactivate()
+            router.close()
+
+
+class TestReplicationOutage:
+    def test_replica_retries_through_an_outage_and_reconverges(
+        self, seed_payload, trained_mut_model, chaos_config, mut_database, tmp_path
+    ):
+        import threading
+
+        from repro.api import create_server
+        from repro.api.replication import ReplicaService
+
+        primary = ExplanationService(
+            "MUT",
+            database=GraphDatabase.from_dict(seed_payload),
+            model=trained_mut_model,
+            config=chaos_config,
+            live_views=True,
+            wal_dir=tmp_path / "wal",
+        )
+        server = create_server(primary, port=0)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        replica = ReplicaService(f"http://{host}:{port}", poll_interval=0.05)
+        try:
+            primary.ingest(fresh_graph(mut_database, 10, 900), label=1)
+            # The next fetch fails (injected outage); the loop counts the
+            # retry, backs off, and the following rounds reconverge.
+            faults.activate(
+                faults.FaultPlan(
+                    [faults.FaultRule(point="replication.fetch",
+                                      action="raise", nth=1,
+                                      message="injected outage")]
+                )
+            )
+            replica.run(max_rounds=3, max_retry_backoff=0.2)
+            faults.deactivate()
+            stats = replica.stats()
+            assert stats["retries"] == 1
+            assert "injected outage" in (stats["last_error"] or "")
+            primary.ingest(fresh_graph(mut_database, 11, 901), label=0)
+            replica.sync_once()
+            with primary._lock:
+                primary_sigs = {
+                    view.label: view_signature(view)
+                    for view in primary.live_views()
+                }
+            assert replica.view_signatures() == primary_sigs
+        finally:
+            faults.deactivate()
+            replica.close()
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            primary.close()
+
+
+class TestRouterWALFaults:
+    def test_worker_wal_failure_surfaces_and_mutation_is_not_acked(
+        self, seed_payload, trained_mut_model, chaos_config, mut_database, tmp_path
+    ):
+        """A WAL fsync failure inside a shard worker turns the mutation
+        into a structured error at the router; after a worker crash +
+        respawn the unacked mutation is gone, acked ones remain."""
+        config = dataclasses.replace(
+            chaos_config,
+            fault_plan={
+                "rules": [
+                    # Every mutate op's WAL fsync fails in the worker.
+                    {"point": "wal.fsync", "action": "raise", "times": 1000}
+                ]
+            }
+        )
+        router = make_router(
+            seed_payload, trained_mut_model, config, 2,
+            wal_dir=tmp_path / "wal",
+        )
+        try:
+            with pytest.raises(ExplanationError, match="durable"):
+                router.ingest(fresh_graph(mut_database, 10, 820), label=1)
+        finally:
+            faults.deactivate()
+            router.close()
+
+        # Rebuild the tier over the same WAL directories: the unacked
+        # ingest must not have survived in any shard's log.
+        clean = make_router(
+            seed_payload, trained_mut_model, chaos_config, 2,
+            wal_dir=tmp_path / "wal",
+        )
+        try:
+            ids = {graph.graph_id for graph in clean.database.graphs}
+            assert 820 not in ids
+            # The tier is healthy and writable after the recovery.
+            summary = clean.ingest(fresh_graph(mut_database, 10, 820), label=1)
+            assert summary["graph_id"] == 820
+        finally:
+            clean.close()

@@ -37,7 +37,8 @@ class TestCommands:
         assert len(output.strip().splitlines()) == 7
 
     def test_table1_prints_gvex_row(self, capsys):
-        assert main(["table1"]) == 0
+        with pytest.warns(DeprecationWarning, match=r"repro\.cli 'table1' is deprecated"):
+            assert main(["table1"]) == 0
         assert "GVEX" in capsys.readouterr().out
 
     def test_stats_command(self, capsys):
@@ -76,22 +77,23 @@ class TestCommands:
         assert "StreamGVEX" not in capsys.readouterr().err
 
     def test_compare_command(self, capsys):
-        assert (
-            main(
-                [
-                    "compare",
-                    "--dataset",
-                    "MUT",
-                    "--epochs",
-                    "20",
-                    "--max-nodes",
-                    "5",
-                    "--graphs",
-                    "2",
-                ]
+        with pytest.warns(DeprecationWarning, match=r"repro\.cli 'compare' is deprecated"):
+            assert (
+                main(
+                    [
+                        "compare",
+                        "--dataset",
+                        "MUT",
+                        "--epochs",
+                        "20",
+                        "--max-nodes",
+                        "5",
+                        "--graphs",
+                        "2",
+                    ]
+                )
+                == 0
             )
-            == 0
-        )
         output = capsys.readouterr().out
         assert "ApproxGVEX" in output
 

@@ -84,6 +84,41 @@ def test_concrete_modules_and_registry_stay_silent():
         assert "gnnexplainer" in repro.api.available_explainers()
 
 
+class TestDeprecatedCliCommands:
+    """The legacy table/compare CLI commands warn like the package shims do."""
+
+    def test_table1_command_warns_and_still_runs(self, capsys):
+        from repro.cli import main
+
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"repro\.cli 'table1' is deprecated and will be removed",
+        ):
+            assert main(["table1"]) == 0
+        assert "GVEX" in capsys.readouterr().out
+
+    def test_table3_command_warns_and_names_its_replacement(self, capsys):
+        from repro.cli import main
+
+        with pytest.warns(DeprecationWarning, match=r"use repro stats instead"):
+            assert main(["table3"]) == 0
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("command", ["table1", "table3", "compare"])
+    def test_every_legacy_command_is_registered(self, command):
+        from repro.cli import _DEPRECATED_COMMANDS
+
+        assert command in _DEPRECATED_COMMANDS
+
+    def test_supported_commands_stay_silent(self, capsys):
+        from repro.cli import main
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["datasets"]) == 0
+        capsys.readouterr()
+
+
 def test_star_import_still_exposes_the_shimmed_names():
     # `from repro import *` consults __all__, which still lists the
     # deprecated names — they arrive through __getattr__ (and warn).

@@ -1,0 +1,309 @@
+"""Unit tests for the deterministic fault-injection registry.
+
+Everything here runs in-process: schedules (nth hit, seeded probability,
+duration windows, times caps, context matching), plan serialization and
+validation, environment activation, and the corrupt action's determinism.
+The end-to-end behaviour — plans armed against real WAL / worker / router
+surfaces — lives in ``tests/integration/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import faults
+from repro.core.faults import FaultPlan, FaultRule, fault_point
+from repro.exceptions import ConfigurationError, FaultInjected
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry(monkeypatch):
+    """Every test starts and ends with no plan and no env override."""
+    monkeypatch.delenv(faults.PLAN_ENV, raising=False)
+    faults.reset()
+    yield
+    faults.reset()
+
+
+def hits_until_fire(point: str, attempts: int = 50) -> list[int]:
+    """Return the 1-based hit indices (within *attempts*) that fired."""
+    fired = []
+    for index in range(1, attempts + 1):
+        try:
+            fault_point(point)
+        except FaultInjected:
+            fired.append(index)
+    return fired
+
+
+class TestSchedules:
+    def test_inactive_point_is_a_no_op_and_returns_data(self):
+        assert faults.active_plan() is None
+        assert fault_point("wal.append", "payload") == "payload"
+
+    def test_nth_hit_fires_exactly_once(self):
+        faults.activate(FaultPlan([FaultRule(point="wal.fsync", action="raise", nth=3)]))
+        assert hits_until_fire("wal.fsync") == [3]
+
+    def test_times_caps_total_fires(self):
+        faults.activate(
+            FaultPlan([FaultRule(point="worker.recv", action="raise",
+                                 probability=1.0, times=2)])
+        )
+        assert hits_until_fire("worker.recv") == [1, 2]
+
+    def test_probability_schedule_is_deterministic_under_a_seed(self):
+        def run(seed: int) -> list[int]:
+            faults.activate(
+                FaultPlan(
+                    [FaultRule(point="store.spill", action="raise",
+                               probability=0.3, times=1000)],
+                    seed=seed,
+                )
+            )
+            return hits_until_fire("store.spill", attempts=200)
+
+        first, replay = run(7), run(7)
+        assert first == replay  # same seed → identical schedule
+        assert first  # p=0.3 over 200 hits certainly fires
+        assert run(8) != first  # different seed → different schedule
+
+    def test_probability_zero_never_fires(self):
+        faults.activate(
+            FaultPlan([FaultRule(point="wal.append", action="raise", probability=0.0)])
+        )
+        assert hits_until_fire("wal.append") == []
+
+    def test_glob_point_matches_family(self):
+        faults.activate(FaultPlan([FaultRule(point="wal.*", action="raise", times=10)]))
+        with pytest.raises(FaultInjected, match="injected fault at wal.rotate"):
+            fault_point("wal.rotate")
+        with pytest.raises(FaultInjected, match="injected fault at wal.fsync"):
+            fault_point("wal.fsync")
+        assert fault_point("worker.send", "x") == "x"
+
+    def test_match_targets_one_context(self):
+        faults.activate(
+            FaultPlan([FaultRule(point="worker.handle", action="raise",
+                                 match="poison-me", times=10)])
+        )
+        assert fault_point("worker.handle", context="explain:other") is None
+        with pytest.raises(FaultInjected):
+            fault_point("worker.handle", context="explain:poison-me")
+
+    def test_match_context_callable_is_lazy(self):
+        calls = []
+
+        def build() -> str:
+            calls.append(1)
+            return "anything"
+
+        # No rule on this point → the context thunk is never evaluated.
+        faults.activate(FaultPlan([FaultRule(point="wal.append", action="raise")]))
+        fault_point("worker.handle", context=build)
+        assert calls == []
+        # A matching rule with `match` forces one evaluation.
+        faults.activate(
+            FaultPlan([FaultRule(point="worker.handle", action="raise", match="any")])
+        )
+        with pytest.raises(FaultInjected):
+            fault_point("worker.handle", context=build)
+        assert calls == [1]
+
+    def test_duration_window_expires(self):
+        plan = FaultPlan(
+            [FaultRule(point="router.request", action="raise",
+                       duration=1000.0, times=100)]
+        )
+        faults.activate(plan)
+        with pytest.raises(FaultInjected):
+            fault_point("router.request")
+        # Simulate the window having elapsed.
+        plan._activated_at -= 2000.0
+        assert fault_point("router.request") is None
+
+    def test_reactivation_resets_counters(self):
+        plan = FaultPlan([FaultRule(point="wal.fsync", action="raise", nth=2)])
+        faults.activate(plan)
+        assert hits_until_fire("wal.fsync", attempts=5) == [2]
+        faults.activate(plan)  # re-arm: counters start over
+        assert hits_until_fire("wal.fsync", attempts=5) == [2]
+
+
+class TestActions:
+    def test_delay_returns_data_after_sleeping(self):
+        faults.activate(
+            FaultPlan([FaultRule(point="shm.attach", action="delay",
+                                 delay_seconds=0.0)])
+        )
+        assert fault_point("shm.attach", "data") == "data"
+
+    def test_hang_honours_delay_seconds_override(self):
+        import time
+
+        faults.activate(
+            FaultPlan([FaultRule(point="worker.handle", action="hang",
+                                 delay_seconds=0.01)])
+        )
+        start = time.monotonic()
+        fault_point("worker.handle")
+        assert time.monotonic() - start < 1.0
+
+    def test_corrupt_flips_bytes_deterministically(self):
+        faults.activate(
+            FaultPlan([FaultRule(point="wal.append", action="corrupt", times=2)])
+        )
+        line = json.dumps({"version": 1, "op": "add"}) + "\n"
+        first = fault_point("wal.append", line)
+        second = fault_point("wal.append", line)
+        assert first != line
+        assert first == second  # same input → same corruption
+        assert len(first) == len(line)
+
+    def test_corrupt_handles_bytes(self):
+        faults.activate(FaultPlan([FaultRule(point="wal.append", action="corrupt")]))
+        blob = b"0123456789"
+        out = fault_point("wal.append", blob)
+        assert isinstance(out, bytes) and out != blob and len(out) == len(blob)
+
+    def test_corrupt_without_data_raises(self):
+        faults.activate(FaultPlan([FaultRule(point="wal.fsync", action="corrupt")]))
+        with pytest.raises(FaultInjected, match="carries no data"):
+            fault_point("wal.fsync")
+
+    def test_raise_carries_point_and_message(self):
+        faults.activate(
+            FaultPlan([FaultRule(point="replication.fetch", action="raise",
+                                 message="primary outage")])
+        )
+        with pytest.raises(FaultInjected, match=r"primary outage") as excinfo:
+            fault_point("replication.fetch")
+        assert excinfo.value.point == "replication.fetch"
+
+
+class TestValidationAndSerialization:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault action"):
+            FaultRule(point="wal.append", action="explode")
+
+    @pytest.mark.parametrize(
+        ("kwargs", "match"),
+        [
+            ({"nth": 0}, "'nth' is 1-based"),
+            ({"probability": 1.5}, "'probability' must be in"),
+            ({"duration": -1.0}, "'duration' must be >= 0"),
+            ({"times": 0}, "'times' must be >= 1"),
+        ],
+    )
+    def test_bad_schedule_values_rejected(self, kwargs, match):
+        with pytest.raises(ConfigurationError, match=match):
+            FaultRule(point="wal.append", action="raise", **kwargs)
+
+    def test_rule_dict_round_trip(self):
+        rule = FaultRule(point="worker.handle", action="raise", nth=2,
+                         match="explain", message="boom")
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+    def test_plan_dict_round_trip(self):
+        plan = FaultPlan(
+            [FaultRule(point="wal.*", action="corrupt", times=3)], seed=11
+        )
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.seed == 11
+        assert clone.rules == plan.rules
+
+    def test_unknown_rule_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault rule keys"):
+            FaultRule.from_dict({"point": "x", "action": "raise", "wat": 1})
+
+    def test_missing_rule_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing keys"):
+            FaultRule.from_dict({"point": "x"})
+
+    def test_unknown_plan_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"rules": [], "nope": True})
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+
+    def test_stats_report_hits_and_fires(self):
+        faults.activate(
+            FaultPlan([FaultRule(point="wal.fsync", action="raise", nth=2)])
+        )
+        hits_until_fire("wal.fsync", attempts=4)
+        (entry,) = faults.active_plan().stats()
+        assert entry == {"point": "wal.fsync", "action": "raise",
+                         "hits": 4, "fires": 1}
+
+
+class TestActivation:
+    def test_env_inline_json(self, monkeypatch):
+        plan = {"seed": 3, "rules": [{"point": "wal.append", "action": "raise"}]}
+        monkeypatch.setenv(faults.PLAN_ENV, json.dumps(plan))
+        faults.reset()  # re-arm env loading under the new value
+        with pytest.raises(FaultInjected):
+            fault_point("wal.append", "x")
+        assert faults.active_plan().seed == 3
+
+    def test_env_file_reference(self, monkeypatch, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(
+            {"rules": [{"point": "store.spill", "action": "raise"}]}
+        ))
+        monkeypatch.setenv(faults.PLAN_ENV, f"@{path}")
+        faults.reset()
+        with pytest.raises(FaultInjected):
+            fault_point("store.spill")
+
+    def test_env_missing_file_is_loud(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(faults.PLAN_ENV, f"@{tmp_path / 'absent.json'}")
+        faults.reset()
+        with pytest.raises(ConfigurationError, match="cannot read fault plan file"):
+            fault_point("wal.append")
+
+    def test_deactivate_stops_consulting_env(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.PLAN_ENV,
+            json.dumps({"rules": [{"point": "wal.append", "action": "raise"}]}),
+        )
+        faults.reset()
+        faults.deactivate()  # explicit deactivation wins over the env
+        assert fault_point("wal.append", "x") == "x"
+
+    def test_activate_from_config(self):
+        from repro.core.config import Configuration
+
+        config = Configuration(
+            fault_plan={"rules": [{"point": "wal.rotate", "action": "raise"}]}
+        )
+        faults.activate_from_config(config)
+        with pytest.raises(FaultInjected):
+            fault_point("wal.rotate")
+
+    def test_activate_from_config_without_plan_is_noop(self):
+        from repro.core.config import Configuration
+
+        assert faults.activate_from_config(Configuration()) is None
+        assert faults.active_plan() is None
+
+    def test_config_rejects_non_dict_plan(self):
+        from repro.core.config import Configuration
+
+        with pytest.raises(ConfigurationError):
+            Configuration(fault_plan="not a dict")
+
+    def test_config_fingerprint_ignores_fault_knobs(self):
+        from repro.core.config import Configuration
+
+        base = Configuration()
+        armed = Configuration(
+            degraded_reads=True,
+            fault_plan={"rules": [{"point": "wal.append", "action": "raise"}]},
+        )
+        assert base.fingerprint() == armed.fingerprint()
+        assert "fault_plan" not in armed.canonical_dict()
+        assert "degraded_reads" not in armed.canonical_dict()

@@ -26,6 +26,7 @@ def full_report(**overrides):
         "incremental_identical": True,
         "wal_identical": True,
         "sharded_identical": True,
+        "chaos_recovery_ok": True,
     }
     report.update(overrides)
     return report
@@ -107,5 +108,32 @@ class TestCheck:
         assert any("sharded_identical" in f for f in failures)
         assert any("load_scaling_min" in f for f in failures)
 
-    def test_hot_path_metrics_is_guarded_minus_load(self):
-        assert set(HOT_PATH_METRICS) == set(GUARDED_METRICS) - {"load_scaling_min"}
+    def test_hot_path_metrics_is_guarded_minus_load_and_chaos(self):
+        assert set(HOT_PATH_METRICS) == set(GUARDED_METRICS) - {
+            "load_scaling_min",
+            "chaos_recovery",
+        }
+
+    def test_chaos_recovery_is_flag_only(self):
+        """chaos_recovery has no numeric side: a report with the flag true
+        passes even though neither side carries a 'chaos_recovery' number."""
+        baseline = {"chaos_recovery_ok": True}
+        report = {"chaos_recovery_ok": True}
+        assert check(report, baseline, metrics=("chaos_recovery",)) == []
+
+    def test_failed_chaos_recovery_fails(self):
+        failures = check(
+            {"chaos_recovery_ok": False}, {}, metrics=("chaos_recovery",)
+        )
+        assert any("no longer recovers" in f for f in failures)
+
+    def test_missing_chaos_flag_fails_when_selected(self):
+        failures = check({}, {}, metrics=("chaos_recovery",))
+        assert any("chaos_recovery_ok" in f for f in failures)
+
+    def test_hot_paths_selection_ignores_chaos(self):
+        """A bench_hot_paths.py report never emits chaos_recovery_ok; the
+        default CLI selection must not demand it."""
+        report = full_report()
+        del report["chaos_recovery_ok"]
+        assert check(report, BASELINE, metrics=HOT_PATH_METRICS) == []
