@@ -71,6 +71,8 @@ from repro.core.approx import ApproxGVEX
 from repro.core.config import Configuration
 from repro.core.maintenance import ViewMaintainer
 from repro.core.quality import GraphAnalysis
+from repro.core.sampling import SampledGraphAnalysis, build_analysis
+from repro.core.selection import lazy_greedy_select
 from repro.core.streaming import StreamGVEX
 from repro.core.verification import EVerify
 from repro.datasets import load_dataset
@@ -87,12 +89,17 @@ from repro.mining.frequent import enumerate_connected_patterns, frequent_pattern
 
 DEFAULT_DATASETS = ("SYN", "PRO")
 
+#: The benchmark suites ``run_benchmark`` accepts; anything else raises
+#: ``ValueError`` immediately (and the CLI rejects it at parse time).
+SUITES = ("full", "incremental", "wal", "stream", "sampled")
+
 # Keyword argument each builder uses for its base graph size.
 _SIZE_KNOBS = {
     "SYN": "base_size",
     "MAL": "tree_size",
     "RED": "base_size",
     "PRO": "ego_size",
+    "SCALE": "base_size",
 }
 
 
@@ -613,6 +620,154 @@ def bench_wal(context: BenchContext, config, delta_fraction: float = 0.25) -> di
     }
 
 
+# The sampled suite runs at its own fixed scale-stress sizes: the regime the
+# sampled objective exists for (1k+-node graphs) is far past what the generic
+# ``--graph-size`` default drives, and the guard floors in baseline.json are
+# calibrated against exactly this workload.
+SAMPLED_SEEDS = (7, 11, 23)
+SAMPLED_NUM_GRAPHS = 4
+SAMPLED_GRAPH_SIZE = 1800
+SAMPLED_EPOCHS = 2
+SAMPLED_BUDGET = 10
+SAMPLED_SUBTHRESHOLD_SIZE = 100
+
+
+def _greedy_nodes(analysis, budget: int) -> frozenset:
+    """One deterministic CELF run: trivial verifier, lowest-id tie-breaks."""
+    return frozenset(
+        lazy_greedy_select(
+            analysis,
+            list(analysis.node_list),
+            set(),
+            budget,
+            vp_extend_many=lambda nodes, selected: [True] * len(nodes),
+            choose_tied=lambda nodes, selected: min(nodes),
+        )
+    )
+
+
+def bench_sampled(
+    seeds=SAMPLED_SEEDS,
+    num_graphs: int = SAMPLED_NUM_GRAPHS,
+    graph_size: int = SAMPLED_GRAPH_SIZE,
+    epochs: int = SAMPLED_EPOCHS,
+    budget: int = SAMPLED_BUDGET,
+) -> dict:
+    """A/B the sampled objective against exact on the scale-stress regime.
+
+    Per seed, per ~1200-node SCALE-STRESS graph, both arms run the same
+    deterministic CELF selection; the exact arm pays the dense ``O(n^3)``
+    propagation power plus the ``O(n^2 d)`` distance tensor, the sampled
+    arm the estimator kernels.  Reported per graph:
+
+    * ``speedup`` — exact wall-clock (analysis + selection) over sampled;
+    * ``quality_ratio`` — ``f_exact(S_sampled) / f_exact(S_exact)``, i.e.
+      the sampled selection re-scored under the *exact* objective;
+    * ``influence_error`` / ``diversity_error`` — estimate-vs-estimand
+      gaps, each of which must stay within the analysis's *achieved*
+      epsilon for ``sampled_bounds_ok`` to hold (at delta = 0.05 union-
+      bounded over the population, a violation anywhere is ~1-in-10^5
+      unlucky — i.e. a real regression, not noise).
+
+    A sub-threshold SCALE-STRESS database (~100-node graphs) additionally
+    checks the scope rule: with ``objective="sampled"`` those graphs must
+    route to the plain exact analysis and select node-for-node identically.
+    """
+    speedups: list[float] = []
+    quality_ratios: list[float] = []
+    bounds_ok = True
+    subthreshold_identical = True
+    report: dict = {"seeds": {}}
+    for seed in seeds:
+        context = build_context(
+            "SCALE", num_graphs=num_graphs, graph_size=graph_size, epochs=epochs, seed=seed
+        )
+        exact_config = Configuration()
+        sampled_config = replace(exact_config, objective="sampled")
+        rows = []
+        with sparse_backend(True):
+            for graph in context.database.graphs:
+                graph.sparse_view()
+                # Best-of-two per arm: the exact arm allocates O(n^2 d)
+                # tensors, whose wall-clock swings with allocator state —
+                # min-of-reps is the steady-state number the guard floors
+                # are calibrated against.
+                exact_seconds = float("inf")
+                for _ in range(2):
+                    start = time.perf_counter()
+                    exact_analysis = GraphAnalysis(context.model, graph, exact_config)
+                    exact_set = _greedy_nodes(exact_analysis, budget)
+                    exact_seconds = min(exact_seconds, time.perf_counter() - start)
+
+                sampled_seconds = float("inf")
+                for _ in range(2):
+                    start = time.perf_counter()
+                    sampled_analysis = build_analysis(context.model, graph, sampled_config)
+                    sampled_set = _greedy_nodes(sampled_analysis, budget)
+                    sampled_seconds = min(sampled_seconds, time.perf_counter() - start)
+
+                if not isinstance(sampled_analysis, SampledGraphAnalysis):
+                    # The stress sizes must actually exercise the estimator;
+                    # an exact fallback here silently benchmarks nothing.
+                    raise RuntimeError(
+                        f"graph {graph.graph_id} ({graph.num_nodes()} nodes) fell "
+                        "back to the exact analysis in the sampled suite"
+                    )
+                speedup = exact_seconds / max(sampled_seconds, 1e-9)
+                exact_value = exact_analysis.explainability(exact_set)
+                quality_ratio = exact_analysis.explainability(sampled_set) / max(
+                    exact_value, 1e-12
+                )
+                epsilon = sampled_analysis.achieved_epsilon
+                population = graph.num_nodes()
+                influence_error = abs(
+                    sampled_analysis.influence_fraction(sampled_set)
+                    - exact_analysis.influence_score(sampled_set) / population
+                )
+                diversity_error = abs(
+                    sampled_analysis.diversity_fraction(sampled_set)
+                    - sampled_analysis.conditional_diversity_fraction(sampled_set)
+                )
+                graph_bounds_ok = influence_error <= epsilon and diversity_error <= epsilon
+                bounds_ok = bounds_ok and graph_bounds_ok
+                speedups.append(speedup)
+                quality_ratios.append(quality_ratio)
+                rows.append(
+                    {
+                        "graph_id": graph.graph_id,
+                        "population": population,
+                        "sample_size": int(sampled_analysis.sample_size),
+                        "achieved_epsilon": round(epsilon, 6),
+                        "exact_seconds": exact_seconds,
+                        "sampled_seconds": sampled_seconds,
+                        "speedup": speedup,
+                        "quality_ratio": quality_ratio,
+                        "influence_error": influence_error,
+                        "diversity_error": diversity_error,
+                        "bounds_ok": graph_bounds_ok,
+                    }
+                )
+
+            # Scope rule: sub-threshold graphs must be served exactly and
+            # select identically no matter what the objective knob says.
+            small = load_dataset(
+                "SCALE", num_graphs=2, seed=seed, base_size=SAMPLED_SUBTHRESHOLD_SIZE
+            )
+            for graph in small.graphs:
+                routed = build_analysis(context.model, graph, sampled_config)
+                exact_small = GraphAnalysis(context.model, graph, exact_config)
+                identical = type(routed) is GraphAnalysis and _greedy_nodes(
+                    routed, budget
+                ) == _greedy_nodes(exact_small, budget)
+                subthreshold_identical = subthreshold_identical and identical
+        report["seeds"][str(seed)] = {"graphs": rows}
+    report["sampled_speedup_min"] = min(speedups)
+    report["sampled_quality_min"] = min(quality_ratios)
+    report["sampled_bounds_ok"] = bounds_ok
+    report["sampled_subthreshold_identical"] = subthreshold_identical
+    return report
+
+
 def run_benchmark(
     datasets=DEFAULT_DATASETS,
     reps: int = 3,
@@ -630,9 +785,21 @@ def run_benchmark(
     durability benchmark (the CI ``replication`` job's fast path);
     ``suite="stream"`` runs only the StreamGVEX end-to-end A/B (the CI
     ``perf-kernels`` job's fast path, also what the numba matrix leg times);
-    ``"full"`` runs everything.
+    ``suite="sampled"`` runs only the sampled-objective A/B on the
+    scale-stress regime (fixed stress sizes — the generic size knobs apply
+    to the exact-regime suites); ``"full"`` runs everything *except* the
+    sampled suite, which has its own CI job.  Unknown suite names raise
+    ``ValueError`` before any work is done.
     """
+    if suite not in SUITES:
+        raise ValueError(
+            f"unknown benchmark suite {suite!r}; available: {', '.join(SUITES)}"
+        )
     report: dict = {"datasets": {}, "reps": reps, "graph_size": graph_size}
+    if suite == "sampled":
+        report = {"reps": reps}
+        report.update(bench_sampled())
+        return report
     incremental_speedups: list[float] = []
     incremental_identical = True
     wal_ratios: list[float] = []
@@ -699,8 +866,6 @@ def run_benchmark(
         report["stream_explain_label_speedup_min"] = min(stream_speedups)
         report["stream_identical"] = stream_identical
         return report
-    if suite != "full":
-        raise ValueError(f"unknown benchmark suite {suite!r}")
     influence_speedups: list[float] = []
     everify_speedups: list[float] = []
     matching_speedups: list[float] = []
@@ -869,12 +1034,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--e2e-num-graphs", type=int, default=6)
     parser.add_argument(
         "--suite",
-        choices=("full", "incremental", "wal", "stream"),
+        choices=SUITES,
         default="full",
         help=(
             "'incremental' runs only the delta-maintenance benchmark, 'wal' only "
             "the durability benchmark, 'stream' only the StreamGVEX end-to-end "
-            "A/B (the CI fast paths)"
+            "A/B, 'sampled' only the sampled-objective A/B on the scale-stress "
+            "regime (the CI fast paths)"
         ),
     )
     parser.add_argument(
@@ -920,6 +1086,15 @@ def main(argv: list[str] | None = None) -> int:
         args.output.parent.mkdir(parents=True, exist_ok=True)
         args.output.write_text(payload + "\n")
     print(payload)
+    if args.suite == "sampled":
+        print(
+            f"\nsampled objective speedup (min):       {report['sampled_speedup_min']:.2f}x\n"
+            f"sampled quality ratio (min):           {report['sampled_quality_min']:.3f}\n"
+            f"sampled estimates within bounds: {report['sampled_bounds_ok']}\n"
+            f"sub-threshold selections identical: {report['sampled_subthreshold_identical']}",
+            file=sys.stderr,
+        )
+        return 0
     if args.suite in ("wal", "full"):
         print(
             f"\nwal in-memory/durable ingest ratio:    {report['wal_ingest_ratio_min']:.2f}x\n"

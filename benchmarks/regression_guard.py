@@ -23,7 +23,15 @@ that report with ``--metrics load_scaling_min``.  Its chaos arm
 ``chaos_recovery`` metric: the report's ``chaos_recovery_ok`` verdict must
 be true (worker respawned under load within the deadline, post-recovery
 views signature-identical), while the recovery latencies themselves stay
-informational.
+informational.  The sampled-objective A/B (``bench_hot_paths.py --suite
+sampled``) is guarded the same scoped way through ``sampled_speedup_min``
+(estimator arm vs exact arm on the scale-stress regime, with
+``sampled_bounds_ok`` asserting every estimate landed inside its declared
+Hoeffding bound) and ``sampled_quality_min`` (the sampled selection
+re-scored under the exact objective, with
+``sampled_subthreshold_identical`` asserting small graphs still route to
+the exact path); pass ``--metrics sampled_speedup_min sampled_quality_min``
+with that report.
 
 Speedup ratios — not wall-clock seconds — are compared, because both the
 vectorized and the reference implementation run on the same machine in the
@@ -59,16 +67,27 @@ GUARDED_METRICS = (
     "wal_ingest_ratio_min",
     "load_scaling_min",
     "chaos_recovery",
+    "sampled_speedup_min",
+    "sampled_quality_min",
 )
 
-# Metrics a ``bench_hot_paths.py`` report can actually emit.
+# Metrics a full-suite ``bench_hot_paths.py`` report can actually emit.
 # ``load_scaling_min`` and ``chaos_recovery`` are produced by
-# ``bench_load.py`` (the latter only under ``--chaos``) and guarded by their
-# own scoped invocation (``--metrics load_scaling_min chaos_recovery``);
-# including them in the default selection would fail every unscoped run on a
-# hot-paths report for metrics that report can never contain.
+# ``bench_load.py`` (the latter only under ``--chaos``), and the sampled-
+# objective pair only by ``bench_hot_paths.py --suite sampled``; each is
+# guarded by its own scoped invocation (``--metrics ...``).  Including them
+# in the default selection would fail every unscoped run on a full-suite
+# report for metrics that report can never contain.
 HOT_PATH_METRICS = tuple(
-    m for m in GUARDED_METRICS if m not in ("load_scaling_min", "chaos_recovery")
+    m
+    for m in GUARDED_METRICS
+    if m
+    not in (
+        "load_scaling_min",
+        "chaos_recovery",
+        "sampled_speedup_min",
+        "sampled_quality_min",
+    )
 )
 
 # Identity flag required alongside each guarded metric, with the failure
@@ -129,6 +148,18 @@ IDENTITY_FLAGS = {
         "the sharded tier no longer recovers from a killed worker under load "
         "(no respawn within the deadline, or post-recovery views diverged "
         "from the pre-kill signatures)",
+    ),
+    "sampled_speedup_min": (
+        "sampled_bounds_ok",
+        "a sampled estimate landed outside its declared (epsilon, delta) "
+        "Hoeffding bound — at the union-bounded sample sizes this is a "
+        "~1-in-10^5 event, i.e. an estimator bug, not noise",
+    ),
+    "sampled_quality_min": (
+        "sampled_subthreshold_identical",
+        "sub-threshold graphs no longer route to the exact analysis under "
+        "objective='sampled' (small-graph selections must stay bit-identical "
+        "to the reference)",
     ),
 }
 

@@ -14,8 +14,11 @@ Run with:  python examples/drug_discovery.py
 
 from __future__ import annotations
 
-from repro import ApproxGVEX, Configuration, GNNClassifier, Trainer, ViewQueryEngine, load_dataset
-from repro.baselines import GNNExplainerBaseline, SubgraphXBaseline
+from repro import Configuration, GNNClassifier, Trainer, load_dataset
+from repro.baselines.gnnexplainer import GNNExplainerBaseline
+from repro.baselines.subgraphx import SubgraphXBaseline
+from repro.core.approx import ApproxGVEX
+from repro.core.views import ViewQueryEngine
 from repro.experiments.case_studies import nitro_group_pattern
 from repro.matching import has_matching
 from repro.metrics import fidelity_report, sparsity

@@ -15,16 +15,16 @@ import json
 from pathlib import Path
 
 from repro import (
-    ApproxGVEX,
     Configuration,
     ExplanationView,
     ExplanationViewSet,
     GNNClassifier,
     Trainer,
-    ViewQueryEngine,
     load_dataset,
 )
+from repro.core.approx import ApproxGVEX
 from repro.core.explanation import ExplanationSubgraph
+from repro.core.views import ViewQueryEngine
 from repro.graphs import GraphPattern
 
 

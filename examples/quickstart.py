@@ -16,13 +16,13 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 from repro import (
-    ApproxGVEX,
     Configuration,
     GNNClassifier,
     Trainer,
     load_dataset,
     verify_view,
 )
+from repro.core.approx import ApproxGVEX
 from repro.metrics import conciseness_report, fidelity_report
 
 

@@ -12,7 +12,8 @@ Run with:  python examples/social_analysis.py
 
 from __future__ import annotations
 
-from repro import ApproxGVEX, Configuration, GNNClassifier, Trainer, load_dataset
+from repro import Configuration, GNNClassifier, Trainer, load_dataset
+from repro.core.approx import ApproxGVEX
 from repro.experiments.case_studies import biclique_pattern, star_pattern
 from repro.matching import has_matching
 from repro.metrics import conciseness_report

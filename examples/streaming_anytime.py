@@ -17,7 +17,9 @@ from __future__ import annotations
 
 import random
 
-from repro import ApproxGVEX, Configuration, GNNClassifier, StreamGVEX, Trainer, load_dataset
+from repro import Configuration, GNNClassifier, Trainer, load_dataset
+from repro.core.approx import ApproxGVEX
+from repro.core.streaming import StreamGVEX
 
 
 def main() -> None:

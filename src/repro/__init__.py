@@ -21,16 +21,15 @@ Quick start (service API)::
     result = service.explain(algorithm="approx", label=1, max_nodes=8)
     service.query().witness(result.view.subgraphs[0].source_graph.graph_id)
 
-The direct algorithm constructors remain available as a deprecated path
-(importing them from here emits :class:`DeprecationWarning`; the registry —
-``create_explainer("approx")`` — is the supported route)::
+The direct algorithm constructors are no longer re-exported from here (the
+deprecation window closed in this release) — the registry is the supported
+route, and code that genuinely needs the raw classes imports them from
+their concrete modules::
 
-    from repro import load_dataset, GNNClassifier, Trainer, ApproxGVEX, Configuration
-
-    database = load_dataset("MUT", num_graphs=40)
-    model = GNNClassifier(feature_dim=14, num_classes=2)
-    Trainer(model, epochs=30).fit(database)
-    views = ApproxGVEX(model, Configuration()).explain(database)
+    from repro.api import create_explainer          # supported
+    from repro.core.approx import ApproxGVEX        # raw class, if needed
+    from repro.core.streaming import StreamGVEX
+    from repro.core.views import ViewQueryEngine
 """
 
 from repro.api import (
@@ -74,13 +73,10 @@ __all__ = [
     "ExplanationSubgraph",
     "ExplanationView",
     "ExplanationViewSet",
-    "ApproxGVEX",
-    "StreamGVEX",
     "ViewMaintainer",
     "DatabaseDelta",
     "parallel_explain",
     "verify_view",
-    "ViewQueryEngine",
     "ExplanationService",
     "ExplainRequest",
     "ExplanationResult",
@@ -89,29 +85,3 @@ __all__ = [
     "save_artifact",
     "load_artifact",
 ]
-
-# Deprecated top-level re-exports (PR 3's two-PR window has elapsed):
-# importable, but each access warns.  The concrete modules stay silent —
-# internal code and tests import from there.
-_DEPRECATED: dict[str, tuple[str, str]] = {
-    "ApproxGVEX": ("repro.core.approx", 'create_explainer("approx")'),
-    "StreamGVEX": ("repro.core.streaming", 'create_explainer("stream")'),
-    "ViewQueryEngine": ("repro.core.views", "ExplanationService.query()"),
-}
-
-
-def __getattr__(name: str) -> object:
-    try:
-        module, replacement = _DEPRECATED[name]
-    except KeyError:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
-    import importlib
-    import warnings
-
-    warnings.warn(
-        f"repro.{name} is deprecated; use {replacement} "
-        f"(or, for the raw class, import it from {module})",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return getattr(importlib.import_module(module), name)

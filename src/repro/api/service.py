@@ -36,6 +36,7 @@ from repro.core.config import Configuration
 from repro.core.explanation import ExplanationViewSet
 from repro.core.faults import activate_from_config
 from repro.core.maintenance import DEFAULT_STREAM_BATCH_SIZE, ViewMaintainer
+from repro.core.sampling import estimator_summary, sampling_stats
 from repro.core.wal import WriteAheadLog
 from repro.exceptions import (
     DatasetError,
@@ -410,6 +411,7 @@ class ExplanationService:
                 backend="sparse" if sparse_enabled() else "legacy",
                 num_graphs=len(graphs),
                 dataset=self.dataset,
+                estimator=estimator_summary(request.effective_config(), graphs),
             ),
         )
         with self._lock:
@@ -488,6 +490,9 @@ class ExplanationService:
                         backend="sparse" if sparse_enabled() else "legacy",
                         num_graphs=len(self.database),
                         dataset=self.dataset,
+                        estimator=estimator_summary(
+                            request.effective_config(), self.database.graphs
+                        ),
                     ),
                 )
                 key = self._cache_key(request)
@@ -744,6 +749,7 @@ class ExplanationService:
             "cache": with_hit_rate(self.store.stats()),
             "match_engine_cache": with_hit_rate(get_engine().stats()),
             "label_probability_cache": cache_aggregate("label_probability"),
+            "sampling": {"objective": self.config.objective} | sampling_stats(),
             "maintainer": self._maintainer.stats() if self._maintainer else None,
             "wal": (
                 {
@@ -977,6 +983,9 @@ class ExplanationService:
                     backend="sparse" if sparse_enabled() else "legacy",
                     num_graphs=len(self.database),
                     dataset=self.dataset,
+                    estimator=estimator_summary(
+                        request.effective_config(), self.database.graphs
+                    ),
                 ),
             )
             key = self._cache_key(request)

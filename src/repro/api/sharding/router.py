@@ -72,6 +72,7 @@ from repro.core.explanation import ExplanationViewSet
 from repro.core.faults import activate_from_config, fault_point
 from repro.core.maintenance import assemble_view_from_rows
 from repro.core.parallel import merge_views
+from repro.core.sampling import estimator_summary
 from repro.exceptions import ExplanationError, PoisonRequestError, ShardDownError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
@@ -740,6 +741,9 @@ class ShardRouter:
                 backend="sparse" if sparse_enabled() else "legacy",
                 num_graphs=num_graphs,
                 dataset=self.dataset,
+                estimator=estimator_summary(
+                    request.effective_config(), self.database.graphs
+                ),
             ),
             degraded=bool(missing_shards),
             missing_shards=tuple(missing_shards),
@@ -1053,6 +1057,26 @@ class ShardRouter:
             cache = entry.get("cache") or {}
             for field in aggregate:
                 aggregate[field] += int(cache.get(field, 0))
+        # Cross-shard estimator aggregate (sampled-objective counters roll up
+        # the same way the cache counters do).
+        sampling_aggregate: dict[str, Any] = {
+            "objective": self.config.objective,
+            "sampled_analyses": 0,
+            "exact_fallbacks": 0,
+            "max_achieved_epsilon": 0.0,
+        }
+        for entry in shard_stats:
+            sampling = entry.get("sampling") or {}
+            sampling_aggregate["sampled_analyses"] += int(
+                sampling.get("sampled_analyses", 0)
+            )
+            sampling_aggregate["exact_fallbacks"] += int(
+                sampling.get("exact_fallbacks", 0)
+            )
+            sampling_aggregate["max_achieved_epsilon"] = max(
+                sampling_aggregate["max_achieved_epsilon"],
+                float(sampling.get("max_achieved_epsilon", 0.0)),
+            )
         with self._lock:
             labels_explained = sorted(self._latest)
         return {
@@ -1089,6 +1113,7 @@ class ShardRouter:
             ),
             "cache": with_hit_rate(self.store.stats()),
             "shard_cache_aggregate": with_hit_rate(aggregate),
+            "sampling": sampling_aggregate,
             "shards": shard_stats,
         }
 

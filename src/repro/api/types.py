@@ -169,9 +169,16 @@ class Provenance:
     dataset: str | None = None
     cache_hit: bool = False
     schema_version: int = SCHEMA_VERSION
+    #: Estimator record for ``Configuration(objective="sampled")`` results:
+    #: the knobs plus the *achieved* error bound and how many graphs were
+    #: actually sampled vs served exactly (see
+    #: :func:`repro.core.sampling.estimator_summary`).  ``None`` on exact
+    #: results, and serialized additively (only when set), so the golden
+    #: artifact shapes of exact runs are unchanged.
+    estimator: dict | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "algorithm": self.algorithm,
             "label": self.label,
             "config_fingerprint": self.config_fingerprint,
@@ -183,6 +190,9 @@ class Provenance:
             "cache_hit": self.cache_hit,
             "schema_version": self.schema_version,
         }
+        if self.estimator is not None:
+            payload["estimator"] = self.estimator
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "Provenance":
@@ -197,6 +207,7 @@ class Provenance:
             dataset=payload.get("dataset"),
             cache_hit=payload.get("cache_hit", False),
             schema_version=payload.get("schema_version", SCHEMA_VERSION),
+            estimator=payload.get("estimator"),
         )
 
 

@@ -1,73 +1,28 @@
 """Competitor explainers (Table 1 of the paper) and GVEX adapters.
 
-Importing the explainer classes from this package is deprecated — each
-access emits :class:`DeprecationWarning`.  New code obtains every baseline
+The explainer classes are no longer re-exported from this package — the
+deprecation window closed in this release.  Every baseline is obtained
 through the registry (``repro.api.create_explainer("gnnexplainer")`` …),
 which wraps them in the uniform :class:`~repro.api.types.Explainer`
 surface; code that genuinely needs the raw classes imports them from the
-concrete modules (``repro.baselines.gnnexplainer`` …), which stay silent.
+concrete modules (``repro.baselines.gnnexplainer`` …).
 
 Importing this package still registers every baseline with the default
 registry (the ``BaseExplainer.__init_subclass__`` hook fires on module
 import), so ``create_explainer`` keeps working unchanged.
 """
 
-# The underscore aliases keep the submodule imports (and with them the
-# registry-registration side effect) eager while leaving the public class
-# names to the deprecating __getattr__ below.
-from repro.baselines.base import BaseExplainer as _BaseExplainer
-from repro.baselines.gcfexplainer import (
-    GCFExplainerBaseline as _GCFExplainerBaseline,
-    GlobalCounterfactualSummary as _GlobalCounterfactualSummary,
-)
-from repro.baselines.gnnexplainer import GNNExplainerBaseline as _GNNExplainerBaseline
-from repro.baselines.gstarx import GStarXBaseline as _GStarXBaseline
-from repro.baselines.gvex_adapter import (
-    ApproxGVEXAdapter as _ApproxGVEXAdapter,
-    StreamGVEXAdapter as _StreamGVEXAdapter,
-)
-from repro.baselines.random_explainer import RandomExplainer as _RandomExplainer
-from repro.baselines.subgraphx import SubgraphXBaseline as _SubgraphXBaseline
+# The submodule imports stay eager for their registry-registration side
+# effect; the class names themselves are intentionally not re-exported.
+from repro.baselines import base as _base  # noqa: F401
+from repro.baselines import gcfexplainer as _gcfexplainer  # noqa: F401
+from repro.baselines import gnnexplainer as _gnnexplainer  # noqa: F401
+from repro.baselines import gstarx as _gstarx  # noqa: F401
+from repro.baselines import gvex_adapter as _gvex_adapter  # noqa: F401
+from repro.baselines import random_explainer as _random_explainer  # noqa: F401
+from repro.baselines import subgraphx as _subgraphx  # noqa: F401
 
-__all__ = [
-    "BaseExplainer",
-    "GNNExplainerBaseline",
-    "SubgraphXBaseline",
-    "GStarXBaseline",
-    "GCFExplainerBaseline",
-    "GlobalCounterfactualSummary",
-    "RandomExplainer",
-    "ApproxGVEXAdapter",
-    "StreamGVEXAdapter",
-]
-
-_DEPRECATED: dict[str, tuple[object, str]] = {
-    "BaseExplainer": (_BaseExplainer, "repro.baselines.base"),
-    "GNNExplainerBaseline": (_GNNExplainerBaseline, "repro.baselines.gnnexplainer"),
-    "SubgraphXBaseline": (_SubgraphXBaseline, "repro.baselines.subgraphx"),
-    "GStarXBaseline": (_GStarXBaseline, "repro.baselines.gstarx"),
-    "GCFExplainerBaseline": (_GCFExplainerBaseline, "repro.baselines.gcfexplainer"),
-    "GlobalCounterfactualSummary": (_GlobalCounterfactualSummary, "repro.baselines.gcfexplainer"),
-    "RandomExplainer": (_RandomExplainer, "repro.baselines.random_explainer"),
-    "ApproxGVEXAdapter": (_ApproxGVEXAdapter, "repro.baselines.gvex_adapter"),
-    "StreamGVEXAdapter": (_StreamGVEXAdapter, "repro.baselines.gvex_adapter"),
-}
-
-
-def __getattr__(name: str) -> object:
-    try:
-        obj, module = _DEPRECATED[name]
-    except KeyError:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
-    import warnings
-
-    warnings.warn(
-        f"repro.baselines.{name} is deprecated; use repro.api.create_explainer(...) "
-        f"(or, for the raw class, import it from {module})",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return obj
+__all__ = ["CAPABILITY_MATRIX"]
 
 
 # Capability matrix reproduced from Table 1 of the paper, used by the

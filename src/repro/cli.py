@@ -20,16 +20,18 @@ The CLI is a thin shell over the :mod:`repro.api` service layer:
   (canonical routes under ``/v1``; ``--wal-dir`` serves a durable primary);
 * ``replicate --primary URL`` — tail a primary's ``/v1/deltas`` stream into
   local read-only live views (optionally re-served with ``--serve``);
-* ``schema``                — print the serialised-view JSON schema;
-* ``compare --dataset MUT`` — run the explainer comparison (Fig. 5/6 rows);
-* ``table1`` / ``table3``   — print the paper's tables.
+* ``schema``                — print the serialised-view JSON schema.
+
+The legacy experiment-runner commands (``table1``, ``table3``,
+``compare``) were removed after a deprecation cycle; the experiment
+runners in :mod:`repro.experiments` remain the programmatic entry points
+for the paper's tables and sweeps.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import warnings
 from collections.abc import Sequence
 
 from repro.api import (
@@ -58,8 +60,6 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("datasets", help="list available dataset substrates")
     subparsers.add_parser("algorithms", help="list registered explainer names")
     subparsers.add_parser("schema", help="print the serialized-view JSON schema")
-    subparsers.add_parser("table1", help="print the explainer capability matrix")
-    subparsers.add_parser("table3", help="print dataset statistics")
 
     stats = subparsers.add_parser("stats", help="statistics of one dataset")
     stats.add_argument("--dataset", default="MUT")
@@ -85,6 +85,26 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--max-nodes", type=int, default=10)
     explain.add_argument("--theta", type=float, default=0.08)
     explain.add_argument("--gamma", type=float, default=0.5)
+    explain.add_argument(
+        "--objective",
+        choices=("exact", "sampled"),
+        default="exact",
+        help="objective evaluation mode: 'sampled' swaps the exact "
+        "influence/diversity terms for seeded estimator kernels with "
+        "(epsilon, delta) Hoeffding bounds on large graphs",
+    )
+    explain.add_argument(
+        "--sample-budget", type=int, default=1024,
+        help="upper bound on the per-graph sample size (sampled objective)",
+    )
+    explain.add_argument(
+        "--epsilon", type=float, default=0.1,
+        help="target additive error on the normalised objective terms",
+    )
+    explain.add_argument(
+        "--delta", type=float, default=0.05,
+        help="probability that any estimate exceeds the epsilon bound",
+    )
     explain.add_argument("--epochs", type=int, default=40)
     explain.add_argument("--graphs", type=int, default=8, help="label-group size cap")
     explain.add_argument(
@@ -173,12 +193,6 @@ def build_parser() -> argparse.ArgumentParser:
     replicate.add_argument("--port", type=int, default=8001)
     replicate.add_argument("--json", action="store_true", help="emit the state as JSON")
 
-    compare = subparsers.add_parser("compare", help="compare explainers (Fig. 5/6 rows)")
-    compare.add_argument("--dataset", default="MUT")
-    compare.add_argument("--max-nodes", type=int, nargs="+", default=[6, 10])
-    compare.add_argument("--graphs", type=int, default=5)
-    compare.add_argument("--epochs", type=int, default=40)
-
     return parser
 
 
@@ -225,7 +239,14 @@ def _command_explain(args: argparse.Namespace) -> int:
     service = ExplanationService(
         args.dataset,
         epochs=args.epochs,
-        config=Configuration(theta=args.theta, gamma=args.gamma),
+        config=Configuration(
+            theta=args.theta,
+            gamma=args.gamma,
+            objective=args.objective,
+            sample_budget=args.sample_budget,
+            epsilon=args.epsilon,
+            delta=args.delta,
+        ),
     )
     result = service.explain(
         algorithm=args.algorithm,
@@ -262,6 +283,14 @@ def _command_explain(args: argparse.Namespace) -> int:
         f"config={provenance.config_fingerprint} backend={provenance.backend} "
         f"runtime={provenance.runtime_seconds:.2f}s cache_hit={provenance.cache_hit}"
     )
+    if provenance.estimator is not None:
+        estimator = provenance.estimator
+        print(
+            f"  estimator   : {estimator['objective']} "
+            f"budget={estimator['sample_budget']} "
+            f"achieved_epsilon={estimator['achieved_epsilon']:.4f} "
+            f"sampled={estimator['sampled_graphs']} exact={estimator['exact_graphs']}"
+        )
     return 0
 
 
@@ -592,59 +621,15 @@ def _command_replicate(args: argparse.Namespace) -> int:
         replica.close()
 
 
-def _command_compare(args: argparse.Namespace) -> int:
-    from repro.experiments import prepare_context, print_table, run_fidelity_sweep
-
-    context = prepare_context(args.dataset, epochs=args.epochs)
-    rows = run_fidelity_sweep(
-        context, max_nodes_values=list(args.max_nodes), graphs_per_point=args.graphs
-    )
-    print_table(rows, title=f"explainer comparison on {context.dataset}")
-    return 0
-
-
-#: Legacy experiment-runner commands kept from the seed CLI.  The service
-#: surface (``stats``/``train``/``explain``/``query``/``serve``) replaced
-#: them as the supported interface; like the package-level import shims,
-#: they now warn ahead of removal at the next re-anchor.
-_DEPRECATED_COMMANDS = {
-    "table1": "repro explain / the experiment runners in repro.experiments",
-    "table3": "repro stats",
-    "compare": "repro explain --algorithm <name> per explainer",
-}
-
-
-def _warn_deprecated_command(command: str) -> None:
-    replacement = _DEPRECATED_COMMANDS[command]
-    warnings.warn(
-        f"repro.cli {command!r} is deprecated and will be removed; "
-        f"use {replacement} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     args = build_parser().parse_args(argv)
-    if args.command in _DEPRECATED_COMMANDS:
-        _warn_deprecated_command(args.command)
     if args.command == "datasets":
         return _command_datasets()
     if args.command == "algorithms":
         return _command_algorithms()
     if args.command == "schema":
         return _command_schema()
-    if args.command == "table1":
-        from repro.experiments import print_table, run_table1
-
-        print_table(run_table1(), title="Table 1")
-        return 0
-    if args.command == "table3":
-        from repro.experiments import print_table, run_table3
-
-        print_table(run_table3(), title="Table 3")
-        return 0
     if args.command == "stats":
         return _command_stats(args)
     if args.command == "train":
@@ -659,8 +644,6 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_serve(args)
     if args.command == "replicate":
         return _command_replicate(args)
-    if args.command == "compare":
-        return _command_compare(args)
     raise SystemExit(f"unknown command {args.command!r}")
 
 

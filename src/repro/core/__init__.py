@@ -1,12 +1,12 @@
 """GVEX core: configuration, quality measures, view generation algorithms.
 
 The algorithm classes (``ApproxGVEX``, ``StreamGVEX``) and the standalone
-``ViewQueryEngine`` are deprecated as *package-level* re-exports — accessing
-them from here emits :class:`DeprecationWarning`.  New code goes through
-:mod:`repro.api` (``create_explainer`` / ``ExplanationService.query()``);
-code that genuinely needs the classes imports them from their concrete
-modules (:mod:`repro.core.approx`, :mod:`repro.core.streaming`,
-:mod:`repro.core.views`), which stay warning-free.
+``ViewQueryEngine`` are no longer re-exported from here — the deprecation
+window closed in this release.  New code goes through :mod:`repro.api`
+(``create_explainer`` / ``ExplanationService.query()``); code that
+genuinely needs the classes imports them from their concrete modules
+(:mod:`repro.core.approx`, :mod:`repro.core.streaming`,
+:mod:`repro.core.views`).
 """
 
 from repro.core.caching import LRUCache
@@ -37,37 +37,10 @@ __all__ = [
     "SummarizeResult",
     "summarize_subgraphs",
     "pattern_weight",
-    "ApproxGVEX",
-    "StreamGVEX",
     "MaintainedExplanation",
     "NodeStreamProcessor",
     "ViewMaintainer",
     "parallel_explain",
     "merge_views",
-    "ViewQueryEngine",
     "PatternOccurrence",
 ]
-
-# Deprecated package-level re-exports; see the module docstring.
-_DEPRECATED: dict[str, tuple[str, str]] = {
-    "ApproxGVEX": ("repro.core.approx", 'repro.api.create_explainer("approx")'),
-    "StreamGVEX": ("repro.core.streaming", 'repro.api.create_explainer("stream")'),
-    "ViewQueryEngine": ("repro.core.views", "ExplanationService.query()"),
-}
-
-
-def __getattr__(name: str) -> object:
-    try:
-        module, replacement = _DEPRECATED[name]
-    except KeyError:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
-    import importlib
-    import warnings
-
-    warnings.warn(
-        f"repro.core.{name} is deprecated; use {replacement} "
-        f"(or, for the raw class, import it from {module})",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return getattr(importlib.import_module(module), name)

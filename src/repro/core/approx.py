@@ -23,7 +23,7 @@ from collections.abc import Sequence
 from repro.core.caching import LRUCache, accumulate_cache_stats
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
-from repro.core.quality import GraphAnalysis
+from repro.core.sampling import build_analysis
 from repro.core.selection import lazy_greedy_select
 from repro.core.summarize import summarize_subgraphs
 from repro.core.verification import EVerify, prime_vp_extend_probes
@@ -130,7 +130,7 @@ class ApproxGVEX:
         if label is None:
             label = self.model.predict(graph)
         bound = self.config.bound_for(label)
-        analysis = GraphAnalysis(self.model, graph, self.config)
+        analysis = build_analysis(self.model, graph, self.config)
 
         selected: set[int] = set()
         backup: set[int] = set()
@@ -411,7 +411,7 @@ class ApproxGVEX:
         if explanation is None:
             # Fall back to the highest-influence node so the caller always
             # receives a (possibly tiny) explanation to score.
-            analysis = GraphAnalysis(self.model, graph, self.config)
+            analysis = build_analysis(self.model, graph, self.config)
             best = max(graph.nodes, key=lambda node: analysis.explainability({node}))
             explanation = ExplanationSubgraph(
                 source_graph=graph,

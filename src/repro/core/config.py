@@ -25,6 +25,7 @@ _VERIFICATION_MODES = ("strict", "consistent", "none")
 _INFLUENCE_METHODS = ("auto", "propagation", "exact")
 _SELECTION_STRATEGIES = ("lazy", "eager")
 _STREAM_BATCHING = ("auto", "on", "off")
+_OBJECTIVES = ("exact", "sampled")
 
 
 @dataclass(frozen=True)
@@ -149,6 +150,34 @@ class Configuration:
         :meth:`canonical_dict` for the same reason — fault plans only
         inject failures; they never alter the explanation outputs of the
         code paths that survive them.
+    objective:
+        ``exact`` (default — every score is the paper-literal Eq.-2 value)
+        or ``sampled`` — the approximate objective layer of
+        :mod:`repro.core.sampling`: influence and diversity coverage are
+        estimated from a seeded without-replacement sample of target
+        columns, with a Hoeffding ``(epsilon, delta)`` error bound, for
+        graphs larger than ``sample_threshold`` nodes.  Sub-threshold
+        graphs always take the exact path, so small inputs stay
+        bit-identical to the reference regardless of this knob.
+    sample_budget:
+        Hard cap on the per-graph sample size under ``objective="sampled"``.
+        The actual size is ``min(sample_budget, n, m*)`` where ``m*`` is the
+        auto-chosen Hoeffding size for the requested ``(epsilon, delta)``
+        (à la the approximate-betweenness auto sizing); when the budget
+        binds, the *achieved* epsilon is recorded in provenance instead.
+    epsilon:
+        Half-width of the additive error bound on sampled coverage
+        *fractions* (counts are within ``epsilon * n`` of exact with
+        probability ``>= 1 - delta``, simultaneously for every node subset
+        scored against one sample).
+    delta:
+        Failure probability of the ``epsilon`` bound (union-bounded over
+        the population, so it holds for every query answered from the
+        sample, not just one).
+    sample_threshold:
+        Graphs with at most this many nodes ignore ``objective="sampled"``
+        and run exact — sampling a 60-node graph saves nothing and costs
+        the bit-identity guarantee.
     """
 
     theta: float = 0.1
@@ -169,6 +198,11 @@ class Configuration:
     seed: int = 0
     degraded_reads: bool = False
     fault_plan: dict | None = None
+    objective: str = "exact"
+    sample_budget: int = 1024
+    epsilon: float = 0.1
+    delta: float = 0.05
+    sample_threshold: int = 256
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.theta <= 1.0:
@@ -227,6 +261,33 @@ class Configuration:
             raise ConfigurationError(
                 f"fault_plan must be a FaultPlan.to_dict() payload (a dict) or "
                 f"None, got {type(self.fault_plan).__name__}"
+            )
+        if self.objective not in _OBJECTIVES:
+            raise ConfigurationError(
+                f"objective must be one of {_OBJECTIVES}, got {self.objective!r}; "
+                "'sampled' enables the approximate estimator layer for large graphs"
+            )
+        if not isinstance(self.sample_budget, int) or isinstance(self.sample_budget, bool):
+            raise ConfigurationError("sample_budget must be an integer")
+        if self.sample_budget < 2:
+            raise ConfigurationError(
+                f"sample_budget must be at least 2, got {self.sample_budget}; "
+                "a one-column sample cannot carry a useful bound"
+            )
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon (sampled-objective error half-width) must be in (0, 1), "
+                f"got {self.epsilon!r}; it bounds coverage *fractions*, not counts"
+            )
+        if not 0.0 < self.delta < 1.0:
+            raise ConfigurationError(
+                f"delta (sampled-objective failure probability) must be in (0, 1), "
+                f"got {self.delta!r}"
+            )
+        if self.sample_threshold < 0:
+            raise ConfigurationError(
+                f"sample_threshold must be non-negative, got {self.sample_threshold}; "
+                "graphs at or below it always run the exact objective"
             )
         if not isinstance(self.default_bound, CoverageBound):
             raise ConfigurationError(
@@ -293,6 +354,26 @@ class Configuration:
             "label_probability_cache_size": self.label_probability_cache_size,
             "match_cache_size": self.match_cache_size,
             "seed": self.seed,
+        } | self._sampling_dict()
+
+    def _sampling_dict(self) -> dict[str, object]:
+        """The sampling knobs, present only when they can matter.
+
+        Folded into :meth:`describe` / :meth:`canonical_dict` *additively* —
+        an ``objective="exact"`` configuration serialises exactly as it did
+        before the sampled layer existed, so every previously persisted
+        fingerprint (result caches, golden artifacts, cross-process keys)
+        stays byte-stable, while ``objective="sampled"`` gets a distinct
+        fingerprint that also varies with every estimator knob.
+        """
+        if self.objective == "exact":
+            return {}
+        return {
+            "objective": self.objective,
+            "sample_budget": self.sample_budget,
+            "epsilon": self.epsilon,
+            "delta": self.delta,
+            "sample_threshold": self.sample_threshold,
         }
 
     def canonical_dict(self) -> dict[str, object]:

@@ -53,6 +53,7 @@ from typing import Any
 from repro.core.config import Configuration
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
 from repro.core.quality import GraphAnalysis
+from repro.core.sampling import build_analysis
 from repro.core.selection import lazy_greedy_select
 from repro.core.verification import EVerify, prime_vp_extend_probes
 from repro.exceptions import ExplanationError
@@ -380,7 +381,7 @@ class NodeStreamProcessor:
             seen.extend(batch)
             seen_graph = induced_subgraph(graph, seen)
             # IncEVerify: refresh influence/diversity on the seen fraction.
-            analysis = GraphAnalysis(self.model, seen_graph, self.config)
+            analysis = build_analysis(self.model, seen_graph, self.config)
             if self._stream_batched():
                 selected, patterns = self._process_batch(
                     batch, selected, backup, patterns, analysis, matcher,
@@ -444,7 +445,7 @@ class NodeStreamProcessor:
         if not selected or len(selected) < bound.lower:
             return None, patterns, history
 
-        final_analysis = GraphAnalysis(self.model, graph, self.config)
+        final_analysis = build_analysis(self.model, graph, self.config)
         subgraph = ExplanationSubgraph(
             source_graph=graph,
             nodes=selected,

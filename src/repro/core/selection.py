@@ -25,6 +25,16 @@ The engine is written to be *output-identical* to the eager loops in
   next round with its stale bound intact, mirroring the eager loop's
   per-round re-verification.
 
+Sampled objectives (``Configuration(objective="sampled")``) plug into the
+same engine through two optional attributes of the coverage state:
+``gain_tolerance`` widens every gain comparison — two estimates within the
+tolerance are statistically indistinguishable, so both are treated as tied
+— and ``reverify_gains`` re-scores a tie set against fresh (holdout)
+samples before the deterministic tie-breaker runs.  Exact states carry
+neither attribute (tolerance 0), for which every widened comparison
+reduces to the strict one — the exact path's output-identity guarantee is
+untouched.
+
 When the caller needs the eager loop's *backup* bookkeeping (the
 lower-coverage-bound top-up consumes every node that ever passed
 verification), ``track_backup`` verifies the full frontier each round —
@@ -92,6 +102,12 @@ def lazy_greedy_select(
     """
     selected = set(selected)
     state = analysis.reset_coverage(selected)
+    # Sampled coverage states report the confidence-interval width within
+    # which two estimated gains cannot be told apart; exact states have none
+    # (tolerance 0 keeps every comparison strict and the engine bit-identical
+    # to the eager reference).
+    tolerance = float(getattr(state, "gain_tolerance", 0.0) or 0.0)
+    reverify = getattr(state, "reverify_gains", None)
     pool = [node for node in dict.fromkeys(candidates) if node not in selected]
     if not pool:
         return selected
@@ -111,25 +127,39 @@ def lazy_greedy_select(
         deferred: list[tuple[float, int]] = []
         while heap:
             stale = -heap[0][0]
-            if best_key is not None and gain_key(stale) < best_key:
+            if best_key is not None and gain_key(stale) < best_key - tolerance:
                 break
             # Pop the whole qualifying prefix at once so verification probes
             # batch; before the first exact gain there is no threshold, so
             # seed with a single pop.
             chunk: list[tuple[float, int]] = [heapq.heappop(heap)]
             if best_key is not None:
-                while heap and gain_key(-heap[0][0]) >= best_key:
+                while heap and gain_key(-heap[0][0]) >= best_key - tolerance:
                     chunk.append(heapq.heappop(heap))
             nodes = [node for _, node in chunk]
             if passed is not None:
                 results: Sequence[bool] = [passed[node] for node in nodes]
             else:
                 results = vp_extend_many(nodes, selected)
+            ok_nodes: list[int] = []
             for (neg_stale, node), ok in zip(chunk, results):
                 if not ok:
                     deferred.append((-neg_stale, node))
                     continue
-                exact = state.gain(node)
+                ok_nodes.append(node)
+            if not ok_nodes:
+                continue
+            if tolerance > 0.0 and len(ok_nodes) > 1:
+                # Sampled states widen the qualifying prefix to whole
+                # confidence intervals, so chunks run to hundreds of nodes;
+                # one vectorized pass beats that many scalar gain calls.
+                # (Exact states keep the scalar path: their chunk gains
+                # must stay bit-identical to the eager reference's.)
+                fresh = state.batch_gains(ok_nodes)
+            else:
+                fresh = [state.gain(node) for node in ok_nodes]
+            for node, exact in zip(ok_nodes, fresh):
+                exact = float(exact)
                 evaluated.append((node, exact))
                 key = gain_key(exact)
                 if best_key is None or key > best_key:
@@ -140,7 +170,15 @@ def lazy_greedy_select(
             # eager loop's candidate list is empty and it stops growing.
             break
 
-        tied = [node for node, exact in evaluated if gain_key(exact) == best_key]
+        tied = [node for node, exact in evaluated if gain_key(exact) >= best_key - tolerance]
+        if len(tied) > 1 and tolerance > 0.0 and reverify is not None:
+            # Statistical ties: re-score against fresh (holdout) samples and
+            # keep only the candidates that still achieve the pooled maximum;
+            # any residual exact tie falls through to the deterministic
+            # tie-breaker below.
+            pooled = reverify(tied)
+            best_pooled = max(gain_key(pooled[node]) for node in tied)
+            tied = [node for node in tied if gain_key(pooled[node]) == best_pooled]
         winner = tied[0] if len(tied) == 1 else choose_tied(tied, selected)
         state.commit(winner)
         selected.add(winner)

@@ -23,7 +23,7 @@ from collections.abc import Sequence
 
 from repro.core.explanation import ExplanationSubgraph, ExplanationView, ExplanationViewSet
 from repro.core.maintenance import NodeStreamProcessor, ViewMaintainer
-from repro.core.quality import GraphAnalysis
+from repro.core.sampling import build_analysis
 from repro.exceptions import ExplanationError
 from repro.graphs.database import GraphDatabase
 from repro.graphs.graph import Graph
@@ -87,7 +87,7 @@ class StreamGVEX(NodeStreamProcessor):
         label = self.model.predict(graph)
         subgraph, _, _ = self.explain_graph(graph, label)
         if subgraph is None:
-            analysis = GraphAnalysis(self.model, graph, self.config)
+            analysis = build_analysis(self.model, graph, self.config)
             best = max(graph.nodes, key=lambda node: analysis.explainability({node}))
             subgraph = ExplanationSubgraph(
                 source_graph=graph,

@@ -6,6 +6,7 @@ from repro.datasets.registry import (
     available_datasets,
     load_dataset,
 )
+from repro.datasets.scale import iter_scale_stress, make_scale_stress
 from repro.datasets.synthetic import (
     ATOM_TYPES,
     make_ba_motif_synthetic,
@@ -30,4 +31,6 @@ __all__ = [
     "make_pcqm4m",
     "make_products",
     "make_ba_motif_synthetic",
+    "make_scale_stress",
+    "iter_scale_stress",
 ]

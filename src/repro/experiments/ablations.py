@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from repro.baselines.random_explainer import RandomExplainer
 from repro.core.approx import ApproxGVEX
 from repro.core.config import Configuration
-from repro.core.quality import GraphAnalysis
+from repro.core.sampling import build_analysis
 from repro.core.streaming import StreamGVEX
 from repro.experiments.setup import ExperimentContext, prepare_context
 from repro.metrics.fidelity import fidelity_plus
@@ -169,7 +169,7 @@ def run_greedy_vs_random(
     greedy_total = 0.0
     random_total = 0.0
     for graph in graphs:
-        analysis = GraphAnalysis(context.model, graph, config)
+        analysis = build_analysis(context.model, graph, config)
         greedy = explainer.explain_graph(graph, label)
         if greedy is not None:
             greedy_total += analysis.explainability(greedy.nodes)

@@ -34,6 +34,9 @@ _DATASET_SETTINGS: dict[str, dict] = {
     "PCQ": {"num_graphs": 45, "feature_dim": 9, "num_classes": 3},
     "PRO": {"num_graphs": 24, "feature_dim": 4, "num_classes": 4},
     "SYN": {"num_graphs": 24, "feature_dim": 8, "num_classes": 2},
+    # SCALE-STRESS: few graphs, each ~1200 nodes — the sampled-objective
+    # regime (pair with Configuration(objective="sampled")).
+    "SCA": {"num_graphs": 4, "feature_dim": 8, "num_classes": 2},
 }
 
 _CONTEXT_CACHE: dict[tuple, "ExperimentContext"] = {}
@@ -82,7 +85,7 @@ class ExperimentContext:
 def dataset_settings(dataset: str) -> dict:
     """Builder/model settings for a dataset alias (raises for unknown names)."""
     key = dataset.upper()[:3]
-    alias = {"MUT": "MUT", "RED": "RED", "ENZ": "ENZ", "MAL": "MAL", "PCQ": "PCQ", "PRO": "PRO", "SYN": "SYN"}
+    alias = {"MUT": "MUT", "RED": "RED", "ENZ": "ENZ", "MAL": "MAL", "PCQ": "PCQ", "PRO": "PRO", "SYN": "SYN", "SCA": "SCA"}
     if key not in alias:
         raise DatasetError(f"unknown experiment dataset '{dataset}'")
     return dict(_DATASET_SETTINGS[alias[key]])

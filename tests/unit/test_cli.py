@@ -16,9 +16,15 @@ class TestParser:
         assert args.algorithm == "approx"
         assert args.max_nodes == 10
 
-    def test_compare_accepts_multiple_budgets(self):
-        args = build_parser().parse_args(["compare", "--max-nodes", "4", "8"])
-        assert args.max_nodes == [4, 8]
+    def test_explain_sampled_objective_flags(self):
+        args = build_parser().parse_args(
+            ["explain", "--objective", "sampled", "--sample-budget", "512",
+             "--epsilon", "0.05", "--delta", "0.01"]
+        )
+        assert args.objective == "sampled"
+        assert args.sample_budget == 512
+        assert args.epsilon == 0.05
+        assert args.delta == 0.01
 
     def test_invalid_algorithm_rejected(self):
         from repro.exceptions import ExplanationError
@@ -30,16 +36,13 @@ class TestParser:
 
 
 class TestCommands:
-    def test_datasets_lists_all_seven(self, capsys):
+    def test_datasets_lists_the_seven_benchmarks_plus_scale_stress(self, capsys):
         assert main(["datasets"]) == 0
         output = capsys.readouterr().out
         assert "MUTAGENICITY" in output
-        assert len(output.strip().splitlines()) == 7
-
-    def test_table1_prints_gvex_row(self, capsys):
-        with pytest.warns(DeprecationWarning, match=r"repro\.cli 'table1' is deprecated"):
-            assert main(["table1"]) == 0
-        assert "GVEX" in capsys.readouterr().out
+        assert "SCALE-STRESS" in output
+        # The paper's seven benchmarks plus the scale-stress regime.
+        assert len(output.strip().splitlines()) == 8
 
     def test_stats_command(self, capsys):
         assert main(["stats", "--dataset", "MUT"]) == 0
@@ -75,27 +78,6 @@ class TestCommands:
             == 0
         )
         assert "StreamGVEX" not in capsys.readouterr().err
-
-    def test_compare_command(self, capsys):
-        with pytest.warns(DeprecationWarning, match=r"repro\.cli 'compare' is deprecated"):
-            assert (
-                main(
-                    [
-                        "compare",
-                        "--dataset",
-                        "MUT",
-                        "--epochs",
-                        "20",
-                        "--max-nodes",
-                        "5",
-                        "--graphs",
-                        "2",
-                    ]
-                )
-                == 0
-            )
-        output = capsys.readouterr().out
-        assert "ApproxGVEX" in output
 
 
 class TestServiceCommands:

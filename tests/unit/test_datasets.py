@@ -21,7 +21,9 @@ from repro.matching import has_matching
 
 class TestRegistry:
     def test_available_datasets_count(self):
-        assert len(available_datasets()) == 7
+        # The paper's seven substrates plus the SCALE-STRESS regime.
+        assert len(available_datasets()) == 8
+        assert available_datasets()[-1] == "SCALE-STRESS"
 
     def test_load_by_alias_and_name(self):
         by_alias = load_dataset("MUT", num_graphs=4, seed=0)

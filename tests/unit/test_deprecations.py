@@ -1,12 +1,14 @@
-"""The deprecated legacy entrypoints warn; the supported paths stay silent.
+"""The legacy entrypoints are gone; the supported paths never warn.
 
 PR 3 declared the direct algorithm constructors (``repro.ApproxGVEX``,
-``repro.core.StreamGVEX``), the ``repro.baselines`` class re-exports and the
-standalone ``ViewQueryEngine`` deprecated as public surface, with warnings
-to start two PRs later.  That window has elapsed: package-level access now
-emits :class:`DeprecationWarning`, while the concrete modules (the internal
-call paths) and the registry/service surface never warn — enforced
-suite-wide by the ``filterwarnings = error`` entry in ``pyproject.toml``.
+``repro.core.StreamGVEX``), the ``repro.baselines`` class re-exports, the
+standalone ``ViewQueryEngine`` re-export and the legacy experiment-runner
+CLI commands (``table1``, ``table3``, ``compare``) deprecated; the warning
+window has now closed and the shims are removed outright.  Access must fail
+*cleanly* — a plain :class:`AttributeError`/:class:`ImportError` (or
+argparse's usage error for the CLI), never a warning, never a shim — while
+the concrete modules and the registry/service surface keep working
+silently.
 """
 
 from __future__ import annotations
@@ -19,57 +21,75 @@ import repro
 import repro.baselines
 import repro.core
 
+REMOVED_TOP_LEVEL = ["ApproxGVEX", "StreamGVEX", "ViewQueryEngine"]
+REMOVED_BASELINES = [
+    "BaseExplainer",
+    "GNNExplainerBaseline",
+    "SubgraphXBaseline",
+    "GStarXBaseline",
+    "GCFExplainerBaseline",
+    "GlobalCounterfactualSummary",
+    "RandomExplainer",
+    "ApproxGVEXAdapter",
+    "StreamGVEXAdapter",
+]
 
-@pytest.mark.parametrize("name", ["ApproxGVEX", "StreamGVEX", "ViewQueryEngine"])
-def test_top_level_access_warns(name):
-    with pytest.warns(DeprecationWarning, match=rf"repro\.{name} is deprecated"):
+
+@pytest.mark.parametrize("name", REMOVED_TOP_LEVEL)
+def test_top_level_access_raises_attribute_error(name):
+    with pytest.raises(AttributeError, match=rf"no attribute {name!r}"):
         getattr(repro, name)
 
 
-@pytest.mark.parametrize("name", ["ApproxGVEX", "StreamGVEX", "ViewQueryEngine"])
-def test_core_package_access_warns(name):
-    with pytest.warns(DeprecationWarning, match=rf"repro\.core\.{name} is deprecated"):
+@pytest.mark.parametrize("name", REMOVED_TOP_LEVEL)
+def test_core_package_access_raises_attribute_error(name):
+    with pytest.raises(AttributeError, match=rf"no attribute {name!r}"):
         getattr(repro.core, name)
 
 
-@pytest.mark.parametrize(
-    "name",
-    [
-        "BaseExplainer",
-        "GNNExplainerBaseline",
-        "SubgraphXBaseline",
-        "GStarXBaseline",
-        "GCFExplainerBaseline",
-        "GlobalCounterfactualSummary",
-        "RandomExplainer",
-        "ApproxGVEXAdapter",
-        "StreamGVEXAdapter",
-    ],
-)
-def test_baselines_access_warns(name):
-    with pytest.warns(DeprecationWarning, match=rf"repro\.baselines\.{name} is deprecated"):
+@pytest.mark.parametrize("name", REMOVED_BASELINES)
+def test_baselines_access_raises_attribute_error(name):
+    with pytest.raises(AttributeError, match=rf"no attribute {name!r}"):
         getattr(repro.baselines, name)
 
 
-def test_deprecated_names_resolve_to_the_real_classes():
-    from repro.core.approx import ApproxGVEX
-    from repro.core.streaming import StreamGVEX
-    from repro.core.views import ViewQueryEngine
-
-    with pytest.warns(DeprecationWarning):
-        assert repro.ApproxGVEX is ApproxGVEX
-        assert repro.StreamGVEX is StreamGVEX
-        assert repro.ViewQueryEngine is ViewQueryEngine
-        assert repro.core.ApproxGVEX is ApproxGVEX
+@pytest.mark.parametrize("name", REMOVED_TOP_LEVEL)
+def test_from_import_raises_import_error(name):
+    with pytest.raises(ImportError):
+        exec(f"from repro import {name}")
+    with pytest.raises(ImportError):
+        exec(f"from repro.core import {name}")
 
 
-def test_unknown_attribute_still_raises_attribute_error():
-    with pytest.raises(AttributeError, match="no attribute"):
-        repro.DoesNotExist
-    with pytest.raises(AttributeError, match="no attribute"):
-        repro.core.DoesNotExist
-    with pytest.raises(AttributeError, match="no attribute"):
-        repro.baselines.DoesNotExist
+def test_removal_raises_without_emitting_a_warning():
+    # A stale shim that warned *and* raised would still fail this test:
+    # removal must be silent apart from the exception itself.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        for name in REMOVED_TOP_LEVEL:
+            with pytest.raises(AttributeError):
+                getattr(repro, name)
+        for name in REMOVED_BASELINES:
+            with pytest.raises(AttributeError):
+                getattr(repro.baselines, name)
+
+
+def test_removed_names_absent_from_all():
+    for name in REMOVED_TOP_LEVEL:
+        assert name not in repro.__all__
+        assert name not in repro.core.__all__
+    for name in REMOVED_BASELINES:
+        assert name not in repro.baselines.__all__
+
+
+def test_star_import_no_longer_exposes_the_removed_names():
+    namespace: dict[str, object] = {}
+    exec("from repro import *", namespace)
+    assert "ApproxGVEX" not in namespace
+    assert "StreamGVEX" not in namespace
+    assert "ViewQueryEngine" not in namespace
+    # The supported surface is still all there.
+    assert "ExplanationService" in namespace and "Configuration" in namespace
 
 
 def test_concrete_modules_and_registry_stay_silent():
@@ -84,31 +104,29 @@ def test_concrete_modules_and_registry_stay_silent():
         assert "gnnexplainer" in repro.api.available_explainers()
 
 
-class TestDeprecatedCliCommands:
-    """The legacy table/compare CLI commands warn like the package shims do."""
+def test_baselines_package_still_registers_every_explainer():
+    # The class re-exports are gone but importing the package must keep
+    # its side effect: every baseline registered with the default registry.
+    for name in ("gnnexplainer", "subgraphx", "gstarx", "gcfexplainer", "random"):
+        assert name in repro.api.available_explainers()
 
-    def test_table1_command_warns_and_still_runs(self, capsys):
-        from repro.cli import main
 
-        with pytest.warns(
-            DeprecationWarning,
-            match=r"repro\.cli 'table1' is deprecated and will be removed",
-        ):
-            assert main(["table1"]) == 0
-        assert "GVEX" in capsys.readouterr().out
-
-    def test_table3_command_warns_and_names_its_replacement(self, capsys):
-        from repro.cli import main
-
-        with pytest.warns(DeprecationWarning, match=r"use repro stats instead"):
-            assert main(["table3"]) == 0
-        capsys.readouterr()
+class TestRemovedCliCommands:
+    """The legacy table/compare commands now fail argparse's choice check."""
 
     @pytest.mark.parametrize("command", ["table1", "table3", "compare"])
-    def test_every_legacy_command_is_registered(self, command):
-        from repro.cli import _DEPRECATED_COMMANDS
+    def test_legacy_command_exits_with_usage_error(self, command, capsys):
+        from repro.cli import main
 
-        assert command in _DEPRECATED_COMMANDS
+        with pytest.raises(SystemExit) as excinfo:
+            main([command])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_legacy_command_registry_is_gone(self):
+        import repro.cli
+
+        assert not hasattr(repro.cli, "_DEPRECATED_COMMANDS")
 
     def test_supported_commands_stay_silent(self, capsys):
         from repro.cli import main
@@ -117,12 +135,3 @@ class TestDeprecatedCliCommands:
             warnings.simplefilter("error", DeprecationWarning)
             assert main(["datasets"]) == 0
         capsys.readouterr()
-
-
-def test_star_import_still_exposes_the_shimmed_names():
-    # `from repro import *` consults __all__, which still lists the
-    # deprecated names — they arrive through __getattr__ (and warn).
-    with pytest.warns(DeprecationWarning):
-        namespace: dict[str, object] = {}
-        exec("from repro import *", namespace)
-    assert "ApproxGVEX" in namespace and "StreamGVEX" in namespace

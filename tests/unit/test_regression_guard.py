@@ -1,4 +1,7 @@
-"""Unit tests for the benchmark regression guard's checking logic."""
+"""Unit tests for the benchmark regression guard's checking logic and the
+benchmark harness's suite selection."""
+
+import pytest
 
 from benchmarks.regression_guard import GUARDED_METRICS, HOT_PATH_METRICS, check
 
@@ -27,6 +30,8 @@ def full_report(**overrides):
         "wal_identical": True,
         "sharded_identical": True,
         "chaos_recovery_ok": True,
+        "sampled_bounds_ok": True,
+        "sampled_subthreshold_identical": True,
     }
     report.update(overrides)
     return report
@@ -108,10 +113,15 @@ class TestCheck:
         assert any("sharded_identical" in f for f in failures)
         assert any("load_scaling_min" in f for f in failures)
 
-    def test_hot_path_metrics_is_guarded_minus_load_and_chaos(self):
+    def test_hot_path_metrics_is_guarded_minus_scoped_suites(self):
+        """The default selection covers exactly what an unscoped full-suite
+        bench_hot_paths.py report emits: not bench_load.py's metrics and not
+        the `--suite sampled` pair."""
         assert set(HOT_PATH_METRICS) == set(GUARDED_METRICS) - {
             "load_scaling_min",
             "chaos_recovery",
+            "sampled_speedup_min",
+            "sampled_quality_min",
         }
 
     def test_chaos_recovery_is_flag_only(self):
@@ -137,3 +147,83 @@ class TestCheck:
         report = full_report()
         del report["chaos_recovery_ok"]
         assert check(report, BASELINE, metrics=HOT_PATH_METRICS) == []
+
+
+class TestSampledSuiteGuard:
+    SAMPLED_BASELINE = {
+        "sampled_speedup_min": 5.0,
+        "sampled_quality_min": 0.97,
+    }
+    SAMPLED_METRICS = ("sampled_speedup_min", "sampled_quality_min")
+
+    def sampled_report(self, **overrides):
+        report = {
+            "sampled_speedup_min": 6.3,
+            "sampled_quality_min": 0.98,
+            "sampled_bounds_ok": True,
+            "sampled_subthreshold_identical": True,
+        }
+        report.update(overrides)
+        return report
+
+    def test_clean_sampled_report_passes(self):
+        assert (
+            check(self.sampled_report(), self.SAMPLED_BASELINE, metrics=self.SAMPLED_METRICS)
+            == []
+        )
+
+    def test_speedup_below_floor_fails(self):
+        failures = check(
+            self.sampled_report(sampled_speedup_min=2.0),
+            self.SAMPLED_BASELINE,
+            metrics=self.SAMPLED_METRICS,
+        )
+        assert any("sampled_speedup_min" in f for f in failures)
+
+    def test_quality_below_floor_fails(self):
+        failures = check(
+            self.sampled_report(sampled_quality_min=0.5),
+            self.SAMPLED_BASELINE,
+            metrics=self.SAMPLED_METRICS,
+        )
+        assert any("sampled_quality_min" in f for f in failures)
+
+    def test_bound_violation_fails(self):
+        failures = check(
+            self.sampled_report(sampled_bounds_ok=False),
+            self.SAMPLED_BASELINE,
+            metrics=self.SAMPLED_METRICS,
+        )
+        assert any("Hoeffding bound" in f for f in failures)
+
+    def test_lost_subthreshold_identity_fails(self):
+        failures = check(
+            self.sampled_report(sampled_subthreshold_identical=False),
+            self.SAMPLED_BASELINE,
+            metrics=self.SAMPLED_METRICS,
+        )
+        assert any("route to the exact analysis" in f for f in failures)
+
+    def test_full_suite_report_is_not_asked_for_sampled_metrics(self):
+        assert check(full_report(), BASELINE, metrics=HOT_PATH_METRICS) == []
+
+
+class TestSuiteSelection:
+    def test_unknown_suite_raises_before_any_work(self):
+        from benchmarks.bench_hot_paths import run_benchmark
+
+        with pytest.raises(ValueError, match="unknown benchmark suite 'bogus'"):
+            run_benchmark(suite="bogus")
+
+    def test_unknown_suite_cli_exits_with_usage_error(self, capsys):
+        from benchmarks.bench_hot_paths import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--suite", "bogus"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_suite_names_are_published(self):
+        from benchmarks.bench_hot_paths import SUITES
+
+        assert set(SUITES) == {"full", "incremental", "wal", "stream", "sampled"}

@@ -1,0 +1,263 @@
+"""Unit tests for the sampled objective layer (:mod:`repro.core.sampling`).
+
+Covers the Hoeffding sample sizing, the :func:`build_analysis` scope rules
+(sub-threshold graphs must stay exact no matter the objective knob), seeded
+determinism, estimator provenance, configuration validation and the service
+stats surface.  The statistical guarantees themselves (estimates inside the
+declared bounds, sub-threshold node-set identity) live in
+``tests/property/test_sampled_estimators.py``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.api.types import Provenance
+from repro.core import Configuration
+from repro.core.quality import GraphAnalysis
+from repro.core.sampling import (
+    SampledGraphAnalysis,
+    achieved_epsilon,
+    auto_sample_size,
+    build_analysis,
+    estimator_summary,
+    reset_sampling_stats,
+    sampling_stats,
+)
+from repro.exceptions import ConfigurationError
+from repro.gnn import GNNClassifier
+from repro.graphs.generators import barabasi_albert_graph
+
+SAMPLED_CONFIG = Configuration(
+    objective="sampled", sample_budget=64, epsilon=0.3, delta=0.2
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return GNNClassifier(feature_dim=8, num_classes=2, hidden_dim=16, num_layers=2, seed=3)
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    graph = barabasi_albert_graph(400, 2, random.Random(5), node_type="base", feature_dim=8)
+    graph.graph_id = 17
+    return graph
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    graph = barabasi_albert_graph(60, 2, random.Random(6), node_type="base", feature_dim=8)
+    graph.graph_id = 18
+    return graph
+
+
+class TestSampleSizing:
+    def test_matches_the_hoeffding_formula(self):
+        population, epsilon, delta = 10_000, 0.1, 0.05
+        expected = math.ceil(math.log(2 * population / delta) / (2 * epsilon**2))
+        assert auto_sample_size(population, epsilon, delta, budget=10**9) == expected
+
+    def test_budget_caps_the_sample(self):
+        assert auto_sample_size(10_000, 0.01, 0.05, budget=500) == 500
+
+    def test_population_caps_the_sample(self):
+        assert auto_sample_size(50, 0.01, 0.05, budget=10**9) == 50
+
+    def test_empty_population(self):
+        assert auto_sample_size(0, 0.1, 0.05, budget=100) == 0
+
+    def test_achieved_epsilon_inverts_the_sizing(self):
+        population, epsilon, delta = 5_000, 0.1, 0.05
+        size = auto_sample_size(population, epsilon, delta, budget=10**9)
+        # Uncapped: the achieved bound honours (is at least as tight as)
+        # the requested one.
+        assert achieved_epsilon(size, delta, population) <= epsilon
+        # Budget-capped: the achieved bound is honestly wider.
+        assert achieved_epsilon(100, delta, population) > epsilon
+
+    def test_achieved_epsilon_tightens_with_more_samples(self):
+        widths = [achieved_epsilon(m, 0.05, 5_000) for m in (50, 200, 1_000)]
+        assert widths == sorted(widths, reverse=True)
+
+
+class TestScopeRules:
+    def test_exact_objective_always_builds_exact(self, model, big_graph):
+        analysis = build_analysis(model, big_graph, Configuration())
+        assert type(analysis) is GraphAnalysis
+
+    def test_large_graph_builds_sampled(self, model, big_graph):
+        analysis = build_analysis(model, big_graph, SAMPLED_CONFIG)
+        assert isinstance(analysis, SampledGraphAnalysis)
+        assert analysis.sample_size < analysis.population
+
+    def test_sub_threshold_graph_falls_back_to_exact(self, model, small_graph):
+        analysis = build_analysis(model, small_graph, SAMPLED_CONFIG)
+        assert type(analysis) is GraphAnalysis
+
+    def test_saturating_budget_falls_back_to_exact(self, model, big_graph):
+        # epsilon so tight the Hoeffding size reaches the population: the
+        # "sample" would be the whole graph, so the exact analysis is built.
+        config = replace(
+            SAMPLED_CONFIG, epsilon=0.01, sample_budget=10**6, sample_threshold=10
+        )
+        analysis = build_analysis(model, big_graph, config)
+        assert type(analysis) is GraphAnalysis
+
+    def test_fallbacks_are_counted(self, model, small_graph):
+        reset_sampling_stats()
+        build_analysis(model, small_graph, SAMPLED_CONFIG)
+        assert sampling_stats()["exact_fallbacks"] == 1
+
+
+class TestDeterminism:
+    def test_two_builds_are_identical(self, model, big_graph):
+        first = build_analysis(model, big_graph, SAMPLED_CONFIG)
+        second = build_analysis(model, big_graph, SAMPLED_CONFIG)
+        np.testing.assert_array_equal(first.sample_positions, second.sample_positions)
+        np.testing.assert_array_equal(first.diversity_positions, second.diversity_positions)
+        subset = list(big_graph.nodes[:7])
+        assert first.explainability(subset) == second.explainability(subset)
+        gains_a = first.marginal_gains(set(), big_graph.nodes[:20])
+        gains_b = second.marginal_gains(set(), big_graph.nodes[:20])
+        np.testing.assert_array_equal(gains_a, gains_b)
+
+    def test_seed_changes_the_sample(self, model, big_graph):
+        base = build_analysis(model, big_graph, SAMPLED_CONFIG)
+        reseeded = build_analysis(model, big_graph, replace(SAMPLED_CONFIG, seed=99))
+        assert not np.array_equal(base.sample_positions, reseeded.sample_positions)
+
+    def test_estimator_info_shape(self, model, big_graph):
+        analysis = build_analysis(model, big_graph, SAMPLED_CONFIG)
+        info = analysis.estimator_info()
+        assert info["objective"] == "sampled"
+        assert info["population"] == big_graph.num_nodes()
+        assert 2 <= info["sample_size"] <= SAMPLED_CONFIG.sample_budget
+        assert info["achieved_epsilon"] == round(
+            achieved_epsilon(info["sample_size"], SAMPLED_CONFIG.delta, info["population"]),
+            6,
+        )
+
+
+class TestEstimatorSummary:
+    def test_none_for_exact_configs(self, big_graph):
+        assert estimator_summary(Configuration(), [big_graph]) is None
+
+    def test_counts_sampled_and_exact_graphs(self, big_graph, small_graph):
+        summary = estimator_summary(SAMPLED_CONFIG, [big_graph, small_graph])
+        assert summary["sampled_graphs"] == 1
+        assert summary["exact_graphs"] == 1
+        assert summary["sample_budget"] == SAMPLED_CONFIG.sample_budget
+        assert 0.0 < summary["achieved_epsilon"] <= 1.0
+
+    def test_deterministic_without_running_anything(self, big_graph, small_graph):
+        graphs = [big_graph, small_graph]
+        assert estimator_summary(SAMPLED_CONFIG, graphs) == estimator_summary(
+            SAMPLED_CONFIG, graphs
+        )
+
+
+class TestFingerprints:
+    def test_sampled_config_gets_a_distinct_fingerprint(self):
+        assert Configuration().fingerprint() != Configuration(objective="sampled").fingerprint()
+
+    def test_every_estimator_knob_splits_the_fingerprint(self):
+        base = Configuration(objective="sampled")
+        assert base.fingerprint() != replace(base, sample_budget=512).fingerprint()
+        assert base.fingerprint() != replace(base, epsilon=0.2).fingerprint()
+        assert base.fingerprint() != replace(base, delta=0.01).fingerprint()
+        assert base.fingerprint() != replace(base, sample_threshold=128).fingerprint()
+
+    def test_exact_fingerprint_ignores_the_sampling_knobs(self):
+        # The knobs are serialized additively: under objective="exact" they
+        # cannot matter, so they must not split caches or golden artifacts.
+        assert (
+            Configuration().fingerprint()
+            == Configuration(sample_budget=512, epsilon=0.2, delta=0.01).fingerprint()
+        )
+
+    def test_exact_canonical_dict_is_knob_free(self):
+        payload = Configuration().canonical_dict()
+        assert "objective" not in payload
+        assert "sample_budget" not in payload
+        sampled = Configuration(objective="sampled").canonical_dict()
+        assert sampled["objective"] == "sampled"
+
+
+class TestProvenanceEstimator:
+    PROVENANCE_KWARGS = dict(
+        algorithm="approx",
+        label=1,
+        config_fingerprint="a" * 16,
+        request_fingerprint="b" * 16,
+        runtime_seconds=0.5,
+        backend="sparse",
+        num_graphs=3,
+        dataset="SCALE-STRESS",
+    )
+
+    def test_estimator_round_trips(self):
+        estimator = {"objective": "sampled", "sample_budget": 64, "achieved_epsilon": 0.21}
+        provenance = Provenance(estimator=estimator, **self.PROVENANCE_KWARGS)
+        restored = Provenance.from_dict(provenance.to_dict())
+        assert restored.estimator == estimator
+
+    def test_exact_provenance_payload_has_no_estimator_key(self):
+        provenance = Provenance(**self.PROVENANCE_KWARGS)
+        payload = provenance.to_dict()
+        assert "estimator" not in payload
+        assert Provenance.from_dict(payload).estimator is None
+
+
+class TestConfigurationValidation:
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ConfigurationError, match="objective must be one of"):
+            Configuration(objective="montecarlo")
+
+    def test_tiny_sample_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="sample_budget"):
+            Configuration(sample_budget=1)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.1])
+    def test_epsilon_must_be_a_fraction(self, epsilon):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            Configuration(epsilon=epsilon)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, 2.0])
+    def test_delta_must_be_a_probability(self, delta):
+        with pytest.raises(ConfigurationError, match="delta"):
+            Configuration(delta=delta)
+
+
+class TestSamplingStats:
+    def test_sampled_builds_are_counted(self, model, big_graph):
+        reset_sampling_stats()
+        analysis = build_analysis(model, big_graph, SAMPLED_CONFIG)
+        stats = sampling_stats()
+        assert stats["sampled_analyses"] == 1
+        assert stats["last_sample_size"] == analysis.sample_size
+        assert stats["max_achieved_epsilon"] == analysis.achieved_epsilon
+
+    def test_service_stats_surface_the_counters(self, mut_database, trained_mut_model):
+        from repro.api import ExplanationService
+
+        service = ExplanationService(
+            "MUT",
+            database=mut_database,
+            model=trained_mut_model,
+            config=Configuration().with_default_bound(0, 5),
+        )
+        sampling = service.stats()["sampling"]
+        assert sampling["objective"] == "exact"
+        assert set(sampling) >= {
+            "objective",
+            "sampled_analyses",
+            "exact_fallbacks",
+            "last_sample_size",
+            "max_achieved_epsilon",
+        }
